@@ -1,0 +1,49 @@
+//! Microbenchmark: wire codec encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peerhood::device::{DeviceInfo, MobilityClass};
+use peerhood::ids::{ConnectionId, DeviceAddress};
+use peerhood::proto::{Message, NeighborRecord};
+use peerhood::service::ServiceInfo;
+use peerhood::wire::{decode, encode};
+use simnet::{NodeId, RadioTech};
+
+fn inquiry_response(neighbors: usize) -> Message {
+    let device = |n: u64| DeviceInfo::new(NodeId::from_raw(n), format!("dev{n}"), MobilityClass::Hybrid, &[RadioTech::Bluetooth]);
+    Message::InquiryResponse {
+        device: device(0),
+        services: vec![ServiceInfo::new("echo", "v1", 2)],
+        neighbors: (1..=neighbors as u64)
+            .map(|n| NeighborRecord {
+                info: device(n),
+                jumps: (n % 4) as u8,
+                hop_qualities: vec![240, 231, 250],
+                services: vec![ServiceInfo::new("svc", "", n as u16)],
+            })
+            .collect(),
+        bridge_load_percent: 25,
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for &n in &[1usize, 16, 64] {
+        let message = inquiry_response(n);
+        let frame = encode(&message);
+        group.bench_function(format!("encode_inquiry_response_{n}_neighbors"), |b| {
+            b.iter(|| encode(std::hint::black_box(&message)))
+        });
+        group.bench_function(format!("decode_inquiry_response_{n}_neighbors"), |b| {
+            b.iter(|| decode(std::hint::black_box(&frame)).unwrap())
+        });
+    }
+    let data = Message::Data {
+        conn_id: ConnectionId::new(DeviceAddress::from_node_raw(1), 1),
+        payload: vec![0xAB; 32 * 1024],
+    };
+    group.bench_function("encode_32k_data", |b| b.iter(|| encode(std::hint::black_box(&data))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

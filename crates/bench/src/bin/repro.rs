@@ -1,0 +1,27 @@
+//! Regenerates every figure-level result of the thesis' evaluation.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro            # full run (EXPERIMENTS.md sizes)
+//! cargo run -p bench --release --bin repro -- --quick # reduced sizes
+//! ```
+//!
+//! The output is the markdown recorded in `EXPERIMENTS.md`.
+
+use scenarios::{run_all, Effort};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20080815u64);
+    eprintln!("running the E1-E11 experiment suite (seed {seed}, {effort:?}) ...");
+    let reports = run_all(seed, effort);
+    for report in &reports {
+        println!("{report}");
+        println!();
+        eprintln!("  finished {}", report.id);
+    }
+}

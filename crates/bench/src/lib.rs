@@ -1,0 +1,6 @@
+//! Benchmark and reproduction harness for the PeerHood thesis.
+//!
+//! The Criterion benchmarks in `benches/` measure the building blocks
+//! (wire codec, discovery convergence, bridge relaying, handover, result
+//! routing, Gnutella comparison); the `repro` binary in `src/bin/repro.rs`
+//! regenerates the figure-level tables recorded in `EXPERIMENTS.md`.

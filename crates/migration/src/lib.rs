@@ -1,0 +1,31 @@
+//! # migration — task migration over PeerHood
+//!
+//! The thesis' motivating use case is *task migration*: a battery- and
+//! CPU-constrained phone hands a heavy job (picture analysis) to a nearby
+//! fixed server and receives the result back, while both devices keep moving
+//! (Ch. 1, Ch. 5). This crate provides the applications that exercise that
+//! flow on top of the [`peerhood`] middleware:
+//!
+//! * [`messaging`] — the simple periodic-message client/server the thesis
+//!   uses to test the bridge service (§4.3) and the routing-handover
+//!   simulation (§5.2.1),
+//! * [`picture`] — the picture-analysis client/server of §5.3 with the
+//!   "sending" flag and result routing,
+//! * [`task`] — workload descriptions (the small / considerable / huge
+//!   package regimes) and outcome classification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod messaging;
+pub mod picture;
+pub mod task;
+
+/// Re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::messaging::{MessagingClient, MessagingServer};
+    pub use crate::picture::{PictureClient, PictureServer};
+    pub use crate::task::{TaskOutcome, TaskSpec};
+}
+
+pub use prelude::*;

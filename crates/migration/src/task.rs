@@ -1,0 +1,134 @@
+//! Task-migration workload descriptions.
+//!
+//! The thesis' canonical migrated task is the analysis of a picture that is
+//! too expensive to process on the phone (§1.1, §5.3): the client uploads a
+//! number of data packages, the server processes them for a while, and the
+//! (small) result travels back. A [`TaskSpec`] captures exactly those three
+//! knobs so the experiments can sweep the §5.3 regimes (small / considerable
+//! / huge package counts).
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+/// Parameters of one migratable task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Number of data packages the client uploads.
+    pub packages: u32,
+    /// Size of each package in bytes.
+    pub package_size: usize,
+    /// Server-side processing time per received package.
+    pub processing_per_package: SimDuration,
+    /// Size of the result returned to the client, in bytes.
+    pub result_size: usize,
+}
+
+impl TaskSpec {
+    /// The §5.3 "small number of data packages" regime: the whole task
+    /// finishes while the client is still in coverage.
+    pub fn small() -> Self {
+        TaskSpec {
+            packages: 5,
+            package_size: 4 * 1024,
+            processing_per_package: SimDuration::from_millis(400),
+            result_size: 2 * 1024,
+        }
+    }
+
+    /// The §5.3 "considerable number of data packages" regime: the upload
+    /// completes but the connection breaks during processing, so the result
+    /// must be routed back.
+    pub fn considerable() -> Self {
+        TaskSpec {
+            packages: 40,
+            package_size: 16 * 1024,
+            processing_per_package: SimDuration::from_millis(1_500),
+            result_size: 8 * 1024,
+        }
+    }
+
+    /// The §5.3 "huge number of data packages" regime: the connection breaks
+    /// during the upload itself and the handover machinery is exercised.
+    pub fn huge() -> Self {
+        TaskSpec {
+            packages: 400,
+            package_size: 32 * 1024,
+            processing_per_package: SimDuration::from_millis(500),
+            result_size: 16 * 1024,
+        }
+    }
+
+    /// Total number of bytes uploaded by the client.
+    pub fn upload_bytes(&self) -> u64 {
+        self.packages as u64 * self.package_size as u64
+    }
+
+    /// Total server-side processing time.
+    pub fn processing_time(&self) -> SimDuration {
+        self.processing_per_package * self.packages as u64
+    }
+}
+
+impl Default for TaskSpec {
+    fn default() -> Self {
+        TaskSpec::small()
+    }
+}
+
+/// How a migrated task ended, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOutcome {
+    /// The result came back on the original, uninterrupted connection.
+    CompletedDirect,
+    /// The connection broke but the result was routed back later
+    /// (server-initiated reconnection, §5.3 case 2).
+    CompletedViaResultRouting,
+    /// The connection was handed over (and possibly restarted) before
+    /// completing.
+    CompletedAfterRecovery,
+    /// The task never completed within the observation window.
+    Incomplete,
+}
+
+impl TaskOutcome {
+    /// True for any outcome in which the client eventually got its result.
+    pub fn completed(self) -> bool {
+        !matches!(self, TaskOutcome::Incomplete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_are_ordered_by_size() {
+        let s = TaskSpec::small();
+        let c = TaskSpec::considerable();
+        let h = TaskSpec::huge();
+        assert!(s.upload_bytes() < c.upload_bytes());
+        assert!(c.upload_bytes() < h.upload_bytes());
+        assert!(s.processing_time() < c.processing_time());
+        assert_eq!(TaskSpec::default(), s);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let spec = TaskSpec {
+            packages: 10,
+            package_size: 1000,
+            processing_per_package: SimDuration::from_secs(2),
+            result_size: 10,
+        };
+        assert_eq!(spec.upload_bytes(), 10_000);
+        assert_eq!(spec.processing_time(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn outcome_completion() {
+        assert!(TaskOutcome::CompletedDirect.completed());
+        assert!(TaskOutcome::CompletedViaResultRouting.completed());
+        assert!(TaskOutcome::CompletedAfterRecovery.completed());
+        assert!(!TaskOutcome::Incomplete.completed());
+    }
+}

@@ -1,0 +1,329 @@
+//! Gnutella-style flooding, the comparison point of §3.2.
+//!
+//! The thesis motivates its dynamic discovery by contrasting it with the
+//! Gnutella network: flooding a query to every neighbour with a hop limit
+//! reaches the whole network but generates "huge network traffic", which a
+//! battery-powered device cannot afford. This module provides an analytic
+//! graph model of both schemes so experiment E2 can compare message volumes
+//! on identical topologies.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph of devices used for traffic modelling.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates a topology with `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        Topology {
+            adjacency: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds an undirected edge (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        if a == b {
+            return;
+        }
+        if !self.adjacency[a].contains(&b) {
+            self.adjacency[a].push(b);
+        }
+        if !self.adjacency[b].contains(&a) {
+            self.adjacency[b].push(a);
+        }
+    }
+
+    /// Builds a topology by connecting every pair of positions closer than
+    /// `range`.
+    pub fn from_positions(positions: &[(f64, f64)], range: f64) -> Self {
+        let mut t = Topology::new(positions.len());
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                if (dx * dx + dy * dy).sqrt() <= range {
+                    t.add_edge(i, j);
+                }
+            }
+        }
+        t
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Nodes reachable from `origin` within `max_hops` hops (including the
+    /// origin itself), via breadth-first search.
+    pub fn reachable_within(&self, origin: usize, max_hops: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[origin] = 0;
+        queue.push_back(origin);
+        let mut out = vec![origin];
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == max_hops {
+                continue;
+            }
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    out.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Hop distance between two nodes, or `None` if unreachable.
+    pub fn hop_distance(&self, from: usize, to: usize) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[from] = 0;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == to {
+                        return Some(dist[v]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Result of one flooded Gnutella query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FloodStats {
+    /// Query messages transmitted (every forward over every edge counts).
+    pub messages: u64,
+    /// Distinct nodes the query reached (excluding the origin).
+    pub nodes_reached: u64,
+    /// Messages that arrived at a node which had already seen the query
+    /// (pure overhead).
+    pub duplicate_messages: u64,
+}
+
+/// Simulates one Gnutella query flood from `origin` with the given TTL
+/// (hop limit). Every node that receives the query for the first time
+/// forwards it to all of its neighbours except the sender, as the original
+/// protocol does.
+pub fn gnutella_flood(topology: &Topology, origin: usize, ttl: usize) -> FloodStats {
+    let mut stats = FloodStats::default();
+    let mut seen = vec![false; topology.len()];
+    seen[origin] = true;
+    // Frontier entries: (node, arrived_from, remaining_ttl)
+    let mut frontier: VecDeque<(usize, usize, usize)> = VecDeque::new();
+    for &n in topology.neighbors(origin) {
+        stats.messages += 1;
+        frontier.push_back((n, origin, ttl));
+    }
+    while let Some((node, from, ttl_left)) = frontier.pop_front() {
+        if seen[node] {
+            stats.duplicate_messages += 1;
+            continue;
+        }
+        seen[node] = true;
+        stats.nodes_reached += 1;
+        if ttl_left <= 1 {
+            continue;
+        }
+        for &next in topology.neighbors(node) {
+            if next == from {
+                continue;
+            }
+            stats.messages += 1;
+            frontier.push_back((next, node, ttl_left - 1));
+        }
+    }
+    stats
+}
+
+/// Per-discovery-cycle traffic of PeerHood's dynamic device discovery on the
+/// same topology: every node inquires once and exchanges one
+/// request/response pair with each direct neighbour ("the inquiry petition is
+/// not repeated like Gnutella ... but only sent to the direct neighbours",
+/// §3.3). Returns the number of protocol messages per full cycle.
+pub fn peerhood_cycle_messages(topology: &Topology) -> u64 {
+    // Each undirected edge carries one (request, response) pair in each
+    // direction per cycle: 4 messages per edge.
+    4 * topology.edge_count() as u64
+}
+
+/// Messages needed for *every* node to issue one Gnutella search (the
+/// traffic required for everyone to achieve total knowledge by querying).
+pub fn gnutella_full_search_messages(topology: &Topology, ttl: usize) -> u64 {
+    (0..topology.len())
+        .map(|origin| gnutella_flood(topology, origin, ttl).messages)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-node line: 0 - 1 - 2 - 3 - 4.
+    fn line() -> Topology {
+        let mut t = Topology::new(5);
+        for i in 0..4 {
+            t.add_edge(i, i + 1);
+        }
+        t
+    }
+
+    /// A 4-node star centred on node 0.
+    fn star() -> Topology {
+        let mut t = Topology::new(4);
+        for i in 1..4 {
+            t.add_edge(0, i);
+        }
+        t
+    }
+
+    #[test]
+    fn topology_edges_are_undirected_and_deduplicated() {
+        let mut t = Topology::new(3);
+        t.add_edge(0, 1);
+        t.add_edge(1, 0);
+        t.add_edge(1, 1);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.neighbors(0), &[1]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert!(t.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn from_positions_links_close_pairs() {
+        let t = Topology::from_positions(&[(0.0, 0.0), (5.0, 0.0), (50.0, 0.0)], 10.0);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.neighbors(0), &[1]);
+        assert!(t.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn reachability_and_distance_on_a_line() {
+        let t = line();
+        assert_eq!(t.hop_distance(0, 4), Some(4));
+        assert_eq!(t.hop_distance(2, 2), Some(0));
+        assert_eq!(t.reachable_within(0, 2).len(), 3);
+        assert_eq!(t.reachable_within(0, 10).len(), 5);
+        let disconnected = Topology::new(2);
+        assert_eq!(disconnected.hop_distance(0, 1), None);
+    }
+
+    #[test]
+    fn flood_reaches_everything_with_enough_ttl() {
+        let t = line();
+        let stats = gnutella_flood(&t, 0, 10);
+        assert_eq!(stats.nodes_reached, 4);
+        // One message per hop along the line, no duplicates.
+        assert_eq!(stats.messages, 4);
+        assert_eq!(stats.duplicate_messages, 0);
+    }
+
+    #[test]
+    fn flood_respects_ttl() {
+        let t = line();
+        let stats = gnutella_flood(&t, 0, 2);
+        assert_eq!(stats.nodes_reached, 2);
+        assert_eq!(stats.messages, 2);
+    }
+
+    #[test]
+    fn flood_counts_duplicates_in_cycles() {
+        // A triangle: the query sent both ways around arrives twice at the
+        // far node.
+        let mut t = Topology::new(3);
+        t.add_edge(0, 1);
+        t.add_edge(1, 2);
+        t.add_edge(0, 2);
+        let stats = gnutella_flood(&t, 0, 5);
+        assert_eq!(stats.nodes_reached, 2);
+        assert!(stats.duplicate_messages >= 1, "triangle must produce duplicates");
+        assert!(stats.messages > stats.nodes_reached);
+    }
+
+    #[test]
+    fn star_flood_from_centre_is_cheap() {
+        let t = star();
+        let stats = gnutella_flood(&t, 0, 5);
+        assert_eq!(stats.nodes_reached, 3);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.duplicate_messages, 0);
+    }
+
+    #[test]
+    fn peerhood_cycle_traffic_is_linear_in_edges() {
+        assert_eq!(peerhood_cycle_messages(&line()), 16);
+        assert_eq!(peerhood_cycle_messages(&star()), 12);
+        assert_eq!(peerhood_cycle_messages(&Topology::new(10)), 0);
+    }
+
+    #[test]
+    fn gnutella_everyone_searching_costs_more_than_one_peerhood_cycle_on_dense_graphs() {
+        // A modestly dense random-geometric-style graph: a 4x4 grid with
+        // diagonals, where flooding produces duplicate traffic.
+        let mut t = Topology::new(16);
+        for y in 0..4 {
+            for x in 0..4 {
+                let i = y * 4 + x;
+                if x < 3 {
+                    t.add_edge(i, i + 1);
+                }
+                if y < 3 {
+                    t.add_edge(i, i + 4);
+                }
+                if x < 3 && y < 3 {
+                    t.add_edge(i, i + 5);
+                }
+            }
+        }
+        let gnutella = gnutella_full_search_messages(&t, 7);
+        let peerhood = peerhood_cycle_messages(&t);
+        assert!(
+            gnutella > peerhood,
+            "gnutella {gnutella} should exceed peerhood {peerhood} on a dense graph"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut t = Topology::new(2);
+        t.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! # peerhood — mobile peer-to-peer middleware
+//!
+//! A Rust reproduction of the PeerHood middleware as extended by the thesis
+//! *"Addressing mobility issues in mobile environment"* (2008): an
+//! unstructured peer-to-peer neighbourhood for mixed fixed/mobile devices
+//! with
+//!
+//! * **dynamic device discovery** (Ch. 3) — the per-device storage becomes an
+//!   ad-hoc routing table (bridge + jump count) propagated hop by hop, giving
+//!   every node total environment awareness at the cost of one
+//!   request/response per neighbour per cycle,
+//! * **interconnection** (Ch. 4) — a hidden bridge service on every node
+//!   relays connections between devices that are not in direct radio range,
+//! * **task-migration support under mobility** (Ch. 5) — per-connection
+//!   quality monitoring, routing handover, service reconnection and result
+//!   routing.
+//!
+//! The middleware runs on top of the [`simnet`] substrate: a
+//! [`node::PeerHoodNode`] implements [`simnet::NodeAgent`] and hosts one
+//! [`application::Application`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use peerhood::prelude::*;
+//! use simnet::prelude::*;
+//!
+//! // Two devices four metres apart: a mobile client and a fixed server that
+//! // registers an "echo" service.
+//! let mut world = World::new(WorldConfig::ideal(7));
+//! let client = world.add_node(
+//!     "client",
+//!     MobilityModel::stationary(Point::new(0.0, 0.0)),
+//!     &[RadioTech::Bluetooth],
+//!     Box::new(PeerHoodNode::relay(PeerHoodConfig::mobile_device("client"))),
+//! );
+//! world.add_node(
+//!     "server",
+//!     MobilityModel::stationary(Point::new(4.0, 0.0)),
+//!     &[RadioTech::Bluetooth],
+//!     Box::new(PeerHoodNode::relay(PeerHoodConfig::static_device("server"))),
+//! );
+//! // Run a minute of simulated time: the daemons discover each other.
+//! world.run_for(SimDuration::from_secs(60));
+//! let known = world
+//!     .with_agent::<PeerHoodNode, _>(client, |node, _| node.storage_stats().known_devices)
+//!     .unwrap();
+//! assert_eq!(known, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod application;
+pub mod bridge;
+pub mod config;
+pub mod connection;
+pub mod daemon;
+pub mod device;
+pub mod engine;
+pub mod error;
+pub mod gnutella;
+pub mod handover;
+pub mod ids;
+pub mod node;
+pub mod plugin;
+pub mod proto;
+pub mod quality;
+pub mod route;
+pub mod service;
+pub mod storage;
+pub mod wire;
+
+/// Re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::application::{Application, IdleApplication};
+    pub use crate::config::{DiscoveryMode, PeerHoodConfig};
+    pub use crate::connection::{ConnState, ConnectionSnapshot};
+    pub use crate::device::{DeviceInfo, MobilityClass};
+    pub use crate::error::PeerHoodError;
+    pub use crate::handover::HandoverTarget;
+    pub use crate::ids::{ConnectionId, DeviceAddress};
+    pub use crate::node::{PeerHoodApi, PeerHoodNode};
+    pub use crate::service::ServiceInfo;
+    pub use crate::storage::{StorageStats, StoredDevice};
+}
+
+pub use prelude::*;

@@ -1,0 +1,1999 @@
+//! The PeerHood node: glue between the middleware and the simulated radio.
+//!
+//! [`PeerHoodNode`] implements [`simnet::NodeAgent`] and owns the whole
+//! middleware stack of one device — daemon, engine, connection table, bridge
+//! service and handover machinery — plus the single [`Application`] running
+//! on top of it. Applications act on the middleware through [`PeerHoodApi`].
+//!
+//! The original implementation runs these pieces as threads (inquiry thread,
+//! advertisement thread, roaming/handover threads, the bridge main loop);
+//! here every thread becomes a timer or a radio event handled on the
+//! simulator's event loop, which keeps the protocol behaviour identical but
+//! deterministic.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+use simnet::{
+    AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent,
+    NodeCtx, NodeId, RadioTech, SimDuration, SimTime, TimerToken,
+};
+
+use crate::application::Application;
+use crate::bridge::{BridgeService, BridgeSide};
+use crate::config::PeerHoodConfig;
+use crate::connection::{AppConnection, ConnKind, ConnState, ConnectionSnapshot, ConnectionTable};
+use crate::daemon::Daemon;
+use crate::device::DeviceInfo;
+use crate::engine::{Engine, LinkRole};
+use crate::error::{ErrorCode, PeerHoodError};
+use crate::handover::{HandoverMonitor, HandoverTarget};
+use crate::ids::{ConnectionId, DeviceAddress};
+use crate::proto::Message;
+use crate::service::ServiceInfo;
+use crate::storage::{StorageStats, StoredDevice};
+use crate::wire;
+
+const KIND_SHIFT: u64 = 56;
+const KIND_INQUIRY: u64 = 1;
+const KIND_MONITOR: u64 = 2;
+const KIND_APP: u64 = 3;
+const KIND_RETRY: u64 = 4;
+const PAYLOAD_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+fn token(kind: u64, payload: u64) -> TimerToken {
+    TimerToken((kind << KIND_SHIFT) | (payload & PAYLOAD_MASK))
+}
+
+/// Why a physical connection attempt was started.
+#[derive(Debug, Clone)]
+enum PendingPurpose {
+    /// Daemon information fetch towards a device found by an inquiry.
+    DaemonFetch {
+        peer: DeviceAddress,
+        tech: RadioTech,
+        quality: u8,
+    },
+    /// First hop of an outgoing application connection.
+    AppConnect { conn: ConnectionId },
+    /// Downstream leg of a relayed bridge pair.
+    BridgeLeg { conn: ConnectionId },
+    /// Replacement route being built by the handover machinery.
+    Handover { conn: ConnectionId, via: DeviceAddress },
+    /// Server re-connecting to a client to deliver queued results (§5.3).
+    ReplyConnect { conn: ConnectionId },
+}
+
+/// Application callbacks queued during event processing and delivered once
+/// the middleware state is consistent.
+#[derive(Debug)]
+enum AppEvent {
+    Start,
+    PeerConnected {
+        conn: ConnectionId,
+        client: DeviceInfo,
+        service: String,
+    },
+    Connected(ConnectionId),
+    ConnectFailed(ConnectionId, PeerHoodError),
+    Data(ConnectionId, Vec<u8>),
+    Disconnected(ConnectionId, bool),
+    ConnectionChanged(ConnectionId),
+    ServiceReconnected(ConnectionId, DeviceAddress),
+    ReconnectQuery(ConnectionId, Vec<DeviceAddress>),
+    Timer(u64),
+}
+
+/// Everything the node owns once started.
+struct Core {
+    config: PeerHoodConfig,
+    daemon: Daemon,
+    engine: Engine,
+    connections: ConnectionTable,
+    bridge: BridgeService,
+    pending: BTreeMap<AttemptId, PendingPurpose>,
+    retry_conns: BTreeMap<u64, ConnectionId>,
+    next_retry_token: u64,
+    events: VecDeque<AppEvent>,
+    handover_completions: u64,
+    reply_reconnections: u64,
+}
+
+/// A complete PeerHood device: middleware plus one application.
+pub struct PeerHoodNode {
+    config: PeerHoodConfig,
+    core: Option<Core>,
+    app: Option<Box<dyn Application>>,
+}
+
+/// Handle applications (and scenario drivers) use to act on the middleware.
+pub struct PeerHoodApi<'a, 'w> {
+    core: &'a mut Core,
+    ctx: &'a mut NodeCtx<'w>,
+}
+
+impl PeerHoodNode {
+    /// Creates a node with the given configuration and application.
+    pub fn new(config: PeerHoodConfig, app: Box<dyn Application>) -> Self {
+        PeerHoodNode {
+            config,
+            core: None,
+            app: Some(app),
+        }
+    }
+
+    /// Creates a node that only runs the middleware (daemon, discovery and
+    /// the hidden bridge service) without an application — a pure relay.
+    pub fn relay(config: PeerHoodConfig) -> Self {
+        PeerHoodNode {
+            config,
+            core: None,
+            app: None,
+        }
+    }
+
+    /// The configuration this node was created with.
+    pub fn config(&self) -> &PeerHoodConfig {
+        &self.config
+    }
+
+    /// This device's address (available after the node has started).
+    pub fn device_address(&self) -> Option<DeviceAddress> {
+        self.core.as_ref().map(|c| c.daemon.info().address)
+    }
+
+    /// Storage statistics of the daemon.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.core.as_ref().map(|c| c.daemon.stats()).unwrap_or_default()
+    }
+
+    /// Snapshot of every known remote device.
+    pub fn known_devices(&self) -> Vec<StoredDevice> {
+        self.core
+            .as_ref()
+            .map(|c| c.daemon.storage().device_list().into_iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of one connection.
+    pub fn connection(&self, conn: ConnectionId) -> Option<ConnectionSnapshot> {
+        self.core
+            .as_ref()
+            .and_then(|c| c.connections.get(conn))
+            .map(ConnectionSnapshot::from)
+    }
+
+    /// Snapshots of every connection.
+    pub fn connections(&self) -> Vec<ConnectionSnapshot> {
+        self.core
+            .as_ref()
+            .map(|c| c.connections.iter().map(ConnectionSnapshot::from).collect())
+            .unwrap_or_default()
+    }
+
+    /// The radio link currently carrying a connection, if any. Scenario
+    /// drivers use this to install the §5.2.1 artificial quality decay on the
+    /// link under a live connection.
+    pub fn connection_link(&self, conn: ConnectionId) -> Option<LinkId> {
+        self.core.as_ref().and_then(|c| c.connections.get(conn)).and_then(|c| c.link)
+    }
+
+    /// Number of connection pairs currently relayed by this node's bridge
+    /// service, plus the totals it has relayed.
+    pub fn bridge_stats(&self) -> (usize, u64, u64) {
+        self.core
+            .as_ref()
+            .map(|c| (c.bridge.len(), c.bridge.total_relayed_messages(), c.bridge.total_relayed_bytes()))
+            .unwrap_or((0, 0, 0))
+    }
+
+    /// Number of routing handovers successfully completed by this node.
+    pub fn handover_completions(&self) -> u64 {
+        self.core.as_ref().map(|c| c.handover_completions).unwrap_or(0)
+    }
+
+    /// Number of server-initiated reply reconnections completed (result
+    /// routing, §5.3).
+    pub fn reply_reconnections(&self) -> u64 {
+        self.core.as_ref().map(|c| c.reply_reconnections).unwrap_or(0)
+    }
+
+    /// Typed access to the application running on this node.
+    pub fn app<T: Application>(&self) -> Option<&T> {
+        self.app.as_ref().and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable typed access to the application running on this node.
+    pub fn app_mut<T: Application>(&mut self) -> Option<&mut T> {
+        self.app.as_mut().and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Runs a closure with the [`PeerHoodApi`], letting scenario drivers
+    /// invoke application-level operations directly ("now connect to that
+    /// service"). Pending application callbacks are delivered afterwards.
+    ///
+    /// Returns `None` if the node has not started yet.
+    pub fn with_api<R>(&mut self, ctx: &mut NodeCtx<'_>, f: impl FnOnce(&mut PeerHoodApi<'_, '_>) -> R) -> Option<R> {
+        let result = {
+            let core = self.core.as_mut()?;
+            let mut api = PeerHoodApi { core, ctx };
+            Some(f(&mut api))
+        };
+        self.drain_events(ctx);
+        result
+    }
+
+    fn drain_events(&mut self, ctx: &mut NodeCtx<'_>) {
+        loop {
+            let event = match self.core.as_mut().and_then(|c| c.events.pop_front()) {
+                Some(e) => e,
+                None => break,
+            };
+            let core = match self.core.as_mut() {
+                Some(c) => c,
+                None => break,
+            };
+            let app = match self.app.as_mut() {
+                Some(a) => a,
+                None => continue,
+            };
+            let mut api = PeerHoodApi { core, ctx };
+            match event {
+                AppEvent::Start => app.on_start(&mut api),
+                AppEvent::PeerConnected { conn, client, service } => {
+                    app.on_peer_connected(&mut api, conn, client, &service)
+                }
+                AppEvent::Connected(conn) => app.on_connected(&mut api, conn),
+                AppEvent::ConnectFailed(conn, error) => app.on_connect_failed(&mut api, conn, error),
+                AppEvent::Data(conn, payload) => app.on_data(&mut api, conn, payload),
+                AppEvent::Disconnected(conn, graceful) => app.on_disconnected(&mut api, conn, graceful),
+                AppEvent::ConnectionChanged(conn) => app.on_connection_changed(&mut api, conn),
+                AppEvent::ServiceReconnected(conn, provider) => {
+                    app.on_service_reconnected(&mut api, conn, provider)
+                }
+                AppEvent::ReconnectQuery(conn, candidates) => {
+                    let allowed = app.on_reconnect_required(&mut api, conn, &candidates);
+                    if allowed {
+                        api.core.start_service_reconnection(api.ctx, conn, &candidates);
+                    } else {
+                        api.core.abandon_connection(conn);
+                    }
+                }
+                AppEvent::Timer(token) => app.on_timer(&mut api, token),
+            }
+        }
+    }
+}
+
+impl NodeAgent for PeerHoodNode {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let info = DeviceInfo::new(
+            ctx.node_id(),
+            self.config.device_name.clone(),
+            self.config.mobility,
+            &self.config.techs,
+        );
+        let daemon = Daemon::new(info, &self.config);
+        let mut core = Core {
+            daemon,
+            engine: Engine::new(),
+            connections: ConnectionTable::new(),
+            bridge: BridgeService::new(self.config.bridge.max_connections),
+            pending: BTreeMap::new(),
+            retry_conns: BTreeMap::new(),
+            next_retry_token: 0,
+            events: VecDeque::new(),
+            handover_completions: 0,
+            reply_reconnections: 0,
+            config: self.config.clone(),
+        };
+        core.start(ctx);
+        core.events.push_back(AppEvent::Start);
+        self.core = Some(core);
+        self.drain_events(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_timer(ctx, timer);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_inquiry_complete(ctx, tech, hits);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+        match self.core.as_mut() {
+            Some(core) => {
+                core.engine.set_role(incoming.link, LinkRole::IncomingUnidentified);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn on_connected(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        tech: RadioTech,
+    ) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_connected(ctx, attempt, link, peer, tech);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_connect_failed(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        peer: NodeId,
+        tech: RadioTech,
+        error: ConnectError,
+    ) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_connect_failed(ctx, attempt, peer, tech, error);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_message(ctx, link, from, payload);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_disconnected(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, peer: NodeId, reason: DisconnectReason) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_disconnected(ctx, link, peer, reason);
+        }
+        self.drain_events(ctx);
+    }
+}
+
+impl Core {
+    fn my_address(&self) -> DeviceAddress {
+        self.daemon.info().address
+    }
+
+    fn my_info(&self) -> DeviceInfo {
+        self.daemon.info().clone()
+    }
+
+    fn send_frame(&self, ctx: &mut NodeCtx<'_>, link: LinkId, message: &Message) {
+        let _ = ctx.send(link, wire::encode(message));
+    }
+
+    /// Radio technology to use towards a device (first configured technology
+    /// the target also supports, falling back to our primary one).
+    fn tech_for(&self, target: Option<&DeviceInfo>) -> RadioTech {
+        let primary = self.config.techs.first().copied().unwrap_or(RadioTech::Bluetooth);
+        match target {
+            Some(info) => self
+                .config
+                .techs
+                .iter()
+                .copied()
+                .find(|t| info.supports(*t))
+                .unwrap_or(primary),
+            None => primary,
+        }
+    }
+
+    fn start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Stagger the plugin inquiry loops a little so co-located devices do
+        // not scan in lock-step.
+        for (idx, _tech) in self.config.techs.clone().iter().enumerate() {
+            let jitter = SimDuration::from_millis(ctx.rng().range(0u64..2_000));
+            ctx.schedule(jitter, token(KIND_INQUIRY, idx as u64));
+        }
+        ctx.schedule(self.config.monitor.interval, token(KIND_MONITOR, 0));
+    }
+
+    fn handle_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+        let kind = timer.0 >> KIND_SHIFT;
+        let payload = timer.0 & PAYLOAD_MASK;
+        match kind {
+            KIND_INQUIRY => {
+                let tech = match self.config.techs.get(payload as usize).copied() {
+                    Some(t) => t,
+                    None => return,
+                };
+                if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
+                    if plugin.cycle_active {
+                        // The previous cycle is still fetching; retry shortly.
+                        ctx.schedule(SimDuration::from_secs(2), timer);
+                        return;
+                    }
+                    plugin.begin_cycle(ctx.now());
+                }
+                ctx.start_inquiry(tech);
+            }
+            KIND_MONITOR => {
+                self.monitor_pass(ctx);
+                ctx.schedule(self.config.monitor.interval, token(KIND_MONITOR, 0));
+            }
+            KIND_APP => self.events.push_back(AppEvent::Timer(payload)),
+            KIND_RETRY => {
+                if let Some(conn) = self.retry_conns.remove(&payload) {
+                    self.try_reply_reconnect(ctx, conn);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn schedule_next_inquiry(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech) {
+        if let Some(idx) = self.config.techs.iter().position(|t| *t == tech) {
+            // Random per-cycle jitter keeps co-located devices from scanning
+            // in lock-step, which together with the Bluetooth inquiry
+            // asymmetry (§3.4.2) would otherwise make them mutually
+            // invisible for long stretches.
+            let base = self.config.discovery.inquiry_interval;
+            let jitter = SimDuration::from_millis(ctx.rng().range(0u64..=base.as_millis().max(1)));
+            ctx.schedule(base + jitter, token(KIND_INQUIRY, idx as u64));
+        }
+    }
+
+    fn handle_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+        let now = ctx.now();
+        let service_check = self.config.discovery.service_check_interval;
+        let mut fetches: Vec<(NodeId, DeviceAddress, u8)> = Vec::new();
+        for hit in &hits {
+            let addr = DeviceAddress::from_node(hit.node);
+            if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
+                plugin.note_responder(addr);
+            }
+            if self.daemon.storage().needs_recheck(addr, now, service_check) {
+                fetches.push((hit.node, addr, hit.quality));
+            } else {
+                self.daemon.storage_mut().mark_responded(addr, hit.quality, now);
+            }
+        }
+        for (node, addr, quality) in fetches {
+            if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
+                plugin.note_fetch_started();
+            }
+            let attempt = ctx.connect(node, tech);
+            self.pending.insert(attempt, PendingPurpose::DaemonFetch { peer: addr, tech, quality });
+        }
+        // If nothing needs fetching the cycle completes immediately.
+        let cycle_done = self
+            .daemon
+            .plugins()
+            .get(tech)
+            .map(|p| p.pending_fetches == 0)
+            .unwrap_or(true);
+        if cycle_done {
+            self.finish_discovery_cycle(ctx, tech);
+        }
+    }
+
+    fn finish_discovery_cycle(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech) {
+        let now = ctx.now();
+        let config = self.config.clone();
+        let _removed = self.daemon.complete_cycle(tech, &config, now);
+        self.schedule_next_inquiry(ctx, tech);
+    }
+
+    fn note_fetch_finished(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech) {
+        let done = self
+            .daemon
+            .plugins_mut()
+            .get_mut(tech)
+            .map(|p| p.cycle_active && p.note_fetch_finished())
+            .unwrap_or(false);
+        if done {
+            self.finish_discovery_cycle(ctx, tech);
+        }
+    }
+
+    fn handle_connected(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        link: LinkId,
+        _peer: NodeId,
+        _tech: RadioTech,
+    ) {
+        let purpose = match self.pending.remove(&attempt) {
+            Some(p) => p,
+            None => return,
+        };
+        match purpose {
+            PendingPurpose::DaemonFetch { peer, tech, quality } => {
+                self.engine.set_role(link, LinkRole::DaemonFetch { peer, quality });
+                let requester = self.my_info();
+                self.send_frame(ctx, link, &Message::InquiryRequest { requester });
+                // The fetch completes when the response arrives or the link
+                // drops; `tech` is needed then, remember it via the plugin.
+                let _ = tech;
+            }
+            PendingPurpose::AppConnect { conn } => {
+                let (message, ok) = match self.connections.get_mut(conn) {
+                    Some(c) => {
+                        c.link = Some(link);
+                        c.state = ConnState::AwaitingAccept;
+                        let client = self.daemon.info().clone();
+                        let msg = match &c.kind {
+                            ConnKind::OutgoingDirect => Message::ConnectRequest {
+                                conn_id: conn,
+                                service: c.service.clone(),
+                                client,
+                                reply_context: None,
+                            },
+                            ConnKind::OutgoingBridged { .. } => Message::BridgeRequest {
+                                conn_id: conn,
+                                destination: c.remote,
+                                service: c.service.clone(),
+                                client,
+                                reply_context: None,
+                            },
+                            ConnKind::Incoming { .. } => Message::ConnectRequest {
+                                conn_id: conn,
+                                service: c.service.clone(),
+                                client,
+                                reply_context: Some(conn),
+                            },
+                        };
+                        (msg, true)
+                    }
+                    None => (Message::Disconnect { conn_id: conn }, false),
+                };
+                if ok {
+                    self.engine.set_role(link, LinkRole::AppConnection(conn));
+                    self.send_frame(ctx, link, &message);
+                } else {
+                    ctx.close(link);
+                }
+            }
+            PendingPurpose::BridgeLeg { conn } => {
+                let peer_addr = DeviceAddress::from_node(_peer);
+                let message = match self.bridge.get_mut(conn) {
+                    Some(pair) => {
+                        pair.downstream = Some(link);
+                        if peer_addr == pair.destination {
+                            Message::ConnectRequest {
+                                conn_id: conn,
+                                service: pair.service.clone(),
+                                client: pair.client.clone(),
+                                reply_context: pair.reply_context,
+                            }
+                        } else {
+                            Message::BridgeRequest {
+                                conn_id: conn,
+                                destination: pair.destination,
+                                service: pair.service.clone(),
+                                client: pair.client.clone(),
+                                reply_context: pair.reply_context,
+                            }
+                        }
+                    }
+                    None => {
+                        ctx.close(link);
+                        return;
+                    }
+                };
+                self.engine.set_role(link, LinkRole::BridgeDownstream(conn));
+                self.send_frame(ctx, link, &message);
+            }
+            PendingPurpose::Handover { conn, via } => {
+                let message = match self.connections.get(conn) {
+                    Some(c) => {
+                        let target = self.handover_destination(c);
+                        if via == target {
+                            Message::ConnectRequest {
+                                conn_id: conn,
+                                service: c.service.clone(),
+                                client: self.daemon.info().clone(),
+                                reply_context: None,
+                            }
+                        } else {
+                            Message::BridgeRequest {
+                                conn_id: conn,
+                                destination: target,
+                                service: c.service.clone(),
+                                client: self.daemon.info().clone(),
+                                reply_context: None,
+                            }
+                        }
+                    }
+                    None => {
+                        ctx.close(link);
+                        return;
+                    }
+                };
+                self.engine.set_role(link, LinkRole::HandoverPending(conn));
+                self.send_frame(ctx, link, &message);
+            }
+            PendingPurpose::ReplyConnect { conn } => {
+                let message = match self.connections.get_mut(conn) {
+                    Some(c) => {
+                        c.link = Some(link);
+                        c.state = ConnState::AwaitingAccept;
+                        let first_hop_is_client = DeviceAddress::from_node(_peer) == c.remote;
+                        let client = self.daemon.info().clone();
+                        if first_hop_is_client {
+                            Message::ConnectRequest {
+                                conn_id: conn,
+                                service: c.service.clone(),
+                                client,
+                                reply_context: Some(conn),
+                            }
+                        } else {
+                            Message::BridgeRequest {
+                                conn_id: conn,
+                                destination: c.remote,
+                                service: c.service.clone(),
+                                client,
+                                reply_context: Some(conn),
+                            }
+                        }
+                    }
+                    None => {
+                        ctx.close(link);
+                        return;
+                    }
+                };
+                self.engine.set_role(link, LinkRole::AppConnection(conn));
+                self.send_frame(ctx, link, &message);
+            }
+        }
+    }
+
+    fn handle_connect_failed(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        _peer: NodeId,
+        tech: RadioTech,
+        _error: ConnectError,
+    ) {
+        let purpose = match self.pending.remove(&attempt) {
+            Some(p) => p,
+            None => return,
+        };
+        match purpose {
+            PendingPurpose::DaemonFetch { .. } => {
+                self.note_fetch_finished(ctx, tech);
+            }
+            PendingPurpose::AppConnect { conn } => {
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.state = ConnState::Failed;
+                    c.link = None;
+                }
+                self.events
+                    .push_back(AppEvent::ConnectFailed(conn, PeerHoodError::Remote(_error.to_string())));
+            }
+            PendingPurpose::BridgeLeg { conn } => {
+                self.fail_bridge_pair(ctx, conn, ErrorCode::DownstreamFailed);
+            }
+            PendingPurpose::Handover { conn, .. } => {
+                self.handover_attempt_failed(ctx, conn);
+            }
+            PendingPurpose::ReplyConnect { conn } => {
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.state = ConnState::Closed;
+                    c.link = None;
+                }
+                self.schedule_reply_retry(ctx, conn);
+            }
+        }
+    }
+
+    fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+        let message = match wire::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let role = self.engine.role(link).unwrap_or(LinkRole::IncomingUnidentified);
+        match role {
+            LinkRole::IncomingUnidentified => self.identify_incoming(ctx, link, from, message),
+            LinkRole::DaemonFetch { peer, quality } => {
+                self.handle_fetch_response(ctx, link, peer, quality, message)
+            }
+            LinkRole::DaemonServe => {
+                // The requester normally just closes; ignore anything else.
+            }
+            LinkRole::AppConnection(conn) => self.handle_app_message(ctx, link, conn, message),
+            LinkRole::HandoverPending(conn) => self.handle_handover_message(ctx, link, conn, message),
+            LinkRole::BridgeUpstream(conn) => {
+                self.handle_bridge_message(ctx, link, conn, BridgeSide::Upstream, message)
+            }
+            LinkRole::BridgeDownstream(conn) => {
+                self.handle_bridge_message(ctx, link, conn, BridgeSide::Downstream, message)
+            }
+        }
+    }
+
+    fn identify_incoming(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, message: Message) {
+        match message {
+            Message::InquiryRequest { requester: _ } => {
+                let response = self
+                    .daemon
+                    .build_inquiry_response(self.config.discovery.max_export_jumps, self.bridge.load_percent());
+                self.engine.set_role(link, LinkRole::DaemonServe);
+                self.send_frame(ctx, link, &response);
+            }
+            Message::ConnectRequest {
+                conn_id,
+                service,
+                client,
+                reply_context,
+            } => self.handle_connect_request(ctx, link, conn_id, service, client, reply_context),
+            Message::BridgeRequest {
+                conn_id,
+                destination,
+                service,
+                client,
+                reply_context,
+            } => self.handle_bridge_request(ctx, link, conn_id, destination, service, client, reply_context),
+            _ => {
+                // Anything else on an unidentified link is a protocol error.
+                ctx.close(link);
+                self.engine.remove(link);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_connect_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn_id: ConnectionId,
+        service: String,
+        client: DeviceInfo,
+        reply_context: Option<ConnectionId>,
+    ) {
+        let now = ctx.now();
+        // Case 1: the server is calling back with the result of a migrated
+        // task — attach the link to the waiting session (§5.3).
+        if let Some(orig) = reply_context {
+            if self.connections.get(orig).is_some() {
+                if let Some(c) = self.connections.get_mut(orig) {
+                    if let Some(old) = c.link.take() {
+                        if old != link {
+                            ctx.close(old);
+                            self.engine.remove(old);
+                        }
+                    }
+                    c.establish(link, now);
+                }
+                self.engine.set_role(link, LinkRole::AppConnection(orig));
+                self.send_frame(ctx, link, &Message::Accept { conn_id });
+                self.events.push_back(AppEvent::ConnectionChanged(orig));
+                return;
+            }
+        }
+        // Case 2: re-establishment of a session this device already knows
+        // (server side of a routing handover or client re-attachment).
+        if self.connections.get(conn_id).is_some() {
+            if let Some(c) = self.connections.get_mut(conn_id) {
+                if let Some(old) = c.link.take() {
+                    if old != link {
+                        ctx.close(old);
+                        self.engine.remove(old);
+                    }
+                }
+                c.establish(link, now);
+            }
+            self.engine.set_role(link, LinkRole::AppConnection(conn_id));
+            self.send_frame(ctx, link, &Message::Accept { conn_id });
+            self.events.push_back(AppEvent::ConnectionChanged(conn_id));
+            self.flush_outbox(ctx, conn_id);
+            return;
+        }
+        // Case 3: splice of an existing bridge pair's upstream leg (the
+        // per-hop handover of §5.2.1's monitoring-limitation discussion).
+        if self.bridge.get(conn_id).is_some() {
+            let old_upstream = self.bridge.get(conn_id).map(|p| p.upstream);
+            if let Some(pair) = self.bridge.get_mut(conn_id) {
+                pair.upstream = link;
+            }
+            if let Some(old) = old_upstream {
+                if old != link {
+                    ctx.close(old);
+                    self.engine.remove(old);
+                }
+            }
+            self.engine.set_role(link, LinkRole::BridgeUpstream(conn_id));
+            self.send_frame(ctx, link, &Message::Accept { conn_id });
+            return;
+        }
+        // Case 4: a brand-new incoming connection to one of our services.
+        if self.daemon.registry().find(&service).is_some() {
+            let connection = AppConnection::incoming(conn_id, client.clone(), service.clone(), link, now);
+            self.connections.insert(connection);
+            self.engine.set_role(link, LinkRole::AppConnection(conn_id));
+            self.send_frame(ctx, link, &Message::Accept { conn_id });
+            self.events.push_back(AppEvent::PeerConnected {
+                conn: conn_id,
+                client,
+                service,
+            });
+        } else {
+            self.send_frame(
+                ctx,
+                link,
+                &Message::Error {
+                    conn_id,
+                    code: ErrorCode::ServiceUnavailable,
+                    detail: format!("no service named {service}"),
+                },
+            );
+            ctx.close(link);
+            self.engine.remove(link);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_bridge_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn_id: ConnectionId,
+        destination: DeviceAddress,
+        service: String,
+        client: DeviceInfo,
+        reply_context: Option<ConnectionId>,
+    ) {
+        // A bridge request whose destination is this very device behaves like
+        // a direct connect request (defensive; bridges normally convert it).
+        if destination == self.my_address() {
+            self.handle_connect_request(ctx, link, conn_id, service, client, reply_context);
+            return;
+        }
+        if !self.config.bridge.enabled || !self.bridge.has_capacity() {
+            self.bridge.record_refusal();
+            self.send_frame(
+                ctx,
+                link,
+                &Message::Error {
+                    conn_id,
+                    code: ErrorCode::BridgeBusy,
+                    detail: "bridge service unavailable or at capacity".into(),
+                },
+            );
+            ctx.close(link);
+            self.engine.remove(link);
+            return;
+        }
+        // Select the next hop from the device storage (Fig. 4.4: "get devices
+        // list, find given address").
+        let next_hop = match self.daemon.storage().get(destination) {
+            Some(entry) => {
+                if entry.route.is_direct() {
+                    Some((destination, self.tech_for(Some(&entry.info))))
+                } else {
+                    entry.route.bridge.map(|b| {
+                        let tech = self.tech_for(self.daemon.storage().get(b).map(|e| &e.info));
+                        (b, tech)
+                    })
+                }
+            }
+            None => None,
+        };
+        let (hop, tech) = match next_hop {
+            Some(h) => h,
+            None => {
+                self.bridge.record_refusal();
+                self.send_frame(
+                    ctx,
+                    link,
+                    &Message::Error {
+                        conn_id,
+                        code: ErrorCode::NoRouteToDestination,
+                        detail: format!("no route to {destination}"),
+                    },
+                );
+                ctx.close(link);
+                self.engine.remove(link);
+                return;
+            }
+        };
+        self.bridge
+            .insert_pending(conn_id, link, destination, service, client, reply_context);
+        self.engine.set_role(link, LinkRole::BridgeUpstream(conn_id));
+        let attempt = ctx.connect(hop.node_id(), tech);
+        self.pending.insert(attempt, PendingPurpose::BridgeLeg { conn: conn_id });
+    }
+
+    fn handle_fetch_response(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        _peer: DeviceAddress,
+        quality: u8,
+        message: Message,
+    ) {
+        if let Message::InquiryResponse {
+            device,
+            services,
+            neighbors,
+            bridge_load_percent,
+        } = message
+        {
+            let config = self.config.clone();
+            let tech = self.tech_for(Some(&device));
+            self.daemon.process_inquiry_response(
+                device,
+                services,
+                &neighbors,
+                bridge_load_percent,
+                quality,
+                &config,
+                ctx.now(),
+            );
+            ctx.close(link);
+            self.engine.remove(link);
+            self.note_fetch_finished(ctx, tech);
+        }
+    }
+
+    fn handle_app_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, conn: ConnectionId, message: Message) {
+        // Stale links must not affect the session (the connection may already
+        // have been handed over to a different link).
+        let is_current = self.connections.get(conn).map(|c| c.link == Some(link)).unwrap_or(false);
+        if !is_current {
+            if matches!(message, Message::Disconnect { .. }) {
+                ctx.close(link);
+                self.engine.remove(link);
+            }
+            return;
+        }
+        match message {
+            Message::Accept { .. } => {
+                let now = ctx.now();
+                let (fire, reconnected_to) = match self.connections.get_mut(conn) {
+                    Some(c) if c.state == ConnState::AwaitingAccept => {
+                        c.establish(link, now);
+                        if c.reconnecting {
+                            c.reconnecting = false;
+                            (true, Some(c.remote))
+                        } else {
+                            (true, None)
+                        }
+                    }
+                    _ => (false, None),
+                };
+                if fire {
+                    let is_incoming = self
+                        .connections
+                        .get(conn)
+                        .map(|c| !c.is_outgoing())
+                        .unwrap_or(false);
+                    if is_incoming {
+                        // Server reply channel established: deliver queued results.
+                        self.reply_reconnections += 1;
+                        self.events.push_back(AppEvent::ConnectionChanged(conn));
+                        self.flush_outbox(ctx, conn);
+                    } else if let Some(provider) = reconnected_to {
+                        self.events.push_back(AppEvent::ServiceReconnected(conn, provider));
+                    } else {
+                        self.events.push_back(AppEvent::Connected(conn));
+                    }
+                }
+            }
+            Message::Error { code, detail, .. } => {
+                let outgoing = self.connections.get(conn).map(|c| c.is_outgoing()).unwrap_or(true);
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.link = None;
+                    c.state = if outgoing { ConnState::Failed } else { ConnState::Closed };
+                }
+                ctx.close(link);
+                self.engine.remove(link);
+                if outgoing {
+                    self.events.push_back(AppEvent::ConnectFailed(
+                        conn,
+                        PeerHoodError::Remote(format!("{code}: {detail}")),
+                    ));
+                } else {
+                    self.schedule_reply_retry(ctx, conn);
+                }
+            }
+            Message::Data { payload, .. } => {
+                self.events.push_back(AppEvent::Data(conn, payload));
+            }
+            Message::Disconnect { .. } => {
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.mark_closed();
+                }
+                ctx.close(link);
+                self.engine.remove(link);
+                self.events.push_back(AppEvent::Disconnected(conn, true));
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_handover_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, conn: ConnectionId, message: Message) {
+        match message {
+            Message::Accept { .. } => {
+                let now = ctx.now();
+                let old_link = self.connections.get(conn).and_then(|c| c.link);
+                let via = self
+                    .engine
+                    .role(link)
+                    .and_then(|_| self.pending_handover_via(conn));
+                if let Some(c) = self.connections.get_mut(conn) {
+                    if let Some(old) = old_link {
+                        if old != link {
+                            ctx.close(old);
+                        }
+                    }
+                    c.establish(link, now);
+                    if let Some(via) = via {
+                        c.kind = ConnKind::OutgoingBridged { bridge: via };
+                    }
+                    if let Some(monitor) = c.monitor.as_mut() {
+                        monitor.switch_succeeded();
+                    }
+                }
+                if let Some(old) = old_link {
+                    if old != link {
+                        self.engine.remove(old);
+                    }
+                }
+                self.engine.set_role(link, LinkRole::AppConnection(conn));
+                self.handover_completions += 1;
+                self.events.push_back(AppEvent::ConnectionChanged(conn));
+            }
+            Message::Error { .. } => {
+                ctx.close(link);
+                self.engine.remove(link);
+                self.handover_attempt_failed(ctx, conn);
+            }
+            _ => {}
+        }
+    }
+
+    /// The bridge the in-flight handover of `conn` goes through, recovered
+    /// from the connection's stored candidate.
+    fn pending_handover_via(&self, conn: ConnectionId) -> Option<DeviceAddress> {
+        self.connections
+            .get(conn)
+            .and_then(|c| c.monitor.as_ref())
+            .and_then(|m| m.candidate.map(|cand| cand.bridge))
+            .or_else(|| {
+                // The candidate is consumed on begin_switch; fall back to the
+                // last pending Handover purpose if any is still recorded.
+                self.pending.values().find_map(|p| match p {
+                    PendingPurpose::Handover { conn: c, via } if *c == conn => Some(*via),
+                    _ => None,
+                })
+            })
+    }
+
+    fn handle_bridge_message(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn: ConnectionId,
+        side: BridgeSide,
+        message: Message,
+    ) {
+        // Ignore traffic on legs that are no longer part of the pair.
+        let current = match self.bridge.get(conn) {
+            Some(pair) => match side {
+                BridgeSide::Upstream => pair.upstream == link,
+                BridgeSide::Downstream => pair.downstream == Some(link),
+            },
+            None => false,
+        };
+        if !current {
+            return;
+        }
+        match message {
+            Message::Accept { .. } if side == BridgeSide::Downstream => {
+                if let Some(pair) = self.bridge.get_mut(conn) {
+                    pair.established = true;
+                }
+                if let Some(upstream) = self.bridge.get(conn).map(|p| p.upstream) {
+                    self.send_frame(ctx, upstream, &Message::Accept { conn_id: conn });
+                }
+            }
+            Message::Error { code, detail, .. } if side == BridgeSide::Downstream => {
+                if let Some(pair) = self.bridge.remove(conn) {
+                    self.send_frame(ctx, pair.upstream, &Message::Error { conn_id: conn, code, detail });
+                    ctx.close(pair.upstream);
+                    ctx.close(link);
+                    self.engine.remove(pair.upstream);
+                    self.engine.remove(link);
+                }
+            }
+            Message::Data { payload, .. } => {
+                if let Some((_, other, _)) = self.bridge.relay_target(link) {
+                    self.bridge.record_relay(conn, payload.len());
+                    self.send_frame(ctx, other, &Message::Data { conn_id: conn, payload });
+                }
+            }
+            Message::Disconnect { .. } => {
+                if let Some(pair) = self.bridge.remove(conn) {
+                    let other = match side {
+                        BridgeSide::Upstream => pair.downstream,
+                        BridgeSide::Downstream => Some(pair.upstream),
+                    };
+                    if let Some(other) = other {
+                        self.send_frame(ctx, other, &Message::Disconnect { conn_id: conn });
+                        ctx.close(other);
+                        self.engine.remove(other);
+                    }
+                    ctx.close(link);
+                    self.engine.remove(link);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fail_bridge_pair(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId, code: ErrorCode) {
+        if let Some(pair) = self.bridge.remove(conn) {
+            self.send_frame(
+                ctx,
+                pair.upstream,
+                &Message::Error {
+                    conn_id: conn,
+                    code,
+                    detail: "bridge leg failed".into(),
+                },
+            );
+            ctx.close(pair.upstream);
+            self.engine.remove(pair.upstream);
+            if let Some(down) = pair.downstream {
+                ctx.close(down);
+                self.engine.remove(down);
+            }
+        }
+    }
+
+    fn handle_disconnected(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
+        let role = match self.engine.remove(link) {
+            Some(r) => r,
+            None => return,
+        };
+        match role {
+            LinkRole::IncomingUnidentified | LinkRole::DaemonServe => {}
+            LinkRole::DaemonFetch { peer, .. } => {
+                let tech = self.tech_for(self.daemon.storage().get(peer).map(|e| &e.info));
+                self.note_fetch_finished(ctx, tech);
+            }
+            LinkRole::AppConnection(conn) => self.app_link_lost(ctx, conn, link, reason),
+            LinkRole::HandoverPending(conn) => self.handover_attempt_failed(ctx, conn),
+            LinkRole::BridgeUpstream(conn) => {
+                let matches = self.bridge.get(conn).map(|p| p.upstream == link).unwrap_or(false);
+                if matches {
+                    if let Some(pair) = self.bridge.remove(conn) {
+                        if let Some(down) = pair.downstream {
+                            self.send_frame(ctx, down, &Message::Disconnect { conn_id: conn });
+                            ctx.close(down);
+                            self.engine.remove(down);
+                        }
+                    }
+                }
+            }
+            LinkRole::BridgeDownstream(conn) => {
+                let matches = self.bridge.get(conn).map(|p| p.downstream == Some(link)).unwrap_or(false);
+                if matches {
+                    self.fail_bridge_pair(ctx, conn, ErrorCode::DownstreamFailed);
+                }
+            }
+        }
+    }
+
+    fn app_link_lost(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId, link: LinkId, reason: DisconnectReason) {
+        let is_current = self.connections.get(conn).map(|c| c.link == Some(link)).unwrap_or(false);
+        if !is_current {
+            return;
+        }
+        let graceful = reason == DisconnectReason::PeerClosed;
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.mark_closed();
+        }
+        let (outgoing, sending) = match self.connections.get(conn) {
+            Some(c) => (c.is_outgoing(), c.sending),
+            None => return,
+        };
+        if graceful || !outgoing || !sending || !self.config.handover.enabled {
+            self.events.push_back(AppEvent::Disconnected(conn, graceful));
+            return;
+        }
+        // The connection broke while still needed: try routing handover
+        // first, then service reconnection (Fig. 5.5 / §5.2.2).
+        if self.try_routing_handover(ctx, conn) {
+            return;
+        }
+        self.propose_service_reconnection(conn);
+    }
+
+    fn handover_destination(&self, c: &AppConnection) -> DeviceAddress {
+        match self.config.handover.target {
+            HandoverTarget::FinalDestination => c.remote,
+            HandoverTarget::LinkPeer => c.kind.first_hop(c.remote).unwrap_or(c.remote),
+        }
+    }
+
+    fn refresh_handover_candidates(&mut self, conn: ConnectionId) {
+        let (target, exclude) = match self.connections.get(conn) {
+            Some(c) => (self.handover_destination(c), c.kind.first_hop(c.remote)),
+            None => return,
+        };
+        let mut candidates = self.daemon.storage().handover_candidates(target);
+        // Fall back on the stored multi-hop route towards the target if no
+        // direct neighbour reports it.
+        if candidates.is_empty() {
+            if let Some(entry) = self.daemon.storage().get(target) {
+                if let Some(bridge) = entry.route.bridge {
+                    let ours = entry.route.first_hop_quality();
+                    let theirs = entry.route.hop_qualities.get(1).copied().unwrap_or(0);
+                    candidates.push((bridge, ours, theirs));
+                }
+            }
+        }
+        if let Some(c) = self.connections.get_mut(conn) {
+            if let Some(monitor) = c.monitor.as_mut() {
+                monitor.refresh_candidates(&candidates, exclude);
+            }
+        }
+    }
+
+    fn try_routing_handover(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) -> bool {
+        // If a replacement route is already being established, let it resolve
+        // instead of stacking a second recovery on top of it.
+        if self
+            .connections
+            .get(conn)
+            .and_then(|c| c.monitor.as_ref())
+            .map(|m| m.is_switching())
+            .unwrap_or(false)
+        {
+            return true;
+        }
+        self.refresh_handover_candidates(conn);
+        let max_attempts = self.config.handover.max_routing_attempts;
+        let candidate = match self.connections.get_mut(conn) {
+            Some(c) => match c.monitor.as_mut() {
+                Some(m) if !m.attempts_exhausted(max_attempts) => m.begin_switch(),
+                _ => None,
+            },
+            None => None,
+        };
+        let candidate = match candidate {
+            Some(c) => c,
+            None => return false,
+        };
+        let tech = self.tech_for(self.daemon.storage().get(candidate.bridge).map(|e| &e.info));
+        let attempt = ctx.connect(candidate.bridge.node_id(), tech);
+        self.pending.insert(
+            attempt,
+            PendingPurpose::Handover {
+                conn,
+                via: candidate.bridge,
+            },
+        );
+        true
+    }
+
+    fn handover_attempt_failed(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        if let Some(c) = self.connections.get_mut(conn) {
+            if let Some(m) = c.monitor.as_mut() {
+                m.switch_failed();
+            }
+        }
+        let still_connected = self.connections.get(conn).map(|c| c.is_established()).unwrap_or(false);
+        if still_connected {
+            // The old route is still up; keep monitoring.
+            return;
+        }
+        // The connection is down and the handover attempt failed: retry or
+        // fall back to service reconnection.
+        if self.try_routing_handover(ctx, conn) {
+            return;
+        }
+        self.propose_service_reconnection(conn);
+    }
+
+    fn propose_service_reconnection(&mut self, conn: ConnectionId) {
+        let (service, remote, sending) = match self.connections.get(conn) {
+            Some(c) => (c.service.clone(), c.remote, c.sending),
+            None => return,
+        };
+        if !self.config.handover.allow_service_reconnection || !sending {
+            self.events.push_back(AppEvent::Disconnected(conn, false));
+            return;
+        }
+        let candidates: Vec<DeviceAddress> = self
+            .daemon
+            .storage()
+            .find_service_providers(&service)
+            .into_iter()
+            .map(|(d, _)| d.info.address)
+            .filter(|a| *a != remote)
+            .collect();
+        if candidates.is_empty() {
+            self.events.push_back(AppEvent::Disconnected(conn, false));
+        } else {
+            self.events.push_back(AppEvent::ReconnectQuery(conn, candidates));
+        }
+    }
+
+    fn start_service_reconnection(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId, candidates: &[DeviceAddress]) {
+        let provider = candidates
+            .iter()
+            .copied()
+            .find(|a| self.daemon.storage().get(*a).is_some());
+        let provider = match provider {
+            Some(p) => p,
+            None => {
+                self.abandon_connection(conn);
+                return;
+            }
+        };
+        let route = match self.daemon.storage().get(provider) {
+            Some(entry) => entry.route.clone(),
+            None => {
+                self.abandon_connection(conn);
+                return;
+            }
+        };
+        let kind = if route.is_direct() {
+            ConnKind::OutgoingDirect
+        } else {
+            match route.bridge {
+                Some(bridge) => ConnKind::OutgoingBridged { bridge },
+                None => ConnKind::OutgoingDirect,
+            }
+        };
+        let monitor_cfg = self.config.monitor.clone();
+        let handover_target = self.config.handover.target;
+        let first_hop = kind.first_hop(provider).unwrap_or(provider);
+        let tech = self.tech_for(self.daemon.storage().get(first_hop).map(|e| &e.info));
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.remote = provider;
+            c.kind = kind;
+            c.state = ConnState::Connecting;
+            c.link = None;
+            c.reconnecting = true;
+            c.monitor = Some(HandoverMonitor::new(
+                monitor_cfg.quality_threshold,
+                monitor_cfg.low_count_limit,
+                handover_target,
+            ));
+        } else {
+            return;
+        }
+        let attempt = ctx.connect(first_hop.node_id(), tech);
+        self.pending.insert(attempt, PendingPurpose::AppConnect { conn });
+    }
+
+    fn abandon_connection(&mut self, conn: ConnectionId) {
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.mark_closed();
+        }
+        self.events.push_back(AppEvent::Disconnected(conn, false));
+    }
+
+    fn monitor_pass(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.config.handover.enabled {
+            return;
+        }
+        let ids = self.connections.ids();
+        for conn in ids {
+            let (established, outgoing, sending, link) = match self.connections.get(conn) {
+                Some(c) => (c.is_established(), c.is_outgoing(), c.sending, c.link),
+                None => continue,
+            };
+            if !established || !outgoing || !sending {
+                continue;
+            }
+            // State 0: keep the alternative-route candidate fresh.
+            self.refresh_handover_candidates(conn);
+            // State 1: sample quality and count consecutive low readings.
+            let quality = link.and_then(|l| ctx.link_quality(l));
+            let trigger = match self.connections.get_mut(conn).and_then(|c| c.monitor.as_mut()) {
+                Some(m) => m.record_quality(quality),
+                None => false,
+            };
+            if trigger {
+                // State 2: establish the replacement route.
+                let max_attempts = self.config.handover.max_routing_attempts;
+                let candidate = self.connections.get_mut(conn).and_then(|c| {
+                    c.monitor
+                        .as_mut()
+                        .filter(|m| !m.attempts_exhausted(max_attempts))
+                        .and_then(|m| m.begin_switch())
+                });
+                if let Some(candidate) = candidate {
+                    let tech = self.tech_for(self.daemon.storage().get(candidate.bridge).map(|e| &e.info));
+                    let attempt = ctx.connect(candidate.bridge.node_id(), tech);
+                    self.pending.insert(
+                        attempt,
+                        PendingPurpose::Handover {
+                            conn,
+                            via: candidate.bridge,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        let (link, payloads) = match self.connections.get_mut(conn) {
+            Some(c) if c.is_established() => (c.link, std::mem::take(&mut c.outbox)),
+            _ => return,
+        };
+        if let Some(link) = link {
+            for payload in payloads {
+                self.send_frame(ctx, link, &Message::Data { conn_id: conn, payload });
+            }
+        }
+    }
+
+    fn schedule_reply_retry(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        let attempts = match self.connections.get_mut(conn) {
+            Some(c) => {
+                c.reconnect_attempts += 1;
+                c.reconnect_attempts
+            }
+            None => return,
+        };
+        if attempts > self.config.handover.max_reply_attempts {
+            self.events.push_back(AppEvent::Disconnected(conn, false));
+            return;
+        }
+        let token_payload = self.next_retry_token;
+        self.next_retry_token += 1;
+        self.retry_conns.insert(token_payload, conn);
+        ctx.schedule(self.config.handover.reply_retry_interval, token(KIND_RETRY, token_payload));
+    }
+
+    fn try_reply_reconnect(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        let (established, remote, has_outbox) = match self.connections.get(conn) {
+            Some(c) => (c.is_established(), c.remote, !c.outbox.is_empty()),
+            None => return,
+        };
+        if established || !has_outbox {
+            return;
+        }
+        // Fig. 5.10: look the client up in the device storage and reconnect.
+        let route = match self.daemon.storage().get(remote) {
+            Some(entry) => entry.route.clone(),
+            None => {
+                self.schedule_reply_retry(ctx, conn);
+                return;
+            }
+        };
+        let first_hop = if route.is_direct() {
+            remote
+        } else {
+            match route.bridge {
+                Some(b) => b,
+                None => remote,
+            }
+        };
+        let tech = self.tech_for(self.daemon.storage().get(first_hop).map(|e| &e.info));
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.state = ConnState::Connecting;
+        }
+        let attempt = ctx.connect(first_hop.node_id(), tech);
+        self.pending.insert(attempt, PendingPurpose::ReplyConnect { conn });
+    }
+
+    // ------------------------------------------------------------------
+    // Operations invoked through the PeerHoodApi
+    // ------------------------------------------------------------------
+
+    fn op_connect_to(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        target: DeviceAddress,
+        service: &str,
+    ) -> Result<ConnectionId, PeerHoodError> {
+        let entry = self
+            .daemon
+            .storage()
+            .get(target)
+            .ok_or(PeerHoodError::UnknownDevice(target))?;
+        let route = entry.route.clone();
+        let target_info = entry.info.clone();
+        let kind = if route.is_direct() {
+            ConnKind::OutgoingDirect
+        } else {
+            let bridge = route.bridge.ok_or(PeerHoodError::NoRoute(target))?;
+            ConnKind::OutgoingBridged { bridge }
+        };
+        let conn = self.connections.allocate_id(self.my_address());
+        let mut connection = AppConnection::outgoing(conn, target, service, kind.clone(), ctx.now());
+        if self.config.handover.enabled {
+            connection.monitor = Some(HandoverMonitor::new(
+                self.config.monitor.quality_threshold,
+                self.config.monitor.low_count_limit,
+                self.config.handover.target,
+            ));
+        }
+        self.connections.insert(connection);
+        let first_hop = kind.first_hop(target).unwrap_or(target);
+        let hop_info = if first_hop == target {
+            Some(target_info)
+        } else {
+            self.daemon.storage().get(first_hop).map(|e| e.info.clone())
+        };
+        let tech = self.tech_for(hop_info.as_ref());
+        let attempt = ctx.connect(first_hop.node_id(), tech);
+        self.pending.insert(attempt, PendingPurpose::AppConnect { conn });
+        Ok(conn)
+    }
+
+    fn op_connect_to_service(&mut self, ctx: &mut NodeCtx<'_>, service: &str) -> Result<ConnectionId, PeerHoodError> {
+        let provider = self
+            .daemon
+            .storage()
+            .find_service_providers(service)
+            .first()
+            .map(|(d, _)| d.info.address)
+            .ok_or_else(|| PeerHoodError::ServiceNotFound(service.to_string()))?;
+        self.op_connect_to(ctx, provider, service)
+    }
+
+    fn op_send(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId, payload: Vec<u8>) -> Result<(), PeerHoodError> {
+        let (established, outgoing, link) = match self.connections.get(conn) {
+            Some(c) => (c.is_established(), c.is_outgoing(), c.link),
+            None => return Err(PeerHoodError::UnknownConnection(conn)),
+        };
+        if established {
+            if let Some(link) = link {
+                self.send_frame(ctx, link, &Message::Data { conn_id: conn, payload });
+                return Ok(());
+            }
+        }
+        if !outgoing {
+            // Server side with a broken connection: queue the result and
+            // start result routing (§5.3 / Fig. 5.10).
+            if let Some(c) = self.connections.get_mut(conn) {
+                c.outbox.push(payload);
+            }
+            self.try_reply_reconnect(ctx, conn);
+            return Ok(());
+        }
+        Err(PeerHoodError::InvalidConnectionState(conn))
+    }
+
+    fn op_close(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        if let Some(c) = self.connections.remove(conn) {
+            if let Some(link) = c.link {
+                self.send_frame(ctx, link, &Message::Disconnect { conn_id: conn });
+                ctx.close(link);
+                self.engine.remove(link);
+            }
+        }
+    }
+
+    fn op_set_sending(&mut self, conn: ConnectionId, sending: bool) -> Result<(), PeerHoodError> {
+        match self.connections.get_mut(conn) {
+            Some(c) => {
+                c.sending = sending;
+                Ok(())
+            }
+            None => Err(PeerHoodError::UnknownConnection(conn)),
+        }
+    }
+}
+
+impl<'a, 'w> PeerHoodApi<'a, 'w> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// This device's address.
+    pub fn my_address(&self) -> DeviceAddress {
+        self.core.my_address()
+    }
+
+    /// This device's full advertised description.
+    pub fn my_info(&self) -> DeviceInfo {
+        self.core.my_info()
+    }
+
+    /// Registers an application service with the daemon, making it
+    /// discoverable by the whole PeerHood network.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a service with the same name is already registered.
+    pub fn register_service(&mut self, service: ServiceInfo) -> Result<(), PeerHoodError> {
+        self.core.daemon.register_service(service)
+    }
+
+    /// Unregisters an application service.
+    pub fn unregister_service(&mut self, name: &str) -> Option<ServiceInfo> {
+        self.core.daemon.unregister_service(name)
+    }
+
+    /// `GetDeviceList`: every remote device currently in the storage.
+    pub fn device_list(&self) -> Vec<StoredDevice> {
+        self.core.daemon.storage().device_list().into_iter().cloned().collect()
+    }
+
+    /// `GetServiceList`: every `(device, service)` pair currently known.
+    pub fn service_list(&self) -> Vec<(DeviceAddress, ServiceInfo)> {
+        self.core
+            .daemon
+            .storage()
+            .device_list()
+            .into_iter()
+            .flat_map(|d| d.services.iter().cloned().map(move |s| (d.info.address, s)))
+            .collect()
+    }
+
+    /// Storage statistics.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.core.daemon.stats()
+    }
+
+    /// Connects to a named service on a specific device. Returns the
+    /// connection id immediately; establishment is reported through
+    /// [`Application::on_connected`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is unknown or no route to it exists.
+    pub fn connect_to(&mut self, target: DeviceAddress, service: &str) -> Result<ConnectionId, PeerHoodError> {
+        self.core.op_connect_to(self.ctx, target, service)
+    }
+
+    /// Connects to the best-known provider of a named service.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no known device offers the service.
+    pub fn connect_to_service(&mut self, service: &str) -> Result<ConnectionId, PeerHoodError> {
+        self.core.op_connect_to_service(self.ctx, service)
+    }
+
+    /// Writes application data on a connection. On a server-side connection
+    /// whose client has disconnected, the payload is queued and delivered
+    /// through result routing once the client is reachable again (§5.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown, or if an outgoing connection is
+    /// not currently established.
+    pub fn send(&mut self, conn: ConnectionId, payload: Vec<u8>) -> Result<(), PeerHoodError> {
+        self.core.op_send(self.ctx, conn, payload)
+    }
+
+    /// Sets the §5.3 "sending" flag: while `false`, the handover machinery
+    /// leaves a broken connection alone and waits for the server to return
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown.
+    pub fn set_sending(&mut self, conn: ConnectionId, sending: bool) -> Result<(), PeerHoodError> {
+        self.core.op_set_sending(conn, sending)
+    }
+
+    /// Closes a connection and forgets it.
+    pub fn close(&mut self, conn: ConnectionId) {
+        self.core.op_close(self.ctx, conn);
+    }
+
+    /// Snapshot of one connection.
+    pub fn connection(&self, conn: ConnectionId) -> Option<ConnectionSnapshot> {
+        self.core.connections.get(conn).map(ConnectionSnapshot::from)
+    }
+
+    /// Snapshots of all connections.
+    pub fn connections(&self) -> Vec<ConnectionSnapshot> {
+        self.core.connections.iter().map(ConnectionSnapshot::from).collect()
+    }
+
+    /// Samples the link quality of an established connection.
+    pub fn connection_quality(&mut self, conn: ConnectionId) -> Option<u8> {
+        let link = self.core.connections.get(conn)?.link?;
+        self.ctx.link_quality(link)
+    }
+
+    /// Schedules an application timer delivered through
+    /// [`Application::on_timer`].
+    pub fn schedule_timer(&mut self, after: SimDuration, token_value: u64) {
+        self.ctx.schedule(after, token(KIND_APP, token_value));
+    }
+
+    /// The bridge service load of this node (0-100).
+    pub fn bridge_load_percent(&self) -> u8 {
+        self.core.bridge.load_percent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MobilityClass;
+    use simnet::{MobilityModel, Point, World, WorldConfig};
+
+    /// A scriptable test application that records every callback and echoes
+    /// received data back when asked to.
+    #[derive(Default)]
+    struct TestApp {
+        service: Option<&'static str>,
+        echo: bool,
+        connected: Vec<ConnectionId>,
+        peer_connected: Vec<(ConnectionId, String)>,
+        data: Vec<(ConnectionId, Vec<u8>)>,
+        disconnected: Vec<(ConnectionId, bool)>,
+        changed: Vec<ConnectionId>,
+        failed: Vec<(ConnectionId, PeerHoodError)>,
+    }
+
+    impl TestApp {
+        fn server(service: &'static str, echo: bool) -> Self {
+            TestApp {
+                service: Some(service),
+                echo,
+                ..TestApp::default()
+            }
+        }
+    }
+
+    impl Application for TestApp {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn on_start(&mut self, api: &mut PeerHoodApi<'_, '_>) {
+            if let Some(name) = self.service {
+                api.register_service(ServiceInfo::new(name, "test", 10)).unwrap();
+            }
+        }
+        fn on_peer_connected(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, _client: DeviceInfo, service: &str) {
+            self.peer_connected.push((conn, service.to_string()));
+        }
+        fn on_connected(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId) {
+            self.connected.push(conn);
+        }
+        fn on_connect_failed(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, error: PeerHoodError) {
+            self.failed.push((conn, error));
+        }
+        fn on_data(&mut self, api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, payload: Vec<u8>) {
+            if self.echo {
+                let mut reply = payload.clone();
+                reply.reverse();
+                let _ = api.send(conn, reply);
+            }
+            self.data.push((conn, payload));
+        }
+        fn on_disconnected(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, graceful: bool) {
+            self.disconnected.push((conn, graceful));
+        }
+        fn on_connection_changed(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId) {
+            self.changed.push(conn);
+        }
+    }
+
+    fn peerhood(name: &str, mobility: MobilityClass, app: TestApp) -> Box<PeerHoodNode> {
+        Box::new(PeerHoodNode::new(PeerHoodConfig::new(name, mobility), Box::new(app)))
+    }
+
+    fn fast_discovery_config(name: &str, mobility: MobilityClass) -> PeerHoodConfig {
+        let mut cfg = PeerHoodConfig::new(name, mobility);
+        cfg.discovery.inquiry_interval = SimDuration::from_secs(3);
+        cfg
+    }
+
+    fn bt() -> [RadioTech; 1] {
+        [RadioTech::Bluetooth]
+    }
+
+    #[test]
+    fn discovery_connect_and_echo_between_direct_neighbors() {
+        let mut world = World::new(WorldConfig::ideal(41));
+        let client = world.add_node(
+            "client",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            peerhood("client", MobilityClass::Dynamic, TestApp::default()),
+        );
+        let server = world.add_node(
+            "server",
+            MobilityModel::stationary(Point::new(4.0, 0.0)),
+            &bt(),
+            peerhood("server", MobilityClass::Static, TestApp::server("echo", true)),
+        );
+        // Let a couple of discovery cycles run.
+        world.run_for(SimDuration::from_secs(40));
+        let stats = world
+            .with_agent::<PeerHoodNode, _>(client, |n, _| n.storage_stats())
+            .unwrap();
+        assert_eq!(stats.known_devices, 1, "client should have found the server");
+        assert_eq!(stats.known_services, 1);
+
+        // Connect to the echo service and exchange data.
+        let conn = world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+            })
+            .unwrap()
+            .expect("service should be connectable");
+        world.run_for(SimDuration::from_secs(5));
+        world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                assert_eq!(n.app::<TestApp>().unwrap().connected, vec![conn]);
+                n.with_api(ctx, |api| api.send(conn, b"hello".to_vec()).unwrap());
+            })
+            .unwrap();
+        world.run_for(SimDuration::from_secs(5));
+        world
+            .with_agent::<PeerHoodNode, _>(server, |n, _| {
+                let app = n.app::<TestApp>().unwrap();
+                assert_eq!(app.peer_connected.len(), 1);
+                assert_eq!(app.data.len(), 1);
+                assert_eq!(app.data[0].1, b"hello".to_vec());
+            })
+            .unwrap();
+        world
+            .with_agent::<PeerHoodNode, _>(client, |n, _| {
+                let app = n.app::<TestApp>().unwrap();
+                assert_eq!(app.data.len(), 1);
+                assert_eq!(app.data[0].1, b"olleh".to_vec());
+            })
+            .unwrap();
+        // The server sees the session too.
+        let server_conns = world
+            .with_agent::<PeerHoodNode, _>(server, |n, _| n.connections())
+            .unwrap();
+        assert_eq!(server_conns.len(), 1);
+        assert_eq!(server_conns[0].id, conn);
+    }
+
+    #[test]
+    fn bridged_connection_relays_data_between_remote_devices() {
+        // A --- B --- C in a line; A and C are out of each other's Bluetooth
+        // range and must interconnect through B (Fig. 4.1).
+        let mut world = World::new(WorldConfig::ideal(42));
+        let a = world.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(PeerHoodNode::new(
+                fast_discovery_config("a", MobilityClass::Dynamic),
+                Box::new(TestApp::default()),
+            )),
+        );
+        let b = world.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(8.0, 0.0)),
+            &bt(),
+            Box::new(PeerHoodNode::relay(fast_discovery_config("b", MobilityClass::Static))),
+        );
+        let c = world.add_node(
+            "c",
+            MobilityModel::stationary(Point::new(16.0, 0.0)),
+            &bt(),
+            Box::new(PeerHoodNode::new(
+                fast_discovery_config("c", MobilityClass::Static),
+                Box::new(TestApp::server("echo", true)),
+            )),
+        );
+        assert!(!world.in_range(a, c, RadioTech::Bluetooth));
+        // Dynamic discovery needs a couple of cycles to propagate C to A.
+        world.run_for(SimDuration::from_secs(120));
+        let a_stats = world.with_agent::<PeerHoodNode, _>(a, |n, _| n.storage_stats()).unwrap();
+        assert_eq!(a_stats.known_devices, 2, "A must learn about both B and C");
+        assert_eq!(a_stats.max_jumps, 1);
+        let c_addr = world
+            .with_agent::<PeerHoodNode, _>(c, |n, _| n.device_address().unwrap())
+            .unwrap();
+        let route = world
+            .with_agent::<PeerHoodNode, _>(a, |n, _| {
+                n.known_devices()
+                    .into_iter()
+                    .find(|d| d.info.address == c_addr)
+                    .map(|d| d.route.clone())
+            })
+            .unwrap()
+            .expect("route to C");
+        assert_eq!(route.jumps, 1);
+        assert_eq!(route.bridge, Some(DeviceAddress::from_node(b)));
+
+        // Connect A -> C through the bridge and exchange data.
+        let conn = world
+            .with_agent::<PeerHoodNode, _>(a, |n, ctx| n.with_api(ctx, |api| api.connect_to(c_addr, "echo")).unwrap())
+            .unwrap()
+            .expect("bridge connection should start");
+        world.run_for(SimDuration::from_secs(10));
+        world
+            .with_agent::<PeerHoodNode, _>(a, |n, ctx| {
+                assert_eq!(n.app::<TestApp>().unwrap().connected, vec![conn]);
+                n.with_api(ctx, |api| api.send(conn, b"ping across".to_vec()).unwrap());
+            })
+            .unwrap();
+        world.run_for(SimDuration::from_secs(10));
+        world
+            .with_agent::<PeerHoodNode, _>(c, |n, _| {
+                let app = n.app::<TestApp>().unwrap();
+                assert_eq!(app.data.len(), 1);
+                assert_eq!(app.data[0].1, b"ping across".to_vec());
+            })
+            .unwrap();
+        world
+            .with_agent::<PeerHoodNode, _>(a, |n, _| {
+                let app = n.app::<TestApp>().unwrap();
+                assert_eq!(app.data.len(), 1, "echo should travel back through the bridge");
+            })
+            .unwrap();
+        // The bridge actually relayed traffic.
+        let (pairs, relayed_msgs, relayed_bytes) = world
+            .with_agent::<PeerHoodNode, _>(b, |n, _| n.bridge_stats())
+            .unwrap();
+        assert_eq!(pairs, 1);
+        assert!(relayed_msgs >= 2);
+        assert!(relayed_bytes > 0);
+    }
+
+    #[test]
+    fn connecting_to_an_unknown_service_fails_cleanly() {
+        let mut world = World::new(WorldConfig::ideal(43));
+        let client = world.add_node(
+            "client",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            peerhood("client", MobilityClass::Dynamic, TestApp::default()),
+        );
+        let _server = world.add_node(
+            "server",
+            MobilityModel::stationary(Point::new(4.0, 0.0)),
+            &bt(),
+            peerhood("server", MobilityClass::Static, TestApp::server("echo", false)),
+        );
+        world.run_for(SimDuration::from_secs(40));
+        // The service name is unknown network-wide.
+        let err = world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                n.with_api(ctx, |api| api.connect_to_service("no-such-service")).unwrap()
+            })
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err, PeerHoodError::ServiceNotFound("no-such-service".into()));
+        // Connecting to a device that exists but with a wrong service name is
+        // rejected by the remote engine.
+        let server_addr = world
+            .with_agent::<PeerHoodNode, _>(client, |n, _| n.known_devices()[0].info.address)
+            .unwrap();
+        let conn = world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                n.with_api(ctx, |api| api.connect_to(server_addr, "wrong")).unwrap()
+            })
+            .unwrap()
+            .unwrap();
+        world.run_for(SimDuration::from_secs(5));
+        world
+            .with_agent::<PeerHoodNode, _>(client, |n, _| {
+                let app = n.app::<TestApp>().unwrap();
+                assert_eq!(app.failed.len(), 1);
+                assert_eq!(app.failed[0].0, conn);
+                assert!(app.connected.is_empty());
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,197 @@
+//! Routing information stored per remote device and the best-route
+//! selection rules of Fig. 3.13.
+//!
+//! Dynamic device discovery turns the `DeviceStorage` into an ad-hoc routing
+//! table: each entry carries the *bridge* (gateway neighbour) through which
+//! the device is reachable and the number of *jumps* (intermediate nodes).
+//! When two candidate routes to the same device are known, the selection
+//! order is:
+//!
+//! 1. fewer jumps,
+//! 2. lower mobility value of the nearest device on the route
+//!    ({static, hybrid, dynamic} = {0, 1, 3}, §3.4.3),
+//! 3. higher link quality, subject to the per-hop minimum threshold rule of
+//!    Fig. 3.9.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::MobilityClass;
+use crate::ids::DeviceAddress;
+use crate::quality::candidate_quality_better;
+
+/// A route towards a remote device as stored in the device storage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteInfo {
+    /// Number of intermediate nodes. Direct neighbours have 0 jumps.
+    pub jumps: u8,
+    /// The gateway neighbour to connect through, or `None` for direct
+    /// neighbours.
+    pub bridge: Option<DeviceAddress>,
+    /// Link-quality value of each hop along the route, nearest hop first.
+    /// For a direct neighbour this is the single measured quality.
+    pub hop_qualities: Vec<u8>,
+    /// Mobility class of the nearest device on the route (the bridge for
+    /// multi-hop routes, the device itself for direct neighbours). The thesis
+    /// considers only the nearest device's mobility (§3.4.3).
+    pub nearest_mobility: MobilityClass,
+}
+
+impl RouteInfo {
+    /// A route to a direct neighbour.
+    pub fn direct(quality: u8, mobility: MobilityClass) -> Self {
+        RouteInfo {
+            jumps: 0,
+            bridge: None,
+            hop_qualities: vec![quality],
+            nearest_mobility: mobility,
+        }
+    }
+
+    /// A route through `bridge` with the given per-hop qualities.
+    pub fn via(bridge: DeviceAddress, jumps: u8, hop_qualities: Vec<u8>, bridge_mobility: MobilityClass) -> Self {
+        RouteInfo {
+            jumps,
+            bridge: Some(bridge),
+            hop_qualities,
+            nearest_mobility: bridge_mobility,
+        }
+    }
+
+    /// True if this is a direct (0-jump) route.
+    pub fn is_direct(&self) -> bool {
+        self.jumps == 0
+    }
+
+    /// The quality of the first hop (towards the bridge or the device
+    /// itself).
+    pub fn first_hop_quality(&self) -> u8 {
+        self.hop_qualities.first().copied().unwrap_or(0)
+    }
+
+    /// Sum of hop qualities (the comparison value of Fig. 3.8).
+    pub fn quality_sum(&self) -> u32 {
+        self.hop_qualities.iter().map(|&q| q as u32).sum()
+    }
+
+    /// The connection cost used by the thesis: the jump count.
+    pub fn cost(&self) -> u8 {
+        self.jumps
+    }
+}
+
+/// Decides whether `candidate` should replace `current` for the same target
+/// device, implementing the `AnalyzeNeighbourhoodDevices` comparison chain of
+/// Fig. 3.13: fewer jumps, then lower mobility value, then better quality
+/// (with the Fig. 3.9 per-hop threshold rule).
+pub fn candidate_replaces(candidate: &RouteInfo, current: &RouteInfo, quality_threshold: u8) -> bool {
+    if candidate.jumps != current.jumps {
+        return candidate.jumps < current.jumps;
+    }
+    let cand_mob = candidate.nearest_mobility.value();
+    let curr_mob = current.nearest_mobility.value();
+    if cand_mob != curr_mob {
+        return cand_mob < curr_mob;
+    }
+    candidate_quality_better(&candidate.hop_qualities, &current.hop_qualities, quality_threshold)
+}
+
+/// Picks the best route out of a non-empty candidate list using
+/// [`candidate_replaces`]. Returns `None` for an empty list.
+pub fn best_route<'a, I>(candidates: I, quality_threshold: u8) -> Option<&'a RouteInfo>
+where
+    I: IntoIterator<Item = &'a RouteInfo>,
+{
+    let mut best: Option<&RouteInfo> = None;
+    for candidate in candidates {
+        match best {
+            None => best = Some(candidate),
+            Some(current) => {
+                if candidate_replaces(candidate, current, quality_threshold) {
+                    best = Some(candidate);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> DeviceAddress {
+        DeviceAddress::from_node_raw(n)
+    }
+
+    #[test]
+    fn direct_route_properties() {
+        let r = RouteInfo::direct(240, MobilityClass::Static);
+        assert!(r.is_direct());
+        assert_eq!(r.cost(), 0);
+        assert_eq!(r.first_hop_quality(), 240);
+        assert_eq!(r.quality_sum(), 240);
+        assert_eq!(r.bridge, None);
+    }
+
+    #[test]
+    fn via_route_properties() {
+        let r = RouteInfo::via(addr(5), 1, vec![250, 235], MobilityClass::Hybrid);
+        assert!(!r.is_direct());
+        assert_eq!(r.cost(), 1);
+        assert_eq!(r.first_hop_quality(), 250);
+        assert_eq!(r.quality_sum(), 485);
+        assert_eq!(r.bridge, Some(addr(5)));
+    }
+
+    #[test]
+    fn fewer_jumps_always_wins() {
+        let direct = RouteInfo::direct(180, MobilityClass::Dynamic);
+        let via = RouteInfo::via(addr(1), 1, vec![255, 255], MobilityClass::Static);
+        // Even though the multi-hop route has a static bridge and far better
+        // quality, the direct route has fewer jumps and is preferred.
+        assert!(candidate_replaces(&direct, &via, 230));
+        assert!(!candidate_replaces(&via, &direct, 230));
+    }
+
+    #[test]
+    fn lower_mobility_breaks_jump_ties() {
+        // Fig. 3.11: a static bridge is preferred over a dynamic one.
+        let via_static = RouteInfo::via(addr(1), 1, vec![231, 231], MobilityClass::Static);
+        let via_dynamic = RouteInfo::via(addr(2), 1, vec![255, 255], MobilityClass::Dynamic);
+        assert!(candidate_replaces(&via_static, &via_dynamic, 230));
+        assert!(!candidate_replaces(&via_dynamic, &via_static, 230));
+    }
+
+    #[test]
+    fn quality_breaks_remaining_ties_with_threshold_rule() {
+        // Same jumps, same mobility: the Fig. 3.9 rule applies.
+        let good = RouteInfo::via(addr(1), 1, vec![230, 230], MobilityClass::Static);
+        let below_threshold = RouteInfo::via(addr(2), 1, vec![210, 250], MobilityClass::Static);
+        assert!(candidate_replaces(&good, &below_threshold, 230));
+        assert!(!candidate_replaces(&below_threshold, &good, 230));
+
+        let better_sum = RouteInfo::via(addr(3), 1, vec![250, 250], MobilityClass::Static);
+        assert!(candidate_replaces(&better_sum, &good, 230));
+    }
+
+    #[test]
+    fn equal_routes_do_not_replace() {
+        let a = RouteInfo::direct(240, MobilityClass::Static);
+        assert!(!candidate_replaces(&a.clone(), &a, 230));
+    }
+
+    #[test]
+    fn best_route_selects_by_full_chain() {
+        let routes = vec![
+            RouteInfo::via(addr(1), 2, vec![255, 255, 255], MobilityClass::Static),
+            RouteInfo::via(addr(2), 1, vec![240, 240], MobilityClass::Dynamic),
+            RouteInfo::via(addr(3), 1, vec![231, 232], MobilityClass::Static),
+            RouteInfo::via(addr(4), 1, vec![250, 250], MobilityClass::Static),
+        ];
+        let best = best_route(routes.iter(), 230).unwrap();
+        // Jump count eliminates the first; mobility eliminates the second;
+        // quality sum picks the fourth over the third.
+        assert_eq!(best.bridge, Some(addr(4)));
+        assert!(best_route(std::iter::empty(), 230).is_none());
+    }
+}

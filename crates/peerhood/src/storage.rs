@@ -1,0 +1,782 @@
+//! The device storage: PeerHood's view of its environment.
+//!
+//! `CDeviceStorage` in the original implementation stores every known remote
+//! device together with its services. The thesis turns it into an ad-hoc
+//! routing table by adding the bridge address and jump count (§3.3), plus the
+//! link-quality and mobility parameters used for best-route selection. The
+//! storage also remembers *who reported seeing whom* — exactly the
+//! information the routing-handover controller walks in state 0 ("find
+//! connected device from neighbours of each DeviceList element", Fig. 5.5).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use simnet::{SimDuration, SimTime};
+
+use crate::config::DiscoveryMode;
+use crate::device::{DeviceInfo, MobilityClass};
+use crate::ids::DeviceAddress;
+use crate::proto::NeighborRecord;
+use crate::route::{candidate_replaces, RouteInfo};
+use crate::service::ServiceInfo;
+
+/// One entry of the device storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredDevice {
+    /// The device's advertised parameters.
+    pub info: DeviceInfo,
+    /// Best known route to the device.
+    pub route: RouteInfo,
+    /// Services the device offers.
+    pub services: Vec<ServiceInfo>,
+    /// Last time the entry was confirmed (directly or via a neighbour
+    /// report).
+    pub last_seen: SimTime,
+    /// Last time the full information was fetched over a daemon connection;
+    /// used to honour the service-checking interval of §3.5.
+    pub last_fetched: SimTime,
+    /// Consecutive inquiry loops a *direct* neighbour has missed.
+    pub missed_loops: u32,
+}
+
+impl StoredDevice {
+    /// True if the device is a direct neighbour (0 jumps).
+    pub fn is_direct(&self) -> bool {
+        self.route.is_direct()
+    }
+
+    /// True if the device offers a service with the given name.
+    pub fn offers(&self, service: &str) -> bool {
+        self.services.iter().any(|s| s.name == service)
+    }
+}
+
+/// Summary statistics about the storage contents, used by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// Total number of known remote devices.
+    pub known_devices: usize,
+    /// Number of direct (0-jump) neighbours.
+    pub direct_neighbors: usize,
+    /// Largest jump count among stored routes.
+    pub max_jumps: u8,
+    /// Total number of known remote services.
+    pub known_services: usize,
+}
+
+/// PeerHood's per-device environment knowledge.
+#[derive(Debug, Clone)]
+pub struct DeviceStorage {
+    own_address: DeviceAddress,
+    quality_threshold: u8,
+    devices: BTreeMap<DeviceAddress, StoredDevice>,
+    /// responder -> (neighbour -> quality the responder reported for it)
+    reported_neighbors: BTreeMap<DeviceAddress, BTreeMap<DeviceAddress, u8>>,
+}
+
+impl DeviceStorage {
+    /// Creates an empty storage for the device with the given address.
+    pub fn new(own_address: DeviceAddress, quality_threshold: u8) -> Self {
+        DeviceStorage {
+            own_address,
+            quality_threshold,
+            devices: BTreeMap::new(),
+            reported_neighbors: BTreeMap::new(),
+        }
+    }
+
+    /// The owning device's address (never stored as an entry).
+    pub fn own_address(&self) -> DeviceAddress {
+        self.own_address
+    }
+
+    /// Number of known remote devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if no remote device is known.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Looks up a device by address.
+    pub fn get(&self, address: DeviceAddress) -> Option<&StoredDevice> {
+        self.devices.get(&address)
+    }
+
+    /// All known devices in address order.
+    pub fn device_list(&self) -> Vec<&StoredDevice> {
+        self.devices.values().collect()
+    }
+
+    /// All known direct neighbours.
+    pub fn direct_neighbors(&self) -> Vec<&StoredDevice> {
+        self.devices.values().filter(|d| d.is_direct()).collect()
+    }
+
+    /// Every `(device, service)` pair whose service name matches `name`,
+    /// best route first.
+    pub fn find_service_providers(&self, name: &str) -> Vec<(&StoredDevice, &ServiceInfo)> {
+        let mut providers: Vec<(&StoredDevice, &ServiceInfo)> = self
+            .devices
+            .values()
+            .filter_map(|d| d.services.iter().find(|s| s.name == name).map(|s| (d, s)))
+            .collect();
+        providers.sort_by(|(a, _), (b, _)| {
+            a.route
+                .jumps
+                .cmp(&b.route.jumps)
+                .then(a.route.nearest_mobility.value().cmp(&b.route.nearest_mobility.value()))
+                .then(b.route.quality_sum().cmp(&a.route.quality_sum()))
+        });
+        providers
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> StorageStats {
+        StorageStats {
+            known_devices: self.devices.len(),
+            direct_neighbors: self.devices.values().filter(|d| d.is_direct()).count(),
+            max_jumps: self.devices.values().map(|d| d.route.jumps).max().unwrap_or(0),
+            known_services: self.devices.values().map(|d| d.services.len()).sum(),
+        }
+    }
+
+    /// Records or refreshes a **direct** neighbour observed by an inquiry and
+    /// information fetch.
+    pub fn upsert_direct(
+        &mut self,
+        info: DeviceInfo,
+        quality: u8,
+        services: Vec<ServiceInfo>,
+        now: SimTime,
+    ) {
+        if info.address == self.own_address {
+            return;
+        }
+        let route = RouteInfo::direct(quality, info.mobility);
+        match self.devices.get_mut(&info.address) {
+            Some(existing) => {
+                // A direct observation always supersedes an indirect route
+                // and refreshes a direct one.
+                if existing.route.jumps > 0 || candidate_replaces(&route, &existing.route, self.quality_threshold) {
+                    existing.route = route;
+                } else if existing.route.is_direct() {
+                    existing.route.hop_qualities = vec![quality];
+                }
+                existing.info = info;
+                existing.services = services;
+                existing.last_seen = now;
+                existing.last_fetched = now;
+                existing.missed_loops = 0;
+            }
+            None => {
+                self.devices.insert(
+                    info.address,
+                    StoredDevice {
+                        info,
+                        route,
+                        services,
+                        last_seen: now,
+                        last_fetched: now,
+                        missed_loops: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Marks a direct neighbour as having answered the current inquiry loop
+    /// without re-fetching its full information (the cheap path of Fig. 3.12
+    /// when the service-checking interval has not elapsed yet).
+    pub fn mark_responded(&mut self, address: DeviceAddress, quality: u8, now: SimTime) {
+        if let Some(entry) = self.devices.get_mut(&address) {
+            entry.last_seen = now;
+            entry.missed_loops = 0;
+            if entry.route.is_direct() {
+                entry.route.hop_qualities = vec![quality];
+            }
+        }
+    }
+
+    /// True if the device's full information should be re-fetched according
+    /// to the service-checking interval.
+    pub fn needs_recheck(&self, address: DeviceAddress, now: SimTime, interval: SimDuration) -> bool {
+        match self.devices.get(&address) {
+            None => true,
+            Some(entry) => now.saturating_since(entry.last_fetched) >= interval,
+        }
+    }
+
+    /// Integrates the neighbourhood information received from `responder`
+    /// (the `AnalyzeNeighbourhoodDevices` step of Fig. 3.13).
+    ///
+    /// Records describing this device itself are skipped ("own device
+    /// comparison filter"); each remaining record is inserted with an
+    /// incremented jump count and `responder` as bridge, and replaces an
+    /// existing route only if it wins the jump → mobility → quality
+    /// comparison chain. Returns the number of entries added or improved.
+    pub fn integrate_neighbor_report(
+        &mut self,
+        responder: DeviceAddress,
+        responder_quality: u8,
+        responder_mobility: MobilityClass,
+        records: &[NeighborRecord],
+        mode: DiscoveryMode,
+        now: SimTime,
+    ) -> usize {
+        let mut updated = 0;
+        for record in records {
+            // Own-device filter: avoid a route to ourselves through a
+            // neighbour.
+            if record.info.address == self.own_address {
+                continue;
+            }
+            if let Some(max) = mode.max_learned_jumps() {
+                // The stored route would have `record.jumps + 1` jumps; skip
+                // anything that would exceed the mode's vision (DirectOnly
+                // accepts nothing from reports, TwoHop only the responder's
+                // direct neighbours).
+                if record.jumps.saturating_add(1) > max {
+                    continue;
+                }
+            }
+            // Remember that `responder` claims to reach this device directly
+            // (used by routing handover, Fig. 5.5 state 0).
+            if record.jumps == 0 {
+                self.reported_neighbors
+                    .entry(responder)
+                    .or_default()
+                    .insert(record.info.address, record.hop_qualities.first().copied().unwrap_or(0));
+            }
+
+            let mut hop_qualities = Vec::with_capacity(record.hop_qualities.len() + 1);
+            hop_qualities.push(responder_quality);
+            hop_qualities.extend_from_slice(&record.hop_qualities);
+            let candidate = RouteInfo::via(
+                responder,
+                record.jumps.saturating_add(1),
+                hop_qualities,
+                responder_mobility,
+            );
+
+            match self.devices.get_mut(&record.info.address) {
+                None => {
+                    self.devices.insert(
+                        record.info.address,
+                        StoredDevice {
+                            info: record.info.clone(),
+                            route: candidate,
+                            services: record.services.clone(),
+                            last_seen: now,
+                            last_fetched: now,
+                            missed_loops: 0,
+                        },
+                    );
+                    updated += 1;
+                }
+                Some(existing) => {
+                    existing.last_seen = now;
+                    // Merge any newly advertised services.
+                    for svc in &record.services {
+                        if !existing.services.iter().any(|s| s.name == svc.name) {
+                            existing.services.push(svc.clone());
+                        }
+                    }
+                    if candidate_replaces(&candidate, &existing.route, self.quality_threshold) {
+                        existing.route = candidate;
+                        updated += 1;
+                    }
+                }
+            }
+        }
+        updated
+    }
+
+    /// Ages the storage after one inquiry loop: direct neighbours that did
+    /// not answer accumulate missed loops and are erased after the limit;
+    /// indirect entries are erased when stale or when their bridge has
+    /// disappeared (Fig. 3.12's "make older" / "erase stored device").
+    ///
+    /// Returns the addresses that were removed.
+    pub fn age_cycle(
+        &mut self,
+        responded: &[DeviceAddress],
+        now: SimTime,
+        max_missed_loops: u32,
+        stale_timeout: SimDuration,
+    ) -> Vec<DeviceAddress> {
+        let mut removed = Vec::new();
+        // Pass 1: age direct neighbours and drop stale indirect entries.
+        let mut to_remove: Vec<DeviceAddress> = Vec::new();
+        for (addr, entry) in self.devices.iter_mut() {
+            if entry.is_direct() {
+                if responded.contains(addr) {
+                    entry.missed_loops = 0;
+                } else {
+                    entry.missed_loops += 1;
+                    if entry.missed_loops > max_missed_loops {
+                        to_remove.push(*addr);
+                    }
+                }
+            } else if now.saturating_since(entry.last_seen) > stale_timeout {
+                to_remove.push(*addr);
+            }
+        }
+        for addr in to_remove {
+            self.devices.remove(&addr);
+            self.reported_neighbors.remove(&addr);
+            removed.push(addr);
+        }
+        // Pass 2 (repeated): drop indirect entries whose bridge is gone.
+        loop {
+            let orphaned: Vec<DeviceAddress> = self
+                .devices
+                .iter()
+                .filter(|(_, e)| {
+                    e.route
+                        .bridge
+                        .map(|bridge| !self.devices.contains_key(&bridge))
+                        .unwrap_or(false)
+                })
+                .map(|(addr, _)| *addr)
+                .collect();
+            if orphaned.is_empty() {
+                break;
+            }
+            for addr in orphaned {
+                self.devices.remove(&addr);
+                self.reported_neighbors.remove(&addr);
+                removed.push(addr);
+            }
+        }
+        removed
+    }
+
+    /// Removes a device outright (e.g. after repeated connection failures).
+    pub fn remove(&mut self, address: DeviceAddress) -> Option<StoredDevice> {
+        self.reported_neighbors.remove(&address);
+        self.devices.remove(&address)
+    }
+
+    /// Exports the storage as neighbourhood information for an inquiry
+    /// response (Fig. 3.5), limited to entries within `max_jumps`.
+    pub fn export_neighbors(&self, max_jumps: u8) -> Vec<NeighborRecord> {
+        self.devices
+            .values()
+            .filter(|d| d.route.jumps <= max_jumps)
+            .map(|d| NeighborRecord {
+                info: d.info.clone(),
+                jumps: d.route.jumps,
+                hop_qualities: d.route.hop_qualities.clone(),
+                services: d.services.clone(),
+            })
+            .collect()
+    }
+
+    /// Direct neighbours that have reported `target` as *their* direct
+    /// neighbour, together with the quality they reported — the candidate
+    /// bridges for a routing handover towards `target` (Fig. 5.5 state 0).
+    /// Sorted best first (our quality to the bridge + its reported quality to
+    /// the target).
+    pub fn handover_candidates(&self, target: DeviceAddress) -> Vec<(DeviceAddress, u8, u8)> {
+        let mut candidates: Vec<(DeviceAddress, u8, u8)> = self
+            .devices
+            .values()
+            .filter(|d| d.is_direct() && d.info.address != target)
+            .filter_map(|d| {
+                let reported = self
+                    .reported_neighbors
+                    .get(&d.info.address)
+                    .and_then(|m| m.get(&target))
+                    .copied()?;
+                Some((d.info.address, d.route.first_hop_quality(), reported))
+            })
+            .collect();
+        candidates.sort_by_key(|(_, ours, theirs)| std::cmp::Reverse(*ours as u32 + *theirs as u32));
+        candidates
+    }
+
+    /// The quality `responder` last reported for `neighbor`, if any.
+    pub fn reported_quality(&self, responder: DeviceAddress, neighbor: DeviceAddress) -> Option<u8> {
+        self.reported_neighbors.get(&responder).and_then(|m| m.get(&neighbor)).copied()
+    }
+
+    /// Clears every entry (used when the daemon restarts).
+    pub fn clear(&mut self) {
+        self.devices.clear();
+        self.reported_neighbors.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NodeId, RadioTech};
+
+    fn addr(n: u64) -> DeviceAddress {
+        DeviceAddress::from_node_raw(n)
+    }
+
+    fn info(n: u64, mobility: MobilityClass) -> DeviceInfo {
+        DeviceInfo::new(
+            NodeId::from_raw(n),
+            format!("dev{n}"),
+            mobility,
+            &[RadioTech::Bluetooth],
+        )
+    }
+
+    fn record(n: u64, jumps: u8, quality: u8, services: Vec<ServiceInfo>) -> NeighborRecord {
+        NeighborRecord {
+            info: info(n, MobilityClass::Dynamic),
+            jumps,
+            hop_qualities: vec![quality; jumps as usize + 1],
+            services,
+        }
+    }
+
+    fn storage() -> DeviceStorage {
+        DeviceStorage::new(addr(0), 230)
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn upsert_direct_inserts_and_refreshes() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 250, vec![ServiceInfo::new("echo", "", 1)], T0);
+        assert_eq!(s.len(), 1);
+        let d = s.get(addr(1)).unwrap();
+        assert!(d.is_direct());
+        assert_eq!(d.route.first_hop_quality(), 250);
+        assert!(d.offers("echo"));
+
+        // Refresh with a new quality and services.
+        s.upsert_direct(info(1, MobilityClass::Static), 200, vec![], SimTime::from_secs(5));
+        let d = s.get(addr(1)).unwrap();
+        assert_eq!(d.route.first_hop_quality(), 200);
+        assert!(d.services.is_empty());
+        assert_eq!(d.last_fetched, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn own_device_is_never_stored() {
+        let mut s = storage();
+        s.upsert_direct(info(0, MobilityClass::Static), 255, vec![], T0);
+        assert!(s.is_empty());
+        let n = s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(0, 0, 250, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(n, 0);
+        assert!(s.get(addr(0)).is_none());
+    }
+
+    #[test]
+    fn dynamic_discovery_learns_remote_devices_with_incremented_jumps() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        // Device 1 reports: device 2 directly (jump 0) and device 3 at one jump.
+        let added = s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![ServiceInfo::new("print", "", 5)]), record(3, 1, 231, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(added, 2);
+        let d2 = s.get(addr(2)).unwrap();
+        assert_eq!(d2.route.jumps, 1);
+        assert_eq!(d2.route.bridge, Some(addr(1)));
+        assert_eq!(d2.route.hop_qualities, vec![240, 235]);
+        let d3 = s.get(addr(3)).unwrap();
+        assert_eq!(d3.route.jumps, 2);
+        assert_eq!(d3.route.bridge, Some(addr(1)));
+        // Figure 3.6's table: the storage knows the whole network with
+        // routing information.
+        assert_eq!(s.stats().known_devices, 3);
+        assert_eq!(s.stats().max_jumps, 2);
+        assert_eq!(s.stats().known_services, 1);
+    }
+
+    #[test]
+    fn two_hop_mode_only_learns_responders_direct_neighbors() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![]), record(3, 1, 231, vec![]), record(4, 2, 231, vec![])],
+            DiscoveryMode::TwoHop,
+            T0,
+        );
+        assert!(s.get(addr(2)).is_some());
+        assert!(s.get(addr(3)).is_none());
+        assert!(s.get(addr(4)).is_none());
+    }
+
+    #[test]
+    fn direct_only_mode_ignores_reports() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![])],
+            DiscoveryMode::DirectOnly,
+            T0,
+        );
+        assert!(s.get(addr(2)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn direct_observation_supersedes_indirect_route() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(s.get(addr(2)).unwrap().route.jumps, 1);
+        // Now we meet device 2 directly.
+        s.upsert_direct(info(2, MobilityClass::Dynamic), 231, vec![], SimTime::from_secs(10));
+        let d2 = s.get(addr(2)).unwrap();
+        assert!(d2.is_direct());
+        assert_eq!(d2.route.bridge, None);
+    }
+
+    #[test]
+    fn better_routes_replace_worse_ones() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Dynamic), 240, vec![], T0);
+        s.upsert_direct(info(5, MobilityClass::Static), 245, vec![], T0);
+        // First learn target 9 through the dynamic bridge 1.
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Dynamic,
+            &[record(9, 0, 250, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(s.get(addr(9)).unwrap().route.bridge, Some(addr(1)));
+        // Then learn the same target through the static bridge 5 with the
+        // same jump count: mobility preference replaces the route.
+        let updated = s.integrate_neighbor_report(
+            addr(5),
+            245,
+            MobilityClass::Static,
+            &[record(9, 0, 240, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(updated, 1);
+        assert_eq!(s.get(addr(9)).unwrap().route.bridge, Some(addr(5)));
+        // A worse candidate (more jumps) does not replace it back.
+        let updated = s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Dynamic,
+            &[record(9, 3, 255, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(updated, 0);
+        assert_eq!(s.get(addr(9)).unwrap().route.bridge, Some(addr(5)));
+    }
+
+    #[test]
+    fn aging_removes_silent_direct_neighbors_after_limit() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.upsert_direct(info(2, MobilityClass::Static), 240, vec![], T0);
+        // Device 1 keeps answering, device 2 goes silent.
+        for loop_idx in 0..3 {
+            let removed = s.age_cycle(
+                &[addr(1)],
+                SimTime::from_secs(10 * (loop_idx + 1)),
+                3,
+                SimDuration::from_secs(1000),
+            );
+            assert!(removed.is_empty(), "removed too early at loop {loop_idx}");
+        }
+        let removed = s.age_cycle(&[addr(1)], SimTime::from_secs(40), 3, SimDuration::from_secs(1000));
+        assert_eq!(removed, vec![addr(2)]);
+        assert!(s.get(addr(2)).is_none());
+        assert!(s.get(addr(1)).is_some());
+    }
+
+    #[test]
+    fn aging_cascades_to_routes_through_removed_bridges() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![]), record(3, 1, 232, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        assert_eq!(s.len(), 3);
+        // Bridge 1 disappears: after enough missed loops, 2 and 3 (reachable
+        // only through it) must disappear too.
+        let mut removed_total = Vec::new();
+        for i in 0..5 {
+            removed_total.extend(s.age_cycle(&[], SimTime::from_secs(10 * (i + 1)), 3, SimDuration::from_secs(10_000)));
+        }
+        assert!(removed_total.contains(&addr(1)));
+        assert!(removed_total.contains(&addr(2)));
+        assert!(removed_total.contains(&addr(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stale_indirect_entries_expire() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        // Device 1 keeps responding but never mentions device 2 again; after
+        // the stale timeout device 2 is dropped.
+        let removed = s.age_cycle(&[addr(1)], SimTime::from_secs(300), 3, SimDuration::from_secs(180));
+        assert_eq!(removed, vec![addr(2)]);
+        assert!(s.get(addr(1)).is_some());
+    }
+
+    #[test]
+    fn needs_recheck_honours_interval() {
+        let mut s = storage();
+        assert!(s.needs_recheck(addr(1), T0, SimDuration::from_secs(60)));
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        assert!(!s.needs_recheck(addr(1), SimTime::from_secs(30), SimDuration::from_secs(60)));
+        assert!(s.needs_recheck(addr(1), SimTime::from_secs(61), SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn mark_responded_refreshes_without_fetch() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.mark_responded(addr(1), 200, SimTime::from_secs(20));
+        let d = s.get(addr(1)).unwrap();
+        assert_eq!(d.route.first_hop_quality(), 200);
+        assert_eq!(d.last_seen, SimTime::from_secs(20));
+        assert_eq!(d.last_fetched, T0);
+        // Marking an unknown device is a no-op.
+        s.mark_responded(addr(9), 100, SimTime::from_secs(20));
+        assert!(s.get(addr(9)).is_none());
+    }
+
+    #[test]
+    fn service_provider_lookup_sorts_by_route_preference() {
+        let mut s = storage();
+        let svc = |p| vec![ServiceInfo::new("analysis", "", p)];
+        s.upsert_direct(info(1, MobilityClass::Dynamic), 240, svc(1), T0);
+        s.upsert_direct(info(2, MobilityClass::Static), 235, svc(2), T0);
+        s.integrate_neighbor_report(
+            addr(2),
+            235,
+            MobilityClass::Static,
+            &[record(3, 0, 255, svc(3))],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        let providers = s.find_service_providers("analysis");
+        assert_eq!(providers.len(), 3);
+        // Direct routes come first; among them the static device wins; the
+        // one-jump provider is last.
+        assert_eq!(providers[0].0.info.address, addr(2));
+        assert_eq!(providers[1].0.info.address, addr(1));
+        assert_eq!(providers[2].0.info.address, addr(3));
+        assert!(s.find_service_providers("nothing").is_empty());
+    }
+
+    #[test]
+    fn export_neighbors_respects_jump_limit() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            240,
+            MobilityClass::Static,
+            &[record(2, 0, 235, vec![]), record(3, 3, 232, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        let all = s.export_neighbors(8);
+        assert_eq!(all.len(), 3);
+        let limited = s.export_neighbors(1);
+        assert_eq!(limited.len(), 2, "the 4-jump entry must be excluded");
+        // Exported jump counts are the exporter's own view.
+        let d2 = limited.iter().find(|r| r.info.address == addr(2)).unwrap();
+        assert_eq!(d2.jumps, 1);
+    }
+
+    #[test]
+    fn handover_candidates_come_from_reported_neighbors() {
+        let mut s = storage();
+        // Two direct neighbours; both claim to see the target (device 9).
+        s.upsert_direct(info(1, MobilityClass::Static), 250, vec![], T0);
+        s.upsert_direct(info(2, MobilityClass::Static), 231, vec![], T0);
+        s.upsert_direct(info(9, MobilityClass::Static), 238, vec![], T0);
+        s.integrate_neighbor_report(
+            addr(1),
+            250,
+            MobilityClass::Static,
+            &[record(9, 0, 252, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        s.integrate_neighbor_report(
+            addr(2),
+            231,
+            MobilityClass::Static,
+            &[record(9, 0, 249, vec![])],
+            DiscoveryMode::Dynamic,
+            T0,
+        );
+        let candidates = s.handover_candidates(addr(9));
+        assert_eq!(candidates.len(), 2);
+        // Device 1 has the better combined quality and is listed first.
+        assert_eq!(candidates[0].0, addr(1));
+        assert_eq!(candidates[0].1, 250);
+        assert_eq!(candidates[0].2, 252);
+        assert_eq!(candidates[1].0, addr(2));
+        assert_eq!(s.reported_quality(addr(1), addr(9)), Some(252));
+        assert_eq!(s.reported_quality(addr(9), addr(1)), None);
+        // The target itself is never its own handover candidate.
+        assert!(candidates.iter().all(|(a, _, _)| *a != addr(9)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        assert!(s.remove(addr(1)).is_some());
+        assert!(s.remove(addr(1)).is_none());
+        s.upsert_direct(info(2, MobilityClass::Static), 240, vec![], T0);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.own_address(), addr(0));
+    }
+}

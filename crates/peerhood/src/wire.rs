@@ -1,0 +1,655 @@
+//! Byte-level encoding of [`Message`]s.
+//!
+//! PeerHood exchanges its commands over raw sockets, so the reproduction
+//! keeps an explicit, compact, versioned byte codec rather than relying on a
+//! serialisation framework. Every message round-trips exactly
+//! (property-tested below), and decoding is defensive: truncated or corrupt
+//! buffers produce a [`WireError`] instead of a panic.
+
+use std::fmt;
+
+use simnet::RadioTech;
+
+use crate::device::{DeviceInfo, MobilityClass};
+use crate::error::ErrorCode;
+use crate::ids::{Checksum, ConnectionId, DeviceAddress, ServicePort};
+use crate::proto::{Message, NeighborRecord};
+use crate::service::ServiceInfo;
+
+/// Codec version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Errors produced while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced content.
+    Truncated,
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// Unknown enum discriminant inside a message.
+    InvalidValue(&'static str),
+    /// Frame produced by an incompatible codec version.
+    VersionMismatch(u8),
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// Trailing bytes after the message ended.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::InvalidValue(what) => write!(f, "invalid value for {what}"),
+            WireError::VersionMismatch(v) => write!(f, "unsupported wire version {v}"),
+            WireError::InvalidUtf8 => write!(f, "string field was not valid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_INQUIRY_REQUEST: u8 = 1;
+const TAG_INQUIRY_RESPONSE: u8 = 2;
+const TAG_CONNECT_REQUEST: u8 = 3;
+const TAG_BRIDGE_REQUEST: u8 = 4;
+const TAG_ACCEPT: u8 = 5;
+const TAG_ERROR: u8 = 6;
+const TAG_DATA: u8 = 7;
+const TAG_DISCONNECT: u8 = 8;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::with_capacity(64) }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.u16(v.len() as u16);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+    fn address(&mut self, a: DeviceAddress) {
+        self.buf.extend_from_slice(&a.octets());
+    }
+    fn conn(&mut self, c: ConnectionId) {
+        self.u64(c.as_raw());
+    }
+    fn opt_conn(&mut self, c: Option<ConnectionId>) {
+        match c {
+            None => self.u8(0),
+            Some(c) => {
+                self.u8(1);
+                self.conn(c);
+            }
+        }
+    }
+    fn tech(&mut self, t: RadioTech) {
+        self.u8(match t {
+            RadioTech::Bluetooth => 0,
+            RadioTech::Wlan => 1,
+            RadioTech::Gprs => 2,
+        });
+    }
+    fn device(&mut self, d: &DeviceInfo) {
+        self.address(d.address);
+        self.string(&d.name);
+        self.u8(d.mobility.value());
+        self.u32(d.checksum.0);
+        self.u8(d.techs.len() as u8);
+        for t in &d.techs {
+            self.tech(*t);
+        }
+    }
+    fn service(&mut self, s: &ServiceInfo) {
+        self.string(&s.name);
+        self.string(&s.attribute);
+        self.u16(s.port.0);
+    }
+    fn neighbor(&mut self, n: &NeighborRecord) {
+        self.device(&n.info);
+        self.u8(n.jumps);
+        self.u8(n.hop_qualities.len() as u8);
+        for q in &n.hop_qualities {
+            self.u8(*q);
+        }
+        self.u16(n.services.len() as u16);
+        for s in &n.services {
+            self.service(s);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+    fn address(&mut self) -> Result<DeviceAddress, WireError> {
+        let b = self.take(6)?;
+        Ok(DeviceAddress::from_octets([b[0], b[1], b[2], b[3], b[4], b[5]]))
+    }
+    fn conn(&mut self) -> Result<ConnectionId, WireError> {
+        Ok(ConnectionId::from_raw(self.u64()?))
+    }
+    fn opt_conn(&mut self) -> Result<Option<ConnectionId>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.conn()?)),
+            _ => Err(WireError::InvalidValue("optional connection id")),
+        }
+    }
+    fn tech(&mut self) -> Result<RadioTech, WireError> {
+        match self.u8()? {
+            0 => Ok(RadioTech::Bluetooth),
+            1 => Ok(RadioTech::Wlan),
+            2 => Ok(RadioTech::Gprs),
+            _ => Err(WireError::InvalidValue("radio technology")),
+        }
+    }
+    fn device(&mut self) -> Result<DeviceInfo, WireError> {
+        let address = self.address()?;
+        let name = self.string()?;
+        let mobility =
+            MobilityClass::from_value(self.u8()?).ok_or(WireError::InvalidValue("mobility class"))?;
+        let checksum = Checksum(self.u32()?);
+        let tech_count = self.u8()? as usize;
+        let mut techs = Vec::with_capacity(tech_count);
+        for _ in 0..tech_count {
+            techs.push(self.tech()?);
+        }
+        Ok(DeviceInfo {
+            address,
+            name,
+            mobility,
+            checksum,
+            techs,
+        })
+    }
+    fn service(&mut self) -> Result<ServiceInfo, WireError> {
+        let name = self.string()?;
+        let attribute = self.string()?;
+        let port = ServicePort(self.u16()?);
+        Ok(ServiceInfo { name, attribute, port })
+    }
+    fn neighbor(&mut self) -> Result<NeighborRecord, WireError> {
+        let info = self.device()?;
+        let jumps = self.u8()?;
+        let hop_count = self.u8()? as usize;
+        let mut hop_qualities = Vec::with_capacity(hop_count);
+        for _ in 0..hop_count {
+            hop_qualities.push(self.u8()?);
+        }
+        let svc_count = self.u16()? as usize;
+        let mut services = Vec::with_capacity(svc_count);
+        for _ in 0..svc_count {
+            services.push(self.service()?);
+        }
+        Ok(NeighborRecord {
+            info,
+            jumps,
+            hop_qualities,
+            services,
+        })
+    }
+}
+
+/// Encodes a message into a self-contained frame.
+pub fn encode(message: &Message) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(WIRE_VERSION);
+    match message {
+        Message::InquiryRequest { requester } => {
+            w.u8(TAG_INQUIRY_REQUEST);
+            w.device(requester);
+        }
+        Message::InquiryResponse {
+            device,
+            services,
+            neighbors,
+            bridge_load_percent,
+        } => {
+            w.u8(TAG_INQUIRY_RESPONSE);
+            w.device(device);
+            w.u16(services.len() as u16);
+            for s in services {
+                w.service(s);
+            }
+            w.u16(neighbors.len() as u16);
+            for n in neighbors {
+                w.neighbor(n);
+            }
+            w.u8(*bridge_load_percent);
+        }
+        Message::ConnectRequest {
+            conn_id,
+            service,
+            client,
+            reply_context,
+        } => {
+            w.u8(TAG_CONNECT_REQUEST);
+            w.conn(*conn_id);
+            w.string(service);
+            w.device(client);
+            w.opt_conn(*reply_context);
+        }
+        Message::BridgeRequest {
+            conn_id,
+            destination,
+            service,
+            client,
+            reply_context,
+        } => {
+            w.u8(TAG_BRIDGE_REQUEST);
+            w.conn(*conn_id);
+            w.address(*destination);
+            w.string(service);
+            w.device(client);
+            w.opt_conn(*reply_context);
+        }
+        Message::Accept { conn_id } => {
+            w.u8(TAG_ACCEPT);
+            w.conn(*conn_id);
+        }
+        Message::Error { conn_id, code, detail } => {
+            w.u8(TAG_ERROR);
+            w.conn(*conn_id);
+            w.u8(code.code());
+            w.string(detail);
+        }
+        Message::Data { conn_id, payload } => {
+            w.u8(TAG_DATA);
+            w.conn(*conn_id);
+            w.bytes(payload);
+        }
+        Message::Disconnect { conn_id } => {
+            w.u8(TAG_DISCONNECT);
+            w.conn(*conn_id);
+        }
+    }
+    w.buf
+}
+
+/// Decodes a frame previously produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for truncated, corrupt, version-mismatched or
+/// trailing-garbage frames.
+pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(frame);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::VersionMismatch(version));
+    }
+    let tag = r.u8()?;
+    let message = match tag {
+        TAG_INQUIRY_REQUEST => Message::InquiryRequest { requester: r.device()? },
+        TAG_INQUIRY_RESPONSE => {
+            let device = r.device()?;
+            let svc_count = r.u16()? as usize;
+            let mut services = Vec::with_capacity(svc_count);
+            for _ in 0..svc_count {
+                services.push(r.service()?);
+            }
+            let n_count = r.u16()? as usize;
+            let mut neighbors = Vec::with_capacity(n_count);
+            for _ in 0..n_count {
+                neighbors.push(r.neighbor()?);
+            }
+            let bridge_load_percent = r.u8()?;
+            Message::InquiryResponse {
+                device,
+                services,
+                neighbors,
+                bridge_load_percent,
+            }
+        }
+        TAG_CONNECT_REQUEST => Message::ConnectRequest {
+            conn_id: r.conn()?,
+            service: r.string()?,
+            client: r.device()?,
+            reply_context: r.opt_conn()?,
+        },
+        TAG_BRIDGE_REQUEST => Message::BridgeRequest {
+            conn_id: r.conn()?,
+            destination: r.address()?,
+            service: r.string()?,
+            client: r.device()?,
+            reply_context: r.opt_conn()?,
+        },
+        TAG_ACCEPT => Message::Accept { conn_id: r.conn()? },
+        TAG_ERROR => Message::Error {
+            conn_id: r.conn()?,
+            code: ErrorCode::from_code(r.u8()?).ok_or(WireError::InvalidValue("error code"))?,
+            detail: r.string()?,
+        },
+        TAG_DATA => Message::Data {
+            conn_id: r.conn()?,
+            payload: r.bytes()?,
+        },
+        TAG_DISCONNECT => Message::Disconnect { conn_id: r.conn()? },
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MobilityClass;
+    use proptest::prelude::*;
+    use simnet::NodeId;
+
+    fn device(n: u64) -> DeviceInfo {
+        DeviceInfo::new(
+            NodeId::from_raw(n),
+            format!("dev{n}"),
+            MobilityClass::Hybrid,
+            &[RadioTech::Bluetooth, RadioTech::Wlan],
+        )
+    }
+
+    fn conn(n: u64, c: u32) -> ConnectionId {
+        ConnectionId::new(DeviceAddress::from_node_raw(n), c)
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let messages = vec![
+            Message::InquiryRequest { requester: device(1) },
+            Message::InquiryResponse {
+                device: device(2),
+                services: vec![ServiceInfo::new("echo", "v1", 3), ServiceInfo::new("pics", "", 4)],
+                neighbors: vec![NeighborRecord {
+                    info: device(3),
+                    jumps: 2,
+                    hop_qualities: vec![240, 231, 255],
+                    services: vec![ServiceInfo::new("relay", "x", 9)],
+                }],
+                bridge_load_percent: 40,
+            },
+            Message::ConnectRequest {
+                conn_id: conn(1, 7),
+                service: "picture-analysis".into(),
+                client: device(1),
+                reply_context: Some(conn(1, 3)),
+            },
+            Message::BridgeRequest {
+                conn_id: conn(1, 8),
+                destination: DeviceAddress::from_node_raw(9),
+                service: "echo".into(),
+                client: device(1),
+                reply_context: None,
+            },
+            Message::Accept { conn_id: conn(2, 0) },
+            Message::Error {
+                conn_id: conn(2, 1),
+                code: ErrorCode::BridgeBusy,
+                detail: "limit reached".into(),
+            },
+            Message::Data {
+                conn_id: conn(3, 0),
+                payload: vec![0, 1, 2, 255, 254],
+            },
+            Message::Disconnect { conn_id: conn(3, 1) },
+        ];
+        for m in messages {
+            let frame = encode(&m);
+            let decoded = decode(&frame).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut frame = encode(&Message::Accept { conn_id: conn(1, 1) });
+        frame[0] = 99;
+        assert_eq!(decode(&frame), Err(WireError::VersionMismatch(99)));
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let frame = vec![WIRE_VERSION, 200];
+        assert_eq!(decode(&frame), Err(WireError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let full = encode(&Message::ConnectRequest {
+            conn_id: conn(1, 7),
+            service: "picture-analysis".into(),
+            client: device(1),
+            reply_context: Some(conn(1, 3)),
+        });
+        for len in 0..full.len() {
+            let err = decode(&full[..len]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::VersionMismatch(_)),
+                "unexpected error at {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut frame = encode(&Message::Disconnect { conn_id: conn(1, 0) });
+        frame.push(0xAA);
+        assert_eq!(decode(&frame), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn empty_frame_is_truncated() {
+        assert_eq!(decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::UnknownTag(3).to_string().contains('3'));
+        assert!(WireError::InvalidUtf8.to_string().contains("utf-8"));
+    }
+
+    fn arb_tech() -> impl Strategy<Value = RadioTech> {
+        prop_oneof![
+            Just(RadioTech::Bluetooth),
+            Just(RadioTech::Wlan),
+            Just(RadioTech::Gprs)
+        ]
+    }
+
+    fn arb_mobility() -> impl Strategy<Value = MobilityClass> {
+        prop_oneof![
+            Just(MobilityClass::Static),
+            Just(MobilityClass::Hybrid),
+            Just(MobilityClass::Dynamic)
+        ]
+    }
+
+    fn arb_device() -> impl Strategy<Value = DeviceInfo> {
+        (
+            0u64..10_000,
+            "[a-zA-Z0-9 _-]{0,24}",
+            arb_mobility(),
+            0u32..100_000,
+            proptest::collection::vec(arb_tech(), 0..3),
+        )
+            .prop_map(|(node, name, mobility, checksum, techs)| DeviceInfo {
+                address: DeviceAddress::from_node_raw(node),
+                name,
+                mobility,
+                checksum: Checksum(checksum),
+                techs,
+            })
+    }
+
+    fn arb_service() -> impl Strategy<Value = ServiceInfo> {
+        ("[a-z0-9./-]{0,16}", "[a-z0-9 ]{0,16}", any::<u16>())
+            .prop_map(|(name, attribute, port)| ServiceInfo::new(name, attribute, port))
+    }
+
+    fn arb_neighbor() -> impl Strategy<Value = NeighborRecord> {
+        (
+            arb_device(),
+            0u8..10,
+            proptest::collection::vec(any::<u8>(), 0..6),
+            proptest::collection::vec(arb_service(), 0..4),
+        )
+            .prop_map(|(info, jumps, hop_qualities, services)| NeighborRecord {
+                info,
+                jumps,
+                hop_qualities,
+                services,
+            })
+    }
+
+    fn arb_conn() -> impl Strategy<Value = ConnectionId> {
+        (0u64..10_000, any::<u32>()).prop_map(|(n, c)| ConnectionId::new(DeviceAddress::from_node_raw(n), c))
+    }
+
+    fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+        prop_oneof![
+            Just(ErrorCode::ServiceUnavailable),
+            Just(ErrorCode::NoRouteToDestination),
+            Just(ErrorCode::BridgeBusy),
+            Just(ErrorCode::DownstreamFailed),
+            Just(ErrorCode::UnknownConnection),
+            Just(ErrorCode::Protocol),
+        ]
+    }
+
+    fn arb_message() -> impl Strategy<Value = Message> {
+        prop_oneof![
+            arb_device().prop_map(|requester| Message::InquiryRequest { requester }),
+            (
+                arb_device(),
+                proptest::collection::vec(arb_service(), 0..4),
+                proptest::collection::vec(arb_neighbor(), 0..4),
+                any::<u8>()
+            )
+                .prop_map(|(device, services, neighbors, bridge_load_percent)| {
+                    Message::InquiryResponse {
+                        device,
+                        services,
+                        neighbors,
+                        bridge_load_percent,
+                    }
+                }),
+            (arb_conn(), "[a-z-]{0,16}", arb_device(), proptest::option::of(arb_conn())).prop_map(
+                |(conn_id, service, client, reply_context)| Message::ConnectRequest {
+                    conn_id,
+                    service,
+                    client,
+                    reply_context,
+                }
+            ),
+            (
+                arb_conn(),
+                0u64..10_000,
+                "[a-z-]{0,16}",
+                arb_device(),
+                proptest::option::of(arb_conn())
+            )
+                .prop_map(|(conn_id, dest, service, client, reply_context)| Message::BridgeRequest {
+                    conn_id,
+                    destination: DeviceAddress::from_node_raw(dest),
+                    service,
+                    client,
+                    reply_context,
+                }),
+            arb_conn().prop_map(|conn_id| Message::Accept { conn_id }),
+            (arb_conn(), arb_error_code(), "[ -~]{0,32}").prop_map(|(conn_id, code, detail)| Message::Error {
+                conn_id,
+                code,
+                detail
+            }),
+            (arb_conn(), proptest::collection::vec(any::<u8>(), 0..256))
+                .prop_map(|(conn_id, payload)| Message::Data { conn_id, payload }),
+            arb_conn().prop_map(|conn_id| Message::Disconnect { conn_id }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(message in arb_message()) {
+            let frame = encode(&message);
+            let decoded = decode(&frame).unwrap();
+            prop_assert_eq!(decoded, message);
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Decoding arbitrary garbage must never panic; it may of course
+            // occasionally produce a valid message.
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn prop_truncation_never_panics(message in arb_message(), cut in 0usize..64) {
+            let frame = encode(&message);
+            let cut = cut.min(frame.len());
+            let _ = decode(&frame[..cut]);
+        }
+    }
+}

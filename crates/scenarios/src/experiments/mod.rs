@@ -1,0 +1,54 @@
+//! The experiment runners E1–E11 (see `DESIGN.md` for the per-figure index).
+//!
+//! Each function builds the scenario it needs, runs the simulation and
+//! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
+//! `Display` output is the markdown table recorded in `EXPERIMENTS.md`.
+
+pub mod bridge;
+pub mod discovery;
+pub mod handover;
+pub mod migration_exp;
+
+pub use bridge::{bridge_trial, e06_bridge_performance, e10_coverage_amplification, BridgeTrial};
+pub use discovery::{
+    e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
+    e05_static_vs_dynamic_bridge, DiscoverySettings,
+};
+pub use handover::{e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun};
+pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
+
+use crate::report::ExperimentReport;
+
+/// How thorough a full reproduction run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced sizes, suitable for CI and `cargo test`.
+    Quick,
+    /// The sizes used to produce `EXPERIMENTS.md`.
+    Full,
+}
+
+/// Runs every experiment and returns the reports in order.
+pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
+    let discovery_settings = match effort {
+        Effort::Quick => DiscoverySettings::quick(),
+        Effort::Full => DiscoverySettings::default(),
+    };
+    let (bridge_trials, handover_runs, delay_jumps) = match effort {
+        Effort::Quick => (4, 1, 2),
+        Effort::Full => (10, 3, 3),
+    };
+    vec![
+        e01_coverage_exclusion(&discovery_settings),
+        e02_gnutella_traffic(seed),
+        e03_quality_route_selection(),
+        e04_notification_delay(seed, delay_jumps),
+        e05_static_vs_dynamic_bridge(seed),
+        e06_bridge_performance(seed, bridge_trials),
+        e07_two_server_handover(seed),
+        e08_routing_handover(seed, handover_runs),
+        e09_result_routing(seed),
+        e10_coverage_amplification(seed),
+        e11_monitoring_limitation(seed),
+    ]
+}

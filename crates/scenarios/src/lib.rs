@@ -1,0 +1,19 @@
+//! # scenarios — topologies, workloads and the experiment suite
+//!
+//! This crate turns the building blocks of the reproduction (the [`simnet`]
+//! substrate, the [`peerhood`] middleware and the [`migration`] applications)
+//! into the concrete scenarios of the thesis: office-sized random fields,
+//! corridors of bridge nodes, the two-server handover layout and the tunnel
+//! of Fig. 6.1 — plus the experiment runners E1–E11 that regenerate every
+//! figure-level result (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for the recorded outcomes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod topology;
+
+pub use experiments::{run_all, Effort};
+pub use report::ExperimentReport;

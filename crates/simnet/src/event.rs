@@ -1,0 +1,184 @@
+//! The discrete-event scheduler.
+//!
+//! A simple binary-heap scheduler with a monotonically increasing sequence
+//! number as a tie-breaker, so that events scheduled for the same instant are
+//! delivered in the order they were scheduled. This keeps runs deterministic
+//! regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the scheduler.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, breaking ties by insertion order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use simnet::event::Scheduler;
+/// use simnet::time::SimTime;
+///
+/// let mut s = Scheduler::new();
+/// s.schedule(SimTime::from_secs(2), "later");
+/// s.schedule(SimTime::from_secs(1), "sooner");
+/// assert_eq!(s.pop().unwrap().1, "sooner");
+/// assert_eq!(s.pop().unwrap().1, "later");
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl<T> Scheduler<T> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time`. Events at equal times are
+    /// delivered in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// The time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Removes and returns the next `(time, payload)` pair.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// Removes and returns the next event only if it is due at or before
+    /// `deadline`.
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, T)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(5), 5);
+        s.schedule(SimTime::from_secs(1), 1);
+        s.schedule(SimTime::from_secs(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(7);
+        for i in 0..100 {
+            s.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), "late");
+        s.schedule(SimTime::from_secs(1), "early");
+        assert_eq!(s.pop_due(SimTime::from_secs(5)).unwrap().1, "early");
+        assert!(s.pop_due(SimTime::from_secs(5)).is_none());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop_due(SimTime::from_secs(10)).unwrap().1, "late");
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut s = Scheduler::new();
+        assert!(s.peek_time().is_none());
+        s.schedule(SimTime::from_secs(2), ());
+        s.schedule(SimTime::from_secs(2) + SimDuration::from_millis(1), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(4), 4);
+        s.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(s.pop().unwrap().1, 2);
+        s.schedule(SimTime::from_secs(1), 1);
+        s.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(s.pop().unwrap().1, 1);
+        assert_eq!(s.pop().unwrap().1, 3);
+        assert_eq!(s.pop().unwrap().1, 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Plane geometry used by the mobility and radio models.
+//!
+//! Devices live in a two-dimensional plane with coordinates expressed in
+//! metres. The paper's scenarios (offices, corridors, a tunnel) are all flat,
+//! so two dimensions are sufficient.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane, in metres.
+///
+/// ```
+/// use simnet::geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates in metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparing).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation from `self` towards `other`.
+    ///
+    /// `t = 0.0` yields `self`, `t = 1.0` yields `other`; values outside the
+    /// unit interval extrapolate along the same line.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+
+    /// Translates the point by the given offsets.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+}
+
+/// An axis-aligned rectangle, used for simulation areas and radio dead zones.
+///
+/// ```
+/// use simnet::geometry::{Point, Rect};
+///
+/// let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+/// assert!(r.contains(Point::new(5.0, 2.0)));
+/// assert!(!r.contains(Point::new(11.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum x coordinate.
+    pub min_x: f64,
+    /// Minimum y coordinate.
+    pub min_y: f64,
+    /// Maximum x coordinate.
+    pub max_x: f64,
+    /// Maximum y coordinate.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the minimum corner is not less than or equal to the maximum
+    /// corner on both axes.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(min_x <= max_x && min_y <= max_y, "degenerate rectangle");
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// A square of side `side` with its lower-left corner at the origin.
+    pub fn square(side: f64) -> Self {
+        Rect::new(0.0, 0.0, side, side)
+    }
+
+    /// Width of the rectangle in metres.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the rectangle in metres.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Centre point of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// True if the point lies inside the rectangle (inclusive of the border).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Clamps a point to the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min_x, self.max_x), p.y.clamp(self.min_y, self.max_y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-2.5, 7.0);
+        let b = Point::new(3.0, -1.0);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert_eq!(m, Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 4.0)));
+        assert!(!r.contains(Point::new(10.1, 4.0)));
+        assert_eq!(r.clamp(Point::new(12.0, -3.0)), Point::new(10.0, 0.0));
+        assert_eq!(r.center(), Point::new(5.0, 2.0));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 4.0);
+    }
+
+    #[test]
+    fn square_helper() {
+        let r = Rect::square(50.0);
+        assert_eq!(r.width(), 50.0);
+        assert_eq!(r.height(), 50.0);
+        assert!(r.contains(Point::new(25.0, 25.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_rect_panics() {
+        let _ = Rect::new(5.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn offset_moves_point() {
+        assert_eq!(Point::new(1.0, 2.0).offset(3.0, -1.0), Point::new(4.0, 1.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! # simnet — deterministic wireless-world substrate
+//!
+//! The PeerHood thesis ("Addressing mobility issues in mobile environment",
+//! 2008) evaluates its middleware on real Bluetooth hardware carried between
+//! offices. This crate replaces that testbed with a **deterministic
+//! discrete-event simulator** so that the middleware, the handover logic and
+//! every experiment in the thesis can be reproduced on a laptop from a seed.
+//!
+//! The simulator models:
+//!
+//! * **virtual time** ([`time`]) and a deterministic event loop ([`world`]),
+//! * **radio technologies** ([`radio`]) — Bluetooth, WLAN and GPRS profiles
+//!   with coverage range, bit-rate, inquiry behaviour (including the
+//!   Bluetooth inquiry asymmetry of §3.4.2), connection-setup latency and
+//!   fault probability calibrated to the thesis' measurements, and a 0–255
+//!   link-quality model with the 230 "signal low" threshold,
+//! * **mobility** ([`mobility`]) — stationary devices, straight-line and
+//!   waypoint walks, and random-waypoint roaming,
+//! * **links and transmissions** ([`link`], [`world`]) — multi-second
+//!   connection setup, in-flight messages that are lost when coverage breaks,
+//!   periodic link checks and the artificial quality-decay mode the thesis
+//!   uses in its own handover simulation (§5.2.1).
+//!
+//! Behaviour is attached to nodes through the [`node::NodeAgent`] trait; the
+//! `peerhood` crate implements that trait with the full middleware stack.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::prelude::*;
+//! use std::any::Any;
+//!
+//! // A trivial agent that scans for neighbours once at start-up.
+//! #[derive(Default)]
+//! struct Scanner {
+//!     found: usize,
+//! }
+//!
+//! impl NodeAgent for Scanner {
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//!     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+//!         ctx.start_inquiry(RadioTech::Bluetooth);
+//!     }
+//!     fn on_inquiry_complete(&mut self, _ctx: &mut NodeCtx<'_>, _tech: RadioTech, hits: Vec<InquiryHit>) {
+//!         self.found = hits.len();
+//!     }
+//! }
+//!
+//! let mut world = World::new(WorldConfig::ideal(7));
+//! let scanner = world.add_node(
+//!     "scanner",
+//!     MobilityModel::stationary(Point::new(0.0, 0.0)),
+//!     &[RadioTech::Bluetooth],
+//!     Box::new(Scanner::default()),
+//! );
+//! world.add_node(
+//!     "peer",
+//!     MobilityModel::stationary(Point::new(3.0, 0.0)),
+//!     &[RadioTech::Bluetooth],
+//!     Box::new(Scanner::default()),
+//! );
+//! world.run_for(SimDuration::from_secs(30));
+//! let found = world.with_agent::<Scanner, _>(scanner, |s, _| s.found).unwrap();
+//! assert_eq!(found, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod geometry;
+pub mod link;
+pub mod metrics;
+pub mod mobility;
+pub mod node;
+pub mod radio;
+pub mod rng;
+pub mod time;
+pub mod world;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::geometry::{Point, Rect};
+    pub use crate::link::LinkInfo;
+    pub use crate::metrics::{Counters, Metrics};
+    pub use crate::mobility::{MobilityModel, MotionPlan};
+    pub use crate::node::{
+        AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId,
+        NodeAgent, NodeId, TimerToken,
+    };
+    pub use crate::radio::{RadioEnvironment, RadioProfile, RadioTech, QUALITY_LOW_THRESHOLD, QUALITY_MAX};
+    pub use crate::rng::SimRng;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::world::{NodeCtx, SendError, World, WorldConfig};
+}
+
+pub use prelude::*;

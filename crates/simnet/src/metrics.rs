@@ -1,0 +1,276 @@
+//! Simulation metrics.
+//!
+//! The experiment runners (E1–E11) summarise their results from these
+//! counters: inquiry activity, connection attempts and outcomes, traffic
+//! volume and link breakage. Counters exist per node and are also aggregated
+//! globally.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::radio::RadioTech;
+
+/// Counters for one node (or the global aggregate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Device-discovery inquiries started.
+    pub inquiries_started: u64,
+    /// Devices returned across all inquiry results.
+    pub inquiry_hits: u64,
+    /// Connection attempts initiated.
+    pub connect_attempts: u64,
+    /// Connection attempts that failed (fault, out of range or rejection).
+    pub connect_failures: u64,
+    /// Connections successfully established.
+    pub connects_established: u64,
+    /// Messages passed to the radio for transmission.
+    pub messages_sent: u64,
+    /// Payload bytes passed to the radio for transmission.
+    pub bytes_sent: u64,
+    /// Messages delivered to the peer.
+    pub messages_delivered: u64,
+    /// Messages lost because the link broke before delivery.
+    pub messages_lost: u64,
+    /// Established links that broke (out of range or forced).
+    pub links_broken: u64,
+    /// Link-quality samples taken.
+    pub quality_samples: u64,
+}
+
+impl Counters {
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.inquiries_started += other.inquiries_started;
+        self.inquiry_hits += other.inquiry_hits;
+        self.connect_attempts += other.connect_attempts;
+        self.connect_failures += other.connect_failures;
+        self.connects_established += other.connects_established;
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_lost += other.messages_lost;
+        self.links_broken += other.links_broken;
+        self.quality_samples += other.quality_samples;
+    }
+
+    /// Fraction of connection attempts that failed, or zero if none were made.
+    pub fn connect_failure_rate(&self) -> f64 {
+        if self.connect_attempts == 0 {
+            0.0
+        } else {
+            self.connect_failures as f64 / self.connect_attempts as f64
+        }
+    }
+
+    /// Fraction of sent messages that were delivered, or 1.0 if none were sent.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+/// Metrics store for a whole simulation world.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    global: Counters,
+    per_node: BTreeMap<NodeId, Counters>,
+    per_tech_messages: BTreeMap<RadioTech, u64>,
+    per_tech_bytes: BTreeMap<RadioTech, u64>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics store.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The aggregate counters across all nodes.
+    pub fn global(&self) -> &Counters {
+        &self.global
+    }
+
+    /// Counters for one node (zeroed counters if the node never did anything).
+    pub fn node(&self, node: NodeId) -> Counters {
+        self.per_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all per-node counters.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Counters)> {
+        self.per_node.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Messages sent per radio technology.
+    pub fn messages_for_tech(&self, tech: RadioTech) -> u64 {
+        self.per_tech_messages.get(&tech).copied().unwrap_or(0)
+    }
+
+    /// Payload bytes sent per radio technology.
+    pub fn bytes_for_tech(&self, tech: RadioTech) -> u64 {
+        self.per_tech_bytes.get(&tech).copied().unwrap_or(0)
+    }
+
+    fn node_mut(&mut self, node: NodeId) -> &mut Counters {
+        self.per_node.entry(node).or_default()
+    }
+
+    /// Records an inquiry being started by `node`.
+    pub fn record_inquiry_started(&mut self, node: NodeId) {
+        self.global.inquiries_started += 1;
+        self.node_mut(node).inquiries_started += 1;
+    }
+
+    /// Records the number of devices an inquiry returned.
+    pub fn record_inquiry_hits(&mut self, node: NodeId, hits: u64) {
+        self.global.inquiry_hits += hits;
+        self.node_mut(node).inquiry_hits += hits;
+    }
+
+    /// Records a connection attempt initiated by `node`.
+    pub fn record_connect_attempt(&mut self, node: NodeId) {
+        self.global.connect_attempts += 1;
+        self.node_mut(node).connect_attempts += 1;
+    }
+
+    /// Records a failed connection attempt.
+    pub fn record_connect_failure(&mut self, node: NodeId) {
+        self.global.connect_failures += 1;
+        self.node_mut(node).connect_failures += 1;
+    }
+
+    /// Records an established connection.
+    pub fn record_connect_established(&mut self, node: NodeId) {
+        self.global.connects_established += 1;
+        self.node_mut(node).connects_established += 1;
+    }
+
+    /// Records a message (and its size) sent by `node` over `tech`.
+    pub fn record_message_sent(&mut self, node: NodeId, tech: RadioTech, bytes: u64) {
+        self.global.messages_sent += 1;
+        self.global.bytes_sent += bytes;
+        let c = self.node_mut(node);
+        c.messages_sent += 1;
+        c.bytes_sent += bytes;
+        *self.per_tech_messages.entry(tech).or_insert(0) += 1;
+        *self.per_tech_bytes.entry(tech).or_insert(0) += bytes;
+    }
+
+    /// Records a message delivered to `node`.
+    pub fn record_message_delivered(&mut self, node: NodeId) {
+        self.global.messages_delivered += 1;
+        self.node_mut(node).messages_delivered += 1;
+    }
+
+    /// Records a message lost in transit towards `node`.
+    pub fn record_message_lost(&mut self, node: NodeId) {
+        self.global.messages_lost += 1;
+        self.node_mut(node).messages_lost += 1;
+    }
+
+    /// Records a broken link affecting `node`.
+    pub fn record_link_broken(&mut self, node: NodeId) {
+        self.global.links_broken += 1;
+        self.node_mut(node).links_broken += 1;
+    }
+
+    /// Records a quality sample taken by `node`.
+    pub fn record_quality_sample(&mut self, node: NodeId) {
+        self.global.quality_samples += 1;
+        self.node_mut(node).quality_samples += 1;
+    }
+
+    /// Resets every counter to zero, keeping the store allocated.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: u64) -> NodeId {
+        NodeId::from_raw(n)
+    }
+
+    #[test]
+    fn per_node_and_global_stay_consistent() {
+        let mut m = Metrics::new();
+        m.record_connect_attempt(node(1));
+        m.record_connect_attempt(node(2));
+        m.record_connect_failure(node(2));
+        m.record_connect_established(node(1));
+        assert_eq!(m.global().connect_attempts, 2);
+        assert_eq!(m.node(node(1)).connect_attempts, 1);
+        assert_eq!(m.node(node(2)).connect_failures, 1);
+        assert_eq!(m.node(node(3)).connect_attempts, 0);
+    }
+
+    #[test]
+    fn tech_breakdown() {
+        let mut m = Metrics::new();
+        m.record_message_sent(node(1), RadioTech::Bluetooth, 100);
+        m.record_message_sent(node(1), RadioTech::Bluetooth, 50);
+        m.record_message_sent(node(2), RadioTech::Gprs, 10);
+        assert_eq!(m.messages_for_tech(RadioTech::Bluetooth), 2);
+        assert_eq!(m.bytes_for_tech(RadioTech::Bluetooth), 150);
+        assert_eq!(m.messages_for_tech(RadioTech::Gprs), 1);
+        assert_eq!(m.messages_for_tech(RadioTech::Wlan), 0);
+        assert_eq!(m.global().bytes_sent, 160);
+    }
+
+    #[test]
+    fn rates() {
+        let mut c = Counters::default();
+        assert_eq!(c.connect_failure_rate(), 0.0);
+        assert_eq!(c.delivery_rate(), 1.0);
+        c.connect_attempts = 10;
+        c.connect_failures = 3;
+        c.messages_sent = 20;
+        c.messages_delivered = 19;
+        assert!((c.connect_failure_rate() - 0.3).abs() < 1e-12);
+        assert!((c.delivery_rate() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters {
+            messages_sent: 5,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        let b = Counters {
+            messages_sent: 2,
+            bytes_sent: 30,
+            links_broken: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 7);
+        assert_eq!(a.bytes_sent, 130);
+        assert_eq!(a.links_broken, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.record_inquiry_started(node(1));
+        m.record_inquiry_hits(node(1), 4);
+        m.reset();
+        assert_eq!(m.global().inquiries_started, 0);
+        assert_eq!(m.node(node(1)).inquiry_hits, 0);
+    }
+
+    #[test]
+    fn iter_nodes_lists_only_active_nodes() {
+        let mut m = Metrics::new();
+        m.record_quality_sample(node(7));
+        m.record_link_broken(node(9));
+        let ids: Vec<NodeId> = m.iter_nodes().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![node(7), node(9)]);
+    }
+}

@@ -1,0 +1,425 @@
+//! Radio technology models.
+//!
+//! PeerHood runs over Bluetooth, WLAN and GPRS (Ch. 2). Each technology is
+//! described by a [`RadioProfile`]: coverage range, bit-rate, inquiry
+//! behaviour, connection-setup latency/fault distribution and the
+//! link-quality model. The Bluetooth profile is calibrated to the numbers the
+//! thesis measured: single connection setup of roughly 1.5–9 s and a ~15 %
+//! per-attempt fault probability (so a two-leg bridge connection takes 3–18 s
+//! and fails ~3 times out of 10, §4.3), an inquiry cycle of ~10 s, and the
+//! 0–255 link-quality scale with the 230 "signal low" threshold used in
+//! §5.2.1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// The wireless technologies PeerHood plugins exist for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RadioTech {
+    /// Short-range, slow setup, the technology chosen for the thesis'
+    /// implementation.
+    Bluetooth,
+    /// Medium-range, fast setup wireless LAN.
+    Wlan,
+    /// Cellular packet radio: infrastructure coverage (modelled as unlimited
+    /// range outside of configured dead zones), higher latency, low bit-rate.
+    Gprs,
+}
+
+impl RadioTech {
+    /// All supported technologies, in plugin registration order.
+    pub const ALL: [RadioTech; 3] = [RadioTech::Bluetooth, RadioTech::Wlan, RadioTech::Gprs];
+
+    /// Short human-readable name (`"bt"`, `"wlan"`, `"gprs"`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RadioTech::Bluetooth => "bt",
+            RadioTech::Wlan => "wlan",
+            RadioTech::Gprs => "gprs",
+        }
+    }
+}
+
+impl std::fmt::Display for RadioTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Maximum value of the link-quality scale (Bluetooth HCI link quality is a
+/// byte).
+pub const QUALITY_MAX: u8 = 255;
+
+/// The "signal low" threshold used throughout the thesis (Fig. 3.9, §5.2.1).
+pub const QUALITY_LOW_THRESHOLD: u8 = 230;
+
+/// Behavioural parameters of one radio technology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioProfile {
+    /// Technology this profile describes.
+    pub tech: RadioTech,
+    /// Coverage radius in metres. `None` means infrastructure coverage
+    /// (GPRS): any two nodes can talk unless one is inside a dead zone.
+    pub range_m: Option<f64>,
+    /// Application-visible bit-rate in bits per second.
+    pub bitrate_bps: f64,
+    /// Fixed per-message latency added on top of the serialisation delay.
+    pub base_latency: SimDuration,
+    /// How long one device-discovery inquiry scan takes.
+    pub inquiry_duration: SimDuration,
+    /// Probability that a device which is in range and discoverable is
+    /// nevertheless missed by a single inquiry (Bluetooth inquiries are
+    /// lossy).
+    pub inquiry_miss_prob: f64,
+    /// If true, a device that is itself running an inquiry is not
+    /// discoverable by others during the scan (the Bluetooth asymmetry
+    /// discussed in §3.4.2).
+    pub inquiry_asymmetric: bool,
+    /// Minimum connection-establishment latency in seconds.
+    pub setup_min_s: f64,
+    /// Maximum connection-establishment latency in seconds.
+    pub setup_max_s: f64,
+    /// Probability that a connection attempt fails outright even though the
+    /// peer is in range ("normal Bluetooth connection fault", §4.3).
+    pub setup_fault_prob: f64,
+    /// Distance (as a fraction of the range) below which quality is at its
+    /// maximum.
+    pub quality_plateau_fraction: f64,
+    /// Link quality measured exactly at the edge of the coverage range.
+    pub quality_at_edge: u8,
+    /// Standard deviation of the gaussian noise added to quality samples.
+    pub quality_noise_std: f64,
+}
+
+impl RadioProfile {
+    /// The Bluetooth profile calibrated to the thesis' measurements.
+    pub fn bluetooth() -> Self {
+        RadioProfile {
+            tech: RadioTech::Bluetooth,
+            range_m: Some(10.0),
+            bitrate_bps: 700_000.0,
+            base_latency: SimDuration::from_millis(30),
+            inquiry_duration: SimDuration::from_millis(10_240),
+            inquiry_miss_prob: 0.05,
+            inquiry_asymmetric: true,
+            setup_min_s: 1.5,
+            setup_max_s: 9.0,
+            setup_fault_prob: 0.15,
+            quality_plateau_fraction: 0.25,
+            quality_at_edge: 170,
+            quality_noise_std: 2.0,
+        }
+    }
+
+    /// A wireless-LAN profile: longer range, quick association, few faults.
+    pub fn wlan() -> Self {
+        RadioProfile {
+            tech: RadioTech::Wlan,
+            range_m: Some(50.0),
+            bitrate_bps: 10_000_000.0,
+            base_latency: SimDuration::from_millis(5),
+            inquiry_duration: SimDuration::from_millis(2_000),
+            inquiry_miss_prob: 0.01,
+            inquiry_asymmetric: false,
+            setup_min_s: 0.2,
+            setup_max_s: 1.0,
+            setup_fault_prob: 0.02,
+            quality_plateau_fraction: 0.3,
+            quality_at_edge: 180,
+            quality_noise_std: 3.0,
+        }
+    }
+
+    /// A GPRS profile: infrastructure coverage, slow and high latency.
+    pub fn gprs() -> Self {
+        RadioProfile {
+            tech: RadioTech::Gprs,
+            range_m: None,
+            bitrate_bps: 40_000.0,
+            base_latency: SimDuration::from_millis(600),
+            inquiry_duration: SimDuration::from_millis(1_000),
+            inquiry_miss_prob: 0.0,
+            inquiry_asymmetric: false,
+            setup_min_s: 1.0,
+            setup_max_s: 3.0,
+            setup_fault_prob: 0.05,
+            quality_plateau_fraction: 1.0,
+            quality_at_edge: 255,
+            quality_noise_std: 0.0,
+        }
+    }
+
+    /// Returns the default profile for a technology.
+    pub fn default_for(tech: RadioTech) -> Self {
+        match tech {
+            RadioTech::Bluetooth => RadioProfile::bluetooth(),
+            RadioTech::Wlan => RadioProfile::wlan(),
+            RadioTech::Gprs => RadioProfile::gprs(),
+        }
+    }
+
+    /// True if two nodes separated by `distance_m` are within radio range.
+    /// Infrastructure technologies are always in range (dead zones are
+    /// handled by the world, which knows node positions).
+    pub fn in_range(&self, distance_m: f64) -> bool {
+        match self.range_m {
+            Some(range) => distance_m <= range,
+            None => true,
+        }
+    }
+
+    /// Noise-free link quality for a pair separated by `distance_m`, or
+    /// `None` if out of range.
+    ///
+    /// The model is flat at [`QUALITY_MAX`] up to `quality_plateau_fraction`
+    /// of the range and then falls off quadratically to `quality_at_edge` at
+    /// the edge of coverage, which reproduces the fast decay the thesis
+    /// observed when carrying a laptop from the office into the corridor.
+    pub fn quality_at_distance(&self, distance_m: f64) -> Option<u8> {
+        let range = match self.range_m {
+            Some(r) => r,
+            None => return Some(QUALITY_MAX),
+        };
+        if distance_m > range {
+            return None;
+        }
+        let plateau = range * self.quality_plateau_fraction;
+        if distance_m <= plateau {
+            return Some(QUALITY_MAX);
+        }
+        let span = (range - plateau).max(f64::EPSILON);
+        let frac = (distance_m - plateau) / span; // 0..1
+        let drop = (QUALITY_MAX as f64 - self.quality_at_edge as f64) * frac * frac;
+        Some((QUALITY_MAX as f64 - drop).round().clamp(0.0, 255.0) as u8)
+    }
+
+    /// Link quality with measurement noise applied.
+    pub fn sample_quality(&self, distance_m: f64, rng: &mut SimRng) -> Option<u8> {
+        self.quality_at_distance(distance_m).map(|q| {
+            if self.quality_noise_std <= 0.0 {
+                q
+            } else {
+                rng.gaussian(q as f64, self.quality_noise_std).round().clamp(0.0, 255.0) as u8
+            }
+        })
+    }
+
+    /// Draws a connection-establishment latency from the profile.
+    pub fn sample_setup_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.uniform_f64(self.setup_min_s, self.setup_max_s))
+    }
+
+    /// Returns true if a connection attempt should fail due to a random
+    /// technology-level fault.
+    pub fn sample_setup_fault(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.setup_fault_prob)
+    }
+
+    /// Time needed to serialise and deliver `bytes` of payload over this
+    /// technology, including the fixed base latency.
+    pub fn transmission_delay(&self, bytes: usize) -> SimDuration {
+        let serialise = (bytes as f64 * 8.0) / self.bitrate_bps;
+        self.base_latency + SimDuration::from_secs_f64(serialise)
+    }
+
+    /// The distance at which the noise-free quality first drops below the
+    /// given threshold, or `None` for infrastructure technologies. Useful for
+    /// placing nodes "at the edge" in scenarios.
+    pub fn distance_for_quality(&self, threshold: u8) -> Option<f64> {
+        let range = self.range_m?;
+        if threshold >= QUALITY_MAX {
+            return Some(range * self.quality_plateau_fraction);
+        }
+        if threshold <= self.quality_at_edge {
+            return Some(range);
+        }
+        let plateau = range * self.quality_plateau_fraction;
+        let span = range - plateau;
+        let frac = ((QUALITY_MAX as f64 - threshold as f64)
+            / (QUALITY_MAX as f64 - self.quality_at_edge as f64))
+            .sqrt();
+        Some(plateau + span * frac)
+    }
+}
+
+/// The set of profiles in force for a simulation world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioEnvironment {
+    /// Profile per technology.
+    pub bluetooth: RadioProfile,
+    /// Profile per technology.
+    pub wlan: RadioProfile,
+    /// Profile per technology.
+    pub gprs: RadioProfile,
+}
+
+impl Default for RadioEnvironment {
+    fn default() -> Self {
+        RadioEnvironment {
+            bluetooth: RadioProfile::bluetooth(),
+            wlan: RadioProfile::wlan(),
+            gprs: RadioProfile::gprs(),
+        }
+    }
+}
+
+impl RadioEnvironment {
+    /// Returns the profile for the requested technology.
+    pub fn profile(&self, tech: RadioTech) -> &RadioProfile {
+        match tech {
+            RadioTech::Bluetooth => &self.bluetooth,
+            RadioTech::Wlan => &self.wlan,
+            RadioTech::Gprs => &self.gprs,
+        }
+    }
+
+    /// Mutable access to the profile for the requested technology.
+    pub fn profile_mut(&mut self, tech: RadioTech) -> &mut RadioProfile {
+        match tech {
+            RadioTech::Bluetooth => &mut self.bluetooth,
+            RadioTech::Wlan => &mut self.wlan,
+            RadioTech::Gprs => &mut self.gprs,
+        }
+    }
+
+    /// An environment where all radio setup is instantaneous and fault-free.
+    /// Useful for tests that exercise middleware logic rather than radio
+    /// behaviour.
+    pub fn ideal() -> Self {
+        let mut env = RadioEnvironment::default();
+        for tech in RadioTech::ALL {
+            let p = env.profile_mut(tech);
+            p.setup_min_s = 0.01;
+            p.setup_max_s = 0.02;
+            p.setup_fault_prob = 0.0;
+            p.inquiry_miss_prob = 0.0;
+            p.inquiry_asymmetric = false;
+            p.quality_noise_std = 0.0;
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profiles_match_their_tech() {
+        for tech in RadioTech::ALL {
+            assert_eq!(RadioProfile::default_for(tech).tech, tech);
+        }
+    }
+
+    #[test]
+    fn bluetooth_range_and_quality_shape() {
+        let bt = RadioProfile::bluetooth();
+        assert!(bt.in_range(5.0));
+        assert!(!bt.in_range(10.5));
+        assert_eq!(bt.quality_at_distance(0.0), Some(QUALITY_MAX));
+        assert_eq!(bt.quality_at_distance(1.0), Some(QUALITY_MAX));
+        let mid = bt.quality_at_distance(6.0).unwrap();
+        let edge = bt.quality_at_distance(10.0).unwrap();
+        assert!(mid < QUALITY_MAX && mid > edge, "mid {mid}, edge {edge}");
+        assert_eq!(edge, bt.quality_at_edge);
+        assert_eq!(bt.quality_at_distance(12.0), None);
+    }
+
+    #[test]
+    fn quality_monotonically_decreases_with_distance() {
+        let bt = RadioProfile::bluetooth();
+        let mut prev = u8::MAX;
+        for step in 0..=100 {
+            let d = step as f64 * 0.1;
+            let q = bt.quality_at_distance(d).unwrap();
+            assert!(q <= prev, "quality increased at {d}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn gprs_is_infrastructure() {
+        let g = RadioProfile::gprs();
+        assert!(g.in_range(5_000.0));
+        assert_eq!(g.quality_at_distance(5_000.0), Some(QUALITY_MAX));
+    }
+
+    #[test]
+    fn setup_latency_matches_paper_bounds() {
+        // §4.3: a bridge connection (two sequential setups) took 3-18 s, so a
+        // single Bluetooth setup must sit within 1.5-9 s.
+        let bt = RadioProfile::bluetooth();
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let s = bt.sample_setup_latency(&mut rng).as_secs_f64();
+            assert!((1.5..=9.0).contains(&s), "setup latency {s}");
+        }
+    }
+
+    #[test]
+    fn fault_rate_gives_roughly_three_in_ten_bridge_failures() {
+        // Two independent legs, each with the profile fault probability:
+        // P(bridge fails) = 1 - (1-p)^2 ≈ 0.28 for p = 0.15, matching the
+        // 3-out-of-10 failures reported in §4.3.
+        let bt = RadioProfile::bluetooth();
+        let mut rng = SimRng::new(2);
+        let trials = 20_000;
+        let failures = (0..trials)
+            .filter(|_| bt.sample_setup_fault(&mut rng) || bt.sample_setup_fault(&mut rng))
+            .count();
+        let rate = failures as f64 / trials as f64;
+        assert!((0.24..0.33).contains(&rate), "bridge failure rate {rate}");
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let bt = RadioProfile::bluetooth();
+        let small = bt.transmission_delay(100);
+        let large = bt.transmission_delay(100_000);
+        assert!(large > small);
+        // 100 kB at 700 kbit/s is a bit over a second.
+        assert!(large.as_secs_f64() > 1.0 && large.as_secs_f64() < 2.5);
+    }
+
+    #[test]
+    fn distance_for_quality_inverts_the_model() {
+        let bt = RadioProfile::bluetooth();
+        let d = bt.distance_for_quality(QUALITY_LOW_THRESHOLD).unwrap();
+        let q = bt.quality_at_distance(d).unwrap();
+        assert!(
+            (q as i16 - QUALITY_LOW_THRESHOLD as i16).abs() <= 2,
+            "inversion error: {q} vs {QUALITY_LOW_THRESHOLD}"
+        );
+        assert!(d > 2.5 && d < 10.0);
+    }
+
+    #[test]
+    fn sample_quality_noise_stays_in_scale() {
+        let bt = RadioProfile::bluetooth();
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let q = bt.sample_quality(9.5, &mut rng).unwrap();
+            assert!(q >= 150, "unreasonably low sample {q}");
+        }
+    }
+
+    #[test]
+    fn ideal_environment_is_fault_free() {
+        let env = RadioEnvironment::ideal();
+        for tech in RadioTech::ALL {
+            let p = env.profile(tech);
+            assert_eq!(p.setup_fault_prob, 0.0);
+            assert_eq!(p.inquiry_miss_prob, 0.0);
+            assert!(!p.inquiry_asymmetric);
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(RadioTech::Bluetooth.short_name(), "bt");
+        assert_eq!(RadioTech::Wlan.to_string(), "wlan");
+        assert_eq!(RadioTech::Gprs.to_string(), "gprs");
+    }
+}

@@ -1,0 +1,1434 @@
+//! The simulation world: nodes, radios, links and the event loop.
+//!
+//! [`World`] owns every node (with its [`NodeAgent`] behaviour), compiles
+//! mobility plans, models discovery inquiries, connection establishment,
+//! message transmission and link breakage, and advances virtual time through
+//! a deterministic event loop. Agents act on the world through [`NodeCtx`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::event::Scheduler;
+use crate::geometry::{Point, Rect};
+use crate::link::{InFlightMessage, LinkInfo, LinkState, PendingAttempt, QualityOverride};
+use crate::metrics::Metrics;
+use crate::mobility::{MobilityModel, MotionPlan};
+use crate::node::{
+    AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent,
+    NodeId, TimerToken,
+};
+use crate::radio::{RadioEnvironment, RadioTech};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static configuration of a simulation world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every stochastic decision derives from it.
+    pub seed: u64,
+    /// Radio technology profiles in force.
+    pub radio: RadioEnvironment,
+    /// Horizon up to which mobility plans are compiled. Position queries past
+    /// the horizon return the final planned position.
+    pub mobility_horizon: SimTime,
+    /// How often established links are checked for coverage loss.
+    pub link_check_interval: SimDuration,
+    /// Areas without cellular coverage (the tunnel of Fig. 6.1). Only affects
+    /// GPRS.
+    pub gprs_dead_zones: Vec<Rect>,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0,
+            radio: RadioEnvironment::default(),
+            mobility_horizon: SimTime::from_secs(4 * 3600),
+            link_check_interval: SimDuration::from_millis(500),
+            gprs_dead_zones: Vec::new(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A default configuration with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// A configuration with ideal (fault-free, instant-setup) radios, for
+    /// tests exercising middleware logic rather than radio behaviour.
+    pub fn ideal(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            radio: RadioEnvironment::ideal(),
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// Sending on a link can fail if the link no longer exists locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The link id is unknown.
+    UnknownLink,
+    /// The link has been closed.
+    Closed,
+    /// The sending node is not an endpoint of the link.
+    NotEndpoint,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SendError::UnknownLink => "unknown link",
+            SendError::Closed => "link closed",
+            SendError::NotEndpoint => "node is not an endpoint of the link",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+#[derive(Debug, Clone)]
+enum Event {
+    NodeStart(NodeId),
+    Timer { node: NodeId, token: TimerToken },
+    InquiryComplete { node: NodeId, tech: RadioTech },
+    ConnectResolve { attempt: AttemptId },
+    Deliver { msg: u64 },
+    LinkCheck { link: LinkId },
+    Disconnect { link: LinkId, closer: NodeId },
+}
+
+struct NodeSlot {
+    id: NodeId,
+    name: String,
+    plan: MotionPlan,
+    techs: BTreeSet<RadioTech>,
+    discoverable: BTreeSet<RadioTech>,
+    inquiring_until: BTreeMap<RadioTech, SimTime>,
+    agent: Option<Box<dyn NodeAgent>>,
+    rng: SimRng,
+    alive: bool,
+}
+
+/// The simulation world. See the crate-level documentation for an overview.
+pub struct World {
+    config: WorldConfig,
+    now: SimTime,
+    scheduler: Scheduler<Event>,
+    nodes: Vec<NodeSlot>,
+    links: BTreeMap<LinkId, LinkState>,
+    attempts: BTreeMap<AttemptId, PendingAttempt>,
+    in_flight: BTreeMap<u64, InFlightMessage>,
+    metrics: Metrics,
+    rng: SimRng,
+    next_link: u64,
+    next_attempt: u64,
+    next_msg: u64,
+}
+
+impl World {
+    /// Creates a world from a configuration.
+    pub fn new(config: WorldConfig) -> Self {
+        let rng = SimRng::new(config.seed);
+        World {
+            config,
+            now: SimTime::ZERO,
+            scheduler: Scheduler::new(),
+            nodes: Vec::new(),
+            links: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            metrics: Metrics::new(),
+            rng,
+            next_link: 0,
+            next_attempt: 0,
+            next_msg: 0,
+        }
+    }
+
+    /// Creates a world with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        World::new(WorldConfig::with_seed(seed))
+    }
+
+    /// Adds a node with the given behaviour. The agent's
+    /// [`NodeAgent::on_start`] callback runs at the current simulation time
+    /// once the event loop next advances.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        mobility: MobilityModel,
+        techs: &[RadioTech],
+        agent: Box<dyn NodeAgent>,
+    ) -> NodeId {
+        let id = NodeId::from_raw(self.nodes.len() as u64);
+        let mut node_rng = self.rng.derive(0x4E4F_4445_0000_0000 | id.as_raw());
+        let plan = mobility.compile(self.config.mobility_horizon, &mut node_rng);
+        let techs_set: BTreeSet<RadioTech> = techs.iter().copied().collect();
+        self.nodes.push(NodeSlot {
+            id,
+            name: name.into(),
+            plan,
+            discoverable: techs_set.clone(),
+            techs: techs_set,
+            inquiring_until: BTreeMap::new(),
+            agent: Some(agent),
+            rng: node_rng,
+            alive: true,
+        });
+        self.scheduler.schedule(self.now, Event::NodeStart(id));
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of nodes ever added.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().map(|n| n.id)
+    }
+
+    /// The human-readable name given to a node.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.slot(node).map(|s| s.name.as_str())
+    }
+
+    /// Whether a node is still powered on.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.slot(node).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Position of a node at the current simulation time.
+    pub fn position_of(&self, node: NodeId) -> Option<Point> {
+        self.slot(node).map(|s| s.plan.position_at(self.now))
+    }
+
+    /// Distance in metres between two nodes at the current time.
+    pub fn distance_between(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        Some(self.position_of(a)?.distance(self.position_of(b)?))
+    }
+
+    /// True if `a` and `b` can currently communicate over `tech`.
+    pub fn in_range(&self, a: NodeId, b: NodeId, tech: RadioTech) -> bool {
+        let (pa, pb) = match (self.position_of(a), self.position_of(b)) {
+            (Some(pa), Some(pb)) => (pa, pb),
+            _ => return false,
+        };
+        self.pair_in_range(pa, pb, tech)
+    }
+
+    fn pair_in_range(&self, pa: Point, pb: Point, tech: RadioTech) -> bool {
+        if tech == RadioTech::Gprs {
+            let dead = |p: Point| self.config.gprs_dead_zones.iter().any(|z| z.contains(p));
+            return !dead(pa) && !dead(pb);
+        }
+        let profile = self.config.radio.profile(tech);
+        profile.in_range(pa.distance(pb))
+    }
+
+    /// Ground-truth list of nodes within radio range of `node` for `tech`
+    /// (regardless of discoverability). Used by experiments that need the
+    /// true topology to compare discovery results against.
+    pub fn neighbors_in_range(&self, node: NodeId, tech: RadioTech) -> Vec<NodeId> {
+        let pos = match self.position_of(node) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        self.nodes
+            .iter()
+            .filter(|other| other.id != node && other.alive && other.techs.contains(&tech))
+            .filter(|other| self.pair_in_range(pos, other.plan.position_at(self.now), tech))
+            .map(|other| other.id)
+            .collect()
+    }
+
+    /// Snapshot of a link.
+    pub fn link_info(&self, link: LinkId) -> Option<LinkInfo> {
+        self.links.get(&link).map(LinkInfo::from)
+    }
+
+    /// Snapshots of every link (open or closed) that has `node` as an endpoint.
+    pub fn links_of(&self, node: NodeId) -> Vec<LinkInfo> {
+        self.links
+            .values()
+            .filter(|l| l.has_endpoint(node))
+            .map(LinkInfo::from)
+            .collect()
+    }
+
+    /// Current quality of an open link, or `None` if the link is closed,
+    /// unknown or out of range.
+    pub fn link_quality(&mut self, link: LinkId) -> Option<u8> {
+        let state = self.links.get(&link)?;
+        if !state.open {
+            return None;
+        }
+        if let Some(ov) = state.quality_override {
+            return Some(ov.value_at(self.now));
+        }
+        let (a, b, tech) = (state.a, state.b, state.tech);
+        let distance = self.distance_between(a, b)?;
+        if !self.pair_in_range(self.position_of(a)?, self.position_of(b)?, tech) {
+            return None;
+        }
+        let profile = self.config.radio.profile(tech).clone();
+        let slot = self.slot_mut(a)?;
+        profile.sample_quality(distance, &mut slot.rng)
+    }
+
+    /// Installs an artificial quality override on a link (the thesis'
+    /// "subtract 1 per second" simulation of §5.2.1). The link breaks once
+    /// the override reaches zero.
+    pub fn set_link_quality_override(&mut self, link: LinkId, initial: f64, decay_per_sec: f64) {
+        let now = self.now;
+        if let Some(state) = self.links.get_mut(&link) {
+            state.quality_override = Some(QualityOverride {
+                set_at: now,
+                initial,
+                decay_per_sec,
+            });
+        }
+    }
+
+    /// Removes an artificial quality override.
+    pub fn clear_link_quality_override(&mut self, link: LinkId) {
+        if let Some(state) = self.links.get_mut(&link) {
+            state.quality_override = None;
+        }
+    }
+
+    /// Powers a node off: every open link it participates in breaks and the
+    /// surviving peers are notified. Used for failure-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Must not be called from inside an agent callback.
+    pub fn crash_node(&mut self, node: NodeId) {
+        if let Some(slot) = self.slot_mut(node) {
+            if !slot.alive {
+                return;
+            }
+            slot.alive = false;
+        } else {
+            return;
+        }
+        let affected: Vec<(LinkId, NodeId)> = self
+            .links
+            .values()
+            .filter(|l| l.open && l.has_endpoint(node))
+            .filter_map(|l| l.peer_of(node).map(|peer| (l.id, peer)))
+            .collect();
+        for (link, peer) in affected {
+            if let Some(state) = self.links.get_mut(&link) {
+                state.open = false;
+            }
+            self.metrics.record_link_broken(peer);
+            self.metrics.record_link_broken(node);
+            self.agent_call(peer, |agent, ctx| {
+                agent.on_disconnected(ctx, link, node, DisconnectReason::PeerFailed);
+            });
+        }
+    }
+
+    /// Runs the event loop until simulation time `deadline` and then sets the
+    /// clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((time, event)) = self.scheduler.pop_due(deadline) {
+            self.now = self.now.max(time);
+            self.handle(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for a further span of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain or `limit` is reached, returning the time
+    /// at which the loop stopped.
+    pub fn run_until_idle(&mut self, limit: SimTime) -> SimTime {
+        while let Some((time, event)) = self.scheduler.pop_due(limit) {
+            self.now = self.now.max(time);
+            self.handle(event);
+        }
+        if self.scheduler.peek_time().is_none() {
+            self.now
+        } else {
+            self.now = self.now.max(limit);
+            self.now
+        }
+    }
+
+    /// Gives typed access to a node's agent together with a [`NodeCtx`], so
+    /// scenario drivers can invoke application-level operations ("connect to
+    /// that service now") between event-loop runs.
+    ///
+    /// Returns `None` if the node does not exist, is powered off, or its
+    /// agent is not of type `A`.
+    pub fn with_agent<A, R>(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>) -> R) -> Option<R>
+    where
+        A: NodeAgent + 'static,
+    {
+        let idx = node.as_raw() as usize;
+        if idx >= self.nodes.len() || !self.nodes[idx].alive {
+            return None;
+        }
+        let mut agent = self.nodes[idx].agent.take()?;
+        let result = {
+            let mut ctx = NodeCtx { world: self, node };
+            agent.as_any_mut().downcast_mut::<A>().map(|typed| f(typed, &mut ctx))
+        };
+        self.nodes[idx].agent = Some(agent);
+        result
+    }
+
+    fn slot(&self, node: NodeId) -> Option<&NodeSlot> {
+        self.nodes.get(node.as_raw() as usize)
+    }
+
+    fn slot_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot> {
+        self.nodes.get_mut(node.as_raw() as usize)
+    }
+
+    fn agent_call<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn NodeAgent, &mut NodeCtx<'_>) -> R,
+    ) -> Option<R> {
+        let idx = node.as_raw() as usize;
+        if idx >= self.nodes.len() || !self.nodes[idx].alive {
+            return None;
+        }
+        let mut agent = self.nodes[idx].agent.take()?;
+        let result = {
+            let mut ctx = NodeCtx { world: self, node };
+            f(agent.as_mut(), &mut ctx)
+        };
+        self.nodes[idx].agent = Some(agent);
+        Some(result)
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::NodeStart(node) => {
+                self.agent_call(node, |agent, ctx| agent.on_start(ctx));
+            }
+            Event::Timer { node, token } => {
+                self.agent_call(node, |agent, ctx| agent.on_timer(ctx, token));
+            }
+            Event::InquiryComplete { node, tech } => self.complete_inquiry(node, tech),
+            Event::ConnectResolve { attempt } => self.resolve_attempt(attempt),
+            Event::Deliver { msg } => self.deliver(msg),
+            Event::LinkCheck { link } => self.check_link(link),
+            Event::Disconnect { link, closer } => self.graceful_disconnect(link, closer),
+        }
+    }
+
+    fn complete_inquiry(&mut self, node: NodeId, tech: RadioTech) {
+        let pos = match self.position_of(node) {
+            Some(p) => p,
+            None => return,
+        };
+        if !self.is_alive(node) {
+            return;
+        }
+        let profile = self.config.radio.profile(tech).clone();
+        let now = self.now;
+
+        // Collect candidate peers first (immutable pass), then sample
+        // miss/quality with the inquirer's RNG.
+        let candidates: Vec<(NodeId, f64)> = self
+            .nodes
+            .iter()
+            .filter(|other| other.id != node && other.alive)
+            .filter(|other| other.techs.contains(&tech) && other.discoverable.contains(&tech))
+            .filter(|other| {
+                // Bluetooth asymmetry (§3.4.2): a device that is itself
+                // scanning is not discoverable.
+                !(profile.inquiry_asymmetric
+                    && other
+                        .inquiring_until
+                        .get(&tech)
+                        .map(|until| *until > now)
+                        .unwrap_or(false))
+            })
+            .map(|other| (other.id, pos.distance(other.plan.position_at(now))))
+            .filter(|(other_id, d)| {
+                if tech == RadioTech::Gprs {
+                    let other_pos = self
+                        .slot(*other_id)
+                        .map(|s| s.plan.position_at(now))
+                        .unwrap_or(Point::ORIGIN);
+                    self.pair_in_range(pos, other_pos, tech)
+                } else {
+                    profile.in_range(*d)
+                }
+            })
+            .collect();
+
+        let mut hits = Vec::new();
+        {
+            let slot = match self.slot_mut(node) {
+                Some(s) => s,
+                None => return,
+            };
+            for (peer, distance) in candidates {
+                if slot.rng.chance(profile.inquiry_miss_prob) {
+                    continue;
+                }
+                if let Some(quality) = profile.sample_quality(distance, &mut slot.rng) {
+                    hits.push(InquiryHit {
+                        node: peer,
+                        tech,
+                        quality,
+                    });
+                }
+            }
+            // The scan is over: the node becomes discoverable again.
+            if let Some(until) = slot.inquiring_until.get(&tech).copied() {
+                if until <= now {
+                    slot.inquiring_until.remove(&tech);
+                }
+            }
+        }
+        self.metrics.record_inquiry_hits(node, hits.len() as u64);
+        self.agent_call(node, |agent, ctx| agent.on_inquiry_complete(ctx, tech, hits));
+    }
+
+    fn resolve_attempt(&mut self, attempt: AttemptId) {
+        let pending = match self.attempts.remove(&attempt) {
+            Some(p) => p,
+            None => return,
+        };
+        let PendingAttempt { id, from, to, tech, .. } = pending;
+
+        let fail = |world: &mut World, error: ConnectError| {
+            world.metrics.record_connect_failure(from);
+            world.agent_call(from, |agent, ctx| {
+                agent.on_connect_failed(ctx, id, to, tech, error);
+            });
+        };
+
+        if !self.is_alive(from) {
+            return;
+        }
+        let target_ok = self
+            .slot(to)
+            .map(|s| s.alive && s.techs.contains(&tech))
+            .unwrap_or(false);
+        if !target_ok {
+            fail(self, ConnectError::Unreachable);
+            return;
+        }
+        if !self.in_range(from, to, tech) {
+            fail(self, ConnectError::OutOfRange);
+            return;
+        }
+        let profile = self.config.radio.profile(tech).clone();
+        let faulted = {
+            let slot = match self.slot_mut(from) {
+                Some(s) => s,
+                None => return,
+            };
+            profile.sample_setup_fault(&mut slot.rng)
+        };
+        if faulted {
+            fail(self, ConnectError::Fault);
+            return;
+        }
+
+        let link = LinkId(self.next_link);
+        self.next_link += 1;
+        let accepted = self
+            .agent_call(to, |agent, ctx| {
+                agent.on_incoming_connection(ctx, IncomingConnection { from, tech, link })
+            })
+            .unwrap_or(false);
+        if !accepted {
+            fail(self, ConnectError::Rejected);
+            return;
+        }
+        self.links.insert(
+            link,
+            LinkState {
+                id: link,
+                a: from,
+                b: to,
+                tech,
+                established_at: self.now,
+                open: true,
+                closed_gracefully: false,
+                quality_override: None,
+            },
+        );
+        self.metrics.record_connect_established(from);
+        let check_at = self.now + self.config.link_check_interval;
+        self.scheduler.schedule(check_at, Event::LinkCheck { link });
+        self.agent_call(from, |agent, ctx| {
+            agent.on_connected(ctx, id, link, to, tech);
+        });
+    }
+
+    fn deliver(&mut self, msg: u64) {
+        let in_flight = match self.in_flight.remove(&msg) {
+            Some(m) => m,
+            None => return,
+        };
+        // Payloads already in flight when an endpoint closed the link
+        // gracefully are still delivered (the socket buffer flushes); only a
+        // physical break (out of range, crash) loses them.
+        let deliverable = self
+            .links
+            .get(&in_flight.link)
+            .map(|l| l.open || l.closed_gracefully)
+            .unwrap_or(false);
+        if !deliverable || !self.is_alive(in_flight.to) {
+            self.metrics.record_message_lost(in_flight.to);
+            return;
+        }
+        self.metrics.record_message_delivered(in_flight.to);
+        let InFlightMessage { link, from, to, payload, .. } = in_flight;
+        self.agent_call(to, |agent, ctx| agent.on_message(ctx, link, from, payload));
+    }
+
+    fn check_link(&mut self, link: LinkId) {
+        let (a, b, tech, open, exhausted) = match self.links.get(&link) {
+            Some(l) => (
+                l.a,
+                l.b,
+                l.tech,
+                l.open,
+                l.quality_override
+                    .map(|ov| ov.exhausted_at(self.now))
+                    .unwrap_or(false),
+            ),
+            None => return,
+        };
+        if !open {
+            return;
+        }
+        let a_alive = self.is_alive(a);
+        let b_alive = self.is_alive(b);
+        let physically_broken = if self.links.get(&link).and_then(|l| l.quality_override).is_some() {
+            exhausted
+        } else {
+            !self.in_range(a, b, tech)
+        };
+        if !a_alive || !b_alive || physically_broken {
+            if let Some(state) = self.links.get_mut(&link) {
+                state.open = false;
+            }
+            self.metrics.record_link_broken(a);
+            self.metrics.record_link_broken(b);
+            let reason_for = |peer_alive: bool| {
+                if peer_alive {
+                    DisconnectReason::OutOfRange
+                } else {
+                    DisconnectReason::PeerFailed
+                }
+            };
+            if a_alive {
+                self.agent_call(a, |agent, ctx| {
+                    agent.on_disconnected(ctx, link, b, reason_for(b_alive));
+                });
+            }
+            if b_alive {
+                self.agent_call(b, |agent, ctx| {
+                    agent.on_disconnected(ctx, link, a, reason_for(a_alive));
+                });
+            }
+            return;
+        }
+        let next = self.now + self.config.link_check_interval;
+        self.scheduler.schedule(next, Event::LinkCheck { link });
+    }
+
+    fn graceful_disconnect(&mut self, link: LinkId, closer: NodeId) {
+        // Preserve FIFO ordering with respect to payloads already in flight
+        // towards the peer: the close notification must not overtake data
+        // written before the close (socket buffers drain first).
+        let last_delivery = self
+            .in_flight
+            .values()
+            .filter(|m| m.link == link)
+            .map(|m| m.deliver_at)
+            .max();
+        if let Some(t) = last_delivery {
+            if t >= self.now {
+                self.scheduler
+                    .schedule(t + SimDuration::from_micros(1), Event::Disconnect { link, closer });
+                return;
+            }
+        }
+        let peer = match self.links.get_mut(&link) {
+            Some(state) if state.open => {
+                state.open = false;
+                state.closed_gracefully = true;
+                state.peer_of(closer)
+            }
+            _ => return,
+        };
+        if let Some(peer) = peer {
+            self.agent_call(peer, |agent, ctx| {
+                agent.on_disconnected(ctx, link, closer, DisconnectReason::PeerClosed);
+            });
+        }
+    }
+}
+
+/// Handle through which an agent (or a scenario driver holding
+/// [`World::with_agent`]) acts on the world on behalf of one node.
+pub struct NodeCtx<'a> {
+    world: &'a mut World,
+    node: NodeId,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The node this context acts for.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current position of this node.
+    pub fn position(&self) -> Point {
+        self.world.position_of(self.node).unwrap_or(Point::ORIGIN)
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self
+            .world
+            .slot_mut(self.node)
+            .expect("node exists while ctx is alive")
+            .rng
+    }
+
+    /// Schedules a timer that will fire `after` from now with the given
+    /// opaque token.
+    pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
+        let at = self.world.now + after;
+        self.world.scheduler.schedule(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Starts a device-discovery inquiry on `tech`. The result arrives via
+    /// [`NodeAgent::on_inquiry_complete`] after the technology's inquiry
+    /// duration. While scanning, a Bluetooth device is not discoverable by
+    /// others (the asymmetry of §3.4.2).
+    pub fn start_inquiry(&mut self, tech: RadioTech) {
+        let duration = self.world.config.radio.profile(tech).inquiry_duration;
+        let node = self.node;
+        let finish = self.world.now + duration;
+        if let Some(slot) = self.world.slot_mut(node) {
+            if !slot.techs.contains(&tech) {
+                return;
+            }
+            let entry = slot.inquiring_until.entry(tech).or_insert(finish);
+            *entry = (*entry).max(finish);
+        } else {
+            return;
+        }
+        self.world.metrics.record_inquiry_started(node);
+        self.world
+            .scheduler
+            .schedule(finish, Event::InquiryComplete { node, tech });
+    }
+
+    /// Controls whether this node answers discovery inquiries on `tech`.
+    pub fn set_discoverable(&mut self, tech: RadioTech, discoverable: bool) {
+        let node = self.node;
+        if let Some(slot) = self.world.slot_mut(node) {
+            if discoverable {
+                if slot.techs.contains(&tech) {
+                    slot.discoverable.insert(tech);
+                }
+            } else {
+                slot.discoverable.remove(&tech);
+            }
+        }
+    }
+
+    /// Initiates a connection to `peer` over `tech`. Resolution (success or
+    /// failure) is reported asynchronously through
+    /// [`NodeAgent::on_connected`] / [`NodeAgent::on_connect_failed`] after a
+    /// technology-dependent setup latency.
+    pub fn connect(&mut self, peer: NodeId, tech: RadioTech) -> AttemptId {
+        let id = AttemptId(self.world.next_attempt);
+        self.world.next_attempt += 1;
+        let node = self.node;
+        self.world.metrics.record_connect_attempt(node);
+        let profile = self.world.config.radio.profile(tech).clone();
+        let latency = {
+            let slot = self
+                .world
+                .slot_mut(node)
+                .expect("node exists while ctx is alive");
+            profile.sample_setup_latency(&mut slot.rng)
+        };
+        self.world.attempts.insert(
+            id,
+            PendingAttempt {
+                id,
+                from: node,
+                to: peer,
+                tech,
+                started_at: self.world.now,
+            },
+        );
+        let resolve_at = self.world.now + latency;
+        self.world
+            .scheduler
+            .schedule(resolve_at, Event::ConnectResolve { attempt: id });
+        id
+    }
+
+    /// Sends a payload over an open link. Delivery is asynchronous; if the
+    /// link breaks while the payload is in flight the message is silently
+    /// lost (the data-loss risk §6.1 points out for the original `Write`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link is unknown, closed, or this node is not
+    /// one of its endpoints.
+    pub fn send(&mut self, link: LinkId, payload: Vec<u8>) -> Result<(), SendError> {
+        let node = self.node;
+        let (to, tech) = {
+            let state = self.world.links.get(&link).ok_or(SendError::UnknownLink)?;
+            if !state.open {
+                return Err(SendError::Closed);
+            }
+            let to = state.peer_of(node).ok_or(SendError::NotEndpoint)?;
+            (to, state.tech)
+        };
+        let profile = self.world.config.radio.profile(tech);
+        let delay = profile.transmission_delay(payload.len());
+        self.world
+            .metrics
+            .record_message_sent(node, tech, payload.len() as u64);
+        let msg = self.world.next_msg;
+        self.world.next_msg += 1;
+        let deliver_at = self.world.now + delay;
+        self.world.in_flight.insert(
+            msg,
+            InFlightMessage {
+                link,
+                from: node,
+                to,
+                payload,
+                deliver_at,
+            },
+        );
+        self.world.scheduler.schedule(deliver_at, Event::Deliver { msg });
+        Ok(())
+    }
+
+    /// Closes an open link. The peer is notified asynchronously with
+    /// [`DisconnectReason::PeerClosed`].
+    pub fn close(&mut self, link: LinkId) {
+        let node = self.node;
+        let is_endpoint = self
+            .world
+            .links
+            .get(&link)
+            .map(|l| l.open && l.has_endpoint(node))
+            .unwrap_or(false);
+        if !is_endpoint {
+            return;
+        }
+        let at = self.world.now;
+        self.world
+            .scheduler
+            .schedule(at, Event::Disconnect { link, closer: node });
+    }
+
+    /// Samples the current quality of an open link (0-255), or `None` if the
+    /// link is closed or out of range. Mirrors listening on the HCI channel
+    /// for RSSI / link quality (§3.4.1).
+    pub fn link_quality(&mut self, link: LinkId) -> Option<u8> {
+        let node = self.node;
+        self.world.metrics.record_quality_sample(node);
+        self.world.link_quality(link)
+    }
+
+    /// Read-only snapshot of a link.
+    pub fn link_info(&self, link: LinkId) -> Option<LinkInfo> {
+        self.world.link_info(link)
+    }
+
+    /// Installs the artificial quality decay of §5.2.1 on a link.
+    pub fn set_link_quality_override(&mut self, link: LinkId, initial: f64, decay_per_sec: f64) {
+        self.world.set_link_quality_override(link, initial, decay_per_sec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use std::collections::VecDeque;
+
+    /// A minimal scriptable agent used to exercise the world mechanics.
+    #[derive(Default)]
+    struct Probe {
+        started: bool,
+        timers: Vec<TimerToken>,
+        inquiry_results: Vec<(RadioTech, Vec<InquiryHit>)>,
+        connected: Vec<(AttemptId, LinkId, NodeId)>,
+        failed: Vec<(AttemptId, ConnectError)>,
+        incoming: Vec<IncomingConnection>,
+        accept_incoming: bool,
+        messages: Vec<(LinkId, Vec<u8>)>,
+        disconnects: Vec<(LinkId, DisconnectReason)>,
+        echo: bool,
+    }
+
+    impl Probe {
+        fn accepting() -> Self {
+            Probe {
+                accept_incoming: true,
+                ..Probe::default()
+            }
+        }
+        fn echoing() -> Self {
+            Probe {
+                accept_incoming: true,
+                echo: true,
+                ..Probe::default()
+            }
+        }
+    }
+
+    impl NodeAgent for Probe {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {
+            self.started = true;
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+            self.timers.push(timer);
+        }
+        fn on_inquiry_complete(&mut self, _ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+            self.inquiry_results.push((tech, hits));
+        }
+        fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+            self.incoming.push(incoming);
+            self.accept_incoming
+        }
+        fn on_connected(
+            &mut self,
+            _ctx: &mut NodeCtx<'_>,
+            attempt: AttemptId,
+            link: LinkId,
+            peer: NodeId,
+            _tech: RadioTech,
+        ) {
+            self.connected.push((attempt, link, peer));
+        }
+        fn on_connect_failed(
+            &mut self,
+            _ctx: &mut NodeCtx<'_>,
+            attempt: AttemptId,
+            _peer: NodeId,
+            _tech: RadioTech,
+            error: ConnectError,
+        ) {
+            self.failed.push((attempt, error));
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, payload: Vec<u8>) {
+            if self.echo {
+                let mut reply = payload.clone();
+                reply.reverse();
+                let _ = ctx.send(link, reply);
+            }
+            self.messages.push((link, payload));
+        }
+        fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
+            self.disconnects.push((link, reason));
+        }
+    }
+
+    fn ideal_world(seed: u64) -> World {
+        World::new(WorldConfig::ideal(seed))
+    }
+
+    fn bt() -> [RadioTech; 1] {
+        [RadioTech::Bluetooth]
+    }
+
+    #[test]
+    fn start_and_timer_delivery() {
+        let mut w = ideal_world(1);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::ORIGIN),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |p, ctx| {
+            assert!(p.started);
+            ctx.schedule(SimDuration::from_secs(5), TimerToken(99));
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(4));
+        w.with_agent::<Probe, _>(a, |p, _| assert!(p.timers.is_empty())).unwrap();
+        w.run_for(SimDuration::from_secs(2));
+        w.with_agent::<Probe, _>(a, |p, _| assert_eq!(p.timers, vec![TimerToken(99)]))
+            .unwrap();
+    }
+
+    #[test]
+    fn inquiry_finds_only_nodes_in_range() {
+        let mut w = ideal_world(2);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(5.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let _far = w.add_node(
+            "far",
+            MobilityModel::stationary(Point::new(100.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| ctx.start_inquiry(RadioTech::Bluetooth))
+            .unwrap();
+        w.run_for(SimDuration::from_secs(15));
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.inquiry_results.len(), 1);
+            let hits = &p.inquiry_results[0].1;
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].node, b);
+            assert!(hits[0].quality > 200);
+        })
+        .unwrap();
+        assert_eq!(w.metrics().global().inquiries_started, 1);
+        assert_eq!(w.metrics().global().inquiry_hits, 1);
+    }
+
+    #[test]
+    fn undiscoverable_nodes_are_not_found() {
+        let mut w = ideal_world(3);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(3.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(b, |_, ctx| ctx.set_discoverable(RadioTech::Bluetooth, false))
+            .unwrap();
+        w.with_agent::<Probe, _>(a, |_, ctx| ctx.start_inquiry(RadioTech::Bluetooth))
+            .unwrap();
+        w.run_for(SimDuration::from_secs(15));
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert!(p.inquiry_results[0].1.is_empty());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn connect_send_and_receive() {
+        let mut w = ideal_world(4);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(4.0, 0.0)),
+            &bt(),
+            Box::new(Probe::echoing()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(2));
+        let link = w
+            .with_agent::<Probe, _>(a, |p, _| {
+                assert_eq!(p.connected.len(), 1);
+                p.connected[0].1
+            })
+            .unwrap();
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.send(link, b"hello".to_vec()).unwrap();
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(2));
+        w.with_agent::<Probe, _>(b, |p, _| {
+            assert_eq!(p.messages.len(), 1);
+            assert_eq!(p.messages[0].1, b"hello".to_vec());
+        })
+        .unwrap();
+        // The echoing agent reversed the payload back to a.
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.messages.len(), 1);
+            assert_eq!(p.messages[0].1, b"olleh".to_vec());
+        })
+        .unwrap();
+        assert_eq!(w.metrics().global().connects_established, 1);
+        assert_eq!(w.metrics().global().messages_delivered, 2);
+    }
+
+    #[test]
+    fn rejected_connection_reports_failure() {
+        let mut w = ideal_world(5);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(4.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()), // does not accept
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(2));
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.failed.len(), 1);
+            assert_eq!(p.failed[0].1, ConnectError::Rejected);
+        })
+        .unwrap();
+        assert_eq!(w.metrics().global().connect_failures, 1);
+    }
+
+    #[test]
+    fn out_of_range_connection_fails() {
+        let mut w = ideal_world(6);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(500.0, 0.0)),
+            &bt(),
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(2));
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.failed[0].1, ConnectError::OutOfRange);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mobility_breaks_links_and_loses_in_flight_messages() {
+        let mut w = ideal_world(7);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        // b walks away at 2 m/s immediately; after ~5 s it is out of the 10 m
+        // Bluetooth range.
+        let b = w.add_node(
+            "b",
+            MobilityModel::walk(Point::new(1.0, 0.0), Point::new(200.0, 0.0), 2.0),
+            &bt(),
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(1));
+        let link = w
+            .with_agent::<Probe, _>(a, |p, _| p.connected.first().map(|c| c.1))
+            .unwrap()
+            .expect("link established before b left range");
+        w.run_for(SimDuration::from_secs(30));
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.disconnects.len(), 1);
+            assert_eq!(p.disconnects[0], (link, DisconnectReason::OutOfRange));
+        })
+        .unwrap();
+        assert!(w.metrics().global().links_broken >= 2);
+        // Sending on the now-closed link is an error.
+        let err = w
+            .with_agent::<Probe, _>(a, |_, ctx| ctx.send(link, vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(err, Err(SendError::Closed));
+    }
+
+    #[test]
+    fn graceful_close_notifies_peer() {
+        let mut w = ideal_world(8);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(2.0, 0.0)),
+            &bt(),
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(1));
+        let link = w
+            .with_agent::<Probe, _>(a, |p, _| p.connected[0].1)
+            .unwrap();
+        w.with_agent::<Probe, _>(a, |_, ctx| ctx.close(link)).unwrap();
+        w.run_for(SimDuration::from_secs(1));
+        w.with_agent::<Probe, _>(b, |p, _| {
+            assert_eq!(p.disconnects, vec![(link, DisconnectReason::PeerClosed)]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn crash_node_fails_links() {
+        let mut w = ideal_world(9);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(2.0, 0.0)),
+            &bt(),
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(1));
+        let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+        w.crash_node(b);
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.disconnects, vec![(link, DisconnectReason::PeerFailed)]);
+        })
+        .unwrap();
+        assert!(!w.is_alive(b));
+        // The dead node can no longer be driven.
+        assert!(w.with_agent::<Probe, _>(b, |_, _| ()).is_none());
+    }
+
+    #[test]
+    fn quality_override_decays_and_breaks_link() {
+        let mut w = ideal_world(10);
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(2.0, 0.0)),
+            &bt(),
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        w.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(1));
+        let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+        // Start at 240 and decay 10 units per second: below 230 after 1 s,
+        // zero (and therefore broken) after 24 s.
+        w.set_link_quality_override(link, 240.0, 10.0);
+        assert_eq!(w.link_quality(link), Some(240));
+        w.run_for(SimDuration::from_secs(2));
+        let q = w.link_quality(link).unwrap();
+        assert!(q < 230, "quality should have decayed below threshold, got {q}");
+        w.run_for(SimDuration::from_secs(30));
+        w.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.disconnects.len(), 1);
+        })
+        .unwrap();
+        assert_eq!(w.link_quality(link), None);
+    }
+
+    #[test]
+    fn gprs_dead_zone_blocks_connection() {
+        let mut config = WorldConfig::ideal(11);
+        config.gprs_dead_zones = vec![Rect::new(-5.0, -5.0, 5.0, 5.0)];
+        let mut w = World::new(config);
+        let inside = w.add_node(
+            "inside",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &[RadioTech::Gprs],
+            Box::new(Probe::default()),
+        );
+        let outside = w.add_node(
+            "outside",
+            MobilityModel::stationary(Point::new(100.0, 0.0)),
+            &[RadioTech::Gprs],
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        assert!(!w.in_range(inside, outside, RadioTech::Gprs));
+        w.with_agent::<Probe, _>(inside, |_, ctx| {
+            ctx.connect(outside, RadioTech::Gprs);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(5));
+        w.with_agent::<Probe, _>(inside, |p, _| {
+            assert_eq!(p.failed[0].1, ConnectError::OutOfRange);
+        })
+        .unwrap();
+        // Two nodes both outside the dead zone can talk regardless of distance.
+        let far = w.add_node(
+            "far",
+            MobilityModel::stationary(Point::new(5000.0, 0.0)),
+            &[RadioTech::Gprs],
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        assert!(w.in_range(outside, far, RadioTech::Gprs));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        fn run(seed: u64) -> (u64, u64, VecDeque<u64>) {
+            let mut w = World::new(WorldConfig::with_seed(seed));
+            let a = w.add_node(
+                "a",
+                MobilityModel::stationary(Point::new(0.0, 0.0)),
+                &bt(),
+                Box::new(Probe::default()),
+            );
+            let b = w.add_node(
+                "b",
+                MobilityModel::stationary(Point::new(6.0, 0.0)),
+                &bt(),
+                Box::new(Probe::accepting()),
+            );
+            w.run_for(SimDuration::from_millis(1));
+            for _ in 0..10 {
+                w.with_agent::<Probe, _>(a, |_, ctx| {
+                    ctx.connect(b, RadioTech::Bluetooth);
+                    ctx.start_inquiry(RadioTech::Bluetooth);
+                })
+                .unwrap();
+                w.run_for(SimDuration::from_secs(20));
+            }
+            let qualities: VecDeque<u64> = w
+                .with_agent::<Probe, _>(a, |p, _| {
+                    p.inquiry_results
+                        .iter()
+                        .flat_map(|(_, hits)| hits.iter().map(|h| h.quality as u64))
+                        .collect()
+                })
+                .unwrap();
+            (
+                w.metrics().global().connects_established,
+                w.metrics().global().connect_failures,
+                qualities,
+            )
+        }
+        assert_eq!(run(1234), run(1234));
+        // Different seeds should usually differ in at least the sampled qualities.
+        let a = run(1);
+        let b = run(2);
+        assert!(a.2 != b.2 || a.0 != b.0 || a.1 != b.1);
+    }
+
+    #[test]
+    fn world_accessors() {
+        let mut w = ideal_world(12);
+        let a = w.add_node(
+            "alpha",
+            MobilityModel::stationary(Point::new(1.0, 2.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        assert_eq!(w.node_count(), 1);
+        assert_eq!(w.node_name(a), Some("alpha"));
+        assert_eq!(w.position_of(a), Some(Point::new(1.0, 2.0)));
+        assert_eq!(w.node_ids().collect::<Vec<_>>(), vec![a]);
+        assert!(w.links_of(a).is_empty());
+        assert!(w.link_info(LinkId(0)).is_none());
+        assert_eq!(w.now(), SimTime::ZERO);
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.now(), SimTime::from_secs(10));
+        let idle_at = w.run_until_idle(SimTime::from_secs(100));
+        assert!(idle_at <= SimTime::from_secs(100));
+    }
+}

@@ -1,0 +1,73 @@
+//! Routing handover while walking down a corridor (§5.2.1 of the thesis).
+//!
+//! A client streams messages to a server while walking away from it; when
+//! the link quality degrades past the 230 threshold the HandoverThread
+//! re-routes the live connection through a bridge node in the corridor, and
+//! the application only notices a `connection_changed` callback.
+//!
+//! ```text
+//! cargo run -p scenarios --example corridor_handover
+//! ```
+
+use migration::{MessagingClient, MessagingServer};
+use peerhood::prelude::*;
+use peerhood::node::PeerHoodNode;
+use scenarios::topology::{experiment_config, spawn_app, spawn_relay};
+use simnet::prelude::*;
+
+fn main() {
+    let mut world = World::new(WorldConfig::ideal(11));
+
+    // The client starts next to the server and walks down the corridor.
+    let client = spawn_app(
+        &mut world,
+        experiment_config("client", MobilityClass::Dynamic, DiscoveryMode::Dynamic),
+        MobilityModel::walk_after(
+            Point::new(2.0, 0.0),
+            Point::new(17.0, 0.0),
+            0.8,
+            SimDuration::from_secs(80),
+        ),
+        Box::new(MessagingClient::new(
+            "print",
+            b"good morning!".to_vec(),
+            80,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(50),
+        )),
+    );
+    let server = spawn_app(
+        &mut world,
+        experiment_config("server", MobilityClass::Static, DiscoveryMode::Dynamic),
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        Box::new(MessagingServer::new("print")),
+    );
+    // A fixed bridge half-way down the corridor keeps the server reachable.
+    spawn_relay(
+        &mut world,
+        experiment_config("bridge", MobilityClass::Static, DiscoveryMode::Dynamic),
+        Point::new(9.0, 0.0),
+    );
+
+    world.run_for(SimDuration::from_secs(300));
+
+    world
+        .with_agent::<PeerHoodNode, _>(client, |node, _| {
+            let app = node.app::<MessagingClient>().unwrap();
+            println!("messages sent        : {}/{}", app.sent, app.repetitions);
+            println!("routing handovers    : {}", node.handover_completions());
+            println!("route changes seen   : {}", app.connection_changes);
+            println!("task restarts        : {}", app.restarts);
+        })
+        .unwrap();
+    world
+        .with_agent::<PeerHoodNode, _>(server, |node, _| {
+            let app = node.app::<MessagingServer>().unwrap();
+            println!(
+                "server received      : {} messages (largest gap {:.1} s)",
+                app.received_count(),
+                app.largest_gap_seconds()
+            );
+        })
+        .unwrap();
+}

@@ -1,0 +1,75 @@
+//! Coverage amplification through a tunnel (Fig. 6.1 of the thesis).
+//!
+//! A phone inside a tunnel has no GPRS coverage. A chain of Bluetooth bridge
+//! devices installed along the tunnel relays its traffic to a GPRS-connected
+//! server outside, so the phone can still reach the mobile network's
+//! services.
+//!
+//! ```text
+//! cargo run -p scenarios --example coverage_amplification
+//! ```
+
+use migration::{MessagingClient, MessagingServer};
+use peerhood::prelude::*;
+use peerhood::node::PeerHoodNode;
+use scenarios::topology::{experiment_config, spawn_app, spawn_relay};
+use simnet::prelude::*;
+
+fn main() {
+    // The tunnel: no GPRS coverage for x in [-5, 27].
+    let mut config = WorldConfig::ideal(3);
+    config.gprs_dead_zones = vec![Rect::new(-5.0, -5.0, 27.0, 5.0)];
+    let mut world = World::new(config);
+
+    let phone = spawn_app(
+        &mut world,
+        experiment_config("phone", MobilityClass::Dynamic, DiscoveryMode::Dynamic)
+            .with_techs(&[RadioTech::Bluetooth, RadioTech::Gprs]),
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        Box::new(MessagingClient::new(
+            "gateway",
+            b"sms through the tunnel".to_vec(),
+            10,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(120),
+        )),
+    );
+    // Three Bluetooth bridges installed along the tunnel.
+    for (i, x) in [8.0, 16.0, 24.0].iter().enumerate() {
+        spawn_relay(
+            &mut world,
+            experiment_config(format!("tunnel-bridge-{i}"), MobilityClass::Static, DiscoveryMode::Dynamic),
+            Point::new(*x, 0.0),
+        );
+    }
+    // The gateway server outside the tunnel, with both Bluetooth and GPRS.
+    let gateway = spawn_app(
+        &mut world,
+        experiment_config("gateway", MobilityClass::Static, DiscoveryMode::Dynamic)
+            .with_techs(&[RadioTech::Bluetooth, RadioTech::Gprs]),
+        MobilityModel::stationary(Point::new(32.0, 0.0)),
+        Box::new(MessagingServer::new("gateway")),
+    );
+
+    world.run_for(SimDuration::from_secs(400));
+
+    let gateway_addr = DeviceAddress::from_node(gateway);
+    world
+        .with_agent::<PeerHoodNode, _>(phone, |node, _| {
+            let route = node
+                .known_devices()
+                .into_iter()
+                .find(|d| d.info.address == gateway_addr)
+                .map(|d| d.route.jumps);
+            println!("phone's route to the gateway: {:?} jump(s)", route);
+            let app = node.app::<MessagingClient>().unwrap();
+            println!("messages sent from inside the tunnel: {}", app.sent);
+        })
+        .unwrap();
+    world
+        .with_agent::<PeerHoodNode, _>(gateway, |node, _| {
+            let app = node.app::<MessagingServer>().unwrap();
+            println!("gateway received: {} message(s)", app.received_count());
+        })
+        .unwrap();
+}

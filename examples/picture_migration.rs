@@ -1,0 +1,68 @@
+//! Picture-analysis task migration with result routing (§5.3 of the thesis).
+//!
+//! A phone uploads a picture to a fixed analysis server, walks out of
+//! Bluetooth coverage while the server is still processing, and receives the
+//! result later through the server-initiated reconnection (result routing).
+//!
+//! ```text
+//! cargo run -p scenarios --example picture_migration
+//! ```
+
+use migration::{PictureClient, PictureServer, TaskSpec};
+use peerhood::prelude::*;
+use peerhood::node::PeerHoodNode;
+use scenarios::topology::{experiment_config, spawn_app};
+use simnet::prelude::*;
+
+fn main() {
+    let spec = TaskSpec::considerable();
+    let mut world = World::new(WorldConfig::ideal(7));
+
+    // The phone walks 60 m away one minute in, waits, and comes back.
+    let phone = spawn_app(
+        &mut world,
+        experiment_config("phone", MobilityClass::Dynamic, DiscoveryMode::Dynamic),
+        MobilityModel::Waypoints {
+            points: vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 0.0),
+                Point::new(60.0, 0.0),
+                Point::new(60.0, 0.0),
+                Point::new(0.0, 0.0),
+            ],
+            speed_mps: 1.4,
+            start_after: SimDuration::from_secs(60),
+        },
+        Box::new(PictureClient::new("analysis", spec.clone(), SimDuration::from_secs(30))),
+    );
+    let server = spawn_app(
+        &mut world,
+        experiment_config("analysis-server", MobilityClass::Static, DiscoveryMode::Dynamic),
+        MobilityModel::stationary(Point::new(5.0, 0.0)),
+        Box::new(PictureServer::for_spec("analysis", &spec)),
+    );
+
+    world.run_for(SimDuration::from_secs(700));
+
+    world
+        .with_agent::<PeerHoodNode, _>(phone, |node, _| {
+            let app = node.app::<PictureClient>().unwrap();
+            println!("uploaded packages : {}", app.sent_packages);
+            println!("task outcome      : {:?}", app.outcome());
+            println!(
+                "result received at: {}",
+                app.result_received_at.map(|t| t.to_string()).unwrap_or_else(|| "never".into())
+            );
+        })
+        .unwrap();
+    world
+        .with_agent::<PeerHoodNode, _>(server, |node, _| {
+            let app = node.app::<PictureServer>().unwrap();
+            println!(
+                "server processed {} package(s); reply reconnections performed: {}",
+                app.packages_received(),
+                node.reply_reconnections()
+            );
+        })
+        .unwrap();
+}

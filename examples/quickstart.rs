@@ -1,0 +1,60 @@
+//! Quickstart: two devices discover each other, connect and exchange data.
+//!
+//! ```text
+//! cargo run -p scenarios --example quickstart
+//! ```
+
+use migration::{MessagingClient, MessagingServer};
+use peerhood::prelude::*;
+use peerhood::node::PeerHoodNode;
+use scenarios::topology::{experiment_config, spawn_app};
+use simnet::prelude::*;
+
+fn main() {
+    // A deterministic world with ideal radios so the example runs instantly.
+    let mut world = World::new(WorldConfig::ideal(42));
+
+    // A mobile phone that will send ten messages to the "echo" service...
+    let phone = spawn_app(
+        &mut world,
+        experiment_config("phone", MobilityClass::Dynamic, DiscoveryMode::Dynamic),
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        Box::new(MessagingClient::new(
+            "echo",
+            b"hello peerhood".to_vec(),
+            10,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(30),
+        )),
+    );
+    // ... and a fixed PC four metres away that registers it.
+    let pc = spawn_app(
+        &mut world,
+        experiment_config("pc", MobilityClass::Static, DiscoveryMode::Dynamic),
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        Box::new(MessagingServer::new("echo")),
+    );
+
+    // Two simulated minutes: discovery, connection, data exchange.
+    world.run_for(SimDuration::from_secs(120));
+
+    world
+        .with_agent::<PeerHoodNode, _>(phone, |node, _| {
+            let stats = node.storage_stats();
+            let app = node.app::<MessagingClient>().unwrap();
+            println!("phone knows {} device(s), {} service(s)", stats.known_devices, stats.known_services);
+            println!(
+                "phone sent {}/{} messages (connection setup took {:.1} s)",
+                app.sent,
+                app.repetitions,
+                app.connection_setup_seconds().unwrap_or(f64::NAN)
+            );
+        })
+        .unwrap();
+    world
+        .with_agent::<PeerHoodNode, _>(pc, |node, _| {
+            let app = node.app::<MessagingServer>().unwrap();
+            println!("pc received {} message(s) from {} client(s)", app.received_count(), app.clients);
+        })
+        .unwrap();
+}

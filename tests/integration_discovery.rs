@@ -1,0 +1,86 @@
+//! Cross-crate integration tests: dynamic device discovery (Ch. 3).
+
+use peerhood::prelude::*;
+use peerhood::node::PeerHoodNode;
+use scenarios::experiments::{e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, DiscoverySettings};
+use scenarios::topology::{experiment_config, line_positions, spawn_relay};
+use simnet::prelude::*;
+
+#[test]
+fn dynamic_discovery_gives_total_awareness_on_a_line() {
+    // Five relays in a line, each only in range of its neighbours: every node
+    // must still learn about every other node through neighbourhood reports.
+    let mut world = World::new(WorldConfig::ideal(101));
+    let ids: Vec<NodeId> = line_positions(5, 8.0)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            spawn_relay(
+                &mut world,
+                experiment_config(format!("n{i}"), MobilityClass::Static, DiscoveryMode::Dynamic),
+                p,
+            )
+        })
+        .collect();
+    world.run_for(SimDuration::from_secs(240));
+    for id in &ids {
+        let stats = world.with_agent::<PeerHoodNode, _>(*id, |n, _| n.storage_stats()).unwrap();
+        assert_eq!(stats.known_devices, 4, "node {id} should know the whole line");
+    }
+    // The end node reaches the other end through several jumps.
+    let far_addr = DeviceAddress::from_node(ids[4]);
+    let route = world
+        .with_agent::<PeerHoodNode, _>(ids[0], |n, _| {
+            n.known_devices().into_iter().find(|d| d.info.address == far_addr).map(|d| d.route.jumps)
+        })
+        .unwrap();
+    assert_eq!(route, Some(3));
+}
+
+#[test]
+fn direct_only_mode_is_limited_to_radio_coverage() {
+    let mut world = World::new(WorldConfig::ideal(102));
+    let ids: Vec<NodeId> = line_positions(4, 8.0)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            spawn_relay(
+                &mut world,
+                experiment_config(format!("n{i}"), MobilityClass::Static, DiscoveryMode::DirectOnly),
+                p,
+            )
+        })
+        .collect();
+    world.run_for(SimDuration::from_secs(180));
+    let known = world.with_agent::<PeerHoodNode, _>(ids[0], |n, _| n.storage_stats().known_devices).unwrap();
+    assert_eq!(known, 1, "an end node only sees its single direct neighbour");
+}
+
+#[test]
+fn e1_dynamic_beats_direct_only() {
+    let report = e01_coverage_exclusion(&DiscoverySettings::quick());
+    assert_eq!(report.rows.len(), 2);
+    for row in &report.rows {
+        let direct: f64 = row.cells[1].parse().unwrap();
+        let dynamic: f64 = row.cells[3].parse().unwrap();
+        assert!(dynamic >= direct, "dynamic discovery must know at least as much as direct-only");
+        assert!(dynamic > 0.9, "dynamic discovery should approach total awareness, got {dynamic}");
+    }
+}
+
+#[test]
+fn e2_gnutella_generates_more_traffic() {
+    let report = e02_gnutella_traffic(5);
+    for row in &report.rows {
+        let gnutella: f64 = row.cells[2].parse().unwrap();
+        let peerhood: f64 = row.cells[3].parse().unwrap();
+        assert!(gnutella > peerhood, "flooding must cost more than one PeerHood cycle");
+    }
+}
+
+#[test]
+fn e3_threshold_rule_selects_the_right_route() {
+    let report = e03_quality_route_selection();
+    assert_eq!(report.rows[0].cells[4], "true");
+    assert_eq!(report.rows[1].cells[4], "false");
+}

@@ -1,0 +1,34 @@
+//! Smoke tests for the full experiment suite (quick settings): every report
+//! must be produced with the expected shape so `repro` cannot silently skip a
+//! figure.
+
+use scenarios::experiments::{e03_quality_route_selection, e09_result_routing, e10_coverage_amplification};
+
+#[test]
+fn e9_reproduces_the_three_regimes() {
+    let report = e09_result_routing(9);
+    assert_eq!(report.rows.len(), 3);
+    assert!(report.rows[0].cells[1].contains("CompletedDirect"));
+    assert!(report.rows[1].cells[1].contains("CompletedViaResultRouting"));
+    // The huge regime requires recovery of some kind; accept either recovery
+    // or (on unlucky seeds) result routing, but it must complete.
+    assert!(report.rows[2].cells[1].contains("Completed"));
+}
+
+#[test]
+fn e10_tunnel_is_only_reachable_with_bridges() {
+    let report = e10_coverage_amplification(10);
+    assert_eq!(report.rows.len(), 2);
+    assert_eq!(report.rows[0].cells[1], "true", "with bridges the server is known");
+    assert_eq!(report.rows[1].cells[1], "false", "without bridges it is not");
+    let with_bridges: usize = report.rows[0].cells[3].parse().unwrap();
+    assert!(with_bridges >= 8, "nearly all messages must cross the tunnel, got {with_bridges}");
+}
+
+#[test]
+fn reports_render_markdown_tables() {
+    let report = e03_quality_route_selection();
+    let text = report.to_string();
+    assert!(text.contains("### E3"));
+    assert!(text.lines().filter(|l| l.starts_with('|')).count() >= 4);
+}
