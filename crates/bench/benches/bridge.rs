@@ -1,21 +1,16 @@
 //! E6 benchmark: one full bridge-connection trial under the realistic radio
 //! model (Fig. 4.5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bb, Group};
 use scenarios::experiments::bridge_trial;
 
-fn bench_bridge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bridge_trial");
+fn main() {
+    let mut group = Group::new("bridge_trial");
     group.sample_size(10);
-    group.bench_function("client_bridge_server_20_messages", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            bridge_trial(std::hint::black_box(seed))
-        })
+    let mut seed = 0u64;
+    group.bench("client_bridge_server_20_messages", || {
+        seed += 1;
+        bridge_trial(bb(seed))
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_bridge);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! E1 benchmark: simulated discovery convergence per mode (wall-clock cost of
 //! one full convergence run of the event-driven simulation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bb, Group};
 use peerhood::config::DiscoveryMode;
 use peerhood::device::MobilityClass;
 use peerhood::node::PeerHoodNode;
@@ -13,24 +13,29 @@ fn converge(mode: DiscoveryMode, nodes: usize) -> usize {
     let ids: Vec<NodeId> = random_positions(nodes, 40.0, 11)
         .into_iter()
         .enumerate()
-        .map(|(i, p)| spawn_relay(&mut world, experiment_config(format!("n{i}"), MobilityClass::Static, mode), p))
+        .map(|(i, p)| {
+            spawn_relay(
+                &mut world,
+                experiment_config(format!("n{i}"), MobilityClass::Static, mode),
+                p,
+            )
+        })
         .collect();
     world.run_for(SimDuration::from_secs(120));
     ids.iter()
-        .map(|id| world.with_agent::<PeerHoodNode, _>(*id, |n, _| n.storage_stats().known_devices).unwrap())
+        .map(|id| {
+            world
+                .with_agent::<PeerHoodNode, _>(*id, |n, _| n.storage_stats().known_devices)
+                .unwrap()
+        })
         .sum()
 }
 
-fn bench_discovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("discovery_convergence");
+fn main() {
+    let mut group = Group::new("discovery_convergence");
     group.sample_size(10);
     for mode in [DiscoveryMode::DirectOnly, DiscoveryMode::TwoHop, DiscoveryMode::Dynamic] {
-        group.bench_function(format!("{mode}_10_nodes_120s"), |b| {
-            b.iter(|| converge(std::hint::black_box(mode), 10))
-        });
+        group.bench(format!("{mode}_10_nodes_120s"), || converge(bb(mode), 10));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_discovery);
-criterion_main!(benches);

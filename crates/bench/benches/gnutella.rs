@@ -1,6 +1,6 @@
 //! E2 benchmark: Gnutella flooding vs. PeerHood discovery traffic.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bb, Group};
 use peerhood::gnutella::{gnutella_full_search_messages, peerhood_cycle_messages, Topology};
 use scenarios::topology::random_positions;
 
@@ -10,20 +10,15 @@ fn topology(nodes: usize) -> Topology {
     Topology::from_positions(&pairs, 10.0)
 }
 
-fn bench_gnutella(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gnutella_vs_peerhood");
+fn main() {
+    let mut group = Group::new("gnutella_vs_peerhood");
     group.sample_size(20);
     for &nodes in &[20usize, 80] {
         let topo = topology(nodes);
-        group.bench_function(format!("gnutella_full_search_{nodes}"), |b| {
-            b.iter(|| gnutella_full_search_messages(std::hint::black_box(&topo), 7))
+        group.bench(format!("gnutella_full_search_{nodes}"), || {
+            gnutella_full_search_messages(bb(&topo), 7)
         });
-        group.bench_function(format!("peerhood_cycle_{nodes}"), |b| {
-            b.iter(|| peerhood_cycle_messages(std::hint::black_box(&topo)))
-        });
+        group.bench(format!("peerhood_cycle_{nodes}"), || peerhood_cycle_messages(bb(&topo)));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_gnutella);
-criterion_main!(benches);

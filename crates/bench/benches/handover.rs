@@ -1,22 +1,17 @@
 //! E8 benchmark: one routing-handover simulation run (§5.2.1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bb, Group};
 use scenarios::experiments::routing_handover_run;
 
-fn bench_handover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing_handover");
+fn main() {
+    let mut group = Group::new("routing_handover");
     group.sample_size(10);
     for &decay in &[1.0, 30.0] {
-        group.bench_function(format!("decay_{decay}_per_s"), |b| {
-            let mut seed = 100u64;
-            b.iter(|| {
-                seed += 1;
-                routing_handover_run(std::hint::black_box(seed), decay)
-            })
+        let mut seed = 100u64;
+        group.bench(format!("decay_{decay}_per_s"), || {
+            seed += 1;
+            routing_handover_run(bb(seed), decay)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_handover);
-criterion_main!(benches);

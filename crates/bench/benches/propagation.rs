@@ -1,14 +1,11 @@
 //! E4 benchmark: cost of propagating a topology change over several jumps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Group;
 use scenarios::experiments::e04_notification_delay;
 
-fn bench_propagation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("notification_delay");
+fn main() {
+    let mut group = Group::new("notification_delay");
     group.sample_size(10);
-    group.bench_function("line_2_jumps", |b| b.iter(|| e04_notification_delay(3, 1)));
+    group.bench("line_2_jumps", || e04_notification_delay(3, 1));
     group.finish();
 }
-
-criterion_group!(benches, bench_propagation);
-criterion_main!(benches);

@@ -1,20 +1,15 @@
 //! E9 benchmark: one picture-analysis migration run per regime (§5.3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bb, Group};
 use migration::TaskSpec;
 use scenarios::experiments::migration_run;
 
-fn bench_result_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("result_routing");
+fn main() {
+    let mut group = Group::new("result_routing");
     group.sample_size(10);
-    group.bench_function("small_regime", |b| {
-        b.iter(|| migration_run(std::hint::black_box(1), "small", TaskSpec::small()))
-    });
-    group.bench_function("considerable_regime", |b| {
-        b.iter(|| migration_run(std::hint::black_box(2), "considerable", TaskSpec::considerable()))
+    group.bench("small_regime", || migration_run(bb(1), "small", TaskSpec::small()));
+    group.bench("considerable_regime", || {
+        migration_run(bb(2), "considerable", TaskSpec::considerable())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_result_routing);
-criterion_main!(benches);

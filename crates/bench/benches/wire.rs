@@ -1,6 +1,6 @@
 //! Microbenchmark: wire codec encode/decode throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bb, Group};
 use peerhood::device::{DeviceInfo, MobilityClass};
 use peerhood::ids::{ConnectionId, DeviceAddress};
 use peerhood::proto::{Message, NeighborRecord};
@@ -9,7 +9,14 @@ use peerhood::wire::{decode, encode};
 use simnet::{NodeId, RadioTech};
 
 fn inquiry_response(neighbors: usize) -> Message {
-    let device = |n: u64| DeviceInfo::new(NodeId::from_raw(n), format!("dev{n}"), MobilityClass::Hybrid, &[RadioTech::Bluetooth]);
+    let device = |n: u64| {
+        DeviceInfo::new(
+            NodeId::from_raw(n),
+            format!("dev{n}"),
+            MobilityClass::Hybrid,
+            &[RadioTech::Bluetooth],
+        )
+    };
     Message::InquiryResponse {
         device: device(0),
         services: vec![ServiceInfo::new("echo", "v1", 2)],
@@ -25,25 +32,23 @@ fn inquiry_response(neighbors: usize) -> Message {
     }
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn main() {
+    let mut group = Group::new("wire");
+    group.sample_size(1000);
     for &n in &[1usize, 16, 64] {
         let message = inquiry_response(n);
         let frame = encode(&message);
-        group.bench_function(format!("encode_inquiry_response_{n}_neighbors"), |b| {
-            b.iter(|| encode(std::hint::black_box(&message)))
+        group.bench(format!("encode_inquiry_response_{n}_neighbors"), || {
+            encode(bb(&message))
         });
-        group.bench_function(format!("decode_inquiry_response_{n}_neighbors"), |b| {
-            b.iter(|| decode(std::hint::black_box(&frame)).unwrap())
+        group.bench(format!("decode_inquiry_response_{n}_neighbors"), || {
+            decode(bb(&frame)).unwrap()
         });
     }
     let data = Message::Data {
         conn_id: ConnectionId::new(DeviceAddress::from_node_raw(1), 1),
         payload: vec![0xAB; 32 * 1024],
     };
-    group.bench_function("encode_32k_data", |b| b.iter(|| encode(std::hint::black_box(&data))));
+    group.bench("encode_32k_data", || encode(bb(&data)));
     group.finish();
 }
-
-criterion_group!(benches, bench_wire);
-criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! A tiny offline micro-benchmark harness.
+//!
+//! The container building this workspace has no crates registry, so
+//! Criterion is unavailable; this module provides the small subset the
+//! benches need — named groups, per-function wall-clock timing with warm-up,
+//! and a markdown-ish report — with zero dependencies. Benches are ordinary
+//! `harness = false` targets whose `main` drives a [`Group`].
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can `use bench::harness::black_box` without
+/// spelling out `std::hint`.
+pub use std::hint::black_box as bb;
+
+/// A named collection of benchmark measurements, printed on [`Group::finish`].
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    results: Vec<(String, Duration)>,
+    /// When true (`--quick` or `BENCH_QUICK=1`), one iteration per bench —
+    /// useful to smoke-test that every bench still runs.
+    quick: bool,
+}
+
+impl Group {
+    /// Creates a benchmark group with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick") || std::env::var_os("BENCH_QUICK").is_some();
+        Group {
+            name: name.into(),
+            sample_size: 10,
+            results: Vec::new(),
+            quick,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f`, recording the mean wall-clock time of `sample_size`
+    /// runs after one warm-up run.
+    pub fn bench<R>(&mut self, label: impl Into<String>, mut f: impl FnMut() -> R) -> &mut Self {
+        let label = label.into();
+        let samples = if self.quick { 1 } else { self.sample_size };
+        // Warm-up (also validates the closure runs at all).
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..samples {
+            black_box(f());
+        }
+        let mean = start.elapsed() / samples as u32;
+        eprintln!("  {}/{label}: {mean:?} (n={samples})", self.name);
+        self.results.push((label, mean));
+        self
+    }
+
+    /// Prints the recorded results as a markdown table.
+    pub fn finish(&self) {
+        println!("### bench group `{}`", self.name);
+        println!();
+        println!("| benchmark | mean time |");
+        println!("|---|---|");
+        for (label, mean) in &self.results {
+            println!("| {label} | {mean:?} |");
+        }
+        println!();
+    }
+}

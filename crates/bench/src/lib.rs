@@ -1,6 +1,12 @@
 //! Benchmark and reproduction harness for the PeerHood thesis.
 //!
-//! The Criterion benchmarks in `benches/` measure the building blocks
-//! (wire codec, discovery convergence, bridge relaying, handover, result
-//! routing, Gnutella comparison); the `repro` binary in `src/bin/repro.rs`
-//! regenerates the figure-level tables recorded in `EXPERIMENTS.md`.
+//! The benches in `benches/` measure the building blocks (wire codec,
+//! discovery convergence, bridge relaying, handover, result routing,
+//! Gnutella comparison) using the dependency-free [`harness`] module; the
+//! `repro` binary in `src/bin/repro.rs` regenerates the figure-level tables
+//! recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

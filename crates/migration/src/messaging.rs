@@ -9,8 +9,8 @@
 
 use std::any::Any;
 
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodApi;
+use peerhood::prelude::*;
 use simnet::{SimDuration, SimTime};
 
 const TOKEN_CONNECT: u64 = 1;
@@ -66,13 +66,25 @@ impl MessagingClient {
     /// Creates a client for the §4.3 bridge test: 20 messages at 1 s
     /// intervals.
     pub fn bridge_test(service: impl Into<String>, start_after: SimDuration) -> Self {
-        MessagingClient::new(service, b"test message".to_vec(), 20, SimDuration::from_secs(1), start_after)
+        MessagingClient::new(
+            service,
+            b"test message".to_vec(),
+            20,
+            SimDuration::from_secs(1),
+            start_after,
+        )
     }
 
     /// Creates a client for the §5.2.1 handover simulation: "good morning!"
     /// 50 times at 1 s intervals.
     pub fn good_morning(service: impl Into<String>, start_after: SimDuration) -> Self {
-        MessagingClient::new(service, b"good morning!".to_vec(), 50, SimDuration::from_secs(1), start_after)
+        MessagingClient::new(
+            service,
+            b"good morning!".to_vec(),
+            50,
+            SimDuration::from_secs(1),
+            start_after,
+        )
     }
 
     /// Creates a fully parameterised client.
@@ -288,7 +300,13 @@ impl Application for MessagingServer {
             .expect("messaging service registers once");
     }
 
-    fn on_peer_connected(&mut self, _api: &mut PeerHoodApi<'_, '_>, _conn: ConnectionId, _client: DeviceInfo, _service: &str) {
+    fn on_peer_connected(
+        &mut self,
+        _api: &mut PeerHoodApi<'_, '_>,
+        _conn: ConnectionId,
+        _client: DeviceInfo,
+        _service: &str,
+    ) {
         self.clients += 1;
     }
 
@@ -319,25 +337,29 @@ mod tests {
             "client",
             MobilityModel::stationary(Point::new(0.0, 0.0)),
             &bt(),
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::mobile_device("client"),
-                Box::new(MessagingClient::new(
-                    "msg",
-                    b"hi".to_vec(),
-                    5,
-                    SimDuration::from_millis(500),
-                    SimDuration::from_secs(30),
-                )),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::mobile_device("client"))
+                    .app(MessagingClient::new(
+                        "msg",
+                        b"hi".to_vec(),
+                        5,
+                        SimDuration::from_millis(500),
+                        SimDuration::from_secs(30),
+                    ))
+                    .build(),
+            ),
         );
         let server = world.add_node(
             "server",
             MobilityModel::stationary(Point::new(5.0, 0.0)),
             &bt(),
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::static_device("server"),
-                Box::new(MessagingServer::new("msg")),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::static_device("server"))
+                    .app(MessagingServer::new("msg"))
+                    .build(),
+            ),
         );
         world.run_for(SimDuration::from_secs(120));
         let (sent, finished, setup) = world
@@ -368,25 +390,29 @@ mod tests {
             "client",
             MobilityModel::stationary(Point::new(0.0, 0.0)),
             &bt(),
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::mobile_device("client"),
-                Box::new(MessagingClient::new(
-                    "msg",
-                    b"x".to_vec(),
-                    1,
-                    SimDuration::from_secs(1),
-                    SimDuration::from_millis(100),
-                )),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::mobile_device("client"))
+                    .app(MessagingClient::new(
+                        "msg",
+                        b"x".to_vec(),
+                        1,
+                        SimDuration::from_secs(1),
+                        SimDuration::from_millis(100),
+                    ))
+                    .build(),
+            ),
         );
         world.add_node(
             "server",
             MobilityModel::stationary(Point::new(5.0, 0.0)),
             &bt(),
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::static_device("server"),
-                Box::new(MessagingServer::new("msg")),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::static_device("server"))
+                    .app(MessagingServer::new("msg"))
+                    .build(),
+            ),
         );
         world.run_for(SimDuration::from_secs(120));
         let finished = world

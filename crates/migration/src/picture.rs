@@ -296,7 +296,13 @@ impl Application for PictureServer {
             .expect("picture service registers once");
     }
 
-    fn on_peer_connected(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, _client: DeviceInfo, _service: &str) {
+    fn on_peer_connected(
+        &mut self,
+        _api: &mut PeerHoodApi<'_, '_>,
+        conn: ConnectionId,
+        _client: DeviceInfo,
+        _service: &str,
+    ) {
         self.clients += 1;
         self.sessions.entry(conn).or_default();
     }
@@ -390,19 +396,23 @@ mod tests {
             "phone",
             MobilityModel::stationary(Point::new(0.0, 0.0)),
             &[RadioTech::Bluetooth],
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::mobile_device("phone"),
-                Box::new(PictureClient::new("analysis", spec.clone(), SimDuration::from_secs(25))),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::mobile_device("phone"))
+                    .app(PictureClient::new("analysis", spec.clone(), SimDuration::from_secs(25)))
+                    .build(),
+            ),
         );
         let server = world.add_node(
             "pc",
             MobilityModel::stationary(Point::new(5.0, 0.0)),
             &[RadioTech::Bluetooth],
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::static_device("pc"),
-                Box::new(PictureServer::for_spec("analysis", &spec)),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::static_device("pc"))
+                    .app(PictureServer::for_spec("analysis", &spec))
+                    .build(),
+            ),
         );
         world.run_for(SimDuration::from_secs(180));
         let outcome = world
@@ -450,19 +460,23 @@ mod tests {
                 start_after: SimDuration::from_secs(60),
             },
             &[RadioTech::Bluetooth],
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::mobile_device("phone"),
-                Box::new(PictureClient::new("analysis", spec.clone(), SimDuration::from_secs(25))),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::mobile_device("phone"))
+                    .app(PictureClient::new("analysis", spec.clone(), SimDuration::from_secs(25)))
+                    .build(),
+            ),
         );
         world.add_node(
             "pc",
             MobilityModel::stationary(Point::new(5.0, 0.0)),
             &[RadioTech::Bluetooth],
-            Box::new(PeerHoodNode::new(
-                PeerHoodConfig::static_device("pc"),
-                Box::new(PictureServer::for_spec("analysis", &spec)),
-            )),
+            Box::new(
+                PeerHoodNode::builder()
+                    .config(PeerHoodConfig::static_device("pc"))
+                    .app(PictureServer::for_spec("analysis", &spec))
+                    .build(),
+            ),
         );
         world.run_for(SimDuration::from_secs(500));
         let (outcome, result_at) = world

@@ -101,6 +101,18 @@ pub trait Application: Any {
     fn on_timer(&mut self, api: &mut PeerHoodApi<'_, '_>, token: u64) {
         let _ = (api, token);
     }
+
+    /// Dynamic discovery learned about a new remote device. Fanned out to
+    /// every application hosted on the node.
+    fn on_device_discovered(&mut self, api: &mut PeerHoodApi<'_, '_>, address: DeviceAddress) {
+        let _ = (api, address);
+    }
+
+    /// A known remote device aged out of the storage. Fanned out to every
+    /// application hosted on the node.
+    fn on_device_lost(&mut self, api: &mut PeerHoodApi<'_, '_>, address: DeviceAddress) {
+        let _ = (api, address);
+    }
 }
 
 /// A no-op application, useful for pure bridge/relay devices that only run

@@ -227,7 +227,12 @@ mod tests {
     }
 
     fn client() -> DeviceInfo {
-        DeviceInfo::new(NodeId::from_raw(1), "client", MobilityClass::Dynamic, &[RadioTech::Bluetooth])
+        DeviceInfo::new(
+            NodeId::from_raw(1),
+            "client",
+            MobilityClass::Dynamic,
+            &[RadioTech::Bluetooth],
+        )
     }
 
     fn service_with_one_pair() -> (BridgeService, ConnectionId) {

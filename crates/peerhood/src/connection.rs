@@ -297,7 +297,12 @@ mod tests {
     }
 
     fn client_info(n: u64) -> DeviceInfo {
-        DeviceInfo::new(NodeId::from_raw(n), "client", MobilityClass::Dynamic, &[RadioTech::Bluetooth])
+        DeviceInfo::new(
+            NodeId::from_raw(n),
+            "client",
+            MobilityClass::Dynamic,
+            &[RadioTech::Bluetooth],
+        )
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! the node glue, which calls into the methods here for all protocol
 //! decisions.
 
-use simnet::{SimTime, RadioTech};
+use simnet::{RadioTech, SimTime};
 
 use crate::config::PeerHoodConfig;
 use crate::device::DeviceInfo;
@@ -130,10 +130,14 @@ impl Daemon {
     /// Processes a received [`Message::InquiryResponse`] from a device found
     /// at `quality` during the last inquiry: stores the device as a direct
     /// neighbour and integrates its exported neighbourhood (Fig. 3.13).
+    /// Returns the addresses of newly learned devices (the responder first
+    /// when it was unknown), which the node fans out as
+    /// `DeviceDiscovered` events.
     ///
     /// The quality used for route comparison is de-rated by the advertised
     /// bridge load (a fully loaded bridge loses up to half of its advertised
     /// quality) so that loaded bridges are avoided.
+    #[allow(clippy::too_many_arguments)]
     pub fn process_inquiry_response(
         &mut self,
         device: DeviceInfo,
@@ -143,19 +147,23 @@ impl Daemon {
         quality: u8,
         config: &PeerHoodConfig,
         now: SimTime,
-    ) -> usize {
+    ) -> Vec<DeviceAddress> {
         let effective_quality = Self::derate_quality(quality, bridge_load_percent);
         let mobility = device.mobility;
         let address = device.address;
-        self.storage.upsert_direct(device, effective_quality, services, now);
-        self.storage.integrate_neighbor_report(
+        let mut added = Vec::new();
+        if self.storage.upsert_direct(device, effective_quality, services, now) {
+            added.push(address);
+        }
+        added.extend(self.storage.integrate_neighbor_report(
             address,
             effective_quality,
             mobility,
             neighbors,
             config.discovery.mode,
             now,
-        )
+        ));
+        added
     }
 
     /// De-rates a measured quality by the peer's advertised bridge load: at
@@ -168,12 +176,7 @@ impl Daemon {
 
     /// Completes one inquiry cycle for `tech`: ages the storage with the set
     /// of devices that answered and returns the removed addresses.
-    pub fn complete_cycle(
-        &mut self,
-        tech: RadioTech,
-        config: &PeerHoodConfig,
-        now: SimTime,
-    ) -> Vec<DeviceAddress> {
+    pub fn complete_cycle(&mut self, tech: RadioTech, config: &PeerHoodConfig, now: SimTime) -> Vec<DeviceAddress> {
         let responders = match self.plugins.get_mut(tech) {
             Some(plugin) => plugin.finish_cycle(),
             None => Vec::new(),
@@ -199,7 +202,12 @@ mod tests {
     }
 
     fn info(n: u64) -> DeviceInfo {
-        DeviceInfo::new(NodeId::from_raw(n), format!("d{n}"), MobilityClass::Static, &[RadioTech::Bluetooth])
+        DeviceInfo::new(
+            NodeId::from_raw(n),
+            format!("d{n}"),
+            MobilityClass::Static,
+            &[RadioTech::Bluetooth],
+        )
     }
 
     fn daemon() -> Daemon {
@@ -269,7 +277,7 @@ mod tests {
             &cfg,
             SimTime::ZERO,
         );
-        assert_eq!(added, 1);
+        assert_eq!(added, vec![responder.address, info(2).address]);
         assert_eq!(d.stats().known_devices, 2);
         let stored = d.storage().get(responder.address).unwrap();
         assert!(stored.is_direct());
@@ -299,7 +307,15 @@ mod tests {
             hop_qualities: vec![250],
             services: vec![],
         };
-        d.process_inquiry_response(info(1), vec![], &[target.clone()], 100, 245, &cfg, SimTime::ZERO);
+        d.process_inquiry_response(
+            info(1),
+            vec![],
+            std::slice::from_ref(&target),
+            100,
+            245,
+            &cfg,
+            SimTime::ZERO,
+        );
         d.process_inquiry_response(info(2), vec![], &[target], 0, 245, &cfg, SimTime::ZERO);
         let route = &d.storage().get(info(9).address).unwrap().route;
         assert_eq!(route.bridge, Some(info(2).address), "the unloaded bridge must win");

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use simnet::LinkId;
+use simnet::{LinkId, RadioTech};
 
 use crate::ids::{ConnectionId, DeviceAddress};
 
@@ -23,6 +23,9 @@ pub enum LinkRole {
     DaemonFetch {
         /// The device being interrogated.
         peer: DeviceAddress,
+        /// The radio the inquiry that found the device ran on (the plugin
+        /// whose fetch accounting this link belongs to).
+        tech: RadioTech,
         /// Quality sampled during the inquiry that found the device.
         quality: u8,
     },
@@ -134,6 +137,7 @@ mod tests {
         assert_eq!(
             LinkRole::DaemonFetch {
                 peer: DeviceAddress::from_node_raw(4),
+                tech: RadioTech::Bluetooth,
                 quality: 200
             }
             .connection(),

@@ -132,7 +132,9 @@ mod tests {
     #[test]
     fn errors_display() {
         let addr = DeviceAddress::from_node_raw(3);
-        assert!(PeerHoodError::UnknownDevice(addr).to_string().contains("unknown device"));
+        assert!(PeerHoodError::UnknownDevice(addr)
+            .to_string()
+            .contains("unknown device"));
         assert!(PeerHoodError::ServiceNotFound("x".into()).to_string().contains('x'));
         assert!(ErrorCode::BridgeBusy.to_string().contains("busy"));
     }

@@ -26,20 +26,15 @@ use crate::quality::LowSignalCounter;
 /// which is what produces the "monitoring limitation" chains of Fig. 5.6/5.7.
 /// Re-routing towards the final destination avoids the problem; experiment
 /// E11 compares the two.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum HandoverTarget {
     /// Re-route towards the device the degrading link currently points at
     /// (the thesis' behaviour; chains can grow).
     LinkPeer,
     /// Re-route towards the connection's final destination (chains stay
     /// minimal).
+    #[default]
     FinalDestination,
-}
-
-impl Default for HandoverTarget {
-    fn default() -> Self {
-        HandoverTarget::FinalDestination
-    }
 }
 
 /// A candidate alternative route found in state 0.
@@ -101,11 +96,7 @@ impl HandoverMonitor {
     /// State 0: refresh the best candidate from the list produced by
     /// [`crate::storage::DeviceStorage::handover_candidates`], excluding the
     /// bridge currently in use (there is no point re-routing through it).
-    pub fn refresh_candidates(
-        &mut self,
-        candidates: &[(DeviceAddress, u8, u8)],
-        exclude: Option<DeviceAddress>,
-    ) {
+    pub fn refresh_candidates(&mut self, candidates: &[(DeviceAddress, u8, u8)], exclude: Option<DeviceAddress>) {
         self.candidate = candidates
             .iter()
             .filter(|(bridge, _, _)| Some(*bridge) != exclude)
@@ -124,11 +115,10 @@ impl HandoverMonitor {
         if self.phase == HandoverPhase::Switching {
             return false;
         }
-        let triggered = match quality {
+        match quality {
             Some(q) => self.counter.record(q),
             None => self.counter.record_missing(),
-        };
-        triggered
+        }
     }
 
     /// Moves to state 2, consuming the stored candidate. Returns the

@@ -16,8 +16,12 @@
 //!   routing.
 //!
 //! The middleware runs on top of the [`simnet`] substrate: a
-//! [`node::PeerHoodNode`] implements [`simnet::NodeAgent`] and hosts one
-//! [`application::Application`].
+//! [`node::PeerHoodNode`] implements [`simnet::NodeAgent`] and hosts any
+//! number of [`application::Application`]s — one middleware stack shared by
+//! several programs on the same device, exactly as the thesis describes.
+//! Nodes are assembled with the fluent builder (configuration →
+//! applications → relay flag) and callbacks are routed per application
+//! through the typed [`node::PeerHoodEvent`] dispatch layer.
 //!
 //! ## Quick start
 //!
@@ -25,19 +29,27 @@
 //! use peerhood::prelude::*;
 //! use simnet::prelude::*;
 //!
-//! // Two devices four metres apart: a mobile client and a fixed server that
-//! // registers an "echo" service.
+//! // Two devices four metres apart: a mobile client and a fixed server.
+//! // Each node is built with the fluent builder; `IdleApplication` stands
+//! // in for real applications here (see the `migration` crate for real
+//! // workloads, and add several `.app(...)` calls to host more than one).
 //! let mut world = World::new(WorldConfig::ideal(7));
 //! let client = world.add_node(
 //!     "client",
 //!     MobilityModel::stationary(Point::new(0.0, 0.0)),
 //!     &[RadioTech::Bluetooth],
-//!     Box::new(PeerHoodNode::relay(PeerHoodConfig::mobile_device("client"))),
+//!     Box::new(
+//!         PeerHoodNode::builder()
+//!             .config(PeerHoodConfig::mobile_device("client"))
+//!             .app(IdleApplication)
+//!             .build(),
+//!     ),
 //! );
 //! world.add_node(
 //!     "server",
 //!     MobilityModel::stationary(Point::new(4.0, 0.0)),
 //!     &[RadioTech::Bluetooth],
+//!     // A pure relay: middleware only, no applications.
 //!     Box::new(PeerHoodNode::relay(PeerHoodConfig::static_device("server"))),
 //! );
 //! // Run a minute of simulated time: the daemons discover each other.
@@ -80,7 +92,7 @@ pub mod prelude {
     pub use crate::error::PeerHoodError;
     pub use crate::handover::HandoverTarget;
     pub use crate::ids::{ConnectionId, DeviceAddress};
-    pub use crate::node::{PeerHoodApi, PeerHoodNode};
+    pub use crate::node::{AppId, PeerHoodApi, PeerHoodEvent, PeerHoodNode, PeerHoodNodeBuilder};
     pub use crate::service::ServiceInfo;
     pub use crate::storage::{StorageStats, StoredDevice};
 }

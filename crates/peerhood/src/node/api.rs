@@ -1,0 +1,304 @@
+//! The handle applications (and scenario drivers) use to act on the
+//! middleware.
+//!
+//! A [`PeerHoodApi`] is passed into every
+//! [`Application`](crate::application::Application) callback and can also be
+//! borrowed by scenario drivers through
+//! [`PeerHoodNode::with_api`](super::PeerHoodNode::with_api). It carries the
+//! identity of the application it acts for, so services registered and
+//! connections opened through it are owned by — and their callbacks routed
+//! to — that application.
+
+use simnet::{NodeCtx, SimDuration, SimTime};
+
+use crate::connection::{AppConnection, ConnKind, ConnectionSnapshot};
+use crate::error::PeerHoodError;
+use crate::handover::HandoverMonitor;
+use crate::ids::{ConnectionId, DeviceAddress};
+use crate::proto::Message;
+use crate::service::ServiceInfo;
+use crate::storage::{StorageStats, StoredDevice};
+
+use super::pending::PendingPurpose;
+use super::{token, AppId, Core, KIND_APP};
+
+/// Handle applications (and scenario drivers) use to act on the middleware.
+///
+/// The handle's application identity determines where callbacks are routed
+/// (services registered and connections opened through it belong to that
+/// application). It is **routing, not sandboxing**: applications on one
+/// device are mutually trusted, as in the original library where they share
+/// one daemon, so mutating operations (`send`, `close`, `set_sending`,
+/// `unregister_service`) accept any connection or service on the node.
+pub struct PeerHoodApi<'a, 'w> {
+    pub(crate) core: &'a mut Core,
+    pub(crate) ctx: &'a mut NodeCtx<'w>,
+    /// The application this handle acts for; `None` for driver-side use on a
+    /// node without applications.
+    pub(crate) app: Option<AppId>,
+}
+
+impl<'a, 'w> PeerHoodApi<'a, 'w> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The application this handle acts for (`None` when borrowed by a
+    /// scenario driver on a node without applications).
+    pub fn app_id(&self) -> Option<AppId> {
+        self.app
+    }
+
+    /// This device's address.
+    pub fn my_address(&self) -> DeviceAddress {
+        self.core.my_address()
+    }
+
+    /// This device's full advertised description.
+    pub fn my_info(&self) -> crate::device::DeviceInfo {
+        self.core.my_info()
+    }
+
+    /// Registers an application service with the daemon, making it
+    /// discoverable by the whole PeerHood network. Incoming connections to
+    /// the service are routed to the registering application.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a service with the same name is already registered.
+    pub fn register_service(&mut self, service: ServiceInfo) -> Result<(), PeerHoodError> {
+        let name = service.name.clone();
+        self.core.daemon.register_service(service)?;
+        if let Some(app) = self.app {
+            self.core.service_owner.insert(name, app);
+        }
+        Ok(())
+    }
+
+    /// Unregisters an application service.
+    pub fn unregister_service(&mut self, name: &str) -> Option<ServiceInfo> {
+        let removed = self.core.daemon.unregister_service(name);
+        if removed.is_some() {
+            self.core.service_owner.remove(name);
+        }
+        removed
+    }
+
+    /// `GetDeviceList`: every remote device currently in the storage.
+    pub fn device_list(&self) -> Vec<StoredDevice> {
+        self.core.daemon.storage().device_list().into_iter().cloned().collect()
+    }
+
+    /// `GetServiceList`: every `(device, service)` pair currently known.
+    pub fn service_list(&self) -> Vec<(DeviceAddress, ServiceInfo)> {
+        self.core
+            .daemon
+            .storage()
+            .device_list()
+            .into_iter()
+            .flat_map(|d| d.services.iter().cloned().map(move |s| (d.info.address, s)))
+            .collect()
+    }
+
+    /// Storage statistics.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.core.daemon.stats()
+    }
+
+    /// Connects to a named service on a specific device. Returns the
+    /// connection id immediately; establishment is reported through
+    /// [`Application::on_connected`](crate::application::Application::on_connected)
+    /// on the owning application.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is unknown or no route to it exists.
+    pub fn connect_to(&mut self, target: DeviceAddress, service: &str) -> Result<ConnectionId, PeerHoodError> {
+        self.core.op_connect_to(self.ctx, self.app, target, service)
+    }
+
+    /// Connects to the best-known provider of a named service.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no known device offers the service.
+    pub fn connect_to_service(&mut self, service: &str) -> Result<ConnectionId, PeerHoodError> {
+        self.core.op_connect_to_service(self.ctx, self.app, service)
+    }
+
+    /// Writes application data on a connection. On a server-side connection
+    /// whose client has disconnected, the payload is queued and delivered
+    /// through result routing once the client is reachable again (§5.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown, or if an outgoing connection is
+    /// not currently established.
+    pub fn send(&mut self, conn: ConnectionId, payload: Vec<u8>) -> Result<(), PeerHoodError> {
+        self.core.op_send(self.ctx, conn, payload)
+    }
+
+    /// Sets the §5.3 "sending" flag: while `false`, the handover machinery
+    /// leaves a broken connection alone and waits for the server to return
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is unknown.
+    pub fn set_sending(&mut self, conn: ConnectionId, sending: bool) -> Result<(), PeerHoodError> {
+        self.core.op_set_sending(conn, sending)
+    }
+
+    /// Closes a connection and forgets it.
+    pub fn close(&mut self, conn: ConnectionId) {
+        self.core.op_close(self.ctx, conn);
+    }
+
+    /// Snapshot of one connection.
+    pub fn connection(&self, conn: ConnectionId) -> Option<ConnectionSnapshot> {
+        self.core.connections.get(conn).map(ConnectionSnapshot::from)
+    }
+
+    /// Snapshots of all connections.
+    pub fn connections(&self) -> Vec<ConnectionSnapshot> {
+        self.core.connections.iter().map(ConnectionSnapshot::from).collect()
+    }
+
+    /// Samples the link quality of an established connection.
+    pub fn connection_quality(&mut self, conn: ConnectionId) -> Option<u8> {
+        let link = self.core.connections.get(conn)?.link?;
+        self.ctx.link_quality(link)
+    }
+
+    /// Schedules an application timer delivered through
+    /// [`Application::on_timer`](crate::application::Application::on_timer)
+    /// to the scheduling application.
+    pub fn schedule_timer(&mut self, after: SimDuration, token_value: u64) {
+        let key = self.core.next_app_timer;
+        self.core.next_app_timer += 1;
+        self.core.app_timers.insert(key, (self.app, token_value));
+        self.ctx.schedule(after, token(KIND_APP, key));
+    }
+
+    /// The bridge service load of this node (0-100).
+    pub fn bridge_load_percent(&self) -> u8 {
+        self.core.bridge.load_percent()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operations invoked through the PeerHoodApi
+// ---------------------------------------------------------------------
+
+impl Core {
+    pub(crate) fn op_connect_to(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        owner: Option<AppId>,
+        target: DeviceAddress,
+        service: &str,
+    ) -> Result<ConnectionId, PeerHoodError> {
+        let entry = self
+            .daemon
+            .storage()
+            .get(target)
+            .ok_or(PeerHoodError::UnknownDevice(target))?;
+        let route = entry.route.clone();
+        let target_info = entry.info.clone();
+        let kind = if route.is_direct() {
+            ConnKind::OutgoingDirect
+        } else {
+            let bridge = route.bridge.ok_or(PeerHoodError::NoRoute(target))?;
+            ConnKind::OutgoingBridged { bridge }
+        };
+        let conn = self.connections.allocate_id(self.my_address());
+        let mut connection = AppConnection::outgoing(conn, target, service, kind.clone(), ctx.now());
+        if self.config.handover.enabled {
+            connection.monitor = Some(HandoverMonitor::new(
+                self.config.monitor.quality_threshold,
+                self.config.monitor.low_count_limit,
+                self.config.handover.target,
+            ));
+        }
+        self.connections.insert(connection);
+        if let Some(owner) = owner {
+            self.conn_owner.insert(conn, owner);
+        }
+        let first_hop = kind.first_hop(target).unwrap_or(target);
+        let hop_info = if first_hop == target {
+            Some(target_info)
+        } else {
+            self.daemon.storage().get(first_hop).map(|e| e.info.clone())
+        };
+        let tech = self.tech_for(hop_info.as_ref());
+        let attempt = ctx.connect(first_hop.node_id(), tech);
+        self.pending.insert(attempt, PendingPurpose::AppConnect { conn });
+        Ok(conn)
+    }
+
+    pub(crate) fn op_connect_to_service(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        owner: Option<AppId>,
+        service: &str,
+    ) -> Result<ConnectionId, PeerHoodError> {
+        let provider = self
+            .daemon
+            .storage()
+            .find_service_providers(service)
+            .first()
+            .map(|(d, _)| d.info.address)
+            .ok_or_else(|| PeerHoodError::ServiceNotFound(service.to_string()))?;
+        self.op_connect_to(ctx, owner, provider, service)
+    }
+
+    pub(crate) fn op_send(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        conn: ConnectionId,
+        payload: Vec<u8>,
+    ) -> Result<(), PeerHoodError> {
+        let (established, outgoing, link) = match self.connections.get(conn) {
+            Some(c) => (c.is_established(), c.is_outgoing(), c.link),
+            None => return Err(PeerHoodError::UnknownConnection(conn)),
+        };
+        if established {
+            if let Some(link) = link {
+                self.send_frame(ctx, link, &Message::Data { conn_id: conn, payload });
+                return Ok(());
+            }
+        }
+        if !outgoing {
+            // Server side with a broken connection: queue the result and
+            // start result routing (§5.3 / Fig. 5.10).
+            if let Some(c) = self.connections.get_mut(conn) {
+                c.outbox.push(payload);
+            }
+            self.try_reply_reconnect(ctx, conn);
+            return Ok(());
+        }
+        Err(PeerHoodError::InvalidConnectionState(conn))
+    }
+
+    pub(crate) fn op_close(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        if let Some(c) = self.connections.remove(conn) {
+            if let Some(link) = c.link {
+                self.send_frame(ctx, link, &Message::Disconnect { conn_id: conn });
+                ctx.close(link);
+                self.engine.remove(link);
+            }
+        }
+        self.conn_owner.remove(&conn);
+    }
+
+    pub(crate) fn op_set_sending(&mut self, conn: ConnectionId, sending: bool) -> Result<(), PeerHoodError> {
+        match self.connections.get_mut(conn) {
+            Some(c) => {
+                c.sending = sending;
+                Ok(())
+            }
+            None => Err(PeerHoodError::UnknownConnection(conn)),
+        }
+    }
+}

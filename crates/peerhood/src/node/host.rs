@@ -1,0 +1,509 @@
+//! The multi-application node host.
+//!
+//! A [`PeerHoodNode`] hosts any number of
+//! [`Application`](crate::application::Application)s on one middleware stack
+//! — exactly like several programs using the PeerHood library on one device.
+//! Nodes are assembled with the fluent [`PeerHoodNodeBuilder`]
+//! (configuration → applications → relay flag):
+//!
+//! ```
+//! use peerhood::prelude::*;
+//!
+//! let node = PeerHoodNode::builder()
+//!     .config(PeerHoodConfig::static_device("pc"))
+//!     .app(IdleApplication)
+//!     .relay(true)
+//!     .build();
+//! assert_eq!(node.app_ids().len(), 1);
+//! ```
+//!
+//! Callbacks are routed per application: the app that registered a service
+//! receives its incoming connections, the app that opened a connection
+//! receives its data and handover callbacks, and discovery events fan out to
+//! every app. The same typed [`PeerHoodEvent`] stream can be recorded for
+//! scenario drivers through [`PeerHoodNode::subscribe_event_trace`].
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+use simnet::{
+    AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent, NodeCtx, NodeId,
+    RadioTech, TimerToken,
+};
+
+use crate::application::Application;
+use crate::config::PeerHoodConfig;
+use crate::connection::ConnectionSnapshot;
+use crate::device::DeviceInfo;
+use crate::engine::LinkRole;
+use crate::ids::{ConnectionId, DeviceAddress};
+use crate::storage::{StorageStats, StoredDevice};
+
+use super::{AppId, Core, PeerHoodApi, PeerHoodEvent};
+
+/// Maximum number of events the trace retains between drains; when full the
+/// oldest events are dropped so a subscribed-but-never-drained trace cannot
+/// grow without bound (Data events clone their payloads into the trace).
+pub const EVENT_TRACE_CAP: usize = 65_536;
+
+/// A complete PeerHood device: middleware plus its hosted applications.
+pub struct PeerHoodNode {
+    config: PeerHoodConfig,
+    core: Option<Core>,
+    apps: BTreeMap<AppId, Box<dyn Application>>,
+    /// When `Some`, every dispatched [`PeerHoodEvent`] is also recorded here
+    /// for scenario drivers (see [`PeerHoodNode::subscribe_event_trace`]).
+    /// Bounded to [`EVENT_TRACE_CAP`] entries (oldest dropped first).
+    trace: Option<VecDeque<PeerHoodEvent>>,
+}
+
+/// Fluent constructor for [`PeerHoodNode`]: configuration → applications →
+/// relay flag.
+pub struct PeerHoodNodeBuilder {
+    config: PeerHoodConfig,
+    apps: Vec<Box<dyn Application>>,
+    relay: Option<bool>,
+    trace: bool,
+}
+
+impl PeerHoodNodeBuilder {
+    /// Replaces the node configuration (defaults to
+    /// [`PeerHoodConfig::default`]).
+    pub fn config(mut self, config: PeerHoodConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds an application to the node. Applications receive increasing
+    /// [`AppId`]s in the order they are added, starting at zero.
+    pub fn app<A: Application>(self, app: A) -> Self {
+        self.app_boxed(Box::new(app))
+    }
+
+    /// Adds an already-boxed application (for callers that assemble nodes
+    /// from `Box<dyn Application>` values).
+    pub fn app_boxed(mut self, app: Box<dyn Application>) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Sets whether this node relays other devices' connections — i.e.
+    /// whether the hidden bridge service of Ch. 4 runs. When not called, the
+    /// configuration's `bridge.enabled` value is left untouched.
+    pub fn relay(mut self, relay: bool) -> Self {
+        self.relay = Some(relay);
+        self
+    }
+
+    /// Enables the typed event trace from the start (equivalent to calling
+    /// [`PeerHoodNode::subscribe_event_trace`] on the built node).
+    pub fn event_trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Builds the node.
+    pub fn build(self) -> PeerHoodNode {
+        let mut config = self.config;
+        if let Some(relay) = self.relay {
+            config.bridge.enabled = relay;
+        }
+        let apps = self
+            .apps
+            .into_iter()
+            .enumerate()
+            .map(|(i, app)| (AppId(i as u32), app))
+            .collect();
+        PeerHoodNode {
+            config,
+            core: None,
+            apps,
+            trace: if self.trace { Some(VecDeque::new()) } else { None },
+        }
+    }
+}
+
+impl PeerHoodNode {
+    /// Starts building a node (configuration → applications → relay flag).
+    pub fn builder() -> PeerHoodNodeBuilder {
+        PeerHoodNodeBuilder {
+            config: PeerHoodConfig::default(),
+            apps: Vec::new(),
+            relay: None,
+            trace: false,
+        }
+    }
+
+    /// Creates a node that only runs the middleware (daemon, discovery and
+    /// the hidden bridge service) without applications — a pure relay.
+    /// Shorthand for `PeerHoodNode::builder().config(config).build()`.
+    pub fn relay(config: PeerHoodConfig) -> Self {
+        PeerHoodNode::builder().config(config).build()
+    }
+
+    /// The configuration this node was created with.
+    pub fn config(&self) -> &PeerHoodConfig {
+        &self.config
+    }
+
+    /// This device's address (available after the node has started).
+    pub fn device_address(&self) -> Option<DeviceAddress> {
+        self.core.as_ref().map(|c| c.daemon.info().address)
+    }
+
+    /// Storage statistics of the daemon.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.core.as_ref().map(|c| c.daemon.stats()).unwrap_or_default()
+    }
+
+    /// Snapshot of every known remote device.
+    pub fn known_devices(&self) -> Vec<StoredDevice> {
+        self.core
+            .as_ref()
+            .map(|c| c.daemon.storage().device_list().into_iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of one connection.
+    pub fn connection(&self, conn: ConnectionId) -> Option<ConnectionSnapshot> {
+        self.core
+            .as_ref()
+            .and_then(|c| c.connections.get(conn))
+            .map(ConnectionSnapshot::from)
+    }
+
+    /// Snapshots of every connection.
+    pub fn connections(&self) -> Vec<ConnectionSnapshot> {
+        self.core
+            .as_ref()
+            .map(|c| c.connections.iter().map(ConnectionSnapshot::from).collect())
+            .unwrap_or_default()
+    }
+
+    /// The radio link currently carrying a connection, if any. Scenario
+    /// drivers use this to install the §5.2.1 artificial quality decay on the
+    /// link under a live connection.
+    pub fn connection_link(&self, conn: ConnectionId) -> Option<LinkId> {
+        self.core
+            .as_ref()
+            .and_then(|c| c.connections.get(conn))
+            .and_then(|c| c.link)
+    }
+
+    /// The application owning a connection, if any.
+    pub fn connection_owner(&self, conn: ConnectionId) -> Option<AppId> {
+        self.core.as_ref().and_then(|c| c.owner_of(conn))
+    }
+
+    /// Number of connection pairs currently relayed by this node's bridge
+    /// service, plus the totals it has relayed.
+    pub fn bridge_stats(&self) -> (usize, u64, u64) {
+        self.core
+            .as_ref()
+            .map(|c| {
+                (
+                    c.bridge.len(),
+                    c.bridge.total_relayed_messages(),
+                    c.bridge.total_relayed_bytes(),
+                )
+            })
+            .unwrap_or((0, 0, 0))
+    }
+
+    /// Number of routing handovers successfully completed by this node.
+    pub fn handover_completions(&self) -> u64 {
+        self.core.as_ref().map(|c| c.handover_completions).unwrap_or(0)
+    }
+
+    /// Number of server-initiated reply reconnections completed (result
+    /// routing, §5.3).
+    pub fn reply_reconnections(&self) -> u64 {
+        self.core.as_ref().map(|c| c.reply_reconnections).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Application registry access
+    // ------------------------------------------------------------------
+
+    /// Ids of all hosted applications, in registration order.
+    pub fn app_ids(&self) -> Vec<AppId> {
+        self.apps.keys().copied().collect()
+    }
+
+    /// Typed access to the first hosted application of type `T`.
+    pub fn app<T: Application>(&self) -> Option<&T> {
+        self.apps.values().find_map(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable typed access to the first hosted application of type `T`.
+    pub fn app_mut<T: Application>(&mut self) -> Option<&mut T> {
+        self.apps.values_mut().find_map(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Typed access to a specific application by id.
+    pub fn app_by_id<T: Application>(&self, id: AppId) -> Option<&T> {
+        self.apps.get(&id).and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Runs a closure against the first hosted application of type `T` —
+    /// the typed inspection hook scenario drivers use instead of chaining
+    /// `app::<T>().unwrap()`.
+    pub fn with_app<T: Application, R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.app::<T>().map(f)
+    }
+
+    /// Mutable variant of [`PeerHoodNode::with_app`].
+    pub fn with_app_mut<T: Application, R>(&mut self, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        self.app_mut::<T>().map(f)
+    }
+
+    // ------------------------------------------------------------------
+    // Event trace
+    // ------------------------------------------------------------------
+
+    /// Starts recording every dispatched [`PeerHoodEvent`] so scenario
+    /// drivers can assert on middleware behaviour without downcasting to
+    /// concrete application types. Already-recorded events are kept.
+    pub fn subscribe_event_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(VecDeque::new());
+        }
+    }
+
+    /// True when the event trace is being recorded.
+    pub fn event_trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains and returns the recorded events (empty when the trace is not
+    /// subscribed). At most [`EVENT_TRACE_CAP`] events are retained between
+    /// drains — drain periodically in long scenarios, or the oldest events
+    /// (including their cloned `Data` payloads) are dropped.
+    pub fn take_event_trace(&mut self) -> Vec<PeerHoodEvent> {
+        self.trace.as_mut().map(|t| t.drain(..).collect()).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Driver-side API access and event dispatch
+    // ------------------------------------------------------------------
+
+    /// Runs a closure with the [`PeerHoodApi`], letting scenario drivers
+    /// invoke application-level operations directly ("now connect to that
+    /// service"). Operations act on behalf of the first hosted application
+    /// (so the resulting callbacks are routed to it); on a node without
+    /// applications they are unowned. Pending application callbacks are
+    /// delivered afterwards.
+    ///
+    /// Returns `None` if the node has not started yet.
+    pub fn with_api<R>(&mut self, ctx: &mut NodeCtx<'_>, f: impl FnOnce(&mut PeerHoodApi<'_, '_>) -> R) -> Option<R> {
+        let app = self.apps.keys().next().copied();
+        self.with_api_for(app, ctx, f)
+    }
+
+    /// Like [`PeerHoodNode::with_api`], but acting on behalf of a specific
+    /// hosted application.
+    pub fn with_api_for<R>(
+        &mut self,
+        app: Option<AppId>,
+        ctx: &mut NodeCtx<'_>,
+        f: impl FnOnce(&mut PeerHoodApi<'_, '_>) -> R,
+    ) -> Option<R> {
+        let result = {
+            let core = self.core.as_mut()?;
+            let mut api = PeerHoodApi { core, ctx, app };
+            Some(f(&mut api))
+        };
+        self.drain_events(ctx);
+        result
+    }
+
+    fn drain_events(&mut self, ctx: &mut NodeCtx<'_>) {
+        while let Some(event) = self.core.as_mut().and_then(|c| c.events.pop_front()) {
+            if let Some(trace) = self.trace.as_mut() {
+                if trace.len() == EVENT_TRACE_CAP {
+                    trace.pop_front();
+                }
+                trace.push_back(event.clone());
+            }
+            let core = match self.core.as_mut() {
+                Some(c) => c,
+                None => break,
+            };
+            let apps = &mut self.apps;
+            match event {
+                PeerHoodEvent::Started { app } => {
+                    Self::deliver(apps, core, ctx, Some(app), |a, api| a.on_start(api));
+                }
+                PeerHoodEvent::DeviceDiscovered { address } => {
+                    let ids: Vec<AppId> = apps.keys().copied().collect();
+                    for id in ids {
+                        Self::deliver(apps, core, ctx, Some(id), |a, api| a.on_device_discovered(api, address));
+                    }
+                }
+                PeerHoodEvent::DeviceLost { address } => {
+                    let ids: Vec<AppId> = apps.keys().copied().collect();
+                    for id in ids {
+                        Self::deliver(apps, core, ctx, Some(id), |a, api| a.on_device_lost(api, address));
+                    }
+                }
+                PeerHoodEvent::PeerConnected {
+                    app,
+                    conn,
+                    client,
+                    service,
+                } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| {
+                        a.on_peer_connected(api, conn, client, &service)
+                    });
+                }
+                PeerHoodEvent::Connected { app, conn } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_connected(api, conn));
+                }
+                PeerHoodEvent::ConnectFailed { app, conn, error } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_connect_failed(api, conn, error));
+                }
+                PeerHoodEvent::Data { app, conn, payload } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_data(api, conn, payload));
+                }
+                PeerHoodEvent::Disconnected { app, conn, graceful } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_disconnected(api, conn, graceful));
+                }
+                PeerHoodEvent::ConnectionChanged { app, conn } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_connection_changed(api, conn));
+                }
+                PeerHoodEvent::ServiceReconnected { app, conn, provider } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| {
+                        a.on_service_reconnected(api, conn, provider)
+                    });
+                }
+                PeerHoodEvent::ReconnectRequired { app, conn, candidates } => {
+                    let mut asked = false;
+                    Self::deliver(apps, core, ctx, app, |a, api| {
+                        asked = true;
+                        if a.on_reconnect_required(api, conn, &candidates) {
+                            api.core.start_service_reconnection(api.ctx, conn, &candidates);
+                        } else {
+                            api.core.abandon_connection(conn);
+                        }
+                    });
+                    if !asked {
+                        // No application can approve the restart: the
+                        // connection is abandoned.
+                        core.abandon_connection(conn);
+                    }
+                }
+                PeerHoodEvent::Timer { app, token } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_timer(api, token));
+                }
+            }
+        }
+    }
+
+    /// Resolves an event's target application and invokes one callback on it
+    /// with a correctly-scoped [`PeerHoodApi`]. Does nothing when the event
+    /// has no (living) target.
+    fn deliver(
+        apps: &mut BTreeMap<AppId, Box<dyn Application>>,
+        core: &mut Core,
+        ctx: &mut NodeCtx<'_>,
+        app: Option<AppId>,
+        f: impl FnOnce(&mut dyn Application, &mut PeerHoodApi<'_, '_>),
+    ) {
+        let id = match app {
+            Some(id) => id,
+            None => return,
+        };
+        if let Some(a) = apps.get_mut(&id) {
+            let mut api = PeerHoodApi {
+                core,
+                ctx,
+                app: Some(id),
+            };
+            f(a.as_mut(), &mut api);
+        }
+    }
+}
+
+impl NodeAgent for PeerHoodNode {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let info = DeviceInfo::new(
+            ctx.node_id(),
+            self.config.device_name.clone(),
+            self.config.mobility,
+            &self.config.techs,
+        );
+        let mut core = Core::new(info, self.config.clone());
+        core.start(ctx);
+        for id in self.apps.keys() {
+            core.events.push_back(PeerHoodEvent::Started { app: *id });
+        }
+        self.core = Some(core);
+        self.drain_events(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_timer(ctx, timer);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_inquiry_complete(ctx, tech, hits);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+        match self.core.as_mut() {
+            Some(core) => {
+                core.engine.set_role(incoming.link, LinkRole::IncomingUnidentified);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut NodeCtx<'_>, attempt: AttemptId, link: LinkId, peer: NodeId, tech: RadioTech) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_connected(ctx, attempt, link, peer, tech);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_connect_failed(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        peer: NodeId,
+        tech: RadioTech,
+        error: ConnectError,
+    ) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_connect_failed(ctx, attempt, peer, tech, error);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_message(ctx, link, from, payload);
+        }
+        self.drain_events(ctx);
+    }
+
+    fn on_disconnected(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, peer: NodeId, reason: DisconnectReason) {
+        if let Some(core) = self.core.as_mut() {
+            core.handle_disconnected(ctx, link, peer, reason);
+        }
+        self.drain_events(ctx);
+    }
+}

@@ -1,0 +1,144 @@
+//! The PeerHood node: glue between the middleware and the simulated radio.
+//!
+//! [`PeerHoodNode`] implements [`simnet::NodeAgent`] and owns the whole
+//! middleware stack of one device — daemon, engine, connection table, bridge
+//! service and handover machinery — plus the registry of
+//! [`Application`](crate::application::Application)s running on top of it.
+//! Applications act on the middleware through [`PeerHoodApi`] and receive
+//! their callbacks through the typed [`PeerHoodEvent`] dispatch layer.
+//!
+//! The module is split by responsibility:
+//!
+//! * [`host`] — the node itself: application registry, fluent
+//!   [`PeerHoodNodeBuilder`], event dispatch and the
+//!   [`simnet::NodeAgent`] implementation,
+//! * [`api`] — the [`PeerHoodApi`] handle applications and scenario drivers
+//!   use to act on the middleware,
+//! * [`events`] — the [`PeerHoodEvent`] vocabulary and [`AppId`],
+//! * [`pending`] — the physical connection-attempt ledger (why each radio
+//!   connect was started, and what to do when it succeeds or fails),
+//! * [`protocol`] — wire-message handling, discovery cycles, bridge
+//!   relaying, quality monitoring and handover.
+//!
+//! The original implementation runs these pieces as threads (inquiry thread,
+//! advertisement thread, roaming/handover threads, the bridge main loop);
+//! here every thread becomes a timer or a radio event handled on the
+//! simulator's event loop, which keeps the protocol behaviour identical but
+//! deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use simnet::{AttemptId, RadioTech, TimerToken};
+
+use crate::bridge::BridgeService;
+use crate::config::PeerHoodConfig;
+use crate::connection::ConnectionTable;
+use crate::daemon::Daemon;
+use crate::device::DeviceInfo;
+use crate::engine::Engine;
+use crate::ids::{ConnectionId, DeviceAddress};
+
+pub mod api;
+pub mod events;
+pub mod host;
+pub mod pending;
+pub mod protocol;
+
+#[cfg(test)]
+mod tests;
+
+pub use api::PeerHoodApi;
+pub use events::{AppId, PeerHoodEvent};
+pub use host::{PeerHoodNode, PeerHoodNodeBuilder};
+pub use pending::PendingPurpose;
+
+const KIND_SHIFT: u64 = 56;
+const KIND_INQUIRY: u64 = 1;
+const KIND_MONITOR: u64 = 2;
+const KIND_APP: u64 = 3;
+const KIND_RETRY: u64 = 4;
+const PAYLOAD_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+fn token(kind: u64, payload: u64) -> TimerToken {
+    TimerToken((kind << KIND_SHIFT) | (payload & PAYLOAD_MASK))
+}
+
+/// Everything the node owns once started: the middleware state shared by the
+/// protocol, pending-attempt and API layers.
+pub(crate) struct Core {
+    pub(crate) config: PeerHoodConfig,
+    pub(crate) daemon: Daemon,
+    pub(crate) engine: Engine,
+    pub(crate) connections: ConnectionTable,
+    pub(crate) bridge: BridgeService,
+    pub(crate) pending: BTreeMap<AttemptId, PendingPurpose>,
+    pub(crate) retry_conns: BTreeMap<u64, ConnectionId>,
+    pub(crate) next_retry_token: u64,
+    /// In-flight application timers, keyed by the sequential payload carried
+    /// in the simulator timer. The indirection preserves the full 64-bit
+    /// application token and the scheduling [`AppId`].
+    pub(crate) app_timers: BTreeMap<u64, (Option<AppId>, u64)>,
+    pub(crate) next_app_timer: u64,
+    /// Typed events queued during protocol processing and dispatched by the
+    /// host once the middleware state is consistent.
+    pub(crate) events: VecDeque<PeerHoodEvent>,
+    /// Which application registered each local service (incoming connections
+    /// to that service are routed to it).
+    pub(crate) service_owner: BTreeMap<String, AppId>,
+    /// Which application owns each logical connection (all per-connection
+    /// callbacks are routed to it).
+    pub(crate) conn_owner: BTreeMap<ConnectionId, AppId>,
+    pub(crate) handover_completions: u64,
+    pub(crate) reply_reconnections: u64,
+}
+
+impl Core {
+    pub(crate) fn new(info: DeviceInfo, config: PeerHoodConfig) -> Self {
+        Core {
+            daemon: Daemon::new(info, &config),
+            engine: Engine::new(),
+            connections: ConnectionTable::new(),
+            bridge: BridgeService::new(config.bridge.max_connections),
+            pending: BTreeMap::new(),
+            retry_conns: BTreeMap::new(),
+            next_retry_token: 0,
+            app_timers: BTreeMap::new(),
+            next_app_timer: 0,
+            events: VecDeque::new(),
+            service_owner: BTreeMap::new(),
+            conn_owner: BTreeMap::new(),
+            handover_completions: 0,
+            reply_reconnections: 0,
+            config,
+        }
+    }
+
+    pub(crate) fn my_address(&self) -> DeviceAddress {
+        self.daemon.info().address
+    }
+
+    pub(crate) fn my_info(&self) -> DeviceInfo {
+        self.daemon.info().clone()
+    }
+
+    /// The application owning a connection, if any.
+    pub(crate) fn owner_of(&self, conn: ConnectionId) -> Option<AppId> {
+        self.conn_owner.get(&conn).copied()
+    }
+
+    /// Radio technology to use towards a device (first configured technology
+    /// the target also supports, falling back to our primary one).
+    pub(crate) fn tech_for(&self, target: Option<&DeviceInfo>) -> RadioTech {
+        let primary = self.config.techs.first().copied().unwrap_or(RadioTech::Bluetooth);
+        match target {
+            Some(info) => self
+                .config
+                .techs
+                .iter()
+                .copied()
+                .find(|t| info.supports(*t))
+                .unwrap_or(primary),
+            None => primary,
+        }
+    }
+}

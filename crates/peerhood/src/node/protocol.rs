@@ -1,0 +1,972 @@
+//! Wire-message handling, discovery cycles, bridge relaying and handover.
+//!
+//! These are the protocol state machines of the middleware: everything that
+//! reacts to a decoded [`Message`] on a classified link, plus the
+//! timer-driven inquiry loop and the quality-monitoring pass of the
+//! HandoverThread (§5.2.1). They mutate the shared [`Core`] and queue typed
+//! [`PeerHoodEvent`]s for the host to dispatch.
+
+use simnet::{DisconnectReason, InquiryHit, LinkId, NodeCtx, NodeId, RadioTech, SimDuration};
+
+use crate::bridge::BridgeSide;
+use crate::connection::{AppConnection, ConnKind, ConnState};
+use crate::device::DeviceInfo;
+use crate::engine::LinkRole;
+use crate::error::{ErrorCode, PeerHoodError};
+use crate::handover::{HandoverMonitor, HandoverTarget};
+use crate::ids::{ConnectionId, DeviceAddress};
+use crate::proto::Message;
+use crate::wire;
+
+use super::pending::PendingPurpose;
+use super::{token, Core, PeerHoodEvent, KIND_APP, KIND_INQUIRY, KIND_MONITOR, KIND_RETRY, KIND_SHIFT, PAYLOAD_MASK};
+
+impl Core {
+    pub(crate) fn send_frame(&self, ctx: &mut NodeCtx<'_>, link: LinkId, message: &Message) {
+        let _ = ctx.send(link, wire::encode(message));
+    }
+
+    pub(crate) fn start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Stagger the plugin inquiry loops a little so co-located devices do
+        // not scan in lock-step.
+        for (idx, _tech) in self.config.techs.clone().iter().enumerate() {
+            let jitter = SimDuration::from_millis(ctx.rng().range(0u64..2_000));
+            ctx.schedule(jitter, token(KIND_INQUIRY, idx as u64));
+        }
+        ctx.schedule(self.config.monitor.interval, token(KIND_MONITOR, 0));
+    }
+
+    pub(crate) fn handle_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: simnet::TimerToken) {
+        let kind = timer.0 >> KIND_SHIFT;
+        let payload = timer.0 & PAYLOAD_MASK;
+        match kind {
+            KIND_INQUIRY => {
+                let tech = match self.config.techs.get(payload as usize).copied() {
+                    Some(t) => t,
+                    None => return,
+                };
+                if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
+                    if plugin.cycle_active {
+                        // The previous cycle is still fetching; retry shortly.
+                        ctx.schedule(SimDuration::from_secs(2), timer);
+                        return;
+                    }
+                    plugin.begin_cycle(ctx.now());
+                }
+                ctx.start_inquiry(tech);
+            }
+            KIND_MONITOR => {
+                self.monitor_pass(ctx);
+                ctx.schedule(self.config.monitor.interval, token(KIND_MONITOR, 0));
+            }
+            KIND_APP => {
+                if let Some((app, token_value)) = self.app_timers.remove(&payload) {
+                    self.events.push_back(PeerHoodEvent::Timer {
+                        app,
+                        token: token_value,
+                    });
+                }
+            }
+            KIND_RETRY => {
+                if let Some(conn) = self.retry_conns.remove(&payload) {
+                    self.try_reply_reconnect(ctx, conn);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn schedule_next_inquiry(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech) {
+        if let Some(idx) = self.config.techs.iter().position(|t| *t == tech) {
+            // Random per-cycle jitter keeps co-located devices from scanning
+            // in lock-step, which together with the Bluetooth inquiry
+            // asymmetry (§3.4.2) would otherwise make them mutually
+            // invisible for long stretches.
+            let base = self.config.discovery.inquiry_interval;
+            let jitter = SimDuration::from_millis(ctx.rng().range(0u64..=base.as_millis().max(1)));
+            ctx.schedule(base + jitter, token(KIND_INQUIRY, idx as u64));
+        }
+    }
+
+    pub(crate) fn handle_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+        let now = ctx.now();
+        let service_check = self.config.discovery.service_check_interval;
+        let mut fetches: Vec<(NodeId, DeviceAddress, u8)> = Vec::new();
+        for hit in &hits {
+            let addr = DeviceAddress::from_node(hit.node);
+            if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
+                plugin.note_responder(addr);
+            }
+            if self.daemon.storage().needs_recheck(addr, now, service_check) {
+                fetches.push((hit.node, addr, hit.quality));
+            } else {
+                self.daemon.storage_mut().mark_responded(addr, hit.quality, now);
+            }
+        }
+        for (node, addr, quality) in fetches {
+            if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
+                plugin.note_fetch_started();
+            }
+            let attempt = ctx.connect(node, tech);
+            self.pending.insert(
+                attempt,
+                PendingPurpose::DaemonFetch {
+                    peer: addr,
+                    tech,
+                    quality,
+                },
+            );
+        }
+        // If nothing needs fetching the cycle completes immediately.
+        let cycle_done = self
+            .daemon
+            .plugins()
+            .get(tech)
+            .map(|p| p.pending_fetches == 0)
+            .unwrap_or(true);
+        if cycle_done {
+            self.finish_discovery_cycle(ctx, tech);
+        }
+    }
+
+    fn finish_discovery_cycle(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech) {
+        let now = ctx.now();
+        let removed = self.daemon.complete_cycle(tech, &self.config, now);
+        for address in removed {
+            self.events.push_back(PeerHoodEvent::DeviceLost { address });
+        }
+        self.schedule_next_inquiry(ctx, tech);
+    }
+
+    pub(crate) fn note_fetch_finished(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech) {
+        let done = self
+            .daemon
+            .plugins_mut()
+            .get_mut(tech)
+            .map(|p| p.cycle_active && p.note_fetch_finished())
+            .unwrap_or(false);
+        if done {
+            self.finish_discovery_cycle(ctx, tech);
+        }
+    }
+
+    pub(crate) fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+        let message = match wire::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let role = self.engine.role(link).unwrap_or(LinkRole::IncomingUnidentified);
+        match role {
+            LinkRole::IncomingUnidentified => self.identify_incoming(ctx, link, from, message),
+            LinkRole::DaemonFetch { tech, quality, .. } => {
+                self.handle_fetch_response(ctx, link, tech, quality, message)
+            }
+            LinkRole::DaemonServe => {
+                // The requester normally just closes; ignore anything else.
+            }
+            LinkRole::AppConnection(conn) => self.handle_app_message(ctx, link, conn, message),
+            LinkRole::HandoverPending(conn) => self.handle_handover_message(ctx, link, conn, message),
+            LinkRole::BridgeUpstream(conn) => {
+                self.handle_bridge_message(ctx, link, conn, BridgeSide::Upstream, message)
+            }
+            LinkRole::BridgeDownstream(conn) => {
+                self.handle_bridge_message(ctx, link, conn, BridgeSide::Downstream, message)
+            }
+        }
+    }
+
+    fn identify_incoming(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, message: Message) {
+        match message {
+            Message::InquiryRequest { requester: _ } => {
+                let response = self
+                    .daemon
+                    .build_inquiry_response(self.config.discovery.max_export_jumps, self.bridge.load_percent());
+                self.engine.set_role(link, LinkRole::DaemonServe);
+                self.send_frame(ctx, link, &response);
+            }
+            Message::ConnectRequest {
+                conn_id,
+                service,
+                client,
+                reply_context,
+            } => self.handle_connect_request(ctx, link, conn_id, service, client, reply_context),
+            Message::BridgeRequest {
+                conn_id,
+                destination,
+                service,
+                client,
+                reply_context,
+            } => self.handle_bridge_request(ctx, link, conn_id, destination, service, client, reply_context),
+            _ => {
+                // Anything else on an unidentified link is a protocol error.
+                ctx.close(link);
+                self.engine.remove(link);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_connect_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn_id: ConnectionId,
+        service: String,
+        client: DeviceInfo,
+        reply_context: Option<ConnectionId>,
+    ) {
+        let now = ctx.now();
+        // Case 1: the server is calling back with the result of a migrated
+        // task — attach the link to the waiting session (§5.3).
+        if let Some(orig) = reply_context {
+            if self.connections.get(orig).is_some() {
+                if let Some(c) = self.connections.get_mut(orig) {
+                    if let Some(old) = c.link.take() {
+                        if old != link {
+                            ctx.close(old);
+                            self.engine.remove(old);
+                        }
+                    }
+                    c.establish(link, now);
+                }
+                self.engine.set_role(link, LinkRole::AppConnection(orig));
+                self.send_frame(ctx, link, &Message::Accept { conn_id });
+                self.events.push_back(PeerHoodEvent::ConnectionChanged {
+                    app: self.owner_of(orig),
+                    conn: orig,
+                });
+                return;
+            }
+        }
+        // Case 2: re-establishment of a session this device already knows
+        // (server side of a routing handover or client re-attachment).
+        if self.connections.get(conn_id).is_some() {
+            if let Some(c) = self.connections.get_mut(conn_id) {
+                if let Some(old) = c.link.take() {
+                    if old != link {
+                        ctx.close(old);
+                        self.engine.remove(old);
+                    }
+                }
+                c.establish(link, now);
+            }
+            self.engine.set_role(link, LinkRole::AppConnection(conn_id));
+            self.send_frame(ctx, link, &Message::Accept { conn_id });
+            self.events.push_back(PeerHoodEvent::ConnectionChanged {
+                app: self.owner_of(conn_id),
+                conn: conn_id,
+            });
+            self.flush_outbox(ctx, conn_id);
+            return;
+        }
+        // Case 3: splice of an existing bridge pair's upstream leg (the
+        // per-hop handover of §5.2.1's monitoring-limitation discussion).
+        if self.bridge.get(conn_id).is_some() {
+            let old_upstream = self.bridge.get(conn_id).map(|p| p.upstream);
+            if let Some(pair) = self.bridge.get_mut(conn_id) {
+                pair.upstream = link;
+            }
+            if let Some(old) = old_upstream {
+                if old != link {
+                    ctx.close(old);
+                    self.engine.remove(old);
+                }
+            }
+            self.engine.set_role(link, LinkRole::BridgeUpstream(conn_id));
+            self.send_frame(ctx, link, &Message::Accept { conn_id });
+            return;
+        }
+        // Case 4: a brand-new incoming connection to one of our services.
+        if self.daemon.registry().find(&service).is_some() {
+            let connection = AppConnection::incoming(conn_id, client.clone(), service.clone(), link, now);
+            self.connections.insert(connection);
+            self.engine.set_role(link, LinkRole::AppConnection(conn_id));
+            self.send_frame(ctx, link, &Message::Accept { conn_id });
+            // Route the new connection to the application that registered
+            // the service.
+            let owner = self.service_owner.get(&service).copied();
+            if let Some(owner) = owner {
+                self.conn_owner.insert(conn_id, owner);
+            }
+            self.events.push_back(PeerHoodEvent::PeerConnected {
+                app: owner,
+                conn: conn_id,
+                client,
+                service,
+            });
+        } else {
+            self.send_frame(
+                ctx,
+                link,
+                &Message::Error {
+                    conn_id,
+                    code: ErrorCode::ServiceUnavailable,
+                    detail: format!("no service named {service}"),
+                },
+            );
+            ctx.close(link);
+            self.engine.remove(link);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_bridge_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn_id: ConnectionId,
+        destination: DeviceAddress,
+        service: String,
+        client: DeviceInfo,
+        reply_context: Option<ConnectionId>,
+    ) {
+        // A bridge request whose destination is this very device behaves like
+        // a direct connect request (defensive; bridges normally convert it).
+        if destination == self.my_address() {
+            self.handle_connect_request(ctx, link, conn_id, service, client, reply_context);
+            return;
+        }
+        if !self.config.bridge.enabled || !self.bridge.has_capacity() {
+            self.bridge.record_refusal();
+            self.send_frame(
+                ctx,
+                link,
+                &Message::Error {
+                    conn_id,
+                    code: ErrorCode::BridgeBusy,
+                    detail: "bridge service unavailable or at capacity".into(),
+                },
+            );
+            ctx.close(link);
+            self.engine.remove(link);
+            return;
+        }
+        // Select the next hop from the device storage (Fig. 4.4: "get devices
+        // list, find given address").
+        let next_hop = match self.daemon.storage().get(destination) {
+            Some(entry) => {
+                if entry.route.is_direct() {
+                    Some((destination, self.tech_for(Some(&entry.info))))
+                } else {
+                    entry.route.bridge.map(|b| {
+                        let tech = self.tech_for(self.daemon.storage().get(b).map(|e| &e.info));
+                        (b, tech)
+                    })
+                }
+            }
+            None => None,
+        };
+        let (hop, tech) = match next_hop {
+            Some(h) => h,
+            None => {
+                self.bridge.record_refusal();
+                self.send_frame(
+                    ctx,
+                    link,
+                    &Message::Error {
+                        conn_id,
+                        code: ErrorCode::NoRouteToDestination,
+                        detail: format!("no route to {destination}"),
+                    },
+                );
+                ctx.close(link);
+                self.engine.remove(link);
+                return;
+            }
+        };
+        self.bridge
+            .insert_pending(conn_id, link, destination, service, client, reply_context);
+        self.engine.set_role(link, LinkRole::BridgeUpstream(conn_id));
+        let attempt = ctx.connect(hop.node_id(), tech);
+        self.pending
+            .insert(attempt, PendingPurpose::BridgeLeg { conn: conn_id });
+    }
+
+    fn handle_fetch_response(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        tech: RadioTech,
+        quality: u8,
+        message: Message,
+    ) {
+        if let Message::InquiryResponse {
+            device,
+            services,
+            neighbors,
+            bridge_load_percent,
+        } = message
+        {
+            let now = ctx.now();
+            let discovered = self.daemon.process_inquiry_response(
+                device,
+                services,
+                &neighbors,
+                bridge_load_percent,
+                quality,
+                &self.config,
+                now,
+            );
+            for address in discovered {
+                self.events.push_back(PeerHoodEvent::DeviceDiscovered { address });
+            }
+            ctx.close(link);
+            self.engine.remove(link);
+            self.note_fetch_finished(ctx, tech);
+        }
+    }
+
+    fn handle_app_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, conn: ConnectionId, message: Message) {
+        // Stale links must not affect the session (the connection may already
+        // have been handed over to a different link).
+        let is_current = self
+            .connections
+            .get(conn)
+            .map(|c| c.link == Some(link))
+            .unwrap_or(false);
+        if !is_current {
+            if matches!(message, Message::Disconnect { .. }) {
+                ctx.close(link);
+                self.engine.remove(link);
+            }
+            return;
+        }
+        match message {
+            Message::Accept { .. } => {
+                let now = ctx.now();
+                let (fire, reconnected_to) = match self.connections.get_mut(conn) {
+                    Some(c) if c.state == ConnState::AwaitingAccept => {
+                        c.establish(link, now);
+                        if c.reconnecting {
+                            c.reconnecting = false;
+                            (true, Some(c.remote))
+                        } else {
+                            (true, None)
+                        }
+                    }
+                    _ => (false, None),
+                };
+                if fire {
+                    let is_incoming = self.connections.get(conn).map(|c| !c.is_outgoing()).unwrap_or(false);
+                    let app = self.owner_of(conn);
+                    if is_incoming {
+                        // Server reply channel established: deliver queued results.
+                        self.reply_reconnections += 1;
+                        self.events.push_back(PeerHoodEvent::ConnectionChanged { app, conn });
+                        self.flush_outbox(ctx, conn);
+                    } else if let Some(provider) = reconnected_to {
+                        self.events
+                            .push_back(PeerHoodEvent::ServiceReconnected { app, conn, provider });
+                    } else {
+                        self.events.push_back(PeerHoodEvent::Connected { app, conn });
+                    }
+                }
+            }
+            Message::Error { code, detail, .. } => {
+                let outgoing = self.connections.get(conn).map(|c| c.is_outgoing()).unwrap_or(true);
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.link = None;
+                    c.state = if outgoing { ConnState::Failed } else { ConnState::Closed };
+                }
+                ctx.close(link);
+                self.engine.remove(link);
+                if outgoing {
+                    self.events.push_back(PeerHoodEvent::ConnectFailed {
+                        app: self.owner_of(conn),
+                        conn,
+                        error: PeerHoodError::Remote(format!("{code}: {detail}")),
+                    });
+                } else {
+                    self.schedule_reply_retry(ctx, conn);
+                }
+            }
+            Message::Data { payload, .. } => {
+                self.events.push_back(PeerHoodEvent::Data {
+                    app: self.owner_of(conn),
+                    conn,
+                    payload,
+                });
+            }
+            Message::Disconnect { .. } => {
+                if let Some(c) = self.connections.get_mut(conn) {
+                    c.mark_closed();
+                }
+                ctx.close(link);
+                self.engine.remove(link);
+                self.events.push_back(PeerHoodEvent::Disconnected {
+                    app: self.owner_of(conn),
+                    conn,
+                    graceful: true,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_handover_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, conn: ConnectionId, message: Message) {
+        match message {
+            Message::Accept { .. } => {
+                let now = ctx.now();
+                let old_link = self.connections.get(conn).and_then(|c| c.link);
+                let via = self.engine.role(link).and_then(|_| self.pending_handover_via(conn));
+                if let Some(c) = self.connections.get_mut(conn) {
+                    if let Some(old) = old_link {
+                        if old != link {
+                            ctx.close(old);
+                        }
+                    }
+                    c.establish(link, now);
+                    if let Some(via) = via {
+                        c.kind = ConnKind::OutgoingBridged { bridge: via };
+                    }
+                    if let Some(monitor) = c.monitor.as_mut() {
+                        monitor.switch_succeeded();
+                    }
+                }
+                if let Some(old) = old_link {
+                    if old != link {
+                        self.engine.remove(old);
+                    }
+                }
+                self.engine.set_role(link, LinkRole::AppConnection(conn));
+                self.handover_completions += 1;
+                self.events.push_back(PeerHoodEvent::ConnectionChanged {
+                    app: self.owner_of(conn),
+                    conn,
+                });
+            }
+            Message::Error { .. } => {
+                ctx.close(link);
+                self.engine.remove(link);
+                self.handover_attempt_failed(ctx, conn);
+            }
+            _ => {}
+        }
+    }
+
+    /// The bridge the in-flight handover of `conn` goes through, recovered
+    /// from the connection's stored candidate.
+    fn pending_handover_via(&self, conn: ConnectionId) -> Option<DeviceAddress> {
+        self.connections
+            .get(conn)
+            .and_then(|c| c.monitor.as_ref())
+            .and_then(|m| m.candidate.map(|cand| cand.bridge))
+            .or_else(|| {
+                // The candidate is consumed on begin_switch; fall back to the
+                // last pending Handover purpose if any is still recorded.
+                self.pending.values().find_map(|p| match p {
+                    PendingPurpose::Handover { conn: c, via } if *c == conn => Some(*via),
+                    _ => None,
+                })
+            })
+    }
+
+    fn handle_bridge_message(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn: ConnectionId,
+        side: BridgeSide,
+        message: Message,
+    ) {
+        // Ignore traffic on legs that are no longer part of the pair.
+        let current = match self.bridge.get(conn) {
+            Some(pair) => match side {
+                BridgeSide::Upstream => pair.upstream == link,
+                BridgeSide::Downstream => pair.downstream == Some(link),
+            },
+            None => false,
+        };
+        if !current {
+            return;
+        }
+        match message {
+            Message::Accept { .. } if side == BridgeSide::Downstream => {
+                if let Some(pair) = self.bridge.get_mut(conn) {
+                    pair.established = true;
+                }
+                if let Some(upstream) = self.bridge.get(conn).map(|p| p.upstream) {
+                    self.send_frame(ctx, upstream, &Message::Accept { conn_id: conn });
+                }
+            }
+            Message::Error { code, detail, .. } if side == BridgeSide::Downstream => {
+                if let Some(pair) = self.bridge.remove(conn) {
+                    self.send_frame(
+                        ctx,
+                        pair.upstream,
+                        &Message::Error {
+                            conn_id: conn,
+                            code,
+                            detail,
+                        },
+                    );
+                    ctx.close(pair.upstream);
+                    ctx.close(link);
+                    self.engine.remove(pair.upstream);
+                    self.engine.remove(link);
+                }
+            }
+            Message::Data { payload, .. } => {
+                if let Some((_, other, _)) = self.bridge.relay_target(link) {
+                    self.bridge.record_relay(conn, payload.len());
+                    self.send_frame(ctx, other, &Message::Data { conn_id: conn, payload });
+                }
+            }
+            Message::Disconnect { .. } => {
+                if let Some(pair) = self.bridge.remove(conn) {
+                    let other = match side {
+                        BridgeSide::Upstream => pair.downstream,
+                        BridgeSide::Downstream => Some(pair.upstream),
+                    };
+                    if let Some(other) = other {
+                        self.send_frame(ctx, other, &Message::Disconnect { conn_id: conn });
+                        ctx.close(other);
+                        self.engine.remove(other);
+                    }
+                    ctx.close(link);
+                    self.engine.remove(link);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn fail_bridge_pair(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId, code: ErrorCode) {
+        if let Some(pair) = self.bridge.remove(conn) {
+            self.send_frame(
+                ctx,
+                pair.upstream,
+                &Message::Error {
+                    conn_id: conn,
+                    code,
+                    detail: "bridge leg failed".into(),
+                },
+            );
+            ctx.close(pair.upstream);
+            self.engine.remove(pair.upstream);
+            if let Some(down) = pair.downstream {
+                ctx.close(down);
+                self.engine.remove(down);
+            }
+        }
+    }
+
+    pub(crate) fn handle_disconnected(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        _peer: NodeId,
+        reason: DisconnectReason,
+    ) {
+        let role = match self.engine.remove(link) {
+            Some(r) => r,
+            None => return,
+        };
+        match role {
+            LinkRole::IncomingUnidentified | LinkRole::DaemonServe => {}
+            LinkRole::DaemonFetch { tech, .. } => {
+                self.note_fetch_finished(ctx, tech);
+            }
+            LinkRole::AppConnection(conn) => self.app_link_lost(ctx, conn, link, reason),
+            LinkRole::HandoverPending(conn) => self.handover_attempt_failed(ctx, conn),
+            LinkRole::BridgeUpstream(conn) => {
+                let matches = self.bridge.get(conn).map(|p| p.upstream == link).unwrap_or(false);
+                if matches {
+                    if let Some(pair) = self.bridge.remove(conn) {
+                        if let Some(down) = pair.downstream {
+                            self.send_frame(ctx, down, &Message::Disconnect { conn_id: conn });
+                            ctx.close(down);
+                            self.engine.remove(down);
+                        }
+                    }
+                }
+            }
+            LinkRole::BridgeDownstream(conn) => {
+                let matches = self
+                    .bridge
+                    .get(conn)
+                    .map(|p| p.downstream == Some(link))
+                    .unwrap_or(false);
+                if matches {
+                    self.fail_bridge_pair(ctx, conn, ErrorCode::DownstreamFailed);
+                }
+            }
+        }
+    }
+
+    fn app_link_lost(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId, link: LinkId, reason: DisconnectReason) {
+        let is_current = self
+            .connections
+            .get(conn)
+            .map(|c| c.link == Some(link))
+            .unwrap_or(false);
+        if !is_current {
+            return;
+        }
+        let graceful = reason == DisconnectReason::PeerClosed;
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.mark_closed();
+        }
+        let (outgoing, sending) = match self.connections.get(conn) {
+            Some(c) => (c.is_outgoing(), c.sending),
+            None => return,
+        };
+        if graceful || !outgoing || !sending || !self.config.handover.enabled {
+            self.events.push_back(PeerHoodEvent::Disconnected {
+                app: self.owner_of(conn),
+                conn,
+                graceful,
+            });
+            return;
+        }
+        // The connection broke while still needed: try routing handover
+        // first, then service reconnection (Fig. 5.5 / §5.2.2).
+        if self.try_routing_handover(ctx, conn) {
+            return;
+        }
+        self.propose_service_reconnection(conn);
+    }
+
+    pub(crate) fn handover_destination(&self, c: &AppConnection) -> DeviceAddress {
+        match self.config.handover.target {
+            HandoverTarget::FinalDestination => c.remote,
+            HandoverTarget::LinkPeer => c.kind.first_hop(c.remote).unwrap_or(c.remote),
+        }
+    }
+
+    fn refresh_handover_candidates(&mut self, conn: ConnectionId) {
+        let (target, exclude) = match self.connections.get(conn) {
+            Some(c) => (self.handover_destination(c), c.kind.first_hop(c.remote)),
+            None => return,
+        };
+        let mut candidates = self.daemon.storage().handover_candidates(target);
+        // Fall back on the stored multi-hop route towards the target if no
+        // direct neighbour reports it.
+        if candidates.is_empty() {
+            if let Some(entry) = self.daemon.storage().get(target) {
+                if let Some(bridge) = entry.route.bridge {
+                    let ours = entry.route.first_hop_quality();
+                    let theirs = entry.route.hop_qualities.get(1).copied().unwrap_or(0);
+                    candidates.push((bridge, ours, theirs));
+                }
+            }
+        }
+        if let Some(c) = self.connections.get_mut(conn) {
+            if let Some(monitor) = c.monitor.as_mut() {
+                monitor.refresh_candidates(&candidates, exclude);
+            }
+        }
+    }
+
+    fn try_routing_handover(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) -> bool {
+        // If a replacement route is already being established, let it resolve
+        // instead of stacking a second recovery on top of it.
+        if self
+            .connections
+            .get(conn)
+            .and_then(|c| c.monitor.as_ref())
+            .map(|m| m.is_switching())
+            .unwrap_or(false)
+        {
+            return true;
+        }
+        self.refresh_handover_candidates(conn);
+        let max_attempts = self.config.handover.max_routing_attempts;
+        let candidate = match self.connections.get_mut(conn) {
+            Some(c) => match c.monitor.as_mut() {
+                Some(m) if !m.attempts_exhausted(max_attempts) => m.begin_switch(),
+                _ => None,
+            },
+            None => None,
+        };
+        let candidate = match candidate {
+            Some(c) => c,
+            None => return false,
+        };
+        let tech = self.tech_for(self.daemon.storage().get(candidate.bridge).map(|e| &e.info));
+        let attempt = ctx.connect(candidate.bridge.node_id(), tech);
+        self.pending.insert(
+            attempt,
+            PendingPurpose::Handover {
+                conn,
+                via: candidate.bridge,
+            },
+        );
+        true
+    }
+
+    pub(crate) fn handover_attempt_failed(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        if let Some(c) = self.connections.get_mut(conn) {
+            if let Some(m) = c.monitor.as_mut() {
+                m.switch_failed();
+            }
+        }
+        let still_connected = self.connections.get(conn).map(|c| c.is_established()).unwrap_or(false);
+        if still_connected {
+            // The old route is still up; keep monitoring.
+            return;
+        }
+        // The connection is down and the handover attempt failed: retry or
+        // fall back to service reconnection.
+        if self.try_routing_handover(ctx, conn) {
+            return;
+        }
+        self.propose_service_reconnection(conn);
+    }
+
+    fn propose_service_reconnection(&mut self, conn: ConnectionId) {
+        let (service, remote, sending) = match self.connections.get(conn) {
+            Some(c) => (c.service.clone(), c.remote, c.sending),
+            None => return,
+        };
+        let app = self.owner_of(conn);
+        if !self.config.handover.allow_service_reconnection || !sending {
+            self.events.push_back(PeerHoodEvent::Disconnected {
+                app,
+                conn,
+                graceful: false,
+            });
+            return;
+        }
+        let candidates: Vec<DeviceAddress> = self
+            .daemon
+            .storage()
+            .find_service_providers(&service)
+            .into_iter()
+            .map(|(d, _)| d.info.address)
+            .filter(|a| *a != remote)
+            .collect();
+        if candidates.is_empty() {
+            self.events.push_back(PeerHoodEvent::Disconnected {
+                app,
+                conn,
+                graceful: false,
+            });
+        } else {
+            self.events
+                .push_back(PeerHoodEvent::ReconnectRequired { app, conn, candidates });
+        }
+    }
+
+    pub(crate) fn start_service_reconnection(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        conn: ConnectionId,
+        candidates: &[DeviceAddress],
+    ) {
+        let provider = candidates
+            .iter()
+            .copied()
+            .find(|a| self.daemon.storage().get(*a).is_some());
+        let provider = match provider {
+            Some(p) => p,
+            None => {
+                self.abandon_connection(conn);
+                return;
+            }
+        };
+        let route = match self.daemon.storage().get(provider) {
+            Some(entry) => entry.route.clone(),
+            None => {
+                self.abandon_connection(conn);
+                return;
+            }
+        };
+        let kind = if route.is_direct() {
+            ConnKind::OutgoingDirect
+        } else {
+            match route.bridge {
+                Some(bridge) => ConnKind::OutgoingBridged { bridge },
+                None => ConnKind::OutgoingDirect,
+            }
+        };
+        let monitor_cfg = self.config.monitor.clone();
+        let handover_target = self.config.handover.target;
+        let first_hop = kind.first_hop(provider).unwrap_or(provider);
+        let tech = self.tech_for(self.daemon.storage().get(first_hop).map(|e| &e.info));
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.remote = provider;
+            c.kind = kind;
+            c.state = ConnState::Connecting;
+            c.link = None;
+            c.reconnecting = true;
+            c.monitor = Some(HandoverMonitor::new(
+                monitor_cfg.quality_threshold,
+                monitor_cfg.low_count_limit,
+                handover_target,
+            ));
+        } else {
+            return;
+        }
+        let attempt = ctx.connect(first_hop.node_id(), tech);
+        self.pending.insert(attempt, PendingPurpose::AppConnect { conn });
+    }
+
+    pub(crate) fn abandon_connection(&mut self, conn: ConnectionId) {
+        if let Some(c) = self.connections.get_mut(conn) {
+            c.mark_closed();
+        }
+        self.events.push_back(PeerHoodEvent::Disconnected {
+            app: self.owner_of(conn),
+            conn,
+            graceful: false,
+        });
+    }
+
+    fn monitor_pass(&mut self, ctx: &mut NodeCtx<'_>) {
+        if !self.config.handover.enabled {
+            return;
+        }
+        let ids = self.connections.ids();
+        for conn in ids {
+            let (established, outgoing, sending, link) = match self.connections.get(conn) {
+                Some(c) => (c.is_established(), c.is_outgoing(), c.sending, c.link),
+                None => continue,
+            };
+            if !established || !outgoing || !sending {
+                continue;
+            }
+            // State 0: keep the alternative-route candidate fresh.
+            self.refresh_handover_candidates(conn);
+            // State 1: sample quality and count consecutive low readings.
+            let quality = link.and_then(|l| ctx.link_quality(l));
+            let trigger = match self.connections.get_mut(conn).and_then(|c| c.monitor.as_mut()) {
+                Some(m) => m.record_quality(quality),
+                None => false,
+            };
+            if trigger {
+                // State 2: establish the replacement route.
+                let max_attempts = self.config.handover.max_routing_attempts;
+                let candidate = self.connections.get_mut(conn).and_then(|c| {
+                    c.monitor
+                        .as_mut()
+                        .filter(|m| !m.attempts_exhausted(max_attempts))
+                        .and_then(|m| m.begin_switch())
+                });
+                if let Some(candidate) = candidate {
+                    let tech = self.tech_for(self.daemon.storage().get(candidate.bridge).map(|e| &e.info));
+                    let attempt = ctx.connect(candidate.bridge.node_id(), tech);
+                    self.pending.insert(
+                        attempt,
+                        PendingPurpose::Handover {
+                            conn,
+                            via: candidate.bridge,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    pub(crate) fn flush_outbox(&mut self, ctx: &mut NodeCtx<'_>, conn: ConnectionId) {
+        let (link, payloads) = match self.connections.get_mut(conn) {
+            Some(c) if c.is_established() => (c.link, std::mem::take(&mut c.outbox)),
+            _ => return,
+        };
+        if let Some(link) = link {
+            for payload in payloads {
+                self.send_frame(ctx, link, &Message::Data { conn_id: conn, payload });
+            }
+        }
+    }
+}

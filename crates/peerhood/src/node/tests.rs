@@ -1,0 +1,551 @@
+//! Unit tests for the node host: end-to-end middleware behaviour plus the
+//! multi-application dispatch layer (routing, builder defaults, event
+//! trace).
+
+use std::any::Any;
+
+use simnet::{MobilityModel, Point, RadioTech, SimDuration, World, WorldConfig};
+
+use crate::application::Application;
+use crate::config::PeerHoodConfig;
+use crate::device::{DeviceInfo, MobilityClass};
+use crate::error::PeerHoodError;
+use crate::ids::{ConnectionId, DeviceAddress};
+use crate::service::ServiceInfo;
+
+use super::{AppId, PeerHoodApi, PeerHoodEvent, PeerHoodNode};
+
+/// A scriptable test application that records every callback and echoes
+/// received data back when asked to.
+#[derive(Default)]
+struct TestApp {
+    service: Option<&'static str>,
+    echo: bool,
+    connected: Vec<ConnectionId>,
+    peer_connected: Vec<(ConnectionId, String)>,
+    data: Vec<(ConnectionId, Vec<u8>)>,
+    disconnected: Vec<(ConnectionId, bool)>,
+    changed: Vec<ConnectionId>,
+    failed: Vec<(ConnectionId, PeerHoodError)>,
+    discovered: Vec<DeviceAddress>,
+    timers: Vec<u64>,
+}
+
+impl TestApp {
+    fn server(service: &'static str, echo: bool) -> Self {
+        TestApp {
+            service: Some(service),
+            echo,
+            ..TestApp::default()
+        }
+    }
+}
+
+impl Application for TestApp {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, api: &mut PeerHoodApi<'_, '_>) {
+        if let Some(name) = self.service {
+            api.register_service(ServiceInfo::new(name, "test", 10)).unwrap();
+        }
+    }
+    fn on_peer_connected(
+        &mut self,
+        _api: &mut PeerHoodApi<'_, '_>,
+        conn: ConnectionId,
+        _client: DeviceInfo,
+        service: &str,
+    ) {
+        self.peer_connected.push((conn, service.to_string()));
+    }
+    fn on_connected(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId) {
+        self.connected.push(conn);
+    }
+    fn on_connect_failed(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, error: PeerHoodError) {
+        self.failed.push((conn, error));
+    }
+    fn on_data(&mut self, api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, payload: Vec<u8>) {
+        if self.echo {
+            let mut reply = payload.clone();
+            reply.reverse();
+            let _ = api.send(conn, reply);
+        }
+        self.data.push((conn, payload));
+    }
+    fn on_disconnected(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, graceful: bool) {
+        self.disconnected.push((conn, graceful));
+    }
+    fn on_connection_changed(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId) {
+        self.changed.push(conn);
+    }
+    fn on_device_discovered(&mut self, _api: &mut PeerHoodApi<'_, '_>, address: DeviceAddress) {
+        self.discovered.push(address);
+    }
+    fn on_timer(&mut self, _api: &mut PeerHoodApi<'_, '_>, token: u64) {
+        self.timers.push(token);
+    }
+}
+
+fn peerhood(name: &str, mobility: MobilityClass, app: TestApp) -> Box<PeerHoodNode> {
+    Box::new(
+        PeerHoodNode::builder()
+            .config(PeerHoodConfig::new(name, mobility))
+            .app(app)
+            .build(),
+    )
+}
+
+fn fast_discovery_config(name: &str, mobility: MobilityClass) -> PeerHoodConfig {
+    let mut cfg = PeerHoodConfig::new(name, mobility);
+    cfg.discovery.inquiry_interval = SimDuration::from_secs(3);
+    cfg
+}
+
+fn bt() -> [RadioTech; 1] {
+    [RadioTech::Bluetooth]
+}
+
+#[test]
+fn discovery_connect_and_echo_between_direct_neighbors() {
+    let mut world = World::new(WorldConfig::ideal(41));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        peerhood("client", MobilityClass::Dynamic, TestApp::default()),
+    );
+    let server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        peerhood("server", MobilityClass::Static, TestApp::server("echo", true)),
+    );
+    // Let a couple of discovery cycles run.
+    world.run_for(SimDuration::from_secs(40));
+    let stats = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.storage_stats())
+        .unwrap();
+    assert_eq!(stats.known_devices, 1, "client should have found the server");
+    assert_eq!(stats.known_services, 1);
+    // The discovery fan-out callback fired for the newly learned device.
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            let discovered = n.with_app(|app: &TestApp| app.discovered.clone()).unwrap();
+            assert!(!discovered.is_empty(), "on_device_discovered must fire");
+        })
+        .unwrap();
+
+    // Connect to the echo service and exchange data.
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+        })
+        .unwrap()
+        .expect("service should be connectable");
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            assert_eq!(n.app::<TestApp>().unwrap().connected, vec![conn]);
+            n.with_api(ctx, |api| api.send(conn, b"hello".to_vec()).unwrap());
+        })
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.peer_connected.len(), 1);
+            assert_eq!(app.data.len(), 1);
+            assert_eq!(app.data[0].1, b"hello".to_vec());
+        })
+        .unwrap();
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.data.len(), 1);
+            assert_eq!(app.data[0].1, b"olleh".to_vec());
+        })
+        .unwrap();
+    // The server sees the session too.
+    let server_conns = world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| n.connections())
+        .unwrap();
+    assert_eq!(server_conns.len(), 1);
+    assert_eq!(server_conns[0].id, conn);
+}
+
+#[test]
+fn bridged_connection_relays_data_between_remote_devices() {
+    // A --- B --- C in a line; A and C are out of each other's Bluetooth
+    // range and must interconnect through B (Fig. 4.1).
+    let mut world = World::new(WorldConfig::ideal(42));
+    let a = world.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(fast_discovery_config("a", MobilityClass::Dynamic))
+                .app(TestApp::default())
+                .build(),
+        ),
+    );
+    let b = world.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(8.0, 0.0)),
+        &bt(),
+        Box::new(PeerHoodNode::relay(fast_discovery_config("b", MobilityClass::Static))),
+    );
+    let c = world.add_node(
+        "c",
+        MobilityModel::stationary(Point::new(16.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(fast_discovery_config("c", MobilityClass::Static))
+                .app(TestApp::server("echo", true))
+                .build(),
+        ),
+    );
+    assert!(!world.in_range(a, c, RadioTech::Bluetooth));
+    // Dynamic discovery needs a couple of cycles to propagate C to A.
+    world.run_for(SimDuration::from_secs(120));
+    let a_stats = world
+        .with_agent::<PeerHoodNode, _>(a, |n, _| n.storage_stats())
+        .unwrap();
+    assert_eq!(a_stats.known_devices, 2, "A must learn about both B and C");
+    assert_eq!(a_stats.max_jumps, 1);
+    let c_addr = world
+        .with_agent::<PeerHoodNode, _>(c, |n, _| n.device_address().unwrap())
+        .unwrap();
+    let route = world
+        .with_agent::<PeerHoodNode, _>(a, |n, _| {
+            n.known_devices()
+                .into_iter()
+                .find(|d| d.info.address == c_addr)
+                .map(|d| d.route.clone())
+        })
+        .unwrap()
+        .expect("route to C");
+    assert_eq!(route.jumps, 1);
+    assert_eq!(route.bridge, Some(DeviceAddress::from_node(b)));
+
+    // Connect A -> C through the bridge and exchange data.
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(a, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to(c_addr, "echo")).unwrap()
+        })
+        .unwrap()
+        .expect("bridge connection should start");
+    world.run_for(SimDuration::from_secs(10));
+    world
+        .with_agent::<PeerHoodNode, _>(a, |n, ctx| {
+            assert_eq!(n.app::<TestApp>().unwrap().connected, vec![conn]);
+            n.with_api(ctx, |api| api.send(conn, b"ping across".to_vec()).unwrap());
+        })
+        .unwrap();
+    world.run_for(SimDuration::from_secs(10));
+    world
+        .with_agent::<PeerHoodNode, _>(c, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.data.len(), 1);
+            assert_eq!(app.data[0].1, b"ping across".to_vec());
+        })
+        .unwrap();
+    world
+        .with_agent::<PeerHoodNode, _>(a, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.data.len(), 1, "echo should travel back through the bridge");
+        })
+        .unwrap();
+    // The bridge actually relayed traffic.
+    let (pairs, relayed_msgs, relayed_bytes) = world.with_agent::<PeerHoodNode, _>(b, |n, _| n.bridge_stats()).unwrap();
+    assert_eq!(pairs, 1);
+    assert!(relayed_msgs >= 2);
+    assert!(relayed_bytes > 0);
+}
+
+#[test]
+fn connecting_to_an_unknown_service_fails_cleanly() {
+    let mut world = World::new(WorldConfig::ideal(43));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        peerhood("client", MobilityClass::Dynamic, TestApp::default()),
+    );
+    let _server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        peerhood("server", MobilityClass::Static, TestApp::server("echo", false)),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    // The service name is unknown network-wide.
+    let err = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("no-such-service"))
+                .unwrap()
+        })
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err, PeerHoodError::ServiceNotFound("no-such-service".into()));
+    // Connecting to a device that exists but with a wrong service name is
+    // rejected by the remote engine.
+    let server_addr = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.known_devices()[0].info.address)
+        .unwrap();
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to(server_addr, "wrong")).unwrap()
+        })
+        .unwrap()
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.failed.len(), 1);
+            assert_eq!(app.failed[0].0, conn);
+            assert!(app.connected.is_empty());
+        })
+        .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Multi-application dispatch layer
+// ---------------------------------------------------------------------
+
+#[test]
+fn builder_defaults_and_relay_flag() {
+    let node = PeerHoodNode::builder().build();
+    assert!(node.app_ids().is_empty(), "no apps by default");
+    assert!(node.config().bridge.enabled, "bridge untouched by default");
+    assert!(!node.event_trace_enabled());
+    assert_eq!(node.device_address(), None, "no address before start");
+
+    let relayless = PeerHoodNode::builder()
+        .config(PeerHoodConfig::static_device("pc"))
+        .relay(false)
+        .build();
+    assert!(!relayless.config().bridge.enabled, ".relay(false) disables the bridge");
+
+    let traced = PeerHoodNode::builder().event_trace(true).build();
+    assert!(traced.event_trace_enabled());
+
+    let two = PeerHoodNode::builder()
+        .app(TestApp::default())
+        .app(TestApp::server("x", false))
+        .build();
+    assert_eq!(two.app_ids(), vec![AppId(0), AppId(1)]);
+    assert_eq!(two.app_by_id::<TestApp>(AppId(1)).unwrap().service, Some("x"));
+}
+
+#[test]
+fn two_services_on_one_device_route_to_the_right_app() {
+    // One server device hosts two independent services ("echo" and "print"),
+    // each owned by its own application. Two client connections, one per
+    // service, must be routed to the right app.
+    let mut world = World::new(WorldConfig::ideal(44));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("client", MobilityClass::Dynamic))
+                .app(TestApp::default())
+                .build(),
+        ),
+    );
+    let server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("server", MobilityClass::Static))
+                .app(TestApp::server("echo", true))
+                .app(TestApp::server("print", false))
+                .build(),
+        ),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    let stats = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.storage_stats())
+        .unwrap();
+    assert_eq!(stats.known_services, 2, "both services must be advertised");
+
+    let echo_conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+        })
+        .unwrap()
+        .unwrap();
+    let print_conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("print")).unwrap()
+        })
+        .unwrap()
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| {
+                api.send(echo_conn, b"to echo".to_vec()).unwrap();
+                api.send(print_conn, b"to print".to_vec()).unwrap();
+            });
+        })
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| {
+            // The service-owning app got exactly its own connection and data.
+            let echo_app = n.app_by_id::<TestApp>(AppId(0)).unwrap();
+            assert_eq!(echo_app.peer_connected.len(), 1);
+            assert_eq!(echo_app.peer_connected[0].1, "echo");
+            assert_eq!(echo_app.data.len(), 1);
+            assert_eq!(echo_app.data[0].1, b"to echo".to_vec());
+            let print_app = n.app_by_id::<TestApp>(AppId(1)).unwrap();
+            assert_eq!(print_app.peer_connected.len(), 1);
+            assert_eq!(print_app.peer_connected[0].1, "print");
+            assert_eq!(print_app.data.len(), 1);
+            assert_eq!(print_app.data[0].1, b"to print".to_vec());
+            // Connection ownership is queryable.
+            assert_eq!(n.connection_owner(echo_conn), Some(AppId(0)));
+            assert_eq!(n.connection_owner(print_conn), Some(AppId(1)));
+        })
+        .unwrap();
+    // The echo reply reached the client (whose single app owns both
+    // connections).
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.data.len(), 1);
+            assert_eq!(app.data[0].1, b"ohce ot".to_vec());
+            assert_eq!(n.connection_owner(echo_conn), Some(AppId(0)));
+        })
+        .unwrap();
+}
+
+#[test]
+fn timers_are_routed_to_the_scheduling_app() {
+    let mut world = World::new(WorldConfig::ideal(45));
+    let node = world.add_node(
+        "dev",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::static_device("dev"))
+                .app(TestApp::default())
+                .app(TestApp::default())
+                .build(),
+        ),
+    );
+    world.run_for(SimDuration::from_secs(1));
+    world
+        .with_agent::<PeerHoodNode, _>(node, |n, ctx| {
+            n.with_api_for(Some(AppId(1)), ctx, |api| {
+                api.schedule_timer(SimDuration::from_secs(1), 77);
+            });
+        })
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(node, |n, _| {
+            assert!(n.app_by_id::<TestApp>(AppId(0)).unwrap().timers.is_empty());
+            assert_eq!(n.app_by_id::<TestApp>(AppId(1)).unwrap().timers, vec![77]);
+        })
+        .unwrap();
+}
+
+#[test]
+fn event_trace_records_the_dispatch_stream() {
+    let mut world = World::new(WorldConfig::ideal(46));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("client", MobilityClass::Dynamic))
+                .app(TestApp::default())
+                .event_trace(true)
+                .build(),
+        ),
+    );
+    let server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("server", MobilityClass::Static))
+                .app(TestApp::server("echo", true))
+                .event_trace(true)
+                .build(),
+        ),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+        })
+        .unwrap()
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.send(conn, b"ping".to_vec()).unwrap());
+        })
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+
+    // The client trace shows the typed lifecycle without any downcasting.
+    let trace = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.take_event_trace())
+        .unwrap();
+    assert!(
+        matches!(trace.first(), Some(PeerHoodEvent::Started { app: AppId(0) })),
+        "trace starts with Started, got {:?}",
+        trace.first()
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, PeerHoodEvent::DeviceDiscovered { .. })),
+        "discovery must be traced"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, PeerHoodEvent::Connected { conn: c, .. } if *c == conn)),
+        "establishment must be traced"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, PeerHoodEvent::Data { conn: c, payload, .. } if *c == conn && payload == b"gnip")),
+        "echoed data must be traced"
+    );
+    // Draining empties the buffer but keeps recording.
+    let empty = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.take_event_trace())
+        .unwrap();
+    assert!(empty.is_empty());
+
+    // The server side traces the incoming connection with its service name.
+    let server_trace = world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| n.take_event_trace())
+        .unwrap();
+    assert!(
+        server_trace.iter().any(
+            |e| matches!(e, PeerHoodEvent::PeerConnected { service, app: Some(AppId(0)), .. } if service == "echo")
+        ),
+        "incoming connection must be traced with its owning app"
+    );
+}

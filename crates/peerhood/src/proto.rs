@@ -166,7 +166,12 @@ mod tests {
     use simnet::{NodeId, RadioTech};
 
     fn client() -> DeviceInfo {
-        DeviceInfo::new(NodeId::from_raw(1), "client", MobilityClass::Dynamic, &[RadioTech::Bluetooth])
+        DeviceInfo::new(
+            NodeId::from_raw(1),
+            "client",
+            MobilityClass::Dynamic,
+            &[RadioTech::Bluetooth],
+        )
     }
 
     #[test]
@@ -208,7 +213,10 @@ mod tests {
             "PH_BRIDGE"
         );
         assert_eq!(Message::Accept { conn_id: conn }.command_name(), "PH_OK");
-        assert_eq!(Message::InquiryRequest { requester: client() }.command_name(), "PH_INQUIRY");
+        assert_eq!(
+            Message::InquiryRequest { requester: client() }.command_name(),
+            "PH_INQUIRY"
+        );
     }
 
     #[test]

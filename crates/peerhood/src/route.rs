@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn best_route_selects_by_full_chain() {
-        let routes = vec![
+        let routes = [
             RouteInfo::via(addr(1), 2, vec![255, 255, 255], MobilityClass::Static),
             RouteInfo::via(addr(2), 1, vec![240, 240], MobilityClass::Dynamic),
             RouteInfo::via(addr(3), 1, vec![231, 232], MobilityClass::Static),

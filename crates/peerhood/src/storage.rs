@@ -144,16 +144,11 @@ impl DeviceStorage {
     }
 
     /// Records or refreshes a **direct** neighbour observed by an inquiry and
-    /// information fetch.
-    pub fn upsert_direct(
-        &mut self,
-        info: DeviceInfo,
-        quality: u8,
-        services: Vec<ServiceInfo>,
-        now: SimTime,
-    ) {
+    /// information fetch. Returns `true` when the device was not known
+    /// before.
+    pub fn upsert_direct(&mut self, info: DeviceInfo, quality: u8, services: Vec<ServiceInfo>, now: SimTime) -> bool {
         if info.address == self.own_address {
-            return;
+            return false;
         }
         let route = RouteInfo::direct(quality, info.mobility);
         match self.devices.get_mut(&info.address) {
@@ -170,6 +165,7 @@ impl DeviceStorage {
                 existing.last_seen = now;
                 existing.last_fetched = now;
                 existing.missed_loops = 0;
+                false
             }
             None => {
                 self.devices.insert(
@@ -183,6 +179,7 @@ impl DeviceStorage {
                         missed_loops: 0,
                     },
                 );
+                true
             }
         }
     }
@@ -216,7 +213,8 @@ impl DeviceStorage {
     /// comparison filter"); each remaining record is inserted with an
     /// incremented jump count and `responder` as bridge, and replaces an
     /// existing route only if it wins the jump → mobility → quality
-    /// comparison chain. Returns the number of entries added or improved.
+    /// comparison chain. Returns the addresses of newly learned devices
+    /// (existing entries whose route merely improved are not reported).
     pub fn integrate_neighbor_report(
         &mut self,
         responder: DeviceAddress,
@@ -225,8 +223,8 @@ impl DeviceStorage {
         records: &[NeighborRecord],
         mode: DiscoveryMode,
         now: SimTime,
-    ) -> usize {
-        let mut updated = 0;
+    ) -> Vec<DeviceAddress> {
+        let mut added = Vec::new();
         for record in records {
             // Own-device filter: avoid a route to ourselves through a
             // neighbour.
@@ -274,7 +272,7 @@ impl DeviceStorage {
                             missed_loops: 0,
                         },
                     );
-                    updated += 1;
+                    added.push(record.info.address);
                 }
                 Some(existing) => {
                     existing.last_seen = now;
@@ -286,12 +284,11 @@ impl DeviceStorage {
                     }
                     if candidate_replaces(&candidate, &existing.route, self.quality_threshold) {
                         existing.route = candidate;
-                        updated += 1;
                     }
                 }
             }
         }
-        updated
+        added
     }
 
     /// Ages the storage after one inquiry loop: direct neighbours that did
@@ -400,7 +397,10 @@ impl DeviceStorage {
 
     /// The quality `responder` last reported for `neighbor`, if any.
     pub fn reported_quality(&self, responder: DeviceAddress, neighbor: DeviceAddress) -> Option<u8> {
-        self.reported_neighbors.get(&responder).and_then(|m| m.get(&neighbor)).copied()
+        self.reported_neighbors
+            .get(&responder)
+            .and_then(|m| m.get(&neighbor))
+            .copied()
     }
 
     /// Clears every entry (used when the daemon restarts).
@@ -446,7 +446,12 @@ mod tests {
     #[test]
     fn upsert_direct_inserts_and_refreshes() {
         let mut s = storage();
-        s.upsert_direct(info(1, MobilityClass::Static), 250, vec![ServiceInfo::new("echo", "", 1)], T0);
+        s.upsert_direct(
+            info(1, MobilityClass::Static),
+            250,
+            vec![ServiceInfo::new("echo", "", 1)],
+            T0,
+        );
         assert_eq!(s.len(), 1);
         let d = s.get(addr(1)).unwrap();
         assert!(d.is_direct());
@@ -474,7 +479,7 @@ mod tests {
             DiscoveryMode::Dynamic,
             T0,
         );
-        assert_eq!(n, 0);
+        assert!(n.is_empty());
         assert!(s.get(addr(0)).is_none());
     }
 
@@ -487,11 +492,14 @@ mod tests {
             addr(1),
             240,
             MobilityClass::Static,
-            &[record(2, 0, 235, vec![ServiceInfo::new("print", "", 5)]), record(3, 1, 231, vec![])],
+            &[
+                record(2, 0, 235, vec![ServiceInfo::new("print", "", 5)]),
+                record(3, 1, 231, vec![]),
+            ],
             DiscoveryMode::Dynamic,
             T0,
         );
-        assert_eq!(added, 2);
+        assert_eq!(added, vec![addr(2), addr(3)]);
         let d2 = s.get(addr(2)).unwrap();
         assert_eq!(d2.route.jumps, 1);
         assert_eq!(d2.route.bridge, Some(addr(1)));
@@ -514,7 +522,11 @@ mod tests {
             addr(1),
             240,
             MobilityClass::Static,
-            &[record(2, 0, 235, vec![]), record(3, 1, 231, vec![]), record(4, 2, 231, vec![])],
+            &[
+                record(2, 0, 235, vec![]),
+                record(3, 1, 231, vec![]),
+                record(4, 2, 231, vec![]),
+            ],
             DiscoveryMode::TwoHop,
             T0,
         );
@@ -575,8 +587,9 @@ mod tests {
         );
         assert_eq!(s.get(addr(9)).unwrap().route.bridge, Some(addr(1)));
         // Then learn the same target through the static bridge 5 with the
-        // same jump count: mobility preference replaces the route.
-        let updated = s.integrate_neighbor_report(
+        // same jump count: mobility preference replaces the route, but the
+        // device is not reported as newly learned.
+        let added = s.integrate_neighbor_report(
             addr(5),
             245,
             MobilityClass::Static,
@@ -584,10 +597,10 @@ mod tests {
             DiscoveryMode::Dynamic,
             T0,
         );
-        assert_eq!(updated, 1);
+        assert!(added.is_empty());
         assert_eq!(s.get(addr(9)).unwrap().route.bridge, Some(addr(5)));
         // A worse candidate (more jumps) does not replace it back.
-        let updated = s.integrate_neighbor_report(
+        let added = s.integrate_neighbor_report(
             addr(1),
             240,
             MobilityClass::Dynamic,
@@ -595,7 +608,7 @@ mod tests {
             DiscoveryMode::Dynamic,
             T0,
         );
-        assert_eq!(updated, 0);
+        assert!(added.is_empty());
         assert_eq!(s.get(addr(9)).unwrap().route.bridge, Some(addr(5)));
     }
 

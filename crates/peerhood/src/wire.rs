@@ -66,7 +66,9 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
-        Writer { buf: Vec::with_capacity(64) }
+        Writer {
+            buf: Vec::with_capacity(64),
+        }
     }
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -208,8 +210,7 @@ impl<'a> Reader<'a> {
     fn device(&mut self) -> Result<DeviceInfo, WireError> {
         let address = self.address()?;
         let name = self.string()?;
-        let mobility =
-            MobilityClass::from_value(self.u8()?).ok_or(WireError::InvalidValue("mobility class"))?;
+        let mobility = MobilityClass::from_value(self.u8()?).ok_or(WireError::InvalidValue("mobility class"))?;
         let checksum = Checksum(self.u32()?);
         let tech_count = self.u8()? as usize;
         let mut techs = Vec::with_capacity(tech_count);
@@ -399,7 +400,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
 mod tests {
     use super::*;
     use crate::device::MobilityClass;
-    use proptest::prelude::*;
+    use simnet::rng::SimRng;
     use simnet::NodeId;
 
     fn device(n: u64) -> DeviceInfo {
@@ -511,144 +512,137 @@ mod tests {
         assert!(WireError::InvalidUtf8.to_string().contains("utf-8"));
     }
 
-    fn arb_tech() -> impl Strategy<Value = RadioTech> {
-        prop_oneof![
-            Just(RadioTech::Bluetooth),
-            Just(RadioTech::Wlan),
-            Just(RadioTech::Gprs)
-        ]
+    // ------------------------------------------------------------------
+    // Deterministic randomised tests (SimRng-driven; proptest is not
+    // available in the offline build environment).
+    // ------------------------------------------------------------------
+
+    fn arb_string(rng: &mut SimRng, alphabet: &[u8], max_len: usize) -> String {
+        let len = rng.range(0..=max_len);
+        (0..len).map(|_| alphabet[rng.index(alphabet.len())] as char).collect()
     }
 
-    fn arb_mobility() -> impl Strategy<Value = MobilityClass> {
-        prop_oneof![
-            Just(MobilityClass::Static),
-            Just(MobilityClass::Hybrid),
-            Just(MobilityClass::Dynamic)
-        ]
+    fn arb_tech(rng: &mut SimRng) -> RadioTech {
+        [RadioTech::Bluetooth, RadioTech::Wlan, RadioTech::Gprs][rng.index(3)]
     }
 
-    fn arb_device() -> impl Strategy<Value = DeviceInfo> {
-        (
-            0u64..10_000,
-            "[a-zA-Z0-9 _-]{0,24}",
-            arb_mobility(),
-            0u32..100_000,
-            proptest::collection::vec(arb_tech(), 0..3),
+    fn arb_mobility(rng: &mut SimRng) -> MobilityClass {
+        [MobilityClass::Static, MobilityClass::Hybrid, MobilityClass::Dynamic][rng.index(3)]
+    }
+
+    fn arb_device(rng: &mut SimRng) -> DeviceInfo {
+        let techs: Vec<RadioTech> = (0..rng.range(0usize..3)).map(|_| arb_tech(rng)).collect();
+        DeviceInfo {
+            address: DeviceAddress::from_node_raw(rng.range(0u64..10_000)),
+            name: arb_string(rng, b"abcXYZ09 _-", 24),
+            mobility: arb_mobility(rng),
+            checksum: Checksum(rng.range(0u32..100_000)),
+            techs,
+        }
+    }
+
+    fn arb_service(rng: &mut SimRng) -> ServiceInfo {
+        ServiceInfo::new(
+            arb_string(rng, b"abcz09./-", 16),
+            arb_string(rng, b"abcz09 ", 16),
+            rng.range(0u32..=u16::MAX as u32) as u16,
         )
-            .prop_map(|(node, name, mobility, checksum, techs)| DeviceInfo {
-                address: DeviceAddress::from_node_raw(node),
-                name,
-                mobility,
-                checksum: Checksum(checksum),
-                techs,
-            })
     }
 
-    fn arb_service() -> impl Strategy<Value = ServiceInfo> {
-        ("[a-z0-9./-]{0,16}", "[a-z0-9 ]{0,16}", any::<u16>())
-            .prop_map(|(name, attribute, port)| ServiceInfo::new(name, attribute, port))
+    fn arb_neighbor(rng: &mut SimRng) -> NeighborRecord {
+        NeighborRecord {
+            info: arb_device(rng),
+            jumps: rng.range(0u8..10),
+            hop_qualities: (0..rng.range(0usize..6)).map(|_| rng.range(0u8..=255)).collect(),
+            services: (0..rng.range(0usize..4)).map(|_| arb_service(rng)).collect(),
+        }
     }
 
-    fn arb_neighbor() -> impl Strategy<Value = NeighborRecord> {
-        (
-            arb_device(),
-            0u8..10,
-            proptest::collection::vec(any::<u8>(), 0..6),
-            proptest::collection::vec(arb_service(), 0..4),
+    fn arb_conn(rng: &mut SimRng) -> ConnectionId {
+        ConnectionId::new(
+            DeviceAddress::from_node_raw(rng.range(0u64..10_000)),
+            rng.range(0u32..=u32::MAX),
         )
-            .prop_map(|(info, jumps, hop_qualities, services)| NeighborRecord {
-                info,
-                jumps,
-                hop_qualities,
-                services,
-            })
     }
 
-    fn arb_conn() -> impl Strategy<Value = ConnectionId> {
-        (0u64..10_000, any::<u32>()).prop_map(|(n, c)| ConnectionId::new(DeviceAddress::from_node_raw(n), c))
+    fn arb_error_code(rng: &mut SimRng) -> ErrorCode {
+        [
+            ErrorCode::ServiceUnavailable,
+            ErrorCode::NoRouteToDestination,
+            ErrorCode::BridgeBusy,
+            ErrorCode::DownstreamFailed,
+            ErrorCode::UnknownConnection,
+            ErrorCode::Protocol,
+        ][rng.index(6)]
     }
 
-    fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
-        prop_oneof![
-            Just(ErrorCode::ServiceUnavailable),
-            Just(ErrorCode::NoRouteToDestination),
-            Just(ErrorCode::BridgeBusy),
-            Just(ErrorCode::DownstreamFailed),
-            Just(ErrorCode::UnknownConnection),
-            Just(ErrorCode::Protocol),
-        ]
+    fn arb_message(rng: &mut SimRng) -> Message {
+        match rng.index(8) {
+            0 => Message::InquiryRequest {
+                requester: arb_device(rng),
+            },
+            1 => Message::InquiryResponse {
+                device: arb_device(rng),
+                services: (0..rng.range(0usize..4)).map(|_| arb_service(rng)).collect(),
+                neighbors: (0..rng.range(0usize..4)).map(|_| arb_neighbor(rng)).collect(),
+                bridge_load_percent: rng.range(0u8..=255),
+            },
+            2 => Message::ConnectRequest {
+                conn_id: arb_conn(rng),
+                service: arb_string(rng, b"abcz-", 16),
+                client: arb_device(rng),
+                reply_context: if rng.chance(0.5) { Some(arb_conn(rng)) } else { None },
+            },
+            3 => Message::BridgeRequest {
+                conn_id: arb_conn(rng),
+                destination: DeviceAddress::from_node_raw(rng.range(0u64..10_000)),
+                service: arb_string(rng, b"abcz-", 16),
+                client: arb_device(rng),
+                reply_context: if rng.chance(0.5) { Some(arb_conn(rng)) } else { None },
+            },
+            4 => Message::Accept { conn_id: arb_conn(rng) },
+            5 => Message::Error {
+                conn_id: arb_conn(rng),
+                code: arb_error_code(rng),
+                detail: arb_string(rng, b" !abcz09~", 32),
+            },
+            6 => Message::Data {
+                conn_id: arb_conn(rng),
+                payload: (0..rng.range(0usize..256)).map(|_| rng.range(0u8..=255)).collect(),
+            },
+            _ => Message::Disconnect { conn_id: arb_conn(rng) },
+        }
     }
 
-    fn arb_message() -> impl Strategy<Value = Message> {
-        prop_oneof![
-            arb_device().prop_map(|requester| Message::InquiryRequest { requester }),
-            (
-                arb_device(),
-                proptest::collection::vec(arb_service(), 0..4),
-                proptest::collection::vec(arb_neighbor(), 0..4),
-                any::<u8>()
-            )
-                .prop_map(|(device, services, neighbors, bridge_load_percent)| {
-                    Message::InquiryResponse {
-                        device,
-                        services,
-                        neighbors,
-                        bridge_load_percent,
-                    }
-                }),
-            (arb_conn(), "[a-z-]{0,16}", arb_device(), proptest::option::of(arb_conn())).prop_map(
-                |(conn_id, service, client, reply_context)| Message::ConnectRequest {
-                    conn_id,
-                    service,
-                    client,
-                    reply_context,
-                }
-            ),
-            (
-                arb_conn(),
-                0u64..10_000,
-                "[a-z-]{0,16}",
-                arb_device(),
-                proptest::option::of(arb_conn())
-            )
-                .prop_map(|(conn_id, dest, service, client, reply_context)| Message::BridgeRequest {
-                    conn_id,
-                    destination: DeviceAddress::from_node_raw(dest),
-                    service,
-                    client,
-                    reply_context,
-                }),
-            arb_conn().prop_map(|conn_id| Message::Accept { conn_id }),
-            (arb_conn(), arb_error_code(), "[ -~]{0,32}").prop_map(|(conn_id, code, detail)| Message::Error {
-                conn_id,
-                code,
-                detail
-            }),
-            (arb_conn(), proptest::collection::vec(any::<u8>(), 0..256))
-                .prop_map(|(conn_id, payload)| Message::Data { conn_id, payload }),
-            arb_conn().prop_map(|conn_id| Message::Disconnect { conn_id }),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn prop_roundtrip(message in arb_message()) {
+    #[test]
+    fn fuzz_roundtrip() {
+        let mut rng = SimRng::new(0xC0DEC);
+        for _ in 0..500 {
+            let message = arb_message(&mut rng);
             let frame = encode(&message);
             let decoded = decode(&frame).unwrap();
-            prop_assert_eq!(decoded, message);
+            assert_eq!(decoded, message);
         }
+    }
 
-        #[test]
-        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
-            // Decoding arbitrary garbage must never panic; it may of course
-            // occasionally produce a valid message.
+    #[test]
+    fn fuzz_random_bytes_never_panic() {
+        // Decoding arbitrary garbage must never panic; it may of course
+        // occasionally produce a valid message.
+        let mut rng = SimRng::new(0xBAD_BEEF);
+        for _ in 0..2000 {
+            let bytes: Vec<u8> = (0..rng.range(0usize..128)).map(|_| rng.range(0u8..=255)).collect();
             let _ = decode(&bytes);
         }
+    }
 
-        #[test]
-        fn prop_truncation_never_panics(message in arb_message(), cut in 0usize..64) {
+    #[test]
+    fn fuzz_truncation_never_panics() {
+        let mut rng = SimRng::new(0x7A71C);
+        for _ in 0..300 {
+            let message = arb_message(&mut rng);
             let frame = encode(&message);
-            let cut = cut.min(frame.len());
+            let cut = rng.range(0usize..64).min(frame.len());
             let _ = decode(&frame[..cut]);
         }
     }

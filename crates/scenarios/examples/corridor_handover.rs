@@ -10,9 +10,9 @@
 //! ```
 
 use migration::{MessagingClient, MessagingServer};
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
-use scenarios::topology::{experiment_config, spawn_app, spawn_relay};
+use peerhood::prelude::*;
+use scenarios::topology::{experiment_config, spawn_app, spawn_relay, with_app};
 use simnet::prelude::*;
 
 fn main() {
@@ -53,21 +53,19 @@ fn main() {
 
     world
         .with_agent::<PeerHoodNode, _>(client, |node, _| {
-            let app = node.app::<MessagingClient>().unwrap();
-            println!("messages sent        : {}/{}", app.sent, app.repetitions);
             println!("routing handovers    : {}", node.handover_completions());
-            println!("route changes seen   : {}", app.connection_changes);
-            println!("task restarts        : {}", app.restarts);
+            node.with_app(|app: &MessagingClient| {
+                println!("messages sent        : {}/{}", app.sent, app.repetitions);
+                println!("route changes seen   : {}", app.connection_changes);
+                println!("task restarts        : {}", app.restarts);
+            });
         })
         .unwrap();
-    world
-        .with_agent::<PeerHoodNode, _>(server, |node, _| {
-            let app = node.app::<MessagingServer>().unwrap();
-            println!(
-                "server received      : {} messages (largest gap {:.1} s)",
-                app.received_count(),
-                app.largest_gap_seconds()
-            );
-        })
-        .unwrap();
+    with_app(&mut world, server, |app: &MessagingServer| {
+        println!(
+            "server received      : {} messages (largest gap {:.1} s)",
+            app.received_count(),
+            app.largest_gap_seconds()
+        );
+    });
 }

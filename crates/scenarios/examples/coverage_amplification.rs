@@ -10,9 +10,9 @@
 //! ```
 
 use migration::{MessagingClient, MessagingServer};
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
-use scenarios::topology::{experiment_config, spawn_app, spawn_relay};
+use peerhood::prelude::*;
+use scenarios::topology::{experiment_config, spawn_app, spawn_relay, with_app};
 use simnet::prelude::*;
 
 fn main() {
@@ -38,7 +38,11 @@ fn main() {
     for (i, x) in [8.0, 16.0, 24.0].iter().enumerate() {
         spawn_relay(
             &mut world,
-            experiment_config(format!("tunnel-bridge-{i}"), MobilityClass::Static, DiscoveryMode::Dynamic),
+            experiment_config(
+                format!("tunnel-bridge-{i}"),
+                MobilityClass::Static,
+                DiscoveryMode::Dynamic,
+            ),
             Point::new(*x, 0.0),
         );
     }
@@ -62,14 +66,11 @@ fn main() {
                 .find(|d| d.info.address == gateway_addr)
                 .map(|d| d.route.jumps);
             println!("phone's route to the gateway: {:?} jump(s)", route);
-            let app = node.app::<MessagingClient>().unwrap();
-            println!("messages sent from inside the tunnel: {}", app.sent);
+            let sent = node.with_app(|app: &MessagingClient| app.sent).unwrap();
+            println!("messages sent from inside the tunnel: {sent}");
         })
         .unwrap();
-    world
-        .with_agent::<PeerHoodNode, _>(gateway, |node, _| {
-            let app = node.app::<MessagingServer>().unwrap();
-            println!("gateway received: {} message(s)", app.received_count());
-        })
-        .unwrap();
+    with_app(&mut world, gateway, |app: &MessagingServer| {
+        println!("gateway received: {} message(s)", app.received_count());
+    });
 }

@@ -9,9 +9,9 @@
 //! ```
 
 use migration::{PictureClient, PictureServer, TaskSpec};
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
-use scenarios::topology::{experiment_config, spawn_app};
+use peerhood::prelude::*;
+use scenarios::topology::{experiment_config, spawn_app, with_app};
 use simnet::prelude::*;
 
 fn main() {
@@ -44,23 +44,22 @@ fn main() {
 
     world.run_for(SimDuration::from_secs(700));
 
-    world
-        .with_agent::<PeerHoodNode, _>(phone, |node, _| {
-            let app = node.app::<PictureClient>().unwrap();
-            println!("uploaded packages : {}", app.sent_packages);
-            println!("task outcome      : {:?}", app.outcome());
-            println!(
-                "result received at: {}",
-                app.result_received_at.map(|t| t.to_string()).unwrap_or_else(|| "never".into())
-            );
-        })
-        .unwrap();
+    with_app(&mut world, phone, |app: &PictureClient| {
+        println!("uploaded packages : {}", app.sent_packages);
+        println!("task outcome      : {:?}", app.outcome());
+        println!(
+            "result received at: {}",
+            app.result_received_at
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "never".into())
+        );
+    });
     world
         .with_agent::<PeerHoodNode, _>(server, |node, _| {
-            let app = node.app::<PictureServer>().unwrap();
+            let packages = node.with_app(|app: &PictureServer| app.packages_received()).unwrap();
             println!(
                 "server processed {} package(s); reply reconnections performed: {}",
-                app.packages_received(),
+                packages,
                 node.reply_reconnections()
             );
         })

@@ -5,9 +5,9 @@
 //! ```
 
 use migration::{MessagingClient, MessagingServer};
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
-use scenarios::topology::{experiment_config, spawn_app};
+use peerhood::prelude::*;
+use scenarios::topology::{experiment_config, spawn_app, with_app};
 use simnet::prelude::*;
 
 fn main() {
@@ -41,20 +41,25 @@ fn main() {
     world
         .with_agent::<PeerHoodNode, _>(phone, |node, _| {
             let stats = node.storage_stats();
-            let app = node.app::<MessagingClient>().unwrap();
-            println!("phone knows {} device(s), {} service(s)", stats.known_devices, stats.known_services);
             println!(
-                "phone sent {}/{} messages (connection setup took {:.1} s)",
-                app.sent,
-                app.repetitions,
-                app.connection_setup_seconds().unwrap_or(f64::NAN)
+                "phone knows {} device(s), {} service(s)",
+                stats.known_devices, stats.known_services
             );
+            node.with_app(|app: &MessagingClient| {
+                println!(
+                    "phone sent {}/{} messages (connection setup took {:.1} s)",
+                    app.sent,
+                    app.repetitions,
+                    app.connection_setup_seconds().unwrap_or(f64::NAN)
+                );
+            });
         })
         .unwrap();
-    world
-        .with_agent::<PeerHoodNode, _>(pc, |node, _| {
-            let app = node.app::<MessagingServer>().unwrap();
-            println!("pc received {} message(s) from {} client(s)", app.received_count(), app.clients);
-        })
-        .unwrap();
+    with_app(&mut world, pc, |app: &MessagingServer| {
+        println!(
+            "pc received {} message(s) from {} client(s)",
+            app.received_count(),
+            app.clients
+        );
+    });
 }

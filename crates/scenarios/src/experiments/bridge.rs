@@ -7,7 +7,7 @@ use peerhood::node::PeerHoodNode;
 use simnet::prelude::*;
 
 use crate::report::ExperimentReport;
-use crate::topology::{experiment_config, spawn_app, spawn_relay};
+use crate::topology::{experiment_config, spawn_app, spawn_relay, with_app};
 
 /// Result of one §4.3-style bridge connection trial.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +49,11 @@ pub fn bridge_trial(seed: u64) -> BridgeTrial {
         MobilityModel::stationary(Point::new(0.0, 0.0)),
         Box::new(client_app),
     );
-    spawn_relay(&mut world, realistic("bridge", MobilityClass::Static), Point::new(8.0, 0.0));
+    spawn_relay(
+        &mut world,
+        realistic("bridge", MobilityClass::Static),
+        Point::new(8.0, 0.0),
+    );
     let server = spawn_app(
         &mut world,
         realistic("server", MobilityClass::Static),
@@ -57,29 +61,21 @@ pub fn bridge_trial(seed: u64) -> BridgeTrial {
         Box::new(MessagingServer::new("sink")),
     );
     world.run_for(SimDuration::from_secs(500));
-    let (connected, setup) = world
-        .with_agent::<PeerHoodNode, _>(client, |n, _| {
-            let app = n.app::<MessagingClient>().unwrap();
-            (app.connected_at.is_some(), app.connection_setup_seconds())
-        })
-        .unwrap();
-    let (delivered, extra_delay_ms) = world
-        .with_agent::<PeerHoodNode, _>(server, |n, _| {
-            let app = n.app::<MessagingServer>().unwrap();
-            let count = app.received_count();
-            let mean_gap = if count >= 2 {
-                let total: f64 = app
-                    .received
-                    .windows(2)
-                    .map(|w| (w[1].0 - w[0].0).as_secs_f64())
-                    .sum();
-                total / (count - 1) as f64
-            } else {
-                1.0
-            };
-            (count, (mean_gap - 1.0).max(0.0) * 1000.0)
-        })
-        .unwrap();
+    let (connected, setup) = with_app(&mut world, client, |app: &MessagingClient| {
+        (app.connected_at.is_some(), app.connection_setup_seconds())
+    })
+    .unwrap();
+    let (delivered, extra_delay_ms) = with_app(&mut world, server, |app: &MessagingServer| {
+        let count = app.received_count();
+        let mean_gap = if count >= 2 {
+            let total: f64 = app.received.windows(2).map(|w| (w[1].0 - w[0].0).as_secs_f64()).sum();
+            total / (count - 1) as f64
+        } else {
+            1.0
+        };
+        (count, (mean_gap - 1.0).max(0.0) * 1000.0)
+    })
+    .unwrap();
     BridgeTrial {
         connected,
         setup_seconds: setup,
@@ -96,7 +92,14 @@ pub fn e06_bridge_performance(seed: u64, trials: usize) -> ExperimentReport {
         "Bridge connection performance (two clients, one bridge, one server)",
         "Out of ten attempts three failed with normal Bluetooth connection faults; successful \
          connections took 3-18 s to establish; relayed data showed an almost negligible delay (§4.3).",
-        &["trials", "successful", "failed", "setup min (s)", "setup max (s)", "mean extra relay delay (ms)"],
+        &[
+            "trials",
+            "successful",
+            "failed",
+            "setup min (s)",
+            "setup max (s)",
+            "mean extra relay delay (ms)",
+        ],
     );
     let results: Vec<BridgeTrial> = (0..trials).map(|i| bridge_trial(seed + i as u64 * 17)).collect();
     let successful: Vec<&BridgeTrial> = results.iter().filter(|t| t.connected).collect();
@@ -136,7 +139,12 @@ pub fn e10_coverage_amplification(seed: u64) -> ExperimentReport {
         "Coverage amplification through a tunnel",
         "A phone inside a tunnel without GPRS coverage reaches the GPRS-connected server outside \
          through a chain of Bluetooth bridge devices (Fig. 6.1).",
-        &["bridge chain", "phone knows server", "route jumps", "messages delivered / 10"],
+        &[
+            "bridge chain",
+            "phone knows server",
+            "route jumps",
+            "messages delivered / 10",
+        ],
     );
     for &with_bridges in &[true, false] {
         // The tunnel is a GPRS dead zone covering x in [-5, 27].
@@ -181,9 +189,7 @@ pub fn e10_coverage_amplification(seed: u64) -> ExperimentReport {
                     .map(|d| d.route.jumps)
             })
             .unwrap();
-        let delivered = world
-            .with_agent::<PeerHoodNode, _>(server, |n, _| n.app::<MessagingServer>().unwrap().received_count())
-            .unwrap();
+        let delivered = with_app(&mut world, server, MessagingServer::received_count).unwrap();
         report.push_row([
             if with_bridges { "3 Bluetooth bridges" } else { "none" }.to_string(),
             route.is_some().to_string(),

@@ -3,14 +3,16 @@
 use peerhood::config::DiscoveryMode;
 use peerhood::device::MobilityClass;
 use peerhood::gnutella::{gnutella_full_search_messages, peerhood_cycle_messages};
+use peerhood::ids::DeviceAddress;
 use peerhood::node::PeerHoodNode;
 use peerhood::quality::route_acceptable;
 use peerhood::route::{best_route, RouteInfo};
-use peerhood::ids::DeviceAddress;
 use simnet::prelude::*;
 
 use crate::report::ExperimentReport;
-use crate::topology::{experiment_config, ground_truth, knowledge_fraction, line_positions, random_positions, spawn_relay};
+use crate::topology::{
+    experiment_config, ground_truth, knowledge_fraction, line_positions, random_positions, spawn_relay,
+};
 
 /// Settings shared by the world-based discovery experiments.
 #[derive(Debug, Clone, Copy)]
@@ -111,7 +113,13 @@ pub fn e02_gnutella_traffic(seed: u64) -> ExperimentReport {
         "Gnutella flooding vs. PeerHood discovery traffic",
         "Gnutella-style flooding generates huge query traffic; PeerHood sends the inquiry only to \
          direct neighbours, so one cycle is linear in the number of links (§3.2-3.3).",
-        &["nodes", "edges", "gnutella msgs (all nodes search, TTL 7)", "peerhood msgs / cycle", "ratio"],
+        &[
+            "nodes",
+            "edges",
+            "gnutella msgs (all nodes search, TTL 7)",
+            "peerhood msgs / cycle",
+            "ratio",
+        ],
     );
     for (i, &nodes) in [10usize, 20, 40, 80].iter().enumerate() {
         let positions = random_positions(nodes, (nodes as f64).sqrt() * 9.0, seed + i as u64);
@@ -144,10 +152,26 @@ pub fn e03_quality_route_selection() -> ExperimentReport {
         "Link-quality route selection (threshold rule)",
         "Two routes with equal quality sums (230+230 vs 210+250): the route containing a hop below \
          the minimum demanded threshold 230 is rejected (Fig. 3.9).",
-        &["route", "hop qualities", "sum", "acceptable (threshold 230)", "selected"],
+        &[
+            "route",
+            "hop qualities",
+            "sum",
+            "acceptable (threshold 230)",
+            "selected",
+        ],
     );
-    let a_b_d = RouteInfo::via(DeviceAddress::from_node_raw(1), 1, vec![230, 230], MobilityClass::Static);
-    let a_c_d = RouteInfo::via(DeviceAddress::from_node_raw(2), 1, vec![210, 250], MobilityClass::Static);
+    let a_b_d = RouteInfo::via(
+        DeviceAddress::from_node_raw(1),
+        1,
+        vec![230, 230],
+        MobilityClass::Static,
+    );
+    let a_c_d = RouteInfo::via(
+        DeviceAddress::from_node_raw(2),
+        1,
+        vec![210, 250],
+        MobilityClass::Static,
+    );
     let routes = [("A-B-D", &a_b_d), ("A-C-D", &a_c_d)];
     let selected = best_route([&a_b_d, &a_c_d], 230).unwrap();
     for (name, route) in routes {
@@ -179,7 +203,11 @@ pub fn e04_notification_delay(seed: u64, max_jumps: usize) -> ExperimentReport {
         let positions = line_positions(jumps + 1, spacing);
         let mut world = World::new(WorldConfig::ideal(seed + jumps as u64));
         let cfg = |i: usize| experiment_config(format!("n{i}"), MobilityClass::Static, DiscoveryMode::Dynamic);
-        let ids: Vec<NodeId> = positions.iter().enumerate().map(|(i, p)| spawn_relay(&mut world, cfg(i), *p)).collect();
+        let ids: Vec<NodeId> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| spawn_relay(&mut world, cfg(i), *p))
+            .collect();
         let observer = ids[0];
         world.run_for(SimDuration::from_secs(200));
         // The new device appears one hop beyond the far end of the line.
@@ -202,9 +230,7 @@ pub fn e04_notification_delay(seed: u64, max_jumps: usize) -> ExperimentReport {
         }
         let cycle = world.config().radio.bluetooth.inquiry_duration.as_secs_f64() + 4.0;
         let predicted = (jumps + 1) as f64 * cycle;
-        let measured = learned_at
-            .map(|t| (t - appeared_at).as_secs_f64())
-            .unwrap_or(f64::NAN);
+        let measured = learned_at.map(|t| (t - appeared_at).as_secs_f64()).unwrap_or(f64::NAN);
         report.push_row([
             (jumps + 1).to_string(),
             ExperimentReport::f(measured),
@@ -224,14 +250,23 @@ pub fn e05_static_vs_dynamic_bridge(seed: u64) -> ExperimentReport {
         "Static vs. dynamic devices as bridge",
         "Static terminals should be preferred as bridges; a dynamic bridge walks away and breaks the \
          relayed connection (Fig. 3.11).",
-        &["bridge mobility", "route chosen through", "relay survived 120 s", "relayed messages"],
+        &[
+            "bridge mobility",
+            "route chosen through",
+            "relay survived 120 s",
+            "relayed messages",
+        ],
     );
     for &static_bridge in &[true, false] {
         let mut world = World::new(WorldConfig::ideal(seed + static_bridge as u64));
         // Client and server 16 m apart; two candidate bridges in the middle.
         let client_cfg = experiment_config("client", MobilityClass::Dynamic, DiscoveryMode::Dynamic);
         let server_cfg = experiment_config("server", MobilityClass::Static, DiscoveryMode::Dynamic);
-        let bridge_mobility = if static_bridge { MobilityClass::Static } else { MobilityClass::Dynamic };
+        let bridge_mobility = if static_bridge {
+            MobilityClass::Static
+        } else {
+            MobilityClass::Dynamic
+        };
         let bridge_cfg = experiment_config("bridge", bridge_mobility, DiscoveryMode::Dynamic);
         let client = crate::topology::spawn_app(
             &mut world,
@@ -257,7 +292,12 @@ pub fn e05_static_vs_dynamic_bridge(seed: u64) -> ExperimentReport {
             )
         };
         let techs = bridge_cfg.techs.clone();
-        let bridge = world.add_node("bridge", bridge_mobility_model, &techs, Box::new(PeerHoodNode::relay(bridge_cfg)));
+        let bridge = world.add_node(
+            "bridge",
+            bridge_mobility_model,
+            &techs,
+            Box::new(PeerHoodNode::relay(bridge_cfg)),
+        );
         let server = crate::topology::spawn_app(
             &mut world,
             server_cfg,
@@ -274,10 +314,11 @@ pub fn e05_static_vs_dynamic_bridge(seed: u64) -> ExperimentReport {
                     .and_then(|d| d.route.bridge)
             })
             .unwrap();
-        let (_, relayed, _) = world.with_agent::<PeerHoodNode, _>(bridge, |n, _| n.bridge_stats()).unwrap();
-        let delivered = world
-            .with_agent::<PeerHoodNode, _>(server, |n, _| n.app::<migration::MessagingServer>().unwrap().received_count())
+        let (_, relayed, _) = world
+            .with_agent::<PeerHoodNode, _>(bridge, |n, _| n.bridge_stats())
             .unwrap();
+        let delivered =
+            crate::topology::with_app(&mut world, server, migration::MessagingServer::received_count).unwrap();
         let survived = delivered >= 100;
         report.push_row([
             if static_bridge { "static" } else { "dynamic" }.to_string(),

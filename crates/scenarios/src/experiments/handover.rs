@@ -8,7 +8,7 @@ use peerhood::node::PeerHoodNode;
 use simnet::prelude::*;
 
 use crate::report::ExperimentReport;
-use crate::topology::{experiment_config, spawn_app, spawn_relay};
+use crate::topology::{experiment_config, spawn_app, spawn_relay, with_app};
 
 /// E7 (Fig. 5.3): handing over to a second server restarts the task, while a
 /// routing handover through a bridge preserves the session.
@@ -18,7 +18,13 @@ pub fn e07_two_server_handover(seed: u64) -> ExperimentReport {
         "Two-server handover vs. routing handover",
         "Switching to a second server providing the same service forces the whole task migration to \
          start again; keeping the original server through a bridge preserves it (Fig. 5.3-5.4).",
-        &["strategy", "task restarts", "route changes", "messages received (both servers)", "messages needed"],
+        &[
+            "strategy",
+            "task restarts",
+            "route changes",
+            "messages received (both servers)",
+            "messages needed",
+        ],
     );
     for &routing_handover in &[false, true] {
         let mut world = World::new(WorldConfig::ideal(seed + routing_handover as u64));
@@ -67,23 +73,20 @@ pub fn e07_two_server_handover(seed: u64) -> ExperimentReport {
             Box::new(MessagingServer::new("print")),
         );
         world.run_for(SimDuration::from_secs(400));
-        let (restarts, changes, sent) = world
-            .with_agent::<PeerHoodNode, _>(client, |n, _| {
-                let app = n.app::<MessagingClient>().unwrap();
-                (app.restarts, app.connection_changes, app.sent + app.restarts * 0)
-            })
-            .unwrap();
-        let received1 = world
-            .with_agent::<PeerHoodNode, _>(server1, |n, _| n.app::<MessagingServer>().unwrap().received_count())
-            .unwrap();
-        let received2 = world
-            .with_agent::<PeerHoodNode, _>(server2, |n, _| n.app::<MessagingServer>().unwrap().received_count())
-            .unwrap();
+        let (restarts, changes) = with_app(&mut world, client, |app: &MessagingClient| {
+            (app.restarts, app.connection_changes)
+        })
+        .unwrap();
+        let received1 = with_app(&mut world, server1, MessagingServer::received_count).unwrap();
+        let received2 = with_app(&mut world, server2, MessagingServer::received_count).unwrap();
         let total_sent = received1 + received2;
-        let _ = sent;
         report.push_row([
-            if routing_handover { "routing handover (keep server 1)" } else { "service reconnection (switch server)" }
-                .to_string(),
+            if routing_handover {
+                "routing handover (keep server 1)"
+            } else {
+                "service reconnection (switch server)"
+            }
+            .to_string(),
             restarts.to_string(),
             changes.to_string(),
             total_sent.to_string(),
@@ -131,12 +134,14 @@ pub fn routing_handover_run(seed: u64, decay_per_sec: f64) -> HandoverRun {
         MobilityModel::stationary(Point::new(7.0, 0.0)),
         Box::new(MessagingServer::new("print")),
     );
-    spawn_relay(&mut world, realistic("bridge-c", MobilityClass::Static), Point::new(3.5, 5.0));
+    spawn_relay(
+        &mut world,
+        realistic("bridge-c", MobilityClass::Static),
+        Point::new(3.5, 5.0),
+    );
     // Let discovery converge and the client connect and start sending.
     world.run_for(SimDuration::from_secs(270));
-    let conn = world
-        .with_agent::<PeerHoodNode, _>(client, |n, _| n.app::<MessagingClient>().unwrap().conn)
-        .unwrap();
+    let conn = with_app(&mut world, client, |app: &MessagingClient| app.conn).unwrap();
     let link = conn.and_then(|c| {
         world
             .with_agent::<PeerHoodNode, _>(client, |n, _| n.connection_link(c))
@@ -161,24 +166,21 @@ pub fn routing_handover_run(seed: u64, decay_per_sec: f64) -> HandoverRun {
     world.run_for(SimDuration::from_secs(300));
     let (handovers, changes) = world
         .with_agent::<PeerHoodNode, _>(client, |n, _| {
-            (n.handover_completions(), n.app::<MessagingClient>().unwrap().connection_changes)
+            let changes = n.with_app(|app: &MessagingClient| app.connection_changes).unwrap();
+            (n.handover_completions(), changes)
         })
         .unwrap();
-    let delivered = world
-        .with_agent::<PeerHoodNode, _>(server, |n, _| n.app::<MessagingServer>().unwrap().received_count())
-        .unwrap();
+    let delivered = with_app(&mut world, server, MessagingServer::received_count).unwrap();
     // Approximate switch latency: the largest delivery gap after degradation
     // started (the stream stalls while the new route is being built).
-    let switch_seconds = world
-        .with_agent::<PeerHoodNode, _>(server, |n, _| {
-            let app = n.app::<MessagingServer>().unwrap();
-            app.received
-                .windows(2)
-                .filter(|w| w[1].0 > degradation_start)
-                .map(|w| (w[1].0 - w[0].0).as_secs_f64())
-                .fold(0.0, f64::max)
-        })
-        .unwrap();
+    let switch_seconds = with_app(&mut world, server, |app: &MessagingServer| {
+        app.received
+            .windows(2)
+            .filter(|w| w[1].0 > degradation_start)
+            .map(|w| (w[1].0 - w[0].0).as_secs_f64())
+            .fold(0.0, f64::max)
+    })
+    .unwrap();
     HandoverRun {
         decay_per_sec,
         handover_completed: handovers > 0 || changes > 0,
@@ -196,7 +198,13 @@ pub fn e08_routing_handover(seed: u64, runs_per_rate: usize) -> ExperimentReport
         "With the quality decremented by 1/s the handover triggers after the 230 threshold and three \
          low samples and completes like a normal interconnection (4-15 s); at walking-speed decay the \
          connection is often lost before the second route is ready (§5.2.1).",
-        &["decay (quality/s)", "runs", "handover completed", "mean stall during switch (s)", "mean messages delivered / 50"],
+        &[
+            "decay (quality/s)",
+            "runs",
+            "handover completed",
+            "mean stall during switch (s)",
+            "mean messages delivered / 50",
+        ],
     );
     for &decay in &[1.0, 5.0, 15.0, 30.0] {
         let runs: Vec<HandoverRun> = (0..runs_per_rate)
@@ -218,7 +226,8 @@ pub fn e08_routing_handover(seed: u64, runs_per_rate: usize) -> ExperimentReport
             ExperimentReport::f(mean_delivered),
         ]);
     }
-    report.push_note("slow decay leaves enough time for the multi-second Bluetooth interconnection; fast decay does not");
+    report
+        .push_note("slow decay leaves enough time for the multi-second Bluetooth interconnection; fast decay does not");
     report
 }
 
@@ -231,7 +240,12 @@ pub fn e11_monitoring_limitation(seed: u64) -> ExperimentReport {
         "Monitoring limitation: chain growth when the client returns",
         "Because each HandoverThread only extends the path from its own position, a client that walks \
          away and comes back ends up connected through an unnecessary chain of bridges (Fig. 5.6/5.7).",
-        &["handover target", "handovers", "bridge pairs left active", "final route bridged"],
+        &[
+            "handover target",
+            "handovers",
+            "bridge pairs left active",
+            "final route bridged",
+        ],
     );
     for &target in &[HandoverTarget::LinkPeer, HandoverTarget::FinalDestination] {
         let mut world = World::new(WorldConfig::ideal(seed));
@@ -284,7 +298,11 @@ pub fn e11_monitoring_limitation(seed: u64) -> ExperimentReport {
             .unwrap();
         let pairs_left: usize = bridge_ids
             .iter()
-            .map(|id| world.with_agent::<PeerHoodNode, _>(*id, |n, _| n.bridge_stats().0).unwrap_or(0))
+            .map(|id| {
+                world
+                    .with_agent::<PeerHoodNode, _>(*id, |n, _| n.bridge_stats().0)
+                    .unwrap_or(0)
+            })
             .sum();
         let bridged = world
             .with_agent::<PeerHoodNode, _>(client, |n, _| {
@@ -302,6 +320,8 @@ pub fn e11_monitoring_limitation(seed: u64) -> ExperimentReport {
             bridged.to_string(),
         ]);
     }
-    report.push_note("re-routing towards the link peer leaves relay state behind even after the client is back next to the server");
+    report.push_note(
+        "re-routing towards the link peer leaves relay state behind even after the client is back next to the server",
+    );
     report
 }

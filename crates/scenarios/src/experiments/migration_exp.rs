@@ -7,7 +7,7 @@ use peerhood::node::PeerHoodNode;
 use simnet::prelude::*;
 
 use crate::report::ExperimentReport;
-use crate::topology::{experiment_config, spawn_app};
+use crate::topology::{experiment_config, spawn_app, with_app};
 
 /// Result of one picture-migration run.
 #[derive(Debug, Clone)]
@@ -54,13 +54,10 @@ pub fn migration_run(seed: u64, regime: &'static str, spec: TaskSpec) -> Migrati
         Box::new(PictureServer::for_spec("analysis", &spec)),
     );
     world.run_for(SimDuration::from_secs(700));
-    let (outcome, sent, started, finished) = world
-        .with_agent::<PeerHoodNode, _>(client, |n, _| {
-            let app = n.app::<PictureClient>().unwrap();
-            (app.outcome(), app.sent_packages, app.result_received_at.is_some(), app.result_received_at)
-        })
-        .unwrap();
-    let _ = started;
+    let (outcome, sent, finished) = with_app(&mut world, client, |app: &PictureClient| {
+        (app.outcome(), app.sent_packages, app.result_received_at)
+    })
+    .unwrap();
     let routed = world
         .with_agent::<PeerHoodNode, _>(server, |n, _| n.reply_reconnections() > 0)
         .unwrap();
@@ -81,7 +78,13 @@ pub fn e09_result_routing(seed: u64) -> ExperimentReport {
         "Small tasks finish before the device leaves coverage; with a considerable package count the \
          connection breaks during processing and the server routes the result back through its device \
          storage; with a huge count the connection breaks during the upload itself (§5.3).",
-        &["regime", "outcome", "packages uploaded", "result routed back", "completion time (s)"],
+        &[
+            "regime",
+            "outcome",
+            "packages uploaded",
+            "result routed back",
+            "completion time (s)",
+        ],
     );
     let regimes: [(&'static str, TaskSpec); 3] = [
         ("small", TaskSpec::small()),

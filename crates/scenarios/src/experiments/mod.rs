@@ -14,7 +14,9 @@ pub use discovery::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, DiscoverySettings,
 };
-pub use handover::{e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun};
+pub use handover::{
+    e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun,
+};
 pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
 
 use crate::report::ExperimentReport;

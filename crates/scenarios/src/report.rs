@@ -90,7 +90,11 @@ impl fmt::Display for ExperimentReport {
         writeln!(f, "*Paper:* {}", self.paper_claim)?;
         writeln!(f)?;
         writeln!(f, "| {} |", self.columns.join(" | "))?;
-        writeln!(f, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
         for row in &self.rows {
             writeln!(f, "| {} |", row.cells.join(" | "))?;
         }

@@ -4,11 +4,11 @@
 //! thesis uses: fixed PCs/laptops, mobile phones, line-of-bridges corridors,
 //! office-sized random fields and the tunnel of Fig. 6.1.
 
-use peerhood::prelude::*;
 use peerhood::application::Application;
 use peerhood::config::PeerHoodConfig;
 use peerhood::gnutella::Topology;
 use peerhood::node::PeerHoodNode;
+use peerhood::prelude::*;
 use simnet::prelude::*;
 
 /// Spawns a PeerHood device running only the middleware (daemon, discovery,
@@ -32,9 +32,36 @@ pub fn spawn_app(
     mobility: MobilityModel,
     app: Box<dyn Application>,
 ) -> NodeId {
+    spawn_apps(world, config, mobility, vec![app])
+}
+
+/// Spawns a PeerHood device hosting several applications on one middleware
+/// stack (the multi-application host).
+pub fn spawn_apps(
+    world: &mut World,
+    config: PeerHoodConfig,
+    mobility: MobilityModel,
+    apps: Vec<Box<dyn Application>>,
+) -> NodeId {
     let techs = config.techs.clone();
     let name = config.device_name.clone();
-    world.add_node(name, mobility, &techs, Box::new(PeerHoodNode::new(config, app)))
+    let mut builder = PeerHoodNode::builder().config(config);
+    for app in apps {
+        builder = builder.app_boxed(app);
+    }
+    world.add_node(name, mobility, &techs, Box::new(builder.build()))
+}
+
+/// Runs a closure against the first application of type `T` hosted on a
+/// node — the typed inspection helper experiments use instead of chaining
+/// `n.app::<T>().unwrap()` downcasts through `with_agent`.
+///
+/// Returns `None` when the node is unknown, is not a [`PeerHoodNode`], or
+/// hosts no application of type `T`.
+pub fn with_app<T: Application, R>(world: &mut World, node: NodeId, f: impl FnOnce(&T) -> R) -> Option<R> {
+    world
+        .with_agent::<PeerHoodNode, _>(node, |n, _| n.with_app(f))
+        .flatten()
 }
 
 /// Uniformly random positions inside a square area.

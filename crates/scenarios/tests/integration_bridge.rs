@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: the interconnection (bridge) system (Ch. 4).
 
 use migration::{MessagingClient, MessagingServer};
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
+use peerhood::prelude::*;
 use scenarios::experiments::bridge_trial;
 use scenarios::topology::{experiment_config, spawn_app, spawn_relay};
 use simnet::prelude::*;
@@ -46,7 +46,9 @@ fn two_hop_bridge_chain_delivers_data() {
     assert_eq!(received, 5, "all messages must arrive across the two-bridge chain");
     // Both relays carried traffic for the pair.
     for bridge in [b1, b2] {
-        let (_, relayed, _) = world.with_agent::<PeerHoodNode, _>(bridge, |n, _| n.bridge_stats()).unwrap();
+        let (_, relayed, _) = world
+            .with_agent::<PeerHoodNode, _>(bridge, |n, _| n.bridge_stats())
+            .unwrap();
         assert!(relayed > 0, "bridge {bridge} should have relayed traffic");
     }
     let sent = world
@@ -61,7 +63,13 @@ fn bridge_capacity_limit_refuses_extra_connections() {
     // connection must be refused and reported as failed.
     let mut world = World::new(WorldConfig::ideal(202));
     let mk_client = |_name: &str| {
-        MessagingClient::new("sink", b"x".to_vec(), 3, SimDuration::from_secs(1), SimDuration::from_secs(150))
+        MessagingClient::new(
+            "sink",
+            b"x".to_vec(),
+            3,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(150),
+        )
     };
     let c1 = spawn_app(
         &mut world,

@@ -1,8 +1,10 @@
 //! Cross-crate integration tests: dynamic device discovery (Ch. 3).
 
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
-use scenarios::experiments::{e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, DiscoverySettings};
+use peerhood::prelude::*;
+use scenarios::experiments::{
+    e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, DiscoverySettings,
+};
 use scenarios::topology::{experiment_config, line_positions, spawn_relay};
 use simnet::prelude::*;
 
@@ -24,14 +26,19 @@ fn dynamic_discovery_gives_total_awareness_on_a_line() {
         .collect();
     world.run_for(SimDuration::from_secs(240));
     for id in &ids {
-        let stats = world.with_agent::<PeerHoodNode, _>(*id, |n, _| n.storage_stats()).unwrap();
+        let stats = world
+            .with_agent::<PeerHoodNode, _>(*id, |n, _| n.storage_stats())
+            .unwrap();
         assert_eq!(stats.known_devices, 4, "node {id} should know the whole line");
     }
     // The end node reaches the other end through several jumps.
     let far_addr = DeviceAddress::from_node(ids[4]);
     let route = world
         .with_agent::<PeerHoodNode, _>(ids[0], |n, _| {
-            n.known_devices().into_iter().find(|d| d.info.address == far_addr).map(|d| d.route.jumps)
+            n.known_devices()
+                .into_iter()
+                .find(|d| d.info.address == far_addr)
+                .map(|d| d.route.jumps)
         })
         .unwrap();
     assert_eq!(route, Some(3));
@@ -52,7 +59,9 @@ fn direct_only_mode_is_limited_to_radio_coverage() {
         })
         .collect();
     world.run_for(SimDuration::from_secs(180));
-    let known = world.with_agent::<PeerHoodNode, _>(ids[0], |n, _| n.storage_stats().known_devices).unwrap();
+    let known = world
+        .with_agent::<PeerHoodNode, _>(ids[0], |n, _| n.storage_stats().known_devices)
+        .unwrap();
     assert_eq!(known, 1, "an end node only sees its single direct neighbour");
 }
 
@@ -63,8 +72,14 @@ fn e1_dynamic_beats_direct_only() {
     for row in &report.rows {
         let direct: f64 = row.cells[1].parse().unwrap();
         let dynamic: f64 = row.cells[3].parse().unwrap();
-        assert!(dynamic >= direct, "dynamic discovery must know at least as much as direct-only");
-        assert!(dynamic > 0.9, "dynamic discovery should approach total awareness, got {dynamic}");
+        assert!(
+            dynamic >= direct,
+            "dynamic discovery must know at least as much as direct-only"
+        );
+        assert!(
+            dynamic > 0.9,
+            "dynamic discovery should approach total awareness, got {dynamic}"
+        );
     }
 }
 

@@ -22,7 +22,10 @@ fn e10_tunnel_is_only_reachable_with_bridges() {
     assert_eq!(report.rows[0].cells[1], "true", "with bridges the server is known");
     assert_eq!(report.rows[1].cells[1], "false", "without bridges it is not");
     let with_bridges: usize = report.rows[0].cells[3].parse().unwrap();
-    assert!(with_bridges >= 8, "nearly all messages must cross the tunnel, got {with_bridges}");
+    assert!(
+        with_bridges >= 8,
+        "nearly all messages must cross the tunnel, got {with_bridges}"
+    );
 }
 
 #[test]

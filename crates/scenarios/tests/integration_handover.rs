@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: handover and task migration (Ch. 5).
 
 use migration::{MessagingClient, MessagingServer, PictureClient, PictureServer, TaskOutcome, TaskSpec};
-use peerhood::prelude::*;
 use peerhood::node::PeerHoodNode;
+use peerhood::prelude::*;
 use scenarios::topology::{experiment_config, spawn_app, spawn_relay};
 use simnet::prelude::*;
 
@@ -15,7 +15,12 @@ fn routing_handover_preserves_the_session_when_walking_away() {
     let client = spawn_app(
         &mut world,
         experiment_config("client", MobilityClass::Dynamic, DiscoveryMode::Dynamic),
-        MobilityModel::walk_after(Point::new(2.0, 0.0), Point::new(16.0, 0.0), 0.8, SimDuration::from_secs(80)),
+        MobilityModel::walk_after(
+            Point::new(2.0, 0.0),
+            Point::new(16.0, 0.0),
+            0.8,
+            SimDuration::from_secs(80),
+        ),
         Box::new(MessagingClient::new(
             "print",
             b"good morning!".to_vec(),
@@ -47,11 +52,17 @@ fn routing_handover_preserves_the_session_when_walking_away() {
     // A handful of messages can be lost or delayed around the instant the
     // direct link finally breaks (the data-loss risk §6.1 acknowledges), but
     // the bulk of the stream must keep flowing to the original server.
-    assert!(sent >= 35, "the stream must keep progressing up to the handover, sent {sent}");
+    assert!(
+        sent >= 35,
+        "the stream must keep progressing up to the handover, sent {sent}"
+    );
     let received = world
         .with_agent::<PeerHoodNode, _>(server, |n, _| n.app::<MessagingServer>().unwrap().received_count())
         .unwrap();
-    assert!(received >= 35, "the bulk of the stream must reach the original server, got {received}");
+    assert!(
+        received >= 35,
+        "the bulk of the stream must reach the original server, got {received}"
+    );
 }
 
 #[test]
@@ -96,7 +107,10 @@ fn artificial_quality_decay_triggers_handover_through_the_bridge() {
         .unwrap();
     // A message already in flight when the decayed link finally breaks can be
     // lost (the thesis' own data-loss caveat); everything else must arrive.
-    assert!(received >= 48, "nearly all 'good morning!' messages must arrive, got {received}");
+    assert!(
+        received >= 48,
+        "nearly all 'good morning!' messages must arrive, got {received}"
+    );
 }
 
 #[test]
@@ -138,5 +152,8 @@ fn result_routing_returns_the_result_after_disconnection() {
     let reply_reconnections = world
         .with_agent::<PeerHoodNode, _>(server, |n, _| n.reply_reconnections())
         .unwrap();
-    assert!(reply_reconnections >= 1, "the server must have re-established the connection to deliver the result");
+    assert!(
+        reply_reconnections >= 1,
+        "the server must have re-established the connection to deliver the result"
+    );
 }

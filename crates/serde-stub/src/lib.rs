@@ -1,0 +1,25 @@
+//! No-op stand-in for the `serde` derive macros.
+//!
+//! The workspace builds in an offline container without a crates registry,
+//! so the real `serde` cannot be fetched. Nothing in the reproduction
+//! actually serialises data yet — the `#[derive(Serialize, Deserialize)]`
+//! attributes on the protocol and report types document intent for a future
+//! persistence/export layer. This crate provides derives with the same names
+//! that expand to nothing, keeping every annotation source-compatible with
+//! the real serde. Replace the `serde` workspace path dependency with the
+//! crates-io package to activate real serialisation.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]`
+/// attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -86,8 +86,8 @@ pub mod prelude {
     pub use crate::metrics::{Counters, Metrics};
     pub use crate::mobility::{MobilityModel, MotionPlan};
     pub use crate::node::{
-        AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId,
-        NodeAgent, NodeId, TimerToken,
+        AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent, NodeId,
+        TimerToken,
     };
     pub use crate::radio::{RadioEnvironment, RadioProfile, RadioTech, QUALITY_LOW_THRESHOLD, QUALITY_MAX};
     pub use crate::rng::SimRng;

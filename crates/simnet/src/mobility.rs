@@ -280,9 +280,7 @@ impl MotionPlan {
 
     /// True if the node is still scheduled to move after time `t`.
     pub fn moving_after(&self, t: SimTime) -> bool {
-        self.segments
-            .iter()
-            .any(|s| s.end_time > t && s.from != s.to)
+        self.segments.iter().any(|s| s.end_time > t && s.from != s.to)
     }
 }
 

@@ -176,14 +176,7 @@ pub trait NodeAgent: Any {
     }
 
     /// Called on the initiator when a connection attempt succeeds.
-    fn on_connected(
-        &mut self,
-        ctx: &mut NodeCtx<'_>,
-        attempt: AttemptId,
-        link: LinkId,
-        peer: NodeId,
-        tech: RadioTech,
-    ) {
+    fn on_connected(&mut self, ctx: &mut NodeCtx<'_>, attempt: AttemptId, link: LinkId, peer: NodeId, tech: RadioTech) {
         let _ = (ctx, attempt, link, peer, tech);
     }
 

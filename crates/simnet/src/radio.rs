@@ -229,7 +229,7 @@ impl RadioProfile {
     /// placing nodes "at the edge" in scenarios.
     pub fn distance_for_quality(&self, threshold: u8) -> Option<f64> {
         let range = self.range_m?;
-        if threshold >= QUALITY_MAX {
+        if threshold == QUALITY_MAX {
             return Some(range * self.quality_plateau_fraction);
         }
         if threshold <= self.quality_at_edge {
@@ -237,9 +237,8 @@ impl RadioProfile {
         }
         let plateau = range * self.quality_plateau_fraction;
         let span = range - plateau;
-        let frac = ((QUALITY_MAX as f64 - threshold as f64)
-            / (QUALITY_MAX as f64 - self.quality_at_edge as f64))
-            .sqrt();
+        let frac =
+            ((QUALITY_MAX as f64 - threshold as f64) / (QUALITY_MAX as f64 - self.quality_at_edge as f64)).sqrt();
         Some(plateau + span * frac)
     }
 }

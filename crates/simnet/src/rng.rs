@@ -4,10 +4,96 @@
 //! connection faults, inquiry misses, mobility waypoints, quality noise) is
 //! drawn from a [`SimRng`] derived from the world seed, so a run is fully
 //! reproducible from `(seed, scenario)`.
+//!
+//! The generator is a self-contained xoshiro256++ seeded through a
+//! SplitMix64 expansion — no external dependency, identical streams on every
+//! platform.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Types that [`SimRng::range`] can draw uniformly.
+///
+/// Implemented for the integer and floating-point types the simulator uses;
+/// the trait is sealed in practice by being driven only through
+/// [`SampleRange`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[low, high]` (both ends inclusive) for integer
+    /// types. Floating-point sampling is always half-open `[low, high)` —
+    /// see the `f64` impl.
+    fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self;
+    /// The largest value strictly below `self` (integer predecessor; for
+    /// floats the half-open upper bound is handled in the float impl
+    /// directly, so this is identity there).
+    fn half_open_high(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit span.
+                    return rng.next_u64() as Self;
+                }
+                // Multiply-shift mapping of a 64-bit draw onto the span; the
+                // bias is < 2^-64 per draw, far below anything the simulator
+                // can observe.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as Self)
+            }
+            fn half_open_high(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive(rng: &mut SimRng, low: Self, high: Self) -> Self {
+        // Uniform in [low, high) regardless of the range syntax used: the
+        // closed upper end of `a..=b` is a measure-zero event no simulator
+        // model depends on, so float sampling is uniformly half-open.
+        low + (high - low) * rng.unit()
+    }
+    fn half_open_high(self) -> Self {
+        self
+    }
+}
+
+/// Ranges accepted by [`SimRng::range`]: `a..b` and `a..=b`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Inclusive `(low, high)` bounds of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        (self.start, self.end.half_open_high())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample an empty range");
+        (start, end)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random number generator with a few distribution helpers used by
 /// the radio and mobility models.
@@ -21,14 +107,20 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -47,24 +139,29 @@ impl SimRng {
     }
 
     fn base_seed_hint(&self) -> u64 {
-        // StdRng does not expose its seed; clone and draw one value to obtain
-        // a state-dependent hint without disturbing `self`.
-        let mut probe = self.inner.clone();
-        probe.gen::<u64>()
+        // Peek one draw from a clone to obtain a state-dependent hint without
+        // disturbing `self`.
+        let mut probe = self.clone();
+        probe.next_u64()
     }
 
-    /// Draws a value uniformly from the given range.
+    /// Draws a value uniformly from the given range (`a..b` or `a..=b`).
+    ///
+    /// Integer ranges honour their bounds exactly; floating-point ranges are
+    /// always sampled half-open `[low, high)`, even for `a..=b`.
     pub fn range<T, R>(&mut self, range: R) -> T
     where
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        let (low, high) = range.bounds_inclusive();
+        T::sample_inclusive(self, low, high)
     }
 
     /// Draws a uniform value in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns true with probability `p` (clamped to `[0, 1]`).
@@ -74,7 +171,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -84,7 +181,7 @@ impl SimRng {
         if max <= min {
             return min;
         }
-        self.inner.gen_range(min..max)
+        min + (max - min) * self.unit()
     }
 
     /// Draws a sample from an approximately normal distribution using the
@@ -93,14 +190,14 @@ impl SimRng {
     pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
         let mut acc = 0.0;
         for _ in 0..12 {
-            acc += self.inner.gen::<f64>();
+            acc += self.unit();
         }
         mean + (acc - 6.0) * std_dev
     }
 
     /// Draws from an exponential distribution with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.unit().max(f64::EPSILON);
         -mean * u.ln()
     }
 
@@ -111,7 +208,7 @@ impl SimRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot pick from an empty collection");
-        self.inner.gen_range(0..len)
+        self.range(0..len)
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
@@ -120,14 +217,24 @@ impl SimRng {
             return;
         }
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range(0..=i);
             items.swap(i, j);
         }
     }
 
-    /// Draws a raw 64-bit value.
+    /// Draws a raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 }
 
@@ -187,6 +294,24 @@ mod tests {
         }
         assert_eq!(r.uniform_f64(4.0, 4.0), 4.0);
         assert_eq!(r.uniform_f64(4.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn range_covers_integer_bounds() {
+        let mut r = SimRng::new(13);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2000 {
+            let v = r.range(0u32..4);
+            assert!(v < 4);
+            seen_low |= v == 0;
+            seen_high |= v == 3;
+        }
+        assert!(seen_low && seen_high, "both ends of 0..4 should be drawn");
+        for _ in 0..200 {
+            let v = r.range(5u64..=5);
+            assert_eq!(v, 5);
+        }
     }
 
     #[test]

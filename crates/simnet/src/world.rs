@@ -13,8 +13,7 @@ use crate::link::{InFlightMessage, LinkInfo, LinkState, PendingAttempt, QualityO
 use crate::metrics::Metrics;
 use crate::mobility::{MobilityModel, MotionPlan};
 use crate::node::{
-    AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent,
-    NodeId, TimerToken,
+    AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent, NodeId, TimerToken,
 };
 use crate::radio::{RadioEnvironment, RadioTech};
 use crate::rng::SimRng;
@@ -415,11 +414,7 @@ impl World {
         self.nodes.get_mut(node.as_raw() as usize)
     }
 
-    fn agent_call<R>(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn NodeAgent, &mut NodeCtx<'_>) -> R,
-    ) -> Option<R> {
+    fn agent_call<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NodeAgent, &mut NodeCtx<'_>) -> R) -> Option<R> {
         let idx = node.as_raw() as usize;
         if idx >= self.nodes.len() || !self.nodes[idx].alive {
             return None;
@@ -612,7 +607,13 @@ impl World {
             return;
         }
         self.metrics.record_message_delivered(in_flight.to);
-        let InFlightMessage { link, from, to, payload, .. } = in_flight;
+        let InFlightMessage {
+            link,
+            from,
+            to,
+            payload,
+            ..
+        } = in_flight;
         self.agent_call(to, |agent, ctx| agent.on_message(ctx, link, from, payload));
     }
 
@@ -623,9 +624,7 @@ impl World {
                 l.b,
                 l.tech,
                 l.open,
-                l.quality_override
-                    .map(|ov| ov.exhausted_at(self.now))
-                    .unwrap_or(false),
+                l.quality_override.map(|ov| ov.exhausted_at(self.now)).unwrap_or(false),
             ),
             None => return,
         };
@@ -737,13 +736,9 @@ impl<'a> NodeCtx<'a> {
     /// opaque token.
     pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
         let at = self.world.now + after;
-        self.world.scheduler.schedule(
-            at,
-            Event::Timer {
-                node: self.node,
-                token,
-            },
-        );
+        self.world
+            .scheduler
+            .schedule(at, Event::Timer { node: self.node, token });
     }
 
     /// Starts a device-discovery inquiry on `tech`. The result arrives via
@@ -794,10 +789,7 @@ impl<'a> NodeCtx<'a> {
         self.world.metrics.record_connect_attempt(node);
         let profile = self.world.config.radio.profile(tech).clone();
         let latency = {
-            let slot = self
-                .world
-                .slot_mut(node)
-                .expect("node exists while ctx is alive");
+            let slot = self.world.slot_mut(node).expect("node exists while ctx is alive");
             profile.sample_setup_latency(&mut slot.rng)
         };
         self.world.attempts.insert(
@@ -837,9 +829,7 @@ impl<'a> NodeCtx<'a> {
         };
         let profile = self.world.config.radio.profile(tech);
         let delay = profile.transmission_delay(payload.len());
-        self.world
-            .metrics
-            .record_message_sent(node, tech, payload.len() as u64);
+        self.world.metrics.record_message_sent(node, tech, payload.len() as u64);
         let msg = self.world.next_msg;
         self.world.next_msg += 1;
         let deliver_at = self.world.now + delay;
@@ -1010,7 +1000,8 @@ mod tests {
         })
         .unwrap();
         w.run_for(SimDuration::from_secs(4));
-        w.with_agent::<Probe, _>(a, |p, _| assert!(p.timers.is_empty())).unwrap();
+        w.with_agent::<Probe, _>(a, |p, _| assert!(p.timers.is_empty()))
+            .unwrap();
         w.run_for(SimDuration::from_secs(2));
         w.with_agent::<Probe, _>(a, |p, _| assert_eq!(p.timers, vec![TimerToken(99)]))
             .unwrap();
@@ -1245,9 +1236,7 @@ mod tests {
         })
         .unwrap();
         w.run_for(SimDuration::from_secs(1));
-        let link = w
-            .with_agent::<Probe, _>(a, |p, _| p.connected[0].1)
-            .unwrap();
+        let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
         w.with_agent::<Probe, _>(a, |_, ctx| ctx.close(link)).unwrap();
         w.run_for(SimDuration::from_secs(1));
         w.with_agent::<Probe, _>(b, |p, _| {
