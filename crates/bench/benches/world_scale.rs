@@ -1,0 +1,113 @@
+//! Node-count sweeps over the spatially-indexed world.
+//!
+//! Two measurements per population size at constant density:
+//!
+//! * `neighbors_grid_*` vs `neighbors_scan_*` — the same neighbourhood
+//!   queries answered through the grid index and through the full-scan
+//!   reference oracle. The grid must win, and grow sublinearly, from
+//!   ~1k nodes.
+//! * `discovery_sim_*` — wall-clock cost of a simulated slice in which every
+//!   device runs periodic inquiries, i.e. the end-to-end event loop on the
+//!   discovery hot path.
+
+use std::any::Any;
+
+use bench::harness::{bb, Group};
+use simnet::prelude::*;
+
+const SCAN: TimerToken = TimerToken(7);
+
+/// A device that scans its neighbourhood periodically.
+struct Beacon {
+    interval: SimDuration,
+}
+
+impl NodeAgent for Beacon {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let jitter = SimDuration::from_millis(ctx.rng().range(0..self.interval.as_millis().max(1)));
+        ctx.schedule(jitter, SCAN);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: TimerToken) {
+        ctx.start_inquiry(RadioTech::Bluetooth);
+        ctx.schedule(self.interval, SCAN);
+    }
+}
+
+/// Builds a constant-density (2000 nodes/km^2) city of scanning devices,
+/// one quarter of them mobile.
+fn build_world(nodes: usize, seed: u64) -> World {
+    let side = (nodes as f64 / 2_000.0 * 1_000_000.0).sqrt();
+    let mut world = World::new(WorldConfig::with_seed(seed));
+    let area = Rect::square(side);
+    let mut placer = SimRng::new(seed ^ 0xBE47);
+    for i in 0..nodes {
+        let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        let mobility = if i % 4 == 0 {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.7,
+                max_speed_mps: 2.0,
+                pause: SimDuration::from_secs(15),
+            }
+        } else {
+            MobilityModel::stationary(start)
+        };
+        world.add_node(
+            format!("n{i}"),
+            mobility,
+            &[RadioTech::Bluetooth],
+            Box::new(Beacon {
+                interval: SimDuration::from_secs(10),
+            }),
+        );
+    }
+    world
+}
+
+fn main() {
+    let mut group = Group::new("world_scale");
+    group.sample_size(5);
+    for &nodes in &[250usize, 1_000, 4_000] {
+        // Advance the world a little so mobile nodes have left their initial
+        // cells before the queries are measured.
+        let mut world = build_world(nodes, 20080815);
+        world.run_for(SimDuration::from_secs(30));
+        let ids: Vec<NodeId> = world.node_ids().step_by((nodes / 200).max(1)).collect();
+
+        let mut consistency = 0usize;
+        group.bench(format!("neighbors_grid_{nodes}"), || {
+            ids.iter()
+                .map(|id| world.neighbors_in_range(bb(*id), RadioTech::Bluetooth).len())
+                .sum::<usize>()
+        });
+        group.bench(format!("neighbors_scan_{nodes}"), || {
+            ids.iter()
+                .map(|id| world.neighbors_in_range_reference(bb(*id), RadioTech::Bluetooth).len())
+                .sum::<usize>()
+        });
+        // The two paths must agree bit-for-bit; a bench that silently
+        // measured diverging implementations would be meaningless.
+        for id in &ids {
+            assert_eq!(
+                world.neighbors_in_range(*id, RadioTech::Bluetooth),
+                world.neighbors_in_range_reference(*id, RadioTech::Bluetooth),
+            );
+            consistency += 1;
+        }
+        eprintln!("  (grid/scan agreement checked on {consistency} nodes)");
+
+        group.bench(format!("discovery_sim_{nodes}_20s"), || {
+            let mut w = build_world(bb(nodes), 7);
+            w.run_for(SimDuration::from_secs(20));
+            w.metrics().global().inquiries_started
+        });
+    }
+    group.finish();
+}

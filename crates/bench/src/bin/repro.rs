@@ -17,7 +17,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(20080815u64);
-    eprintln!("running the E1-E11 experiment suite (seed {seed}, {effort:?}) ...");
+    eprintln!("running the E1-E12 experiment suite (seed {seed}, {effort:?}) ...");
     let reports = run_all(seed, effort);
     for report in &reports {
         println!("{report}");

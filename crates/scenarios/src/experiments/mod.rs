@@ -1,4 +1,5 @@
-//! The experiment runners E1–E11 (see `DESIGN.md` for the per-figure index).
+//! The experiment runners E1–E12 (see `DESIGN.md` for the per-figure index;
+//! E12 is the dense-city scale family added on top of the thesis).
 //!
 //! Each function builds the scenario it needs, runs the simulation and
 //! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
@@ -8,6 +9,7 @@ pub mod bridge;
 pub mod discovery;
 pub mod handover;
 pub mod migration_exp;
+pub mod scale;
 
 pub use bridge::{bridge_trial, e06_bridge_performance, e10_coverage_amplification, BridgeTrial};
 pub use discovery::{
@@ -18,6 +20,7 @@ pub use handover::{
     e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun,
 };
 pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
+pub use scale::{e12_dense_city, ScaleSettings};
 
 use crate::report::ExperimentReport;
 
@@ -40,6 +43,10 @@ pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
         Effort::Quick => (4, 1, 2),
         Effort::Full => (10, 3, 3),
     };
+    let scale_settings = match effort {
+        Effort::Quick => ScaleSettings::quick(),
+        Effort::Full => ScaleSettings::full(),
+    };
     vec![
         e01_coverage_exclusion(&discovery_settings),
         e02_gnutella_traffic(seed),
@@ -52,5 +59,6 @@ pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
         e09_result_routing(seed),
         e10_coverage_amplification(seed),
         e11_monitoring_limitation(seed),
+        e12_dense_city(&scale_settings),
     ]
 }

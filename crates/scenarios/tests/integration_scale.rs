@@ -1,0 +1,32 @@
+//! E12 smoke tests: the dense-city scale scenario must run in quick mode on
+//! every `cargo test`, so the spatially-indexed world's scale path is
+//! exercised in CI, and its report must be deterministic in the seed.
+
+use scenarios::experiments::{e12_dense_city, ScaleSettings};
+
+#[test]
+fn e12_quick_city_discovers_and_connects() {
+    let settings = ScaleSettings::quick();
+    let report = e12_dense_city(&settings);
+    assert_eq!(report.rows.len(), settings.node_counts.len());
+    for (row, nodes) in report.rows.iter().zip(&settings.node_counts) {
+        assert_eq!(row.cells[0], nodes.to_string());
+        let avg_neighbors: f64 = row.cells[2].parse().unwrap();
+        assert!(
+            avg_neighbors > 1.0,
+            "a dense city must have neighbours in range, got {avg_neighbors}"
+        );
+        let inquiries: u64 = row.cells[3].parse().unwrap();
+        assert!(inquiries as usize >= *nodes, "every device scans at least once");
+        let links: u64 = row.cells[4].parse().unwrap();
+        assert!(links > 0, "devices must manage to attach to neighbours");
+    }
+}
+
+#[test]
+fn e12_report_is_deterministic() {
+    let settings = ScaleSettings::quick();
+    let a = e12_dense_city(&settings);
+    let b = e12_dense_city(&settings);
+    assert_eq!(a, b, "same settings must reproduce the identical report");
+}

@@ -9,6 +9,8 @@
 //! The simulator models:
 //!
 //! * **virtual time** ([`time`]) and a deterministic event loop ([`world`]),
+//!   whose hot paths run against a uniform spatial grid index keyed by
+//!   mobility-aware cell residency so worlds scale to thousands of nodes,
 //! * **radio technologies** ([`radio`]) — Bluetooth, WLAN and GPRS profiles
 //!   with coverage range, bit-rate, inquiry behaviour (including the
 //!   Bluetooth inquiry asymmetry of §3.4.2), connection-setup latency and

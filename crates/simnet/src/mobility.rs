@@ -282,6 +282,53 @@ impl MotionPlan {
     pub fn moving_after(&self, t: SimTime) -> bool {
         self.segments.iter().any(|s| s.end_time > t && s.from != s.to)
     }
+
+    /// Earliest time at or after `from` at which the trajectory leaves the
+    /// closed rectangle `rect`, or `None` if the node never does.
+    ///
+    /// The world's spatial index uses this to decide how long a node's
+    /// grid-cell residency stays valid, so the index only touches a node
+    /// when it actually crosses a cell boundary instead of on every query.
+    pub fn departure_time(&self, rect: Rect, from: SimTime) -> Option<SimTime> {
+        if !rect.contains(self.position_at(from)) {
+            return Some(from);
+        }
+        let start_idx = self.segments.partition_point(|s| s.end_time < from);
+        for seg in &self.segments[start_idx..] {
+            // Both endpoints of a linear piece inside a convex region means
+            // the whole piece is inside; only pieces ending outside can cross.
+            if rect.contains(seg.to) {
+                continue;
+            }
+            let t0 = seg.start_time.max(from);
+            let p0 = seg.position_at(t0);
+            let u = exit_fraction(p0, seg.to, rect);
+            let span = (seg.end_time - t0).as_secs_f64();
+            return Some(t0 + SimDuration::from_secs_f64(span * u));
+        }
+        None
+    }
+}
+
+/// Fraction `u` in `[0, 1]` at which the segment `p0 -> p1` (with `p0`
+/// inside the closed rectangle and `p1` outside) first touches the boundary.
+fn exit_fraction(p0: Point, p1: Point, rect: Rect) -> f64 {
+    let mut u = 1.0f64;
+    let dx = p1.x - p0.x;
+    let dy = p1.y - p0.y;
+    if p1.x > rect.max_x {
+        u = u.min((rect.max_x - p0.x) / dx);
+    }
+    if p1.x < rect.min_x {
+        u = u.min((rect.min_x - p0.x) / dx);
+    }
+    if p1.y > rect.max_y {
+        u = u.min((rect.max_y - p0.y) / dy);
+    }
+    if p1.y < rect.min_y {
+        u = u.min((rect.min_y - p0.y) / dy);
+    }
+    u.clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -384,5 +431,64 @@ mod tests {
     fn zero_speed_rejected() {
         let mut plan = MotionPlan::starting_at(Point::ORIGIN);
         plan.move_to(Point::new(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn departure_time_stationary_inside_never_leaves() {
+        let plan = MotionPlan::fixed(Point::new(5.0, 5.0));
+        let rect = Rect::square(10.0);
+        assert_eq!(plan.departure_time(rect, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn departure_time_outside_is_immediate() {
+        let plan = MotionPlan::fixed(Point::new(50.0, 5.0));
+        let rect = Rect::square(10.0);
+        assert_eq!(
+            plan.departure_time(rect, SimTime::from_secs(3)),
+            Some(SimTime::from_secs(3))
+        );
+    }
+
+    #[test]
+    fn departure_time_linear_walk_crosses_boundary() {
+        // Walk from (5,5) to (25,5) at 1 m/s; leaves the 10x10 square when
+        // x = 10, i.e. after 5 seconds.
+        let m = MobilityModel::walk(Point::new(5.0, 5.0), Point::new(25.0, 5.0), 1.0);
+        let plan = m.compile(SimTime::from_secs(100), &mut rng());
+        let rect = Rect::square(10.0);
+        let t = plan.departure_time(rect, SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-6, "left at {t:?}");
+        // Asking from a later time inside the rect still finds the crossing.
+        let t2 = plan.departure_time(rect, SimTime::from_secs(2)).unwrap();
+        assert!((t2.as_secs_f64() - 5.0).abs() < 1e-6);
+        // After the crossing the position is outside: departure is immediate.
+        assert_eq!(
+            plan.departure_time(rect, SimTime::from_secs(7)),
+            Some(SimTime::from_secs(7))
+        );
+    }
+
+    #[test]
+    fn departure_time_skips_hold_segments() {
+        let mut plan = MotionPlan::starting_at(Point::new(5.0, 5.0));
+        plan.hold_until(SimTime::from_secs(20));
+        plan.move_to(Point::new(5.0, 35.0), 1.0); // leaves y=10 at t=25
+        let rect = Rect::square(10.0);
+        let t = plan.departure_time(rect, SimTime::ZERO).unwrap();
+        assert!((t.as_secs_f64() - 25.0).abs() < 1e-6, "left at {t:?}");
+    }
+
+    #[test]
+    fn departure_time_never_before_from() {
+        let m = MobilityModel::walk(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 2.0);
+        let plan = m.compile(SimTime::from_secs(100), &mut rng());
+        let rect = Rect::new(0.0, 0.0, 30.0, 30.0);
+        for s in 0..40 {
+            let from = SimTime::from_secs(s);
+            if let Some(t) = plan.departure_time(rect, from) {
+                assert!(t >= from);
+            }
+        }
     }
 }

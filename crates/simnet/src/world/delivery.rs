@@ -1,0 +1,157 @@
+//! Message delivery and disconnect ordering.
+//!
+//! This layer owns the rules about *when* payloads and close notifications
+//! become visible: gracefully closed links flush their in-flight payloads
+//! (socket buffers drain) while physical breaks lose them, and a close
+//! notification never overtakes data written before the close. The in-flight
+//! scan that enforces the latter runs against the per-link in-flight index,
+//! so its cost follows one link's traffic, not the world's.
+
+use super::{Event, World};
+use crate::link::InFlightMessage;
+use crate::node::{DisconnectReason, LinkId, NodeId};
+use crate::time::SimDuration;
+
+impl World {
+    pub(super) fn deliver(&mut self, msg: u64) {
+        let in_flight = match self.links.take_in_flight(msg) {
+            Some(m) => m,
+            None => return,
+        };
+        // Payloads already in flight when an endpoint closed the link
+        // gracefully are still delivered (the socket buffer flushes); only a
+        // physical break (out of range, crash) loses them.
+        let deliverable = self
+            .links
+            .get(in_flight.link)
+            .map(|l| l.open || l.closed_gracefully)
+            .unwrap_or(false);
+        if !deliverable || !self.is_alive(in_flight.to) {
+            self.metrics.record_message_lost(in_flight.to);
+            self.links.retire_if_drained(in_flight.link);
+            return;
+        }
+        self.metrics.record_message_delivered(in_flight.to);
+        let InFlightMessage {
+            link,
+            from,
+            to,
+            payload,
+            ..
+        } = in_flight;
+        self.links.retire_if_drained(link);
+        self.agent_call(to, |agent, ctx| agent.on_message(ctx, link, from, payload));
+    }
+
+    pub(super) fn check_link(&mut self, link: LinkId) {
+        let (a, b, tech, open, has_override, exhausted) = match self.links.get(link) {
+            Some(l) => (
+                l.a,
+                l.b,
+                l.tech,
+                l.open,
+                l.quality_override.is_some(),
+                l.quality_override.map(|ov| ov.exhausted_at(self.now)).unwrap_or(false),
+            ),
+            None => return, // retired (or never existed): nothing to check
+        };
+        if !open {
+            // Already closed: never reschedule the check; the entry retires
+            // once its in-flight payloads drain.
+            self.links.retire_if_drained(link);
+            return;
+        }
+        let a_alive = self.is_alive(a);
+        let b_alive = self.is_alive(b);
+        let physically_broken = if has_override {
+            exhausted
+        } else {
+            !self.in_range(a, b, tech)
+        };
+        if !a_alive || !b_alive || physically_broken {
+            if let Some(state) = self.links.get_mut(link) {
+                state.open = false;
+            }
+            self.metrics.record_link_broken(a);
+            self.metrics.record_link_broken(b);
+            let reason_for = |peer_alive: bool| {
+                if peer_alive {
+                    DisconnectReason::OutOfRange
+                } else {
+                    DisconnectReason::PeerFailed
+                }
+            };
+            if a_alive {
+                self.agent_call(a, |agent, ctx| {
+                    agent.on_disconnected(ctx, link, b, reason_for(b_alive));
+                });
+            }
+            if b_alive {
+                self.agent_call(b, |agent, ctx| {
+                    agent.on_disconnected(ctx, link, a, reason_for(a_alive));
+                });
+            }
+            self.links.retire_if_drained(link);
+            return;
+        }
+        let next = self.now + self.config.link_check_interval;
+        self.scheduler.schedule(next, Event::LinkCheck { link });
+    }
+
+    pub(super) fn graceful_disconnect(&mut self, link: LinkId, closer: NodeId) {
+        // Preserve FIFO ordering with respect to payloads already in flight
+        // towards the peer: the close notification must not overtake data
+        // written before the close (socket buffers drain first).
+        if let Some(t) = self.links.last_delivery_on(link) {
+            if t >= self.now {
+                self.scheduler
+                    .schedule(t + SimDuration::from_micros(1), Event::Disconnect { link, closer });
+                return;
+            }
+        }
+        let peer = match self.links.get_mut(link) {
+            Some(state) if state.open => {
+                state.open = false;
+                state.closed_gracefully = true;
+                state.peer_of(closer)
+            }
+            _ => return,
+        };
+        if let Some(peer) = peer {
+            self.agent_call(peer, |agent, ctx| {
+                agent.on_disconnected(ctx, link, closer, DisconnectReason::PeerClosed);
+            });
+        }
+        self.links.retire_if_drained(link);
+    }
+
+    /// Powers a node off: every open link it participates in breaks and the
+    /// surviving peers are notified. Used for failure-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Must not be called from inside an agent callback.
+    pub fn crash_node(&mut self, node: NodeId) {
+        match self.topology.slot(node) {
+            Some(slot) if slot.alive => self.topology.power_off(node),
+            _ => return,
+        }
+        let affected: Vec<(LinkId, NodeId)> = self
+            .links
+            .open_links_of(node)
+            .into_iter()
+            .filter_map(|id| self.links.get(id).and_then(|l| l.peer_of(node)).map(|peer| (id, peer)))
+            .collect();
+        for (link, peer) in affected {
+            if let Some(state) = self.links.get_mut(link) {
+                state.open = false;
+            }
+            self.metrics.record_link_broken(peer);
+            self.metrics.record_link_broken(node);
+            self.agent_call(peer, |agent, ctx| {
+                agent.on_disconnected(ctx, link, node, DisconnectReason::PeerFailed);
+            });
+            self.links.retire_if_drained(link);
+        }
+    }
+}

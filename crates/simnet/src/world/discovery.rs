@@ -1,0 +1,194 @@
+//! Device discovery: inquiry completion and neighbourhood queries.
+//!
+//! For range-bounded technologies, candidate peers come from the spatial
+//! grid index instead of a scan over every node in the world; the exact
+//! filters (liveness, radio set, discoverability, the Bluetooth inquiry
+//! asymmetry, the precise range predicate) then run on the candidate set.
+//! Because grid candidates arrive sorted by node id — the same order the
+//! full scan visited them — the surviving candidate list, and therefore
+//! every RNG draw made while sampling misses and qualities, is identical to
+//! the pre-index implementation. Infrastructure technologies (GPRS) have no
+//! radius to bound the query with and keep the full scan.
+
+use super::World;
+use crate::geometry::Point;
+use crate::node::{InquiryHit, NodeId};
+use crate::radio::{RadioProfile, RadioTech};
+use crate::time::SimTime;
+
+impl World {
+    /// The radius to bound a grid query with, or `None` when the technology's
+    /// coverage predicate is not radius-shaped and only the full scan is
+    /// exact. GPRS coverage is decided by dead zones regardless of distance
+    /// (even if someone configures a finite `range_m` on its profile), so it
+    /// never uses the grid.
+    fn grid_query_radius(&self, tech: RadioTech) -> Option<f64> {
+        if tech == RadioTech::Gprs {
+            return None;
+        }
+        self.config.radio.profile(tech).range_m
+    }
+
+    /// Ground-truth list of nodes within radio range of `node` for `tech`
+    /// (regardless of discoverability). Used by experiments that need the
+    /// true topology to compare discovery results against.
+    pub fn neighbors_in_range(&self, node: NodeId, tech: RadioTech) -> Vec<NodeId> {
+        let pos = match self.position_of(node) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        let range = match self.grid_query_radius(tech) {
+            Some(r) => r,
+            None => return self.neighbors_in_range_reference(node, tech),
+        };
+        self.topology
+            .candidates_within(pos, range, self.now)
+            .into_iter()
+            .filter(|id| *id != node)
+            .filter(|id| {
+                self.topology
+                    .slot(*id)
+                    .map(|other| {
+                        other.alive
+                            && other.techs.contains(&tech)
+                            && self.pair_in_range(pos, other.plan.position_at(self.now), tech)
+                    })
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Reference implementation of [`World::neighbors_in_range`] that scans
+    /// every node instead of consulting the spatial index. Kept as the
+    /// oracle the determinism tests and the `world_scale` bench compare the
+    /// grid path against; results are always identical.
+    pub fn neighbors_in_range_reference(&self, node: NodeId, tech: RadioTech) -> Vec<NodeId> {
+        let pos = match self.position_of(node) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        self.topology
+            .nodes
+            .iter()
+            .filter(|other| other.id != node && other.alive && other.techs.contains(&tech))
+            .filter(|other| self.pair_in_range(pos, other.plan.position_at(self.now), tech))
+            .map(|other| other.id)
+            .collect()
+    }
+
+    pub(super) fn complete_inquiry(&mut self, node: NodeId, tech: RadioTech) {
+        let pos = match self.position_of(node) {
+            Some(p) => p,
+            None => return,
+        };
+        if !self.is_alive(node) {
+            return;
+        }
+        let profile = self.config.radio.profile(tech).clone();
+        let now = self.now;
+
+        // Collect candidate peers first (immutable pass), then sample
+        // miss/quality with the inquirer's RNG. Candidates are ordered by
+        // node id in both paths, so the RNG draw sequence is stable.
+        let candidates: Vec<(NodeId, f64)> = match self.grid_query_radius(tech) {
+            Some(range) => self.inquiry_candidates_grid(node, pos, range, tech, &profile, now),
+            None => self.inquiry_candidates_scan(node, pos, tech, &profile, now),
+        };
+
+        let mut hits = Vec::new();
+        {
+            let slot = match self.slot_mut(node) {
+                Some(s) => s,
+                None => return,
+            };
+            for (peer, distance) in candidates {
+                if slot.rng.chance(profile.inquiry_miss_prob) {
+                    continue;
+                }
+                if let Some(quality) = profile.sample_quality(distance, &mut slot.rng) {
+                    hits.push(InquiryHit {
+                        node: peer,
+                        tech,
+                        quality,
+                    });
+                }
+            }
+            // The scan is over: the node becomes discoverable again.
+            if let Some(until) = slot.inquiring_until.get(&tech).copied() {
+                if until <= now {
+                    slot.inquiring_until.remove(&tech);
+                }
+            }
+        }
+        self.metrics.record_inquiry_hits(node, hits.len() as u64);
+        self.agent_call(node, |agent, ctx| agent.on_inquiry_complete(ctx, tech, hits));
+    }
+
+    /// True if `other` would answer an inquiry on `tech` at `now`: powered
+    /// on, carrying and discoverable on the radio, and not itself mid-scan
+    /// when the technology's inquiries are asymmetric (§3.4.2).
+    fn answers_inquiry(
+        other: &super::topology::NodeSlot,
+        tech: RadioTech,
+        profile: &RadioProfile,
+        now: SimTime,
+    ) -> bool {
+        other.alive
+            && other.techs.contains(&tech)
+            && other.discoverable.contains(&tech)
+            && !(profile.inquiry_asymmetric
+                && other
+                    .inquiring_until
+                    .get(&tech)
+                    .map(|until| *until > now)
+                    .unwrap_or(false))
+    }
+
+    /// Inquiry candidates for a range-bounded technology, via the grid.
+    fn inquiry_candidates_grid(
+        &self,
+        node: NodeId,
+        pos: Point,
+        range: f64,
+        tech: RadioTech,
+        profile: &RadioProfile,
+        now: SimTime,
+    ) -> Vec<(NodeId, f64)> {
+        self.topology
+            .candidates_within(pos, range, now)
+            .into_iter()
+            .filter(|id| *id != node)
+            .filter_map(|id| {
+                let other = self.topology.slot(id)?;
+                if !Self::answers_inquiry(other, tech, profile, now) {
+                    return None;
+                }
+                let distance = pos.distance(other.plan.position_at(now));
+                profile.in_range(distance).then_some((id, distance))
+            })
+            .collect()
+    }
+
+    /// Inquiry candidates for an infrastructure technology (no radius to
+    /// bound a grid query): the full scan, with coverage decided by dead
+    /// zones through [`World::pair_in_range`].
+    fn inquiry_candidates_scan(
+        &self,
+        node: NodeId,
+        pos: Point,
+        tech: RadioTech,
+        profile: &RadioProfile,
+        now: SimTime,
+    ) -> Vec<(NodeId, f64)> {
+        self.topology
+            .nodes
+            .iter()
+            .filter(|other| other.id != node && Self::answers_inquiry(other, tech, profile, now))
+            .filter_map(|other| {
+                let other_pos = other.plan.position_at(now);
+                self.pair_in_range(pos, other_pos, tech)
+                    .then(|| (other.id, pos.distance(other_pos)))
+            })
+            .collect()
+    }
+}

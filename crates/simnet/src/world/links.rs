@@ -1,0 +1,281 @@
+//! Link bookkeeping: the active link table, the per-node link index, the
+//! per-link in-flight index, pending connection attempts and retired-link
+//! tombstones.
+//!
+//! Hot paths (`links_of`, the in-flight scan in disconnect ordering,
+//! `crash_node`) are indexed so their cost scales with one node's links and
+//! one link's in-flight messages instead of the world totals. A link whose
+//! endpoints have both been notified of its closure and whose last in-flight
+//! payload has drained is *retired*: its mutable [`LinkState`] is dropped and
+//! replaced by a compact tombstone, so long runs no longer accumulate dead
+//! state in the hot tables while `links_of`/`link_info`/`send` keep
+//! answering exactly as before.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{Event, World};
+use crate::link::{InFlightMessage, LinkInfo, LinkState, PendingAttempt};
+use crate::node::{AttemptId, ConnectError, IncomingConnection, LinkId, NodeId};
+use crate::radio::RadioTech;
+use crate::time::SimTime;
+
+/// Compact record of a fully closed-and-drained link, kept so read APIs and
+/// `send` error classification remain byte-identical after retirement.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetiredLink {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) tech: RadioTech,
+    pub(crate) established_at: SimTime,
+}
+
+impl RetiredLink {
+    fn info(&self, id: LinkId) -> LinkInfo {
+        LinkInfo {
+            id,
+            initiator: self.a,
+            acceptor: self.b,
+            tech: self.tech,
+            established_at: self.established_at,
+            open: false,
+        }
+    }
+}
+
+/// The link layer of the world.
+#[derive(Default)]
+pub(crate) struct LinkTable {
+    /// Open links plus closed links that are not yet drained/retired.
+    active: BTreeMap<LinkId, LinkState>,
+    /// Tombstones of retired links.
+    retired: BTreeMap<LinkId, RetiredLink>,
+    /// Every link (active or retired) a node has ever been an endpoint of.
+    by_node: BTreeMap<NodeId, BTreeSet<LinkId>>,
+    /// Connection attempts awaiting resolution.
+    pub(crate) attempts: BTreeMap<AttemptId, PendingAttempt>,
+    /// Payloads currently travelling, by message id.
+    in_flight: BTreeMap<u64, InFlightMessage>,
+    /// Message ids in flight per link.
+    in_flight_by_link: BTreeMap<LinkId, BTreeSet<u64>>,
+    next_link: u64,
+    next_attempt: u64,
+    next_msg: u64,
+}
+
+impl LinkTable {
+    pub(crate) fn new() -> Self {
+        LinkTable::default()
+    }
+
+    pub(crate) fn next_link_id(&mut self) -> LinkId {
+        let id = LinkId(self.next_link);
+        self.next_link += 1;
+        id
+    }
+
+    pub(crate) fn next_attempt_id(&mut self) -> AttemptId {
+        let id = AttemptId(self.next_attempt);
+        self.next_attempt += 1;
+        id
+    }
+
+    pub(crate) fn next_msg_id(&mut self) -> u64 {
+        let id = self.next_msg;
+        self.next_msg += 1;
+        id
+    }
+
+    /// Inserts a freshly established link and indexes both endpoints.
+    pub(crate) fn insert(&mut self, state: LinkState) {
+        self.by_node.entry(state.a).or_default().insert(state.id);
+        self.by_node.entry(state.b).or_default().insert(state.id);
+        self.active.insert(state.id, state);
+    }
+
+    pub(crate) fn get(&self, link: LinkId) -> Option<&LinkState> {
+        self.active.get(&link)
+    }
+
+    pub(crate) fn get_mut(&mut self, link: LinkId) -> Option<&mut LinkState> {
+        self.active.get_mut(&link)
+    }
+
+    /// True if the link once existed but has been closed — either still in
+    /// the active table awaiting drain, or already retired.
+    pub(crate) fn is_closed(&self, link: LinkId) -> bool {
+        match self.active.get(&link) {
+            Some(state) => !state.open,
+            None => self.retired.contains_key(&link),
+        }
+    }
+
+    /// Snapshot of a link, open, closed or retired.
+    pub(crate) fn info(&self, link: LinkId) -> Option<LinkInfo> {
+        if let Some(state) = self.active.get(&link) {
+            return Some(LinkInfo::from(state));
+        }
+        self.retired.get(&link).map(|r| r.info(link))
+    }
+
+    /// Snapshots of every link (open, closed or retired) with `node` as an
+    /// endpoint, ascending by link id — the order the old full-table scan
+    /// produced.
+    pub(crate) fn infos_of(&self, node: NodeId) -> Vec<LinkInfo> {
+        let Some(ids) = self.by_node.get(&node) else {
+            return Vec::new();
+        };
+        ids.iter().filter_map(|id| self.info(*id)).collect()
+    }
+
+    /// Ids of the *open* links `node` participates in, ascending.
+    pub(crate) fn open_links_of(&self, node: NodeId) -> Vec<LinkId> {
+        let Some(ids) = self.by_node.get(&node) else {
+            return Vec::new();
+        };
+        ids.iter()
+            .filter(|id| self.active.get(id).map(|l| l.open).unwrap_or(false))
+            .copied()
+            .collect()
+    }
+
+    /// Registers a payload as travelling on a link.
+    pub(crate) fn send_in_flight(&mut self, msg: u64, message: InFlightMessage) {
+        self.in_flight_by_link.entry(message.link).or_default().insert(msg);
+        self.in_flight.insert(msg, message);
+    }
+
+    /// Removes and returns a travelling payload (delivery or loss). The
+    /// caller must follow up with [`LinkTable::retire_if_drained`] on the
+    /// returned message's link.
+    pub(crate) fn take_in_flight(&mut self, msg: u64) -> Option<InFlightMessage> {
+        let message = self.in_flight.remove(&msg)?;
+        if let Some(set) = self.in_flight_by_link.get_mut(&message.link) {
+            set.remove(&msg);
+            if set.is_empty() {
+                self.in_flight_by_link.remove(&message.link);
+            }
+        }
+        Some(message)
+    }
+
+    /// Latest scheduled delivery time among payloads in flight on `link`,
+    /// if any. Cost is proportional to that link's in-flight count.
+    pub(crate) fn last_delivery_on(&self, link: LinkId) -> Option<SimTime> {
+        self.in_flight_by_link
+            .get(&link)?
+            .iter()
+            .filter_map(|msg| self.in_flight.get(msg).map(|m| m.deliver_at))
+            .max()
+    }
+
+    /// Drops a closed link from the active table once nothing can reference
+    /// its mutable state any more: both endpoints have been notified (which
+    /// every close path completes before calling this) and no payload is in
+    /// flight. Open links and still-draining links are left untouched.
+    pub(crate) fn retire_if_drained(&mut self, link: LinkId) {
+        let drained = match self.active.get(&link) {
+            Some(state) => !state.open && !self.in_flight_by_link.contains_key(&link),
+            None => false,
+        };
+        if !drained {
+            return;
+        }
+        let state = self.active.remove(&link).expect("checked above");
+        self.retired.insert(
+            link,
+            RetiredLink {
+                a: state.a,
+                b: state.b,
+                tech: state.tech,
+                established_at: state.established_at,
+            },
+        );
+    }
+
+    /// Number of links still in the active table (open or draining).
+    /// Diagnostic for tests and benches.
+    pub(crate) fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of retired tombstones. Diagnostic for tests and benches.
+    pub(crate) fn retired_count(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+impl World {
+    /// Resolves a pending connection attempt: checks liveness, radio set and
+    /// range, samples the technology fault, asks the target's agent, and on
+    /// acceptance establishes the link and starts its periodic check cycle.
+    pub(super) fn resolve_attempt(&mut self, attempt: AttemptId) {
+        let pending = match self.links.attempts.remove(&attempt) {
+            Some(p) => p,
+            None => return,
+        };
+        let PendingAttempt { id, from, to, tech, .. } = pending;
+
+        let fail = |world: &mut World, error: ConnectError| {
+            world.metrics.record_connect_failure(from);
+            world.agent_call(from, |agent, ctx| {
+                agent.on_connect_failed(ctx, id, to, tech, error);
+            });
+        };
+
+        if !self.is_alive(from) {
+            return;
+        }
+        let target_ok = self
+            .topology
+            .slot(to)
+            .map(|s| s.alive && s.techs.contains(&tech))
+            .unwrap_or(false);
+        if !target_ok {
+            fail(self, ConnectError::Unreachable);
+            return;
+        }
+        if !self.in_range(from, to, tech) {
+            fail(self, ConnectError::OutOfRange);
+            return;
+        }
+        let profile = self.config.radio.profile(tech).clone();
+        let faulted = {
+            let slot = match self.topology.slot_mut(from) {
+                Some(s) => s,
+                None => return,
+            };
+            profile.sample_setup_fault(&mut slot.rng)
+        };
+        if faulted {
+            fail(self, ConnectError::Fault);
+            return;
+        }
+
+        let link = self.links.next_link_id();
+        let accepted = self
+            .agent_call(to, |agent, ctx| {
+                agent.on_incoming_connection(ctx, IncomingConnection { from, tech, link })
+            })
+            .unwrap_or(false);
+        if !accepted {
+            fail(self, ConnectError::Rejected);
+            return;
+        }
+        self.links.insert(LinkState {
+            id: link,
+            a: from,
+            b: to,
+            tech,
+            established_at: self.now,
+            open: true,
+            closed_gracefully: false,
+            quality_override: None,
+        });
+        self.metrics.record_connect_established(from);
+        let check_at = self.now + self.config.link_check_interval;
+        self.scheduler.schedule(check_at, Event::LinkCheck { link });
+        self.agent_call(from, |agent, ctx| {
+            agent.on_connected(ctx, id, link, to, tech);
+        });
+    }
+}

@@ -1,0 +1,627 @@
+//! The simulation world: nodes, radios, links and the event loop.
+//!
+//! [`World`] owns every node (with its [`NodeAgent`] behaviour), compiles
+//! mobility plans, models discovery inquiries, connection establishment,
+//! message transmission and link breakage, and advances virtual time through
+//! a deterministic event loop. Agents act on the world through [`NodeCtx`].
+//!
+//! Internally the world is layered:
+//!
+//! * [`topology`] — node slots, positions and a uniform spatial [`grid`]
+//!   index keyed by mobility-aware cell residency,
+//! * [`discovery`] — inquiry sampling against grid candidates,
+//! * [`links`] — the link table plus per-node link and per-link in-flight
+//!   indexes, and
+//! * [`delivery`] — message and disconnect ordering.
+//!
+//! The layering is an implementation detail: the public API and the event
+//! semantics are identical to the original single-file world, and runs
+//! reproduce byte-for-byte under the same seeds.
+
+mod delivery;
+mod discovery;
+mod grid;
+mod links;
+mod topology;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use self::links::LinkTable;
+use self::topology::{NodeSlot, Topology};
+use crate::event::Scheduler;
+use crate::geometry::{Point, Rect};
+use crate::link::{InFlightMessage, LinkInfo, PendingAttempt, QualityOverride};
+use crate::metrics::Metrics;
+use crate::mobility::MobilityModel;
+use crate::node::{AttemptId, LinkId, NodeAgent, NodeId, TimerToken};
+use crate::radio::{RadioEnvironment, RadioTech};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static configuration of a simulation world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every stochastic decision derives from it.
+    pub seed: u64,
+    /// Radio technology profiles in force.
+    pub radio: RadioEnvironment,
+    /// Horizon up to which mobility plans are compiled. Position queries past
+    /// the horizon return the final planned position.
+    pub mobility_horizon: SimTime,
+    /// How often established links are checked for coverage loss.
+    pub link_check_interval: SimDuration,
+    /// Areas without cellular coverage (the tunnel of Fig. 6.1). Only affects
+    /// GPRS.
+    pub gprs_dead_zones: Vec<Rect>,
+    /// Side length in metres of the spatial index's grid cells. `None`
+    /// (default) sizes cells to the smallest finite radio range, which keeps
+    /// range queries to a handful of cells. Scenarios dominated by a
+    /// longer-range technology can set this to that technology's range.
+    pub grid_cell_m: Option<f64>,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0,
+            radio: RadioEnvironment::default(),
+            mobility_horizon: SimTime::from_secs(4 * 3600),
+            link_check_interval: SimDuration::from_millis(500),
+            gprs_dead_zones: Vec::new(),
+            grid_cell_m: None,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A default configuration with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// A configuration with ideal (fault-free, instant-setup) radios, for
+    /// tests exercising middleware logic rather than radio behaviour.
+    pub fn ideal(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            radio: RadioEnvironment::ideal(),
+            ..WorldConfig::default()
+        }
+    }
+
+    /// The grid cell side the world will use: the explicit override if set,
+    /// otherwise the smallest finite radio range (50 m when every configured
+    /// technology has infrastructure coverage).
+    fn resolved_grid_cell_m(&self) -> f64 {
+        if let Some(cell) = self.grid_cell_m {
+            return cell;
+        }
+        let min_range = RadioTech::ALL
+            .iter()
+            .filter_map(|t| self.radio.profile(*t).range_m)
+            .fold(f64::INFINITY, f64::min);
+        if min_range.is_finite() && min_range > 0.0 {
+            min_range
+        } else {
+            50.0
+        }
+    }
+}
+
+/// Sending on a link can fail if the link no longer exists locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The link id is unknown.
+    UnknownLink,
+    /// The link has been closed.
+    Closed,
+    /// The sending node is not an endpoint of the link.
+    NotEndpoint,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SendError::UnknownLink => "unknown link",
+            SendError::Closed => "link closed",
+            SendError::NotEndpoint => "node is not an endpoint of the link",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+#[derive(Debug, Clone)]
+enum Event {
+    NodeStart(NodeId),
+    Timer { node: NodeId, token: TimerToken },
+    InquiryComplete { node: NodeId, tech: RadioTech },
+    ConnectResolve { attempt: AttemptId },
+    Deliver { msg: u64 },
+    LinkCheck { link: LinkId },
+    Disconnect { link: LinkId, closer: NodeId },
+}
+
+/// The simulation world. See the crate-level documentation for an overview.
+pub struct World {
+    config: WorldConfig,
+    now: SimTime,
+    scheduler: Scheduler<Event>,
+    topology: Topology,
+    links: LinkTable,
+    metrics: Metrics,
+    rng: SimRng,
+}
+
+impl World {
+    /// Creates a world from a configuration.
+    pub fn new(config: WorldConfig) -> Self {
+        let rng = SimRng::new(config.seed);
+        let grid_cell_m = config.resolved_grid_cell_m();
+        World {
+            config,
+            now: SimTime::ZERO,
+            scheduler: Scheduler::new(),
+            topology: Topology::new(grid_cell_m),
+            links: LinkTable::new(),
+            metrics: Metrics::new(),
+            rng,
+        }
+    }
+
+    /// Creates a world with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        World::new(WorldConfig::with_seed(seed))
+    }
+
+    /// Adds a node with the given behaviour. The agent's
+    /// [`NodeAgent::on_start`] callback runs at the current simulation time
+    /// once the event loop next advances.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        mobility: MobilityModel,
+        techs: &[RadioTech],
+        agent: Box<dyn NodeAgent>,
+    ) -> NodeId {
+        let id = NodeId::from_raw(self.topology.nodes.len() as u64);
+        let mut node_rng = self.rng.derive(0x4E4F_4445_0000_0000 | id.as_raw());
+        let plan = mobility.compile(self.config.mobility_horizon, &mut node_rng);
+        let techs_set: BTreeSet<RadioTech> = techs.iter().copied().collect();
+        self.topology.add(
+            NodeSlot {
+                id,
+                name: name.into(),
+                plan,
+                discoverable: techs_set.clone(),
+                techs: techs_set,
+                inquiring_until: BTreeMap::new(),
+                agent: Some(agent),
+                rng: node_rng,
+                alive: true,
+            },
+            self.now,
+        );
+        self.scheduler.schedule(self.now, Event::NodeStart(id));
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of nodes ever added.
+    pub fn node_count(&self) -> usize {
+        self.topology.nodes.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.nodes.iter().map(|n| n.id)
+    }
+
+    /// The human-readable name given to a node.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.slot(node).map(|s| s.name.as_str())
+    }
+
+    /// Whether a node is still powered on.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.slot(node).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Position of a node at the current simulation time.
+    pub fn position_of(&self, node: NodeId) -> Option<Point> {
+        self.topology.position_of(node, self.now)
+    }
+
+    /// Distance in metres between two nodes at the current time.
+    pub fn distance_between(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        Some(self.position_of(a)?.distance(self.position_of(b)?))
+    }
+
+    /// True if `a` and `b` can currently communicate over `tech`.
+    pub fn in_range(&self, a: NodeId, b: NodeId, tech: RadioTech) -> bool {
+        let (pa, pb) = match (self.position_of(a), self.position_of(b)) {
+            (Some(pa), Some(pb)) => (pa, pb),
+            _ => return false,
+        };
+        self.pair_in_range(pa, pb, tech)
+    }
+
+    pub(crate) fn pair_in_range(&self, pa: Point, pb: Point, tech: RadioTech) -> bool {
+        if tech == RadioTech::Gprs {
+            let dead = |p: Point| self.config.gprs_dead_zones.iter().any(|z| z.contains(p));
+            return !dead(pa) && !dead(pb);
+        }
+        let profile = self.config.radio.profile(tech);
+        profile.in_range(pa.distance(pb))
+    }
+
+    /// Side length in metres of the spatial index's grid cells in force.
+    pub fn grid_cell_m(&self) -> f64 {
+        self.topology.grid_cell_m()
+    }
+
+    /// Number of links still carried in the active link table (open or
+    /// closed-but-draining). Closed links whose endpoints have been notified
+    /// and whose in-flight payloads have drained are retired to compact
+    /// tombstones and no longer counted here. Diagnostic for tests/benches.
+    pub fn active_link_count(&self) -> usize {
+        self.links.active_count()
+    }
+
+    /// Number of retired (fully closed and drained) links. Diagnostic for
+    /// tests/benches.
+    pub fn retired_link_count(&self) -> usize {
+        self.links.retired_count()
+    }
+
+    /// Snapshot of a link.
+    pub fn link_info(&self, link: LinkId) -> Option<LinkInfo> {
+        self.links.info(link)
+    }
+
+    /// Snapshots of every link (open or closed) that has `node` as an endpoint.
+    pub fn links_of(&self, node: NodeId) -> Vec<LinkInfo> {
+        self.links.infos_of(node)
+    }
+
+    /// Current quality of an open link, or `None` if the link is closed,
+    /// unknown or out of range.
+    pub fn link_quality(&mut self, link: LinkId) -> Option<u8> {
+        let state = self.links.get(link)?;
+        if !state.open {
+            return None;
+        }
+        if let Some(ov) = state.quality_override {
+            return Some(ov.value_at(self.now));
+        }
+        let (a, b, tech) = (state.a, state.b, state.tech);
+        let distance = self.distance_between(a, b)?;
+        if !self.pair_in_range(self.position_of(a)?, self.position_of(b)?, tech) {
+            return None;
+        }
+        let profile = self.config.radio.profile(tech).clone();
+        let slot = self.slot_mut(a)?;
+        profile.sample_quality(distance, &mut slot.rng)
+    }
+
+    /// Installs an artificial quality override on a link (the thesis'
+    /// "subtract 1 per second" simulation of §5.2.1). The link breaks once
+    /// the override reaches zero.
+    pub fn set_link_quality_override(&mut self, link: LinkId, initial: f64, decay_per_sec: f64) {
+        let now = self.now;
+        if let Some(state) = self.links.get_mut(link) {
+            state.quality_override = Some(QualityOverride {
+                set_at: now,
+                initial,
+                decay_per_sec,
+            });
+        }
+    }
+
+    /// Removes an artificial quality override.
+    pub fn clear_link_quality_override(&mut self, link: LinkId) {
+        if let Some(state) = self.links.get_mut(link) {
+            state.quality_override = None;
+        }
+    }
+
+    /// Runs the event loop until simulation time `deadline` and then sets the
+    /// clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((time, event)) = self.scheduler.pop_due(deadline) {
+            self.now = self.now.max(time);
+            self.handle(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for a further span of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain or `limit` is reached, returning the time
+    /// at which the loop stopped.
+    pub fn run_until_idle(&mut self, limit: SimTime) -> SimTime {
+        while let Some((time, event)) = self.scheduler.pop_due(limit) {
+            self.now = self.now.max(time);
+            self.handle(event);
+        }
+        if self.scheduler.peek_time().is_none() {
+            self.now
+        } else {
+            self.now = self.now.max(limit);
+            self.now
+        }
+    }
+
+    /// Gives typed access to a node's agent together with a [`NodeCtx`], so
+    /// scenario drivers can invoke application-level operations ("connect to
+    /// that service now") between event-loop runs.
+    ///
+    /// Returns `None` if the node does not exist, is powered off, or its
+    /// agent is not of type `A`.
+    pub fn with_agent<A, R>(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>) -> R) -> Option<R>
+    where
+        A: NodeAgent + 'static,
+    {
+        let idx = node.as_raw() as usize;
+        if idx >= self.topology.nodes.len() || !self.topology.nodes[idx].alive {
+            return None;
+        }
+        let mut agent = self.topology.nodes[idx].agent.take()?;
+        let result = {
+            let mut ctx = NodeCtx { world: self, node };
+            agent.as_any_mut().downcast_mut::<A>().map(|typed| f(typed, &mut ctx))
+        };
+        self.topology.nodes[idx].agent = Some(agent);
+        result
+    }
+
+    fn slot(&self, node: NodeId) -> Option<&NodeSlot> {
+        self.topology.slot(node)
+    }
+
+    fn slot_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot> {
+        self.topology.slot_mut(node)
+    }
+
+    fn agent_call<R>(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NodeAgent, &mut NodeCtx<'_>) -> R) -> Option<R> {
+        let idx = node.as_raw() as usize;
+        if idx >= self.topology.nodes.len() || !self.topology.nodes[idx].alive {
+            return None;
+        }
+        let mut agent = self.topology.nodes[idx].agent.take()?;
+        let result = {
+            let mut ctx = NodeCtx { world: self, node };
+            f(agent.as_mut(), &mut ctx)
+        };
+        self.topology.nodes[idx].agent = Some(agent);
+        Some(result)
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::NodeStart(node) => {
+                self.agent_call(node, |agent, ctx| agent.on_start(ctx));
+            }
+            Event::Timer { node, token } => {
+                self.agent_call(node, |agent, ctx| agent.on_timer(ctx, token));
+            }
+            Event::InquiryComplete { node, tech } => self.complete_inquiry(node, tech),
+            Event::ConnectResolve { attempt } => self.resolve_attempt(attempt),
+            Event::Deliver { msg } => self.deliver(msg),
+            Event::LinkCheck { link } => self.check_link(link),
+            Event::Disconnect { link, closer } => self.graceful_disconnect(link, closer),
+        }
+    }
+}
+
+/// Handle through which an agent (or a scenario driver holding
+/// [`World::with_agent`]) acts on the world on behalf of one node.
+pub struct NodeCtx<'a> {
+    world: &'a mut World,
+    node: NodeId,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The node this context acts for.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current position of this node.
+    pub fn position(&self) -> Point {
+        self.world.position_of(self.node).unwrap_or(Point::ORIGIN)
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self
+            .world
+            .slot_mut(self.node)
+            .expect("node exists while ctx is alive")
+            .rng
+    }
+
+    /// Schedules a timer that will fire `after` from now with the given
+    /// opaque token.
+    pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
+        let at = self.world.now + after;
+        self.world
+            .scheduler
+            .schedule(at, Event::Timer { node: self.node, token });
+    }
+
+    /// Starts a device-discovery inquiry on `tech`. The result arrives via
+    /// [`NodeAgent::on_inquiry_complete`] after the technology's inquiry
+    /// duration. While scanning, a Bluetooth device is not discoverable by
+    /// others (the asymmetry of §3.4.2).
+    pub fn start_inquiry(&mut self, tech: RadioTech) {
+        let duration = self.world.config.radio.profile(tech).inquiry_duration;
+        let node = self.node;
+        let finish = self.world.now + duration;
+        if let Some(slot) = self.world.slot_mut(node) {
+            if !slot.techs.contains(&tech) {
+                return;
+            }
+            let entry = slot.inquiring_until.entry(tech).or_insert(finish);
+            *entry = (*entry).max(finish);
+        } else {
+            return;
+        }
+        self.world.metrics.record_inquiry_started(node);
+        self.world
+            .scheduler
+            .schedule(finish, Event::InquiryComplete { node, tech });
+    }
+
+    /// Controls whether this node answers discovery inquiries on `tech`.
+    pub fn set_discoverable(&mut self, tech: RadioTech, discoverable: bool) {
+        let node = self.node;
+        if let Some(slot) = self.world.slot_mut(node) {
+            if discoverable {
+                if slot.techs.contains(&tech) {
+                    slot.discoverable.insert(tech);
+                }
+            } else {
+                slot.discoverable.remove(&tech);
+            }
+        }
+    }
+
+    /// Initiates a connection to `peer` over `tech`. Resolution (success or
+    /// failure) is reported asynchronously through
+    /// [`NodeAgent::on_connected`] / [`NodeAgent::on_connect_failed`] after a
+    /// technology-dependent setup latency.
+    pub fn connect(&mut self, peer: NodeId, tech: RadioTech) -> AttemptId {
+        let id = self.world.links.next_attempt_id();
+        let node = self.node;
+        self.world.metrics.record_connect_attempt(node);
+        let profile = self.world.config.radio.profile(tech).clone();
+        let latency = {
+            let slot = self.world.slot_mut(node).expect("node exists while ctx is alive");
+            profile.sample_setup_latency(&mut slot.rng)
+        };
+        self.world.links.attempts.insert(
+            id,
+            PendingAttempt {
+                id,
+                from: node,
+                to: peer,
+                tech,
+                started_at: self.world.now,
+            },
+        );
+        let resolve_at = self.world.now + latency;
+        self.world
+            .scheduler
+            .schedule(resolve_at, Event::ConnectResolve { attempt: id });
+        id
+    }
+
+    /// Sends a payload over an open link. Delivery is asynchronous; if the
+    /// link breaks while the payload is in flight the message is silently
+    /// lost (the data-loss risk §6.1 points out for the original `Write`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the link is unknown, closed, or this node is not
+    /// one of its endpoints.
+    pub fn send(&mut self, link: LinkId, payload: Vec<u8>) -> Result<(), SendError> {
+        let node = self.node;
+        let (to, tech) = match self.world.links.get(link) {
+            Some(state) => {
+                if !state.open {
+                    return Err(SendError::Closed);
+                }
+                let to = state.peer_of(node).ok_or(SendError::NotEndpoint)?;
+                (to, state.tech)
+            }
+            None if self.world.links.is_closed(link) => return Err(SendError::Closed),
+            None => return Err(SendError::UnknownLink),
+        };
+        let profile = self.world.config.radio.profile(tech);
+        let delay = profile.transmission_delay(payload.len());
+        self.world.metrics.record_message_sent(node, tech, payload.len() as u64);
+        let msg = self.world.links.next_msg_id();
+        let deliver_at = self.world.now + delay;
+        self.world.links.send_in_flight(
+            msg,
+            InFlightMessage {
+                link,
+                from: node,
+                to,
+                payload,
+                deliver_at,
+            },
+        );
+        self.world.scheduler.schedule(deliver_at, Event::Deliver { msg });
+        Ok(())
+    }
+
+    /// Closes an open link. The peer is notified asynchronously with
+    /// [`DisconnectReason::PeerClosed`](crate::node::DisconnectReason::PeerClosed).
+    pub fn close(&mut self, link: LinkId) {
+        let node = self.node;
+        let is_endpoint = self
+            .world
+            .links
+            .get(link)
+            .map(|l| l.open && l.has_endpoint(node))
+            .unwrap_or(false);
+        if !is_endpoint {
+            return;
+        }
+        let at = self.world.now;
+        self.world
+            .scheduler
+            .schedule(at, Event::Disconnect { link, closer: node });
+    }
+
+    /// Samples the current quality of an open link (0-255), or `None` if the
+    /// link is closed or out of range. Mirrors listening on the HCI channel
+    /// for RSSI / link quality (§3.4.1).
+    pub fn link_quality(&mut self, link: LinkId) -> Option<u8> {
+        let node = self.node;
+        self.world.metrics.record_quality_sample(node);
+        self.world.link_quality(link)
+    }
+
+    /// Read-only snapshot of a link.
+    pub fn link_info(&self, link: LinkId) -> Option<LinkInfo> {
+        self.world.link_info(link)
+    }
+
+    /// Installs the artificial quality decay of §5.2.1 on a link.
+    pub fn set_link_quality_override(&mut self, link: LinkId, initial: f64, decay_per_sec: f64) {
+        self.world.set_link_quality_override(link, initial, decay_per_sec);
+    }
+}

@@ -1,0 +1,656 @@
+use std::any::Any;
+use std::collections::VecDeque;
+
+use super::*;
+use crate::node::{ConnectError, DisconnectReason, IncomingConnection, InquiryHit};
+
+/// A minimal scriptable agent used to exercise the world mechanics.
+#[derive(Default)]
+struct Probe {
+    started: bool,
+    timers: Vec<TimerToken>,
+    inquiry_results: Vec<(RadioTech, Vec<InquiryHit>)>,
+    connected: Vec<(AttemptId, LinkId, NodeId)>,
+    failed: Vec<(AttemptId, ConnectError)>,
+    incoming: Vec<IncomingConnection>,
+    accept_incoming: bool,
+    messages: Vec<(LinkId, Vec<u8>)>,
+    disconnects: Vec<(LinkId, DisconnectReason)>,
+    echo: bool,
+}
+
+impl Probe {
+    fn accepting() -> Self {
+        Probe {
+            accept_incoming: true,
+            ..Probe::default()
+        }
+    }
+    fn echoing() -> Self {
+        Probe {
+            accept_incoming: true,
+            echo: true,
+            ..Probe::default()
+        }
+    }
+}
+
+impl NodeAgent for Probe {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {
+        self.started = true;
+    }
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+        self.timers.push(timer);
+    }
+    fn on_inquiry_complete(&mut self, _ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+        self.inquiry_results.push((tech, hits));
+    }
+    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+        self.incoming.push(incoming);
+        self.accept_incoming
+    }
+    fn on_connected(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        _tech: RadioTech,
+    ) {
+        self.connected.push((attempt, link, peer));
+    }
+    fn on_connect_failed(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        _peer: NodeId,
+        _tech: RadioTech,
+        error: ConnectError,
+    ) {
+        self.failed.push((attempt, error));
+    }
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, payload: Vec<u8>) {
+        if self.echo {
+            let mut reply = payload.clone();
+            reply.reverse();
+            let _ = ctx.send(link, reply);
+        }
+        self.messages.push((link, payload));
+    }
+    fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
+        self.disconnects.push((link, reason));
+    }
+}
+
+fn ideal_world(seed: u64) -> World {
+    World::new(WorldConfig::ideal(seed))
+}
+
+fn bt() -> [RadioTech; 1] {
+    [RadioTech::Bluetooth]
+}
+
+#[test]
+fn start_and_timer_delivery() {
+    let mut w = ideal_world(1);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::ORIGIN),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |p, ctx| {
+        assert!(p.started);
+        ctx.schedule(SimDuration::from_secs(5), TimerToken(99));
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(4));
+    w.with_agent::<Probe, _>(a, |p, _| assert!(p.timers.is_empty()))
+        .unwrap();
+    w.run_for(SimDuration::from_secs(2));
+    w.with_agent::<Probe, _>(a, |p, _| assert_eq!(p.timers, vec![TimerToken(99)]))
+        .unwrap();
+}
+
+#[test]
+fn inquiry_finds_only_nodes_in_range() {
+    let mut w = ideal_world(2);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(5.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let _far = w.add_node(
+        "far",
+        MobilityModel::stationary(Point::new(100.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| ctx.start_inquiry(RadioTech::Bluetooth))
+        .unwrap();
+    w.run_for(SimDuration::from_secs(15));
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.inquiry_results.len(), 1);
+        let hits = &p.inquiry_results[0].1;
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].node, b);
+        assert!(hits[0].quality > 200);
+    })
+    .unwrap();
+    assert_eq!(w.metrics().global().inquiries_started, 1);
+    assert_eq!(w.metrics().global().inquiry_hits, 1);
+}
+
+#[test]
+fn undiscoverable_nodes_are_not_found() {
+    let mut w = ideal_world(3);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(3.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(b, |_, ctx| ctx.set_discoverable(RadioTech::Bluetooth, false))
+        .unwrap();
+    w.with_agent::<Probe, _>(a, |_, ctx| ctx.start_inquiry(RadioTech::Bluetooth))
+        .unwrap();
+    w.run_for(SimDuration::from_secs(15));
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert!(p.inquiry_results[0].1.is_empty());
+    })
+    .unwrap();
+}
+
+#[test]
+fn connect_send_and_receive() {
+    let mut w = ideal_world(4);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        Box::new(Probe::echoing()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(2));
+    let link = w
+        .with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.connected.len(), 1);
+            p.connected[0].1
+        })
+        .unwrap();
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.send(link, b"hello".to_vec()).unwrap();
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(2));
+    w.with_agent::<Probe, _>(b, |p, _| {
+        assert_eq!(p.messages.len(), 1);
+        assert_eq!(p.messages[0].1, b"hello".to_vec());
+    })
+    .unwrap();
+    // The echoing agent reversed the payload back to a.
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.messages.len(), 1);
+        assert_eq!(p.messages[0].1, b"olleh".to_vec());
+    })
+    .unwrap();
+    assert_eq!(w.metrics().global().connects_established, 1);
+    assert_eq!(w.metrics().global().messages_delivered, 2);
+}
+
+#[test]
+fn rejected_connection_reports_failure() {
+    let mut w = ideal_world(5);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()), // does not accept
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(2));
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.failed.len(), 1);
+        assert_eq!(p.failed[0].1, ConnectError::Rejected);
+    })
+    .unwrap();
+    assert_eq!(w.metrics().global().connect_failures, 1);
+}
+
+#[test]
+fn out_of_range_connection_fails() {
+    let mut w = ideal_world(6);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(500.0, 0.0)),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(2));
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.failed[0].1, ConnectError::OutOfRange);
+    })
+    .unwrap();
+}
+
+#[test]
+fn mobility_breaks_links_and_loses_in_flight_messages() {
+    let mut w = ideal_world(7);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    // b walks away at 2 m/s immediately; after ~5 s it is out of the 10 m
+    // Bluetooth range.
+    let b = w.add_node(
+        "b",
+        MobilityModel::walk(Point::new(1.0, 0.0), Point::new(200.0, 0.0), 2.0),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    let link = w
+        .with_agent::<Probe, _>(a, |p, _| p.connected.first().map(|c| c.1))
+        .unwrap()
+        .expect("link established before b left range");
+    w.run_for(SimDuration::from_secs(30));
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.disconnects.len(), 1);
+        assert_eq!(p.disconnects[0], (link, DisconnectReason::OutOfRange));
+    })
+    .unwrap();
+    assert!(w.metrics().global().links_broken >= 2);
+    // Sending on the now-closed link is an error.
+    let err = w
+        .with_agent::<Probe, _>(a, |_, ctx| ctx.send(link, vec![1, 2, 3]))
+        .unwrap();
+    assert_eq!(err, Err(SendError::Closed));
+}
+
+#[test]
+fn graceful_close_notifies_peer() {
+    let mut w = ideal_world(8);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(2.0, 0.0)),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+    w.with_agent::<Probe, _>(a, |_, ctx| ctx.close(link)).unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    w.with_agent::<Probe, _>(b, |p, _| {
+        assert_eq!(p.disconnects, vec![(link, DisconnectReason::PeerClosed)]);
+    })
+    .unwrap();
+}
+
+#[test]
+fn crash_node_fails_links() {
+    let mut w = ideal_world(9);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(2.0, 0.0)),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+    w.crash_node(b);
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.disconnects, vec![(link, DisconnectReason::PeerFailed)]);
+    })
+    .unwrap();
+    assert!(!w.is_alive(b));
+    // The dead node can no longer be driven.
+    assert!(w.with_agent::<Probe, _>(b, |_, _| ()).is_none());
+}
+
+#[test]
+fn quality_override_decays_and_breaks_link() {
+    let mut w = ideal_world(10);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(2.0, 0.0)),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+    // Start at 240 and decay 10 units per second: below 230 after 1 s,
+    // zero (and therefore broken) after 24 s.
+    w.set_link_quality_override(link, 240.0, 10.0);
+    assert_eq!(w.link_quality(link), Some(240));
+    w.run_for(SimDuration::from_secs(2));
+    let q = w.link_quality(link).unwrap();
+    assert!(q < 230, "quality should have decayed below threshold, got {q}");
+    w.run_for(SimDuration::from_secs(30));
+    w.with_agent::<Probe, _>(a, |p, _| {
+        assert_eq!(p.disconnects.len(), 1);
+    })
+    .unwrap();
+    assert_eq!(w.link_quality(link), None);
+}
+
+#[test]
+fn gprs_dead_zone_blocks_connection() {
+    let mut config = WorldConfig::ideal(11);
+    config.gprs_dead_zones = vec![Rect::new(-5.0, -5.0, 5.0, 5.0)];
+    let mut w = World::new(config);
+    let inside = w.add_node(
+        "inside",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &[RadioTech::Gprs],
+        Box::new(Probe::default()),
+    );
+    let outside = w.add_node(
+        "outside",
+        MobilityModel::stationary(Point::new(100.0, 0.0)),
+        &[RadioTech::Gprs],
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    assert!(!w.in_range(inside, outside, RadioTech::Gprs));
+    w.with_agent::<Probe, _>(inside, |_, ctx| {
+        ctx.connect(outside, RadioTech::Gprs);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    w.with_agent::<Probe, _>(inside, |p, _| {
+        assert_eq!(p.failed[0].1, ConnectError::OutOfRange);
+    })
+    .unwrap();
+    // Two nodes both outside the dead zone can talk regardless of distance.
+    let far = w.add_node(
+        "far",
+        MobilityModel::stationary(Point::new(5000.0, 0.0)),
+        &[RadioTech::Gprs],
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    assert!(w.in_range(outside, far, RadioTech::Gprs));
+}
+
+#[test]
+fn determinism_same_seed_same_outcome() {
+    fn run(seed: u64) -> (u64, u64, VecDeque<u64>) {
+        let mut w = World::new(WorldConfig::with_seed(seed));
+        let a = w.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(0.0, 0.0)),
+            &bt(),
+            Box::new(Probe::default()),
+        );
+        let b = w.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(6.0, 0.0)),
+            &bt(),
+            Box::new(Probe::accepting()),
+        );
+        w.run_for(SimDuration::from_millis(1));
+        for _ in 0..10 {
+            w.with_agent::<Probe, _>(a, |_, ctx| {
+                ctx.connect(b, RadioTech::Bluetooth);
+                ctx.start_inquiry(RadioTech::Bluetooth);
+            })
+            .unwrap();
+            w.run_for(SimDuration::from_secs(20));
+        }
+        let qualities: VecDeque<u64> = w
+            .with_agent::<Probe, _>(a, |p, _| {
+                p.inquiry_results
+                    .iter()
+                    .flat_map(|(_, hits)| hits.iter().map(|h| h.quality as u64))
+                    .collect()
+            })
+            .unwrap();
+        (
+            w.metrics().global().connects_established,
+            w.metrics().global().connect_failures,
+            qualities,
+        )
+    }
+    assert_eq!(run(1234), run(1234));
+    // Different seeds should usually differ in at least the sampled qualities.
+    let a = run(1);
+    let b = run(2);
+    assert!(a.2 != b.2 || a.0 != b.0 || a.1 != b.1);
+}
+
+#[test]
+fn world_accessors() {
+    let mut w = ideal_world(12);
+    let a = w.add_node(
+        "alpha",
+        MobilityModel::stationary(Point::new(1.0, 2.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    assert_eq!(w.node_count(), 1);
+    assert_eq!(w.node_name(a), Some("alpha"));
+    assert_eq!(w.position_of(a), Some(Point::new(1.0, 2.0)));
+    assert_eq!(w.node_ids().collect::<Vec<_>>(), vec![a]);
+    assert!(w.links_of(a).is_empty());
+    assert!(w.link_info(LinkId(0)).is_none());
+    assert_eq!(w.now(), SimTime::ZERO);
+    w.run_until(SimTime::from_secs(10));
+    assert_eq!(w.now(), SimTime::from_secs(10));
+    let idle_at = w.run_until_idle(SimTime::from_secs(100));
+    assert!(idle_at <= SimTime::from_secs(100));
+}
+
+#[test]
+fn grid_cell_defaults_to_smallest_finite_range() {
+    let w = ideal_world(13);
+    // Bluetooth's 10 m is the smallest finite range in the default set.
+    assert_eq!(w.grid_cell_m(), 10.0);
+    let mut config = WorldConfig::ideal(13);
+    config.grid_cell_m = Some(25.0);
+    let w = World::new(config);
+    assert_eq!(w.grid_cell_m(), 25.0);
+}
+
+#[test]
+fn neighbors_grid_matches_reference_under_mobility() {
+    let mut w = ideal_world(14);
+    let mut rng = SimRng::new(99);
+    let area = Rect::square(120.0);
+    for i in 0..60 {
+        let start = Point::new(rng.uniform_f64(0.0, 120.0), rng.uniform_f64(0.0, 120.0));
+        let mobility = if i % 3 == 0 {
+            MobilityModel::stationary(start)
+        } else {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.5,
+                max_speed_mps: 2.5,
+                pause: SimDuration::from_secs(3),
+            }
+        };
+        w.add_node(format!("n{i}"), mobility, &bt(), Box::new(Probe::default()));
+    }
+    for step in 0..20 {
+        w.run_for(SimDuration::from_secs(7));
+        for node in w.node_ids().collect::<Vec<_>>() {
+            let grid = w.neighbors_in_range(node, RadioTech::Bluetooth);
+            let reference = w.neighbors_in_range_reference(node, RadioTech::Bluetooth);
+            assert_eq!(grid, reference, "grid/reference diverged for {node} at step {step}");
+        }
+    }
+}
+
+#[test]
+fn closed_links_retire_once_drained_but_stay_visible() {
+    let mut w = ideal_world(15);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(2.0, 0.0)),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+    assert_eq!(w.active_link_count(), 1);
+    assert_eq!(w.retired_link_count(), 0);
+    // Close with a payload still in flight: the payload must flush first.
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.send(link, b"flush me".to_vec()).unwrap();
+        ctx.close(link);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(2));
+    w.with_agent::<Probe, _>(b, |p, _| {
+        assert_eq!(p.messages.len(), 1, "in-flight payload flushed before close");
+        assert_eq!(p.disconnects, vec![(link, DisconnectReason::PeerClosed)]);
+    })
+    .unwrap();
+    // The entry has left the active table ...
+    assert_eq!(w.active_link_count(), 0);
+    assert_eq!(w.retired_link_count(), 1);
+    // ... but every read API still answers exactly as before.
+    let info = w.link_info(link).expect("retired link still has a snapshot");
+    assert!(!info.open);
+    assert_eq!(info.initiator, a);
+    assert_eq!(info.acceptor, b);
+    assert_eq!(w.links_of(a).len(), 1);
+    assert_eq!(w.links_of(b).len(), 1);
+    let err = w.with_agent::<Probe, _>(a, |_, ctx| ctx.send(link, vec![1])).unwrap();
+    assert_eq!(err, Err(SendError::Closed), "retired links still classify as closed");
+    assert_eq!(w.link_quality(link), None);
+}
+
+#[test]
+fn physically_broken_links_retire_after_loss() {
+    let mut w = ideal_world(16);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::walk(Point::new(1.0, 0.0), Point::new(300.0, 0.0), 4.0),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    assert_eq!(w.active_link_count(), 1);
+    w.run_for(SimDuration::from_secs(60));
+    // Out of range: the link broke, was never gracefully closed, and has
+    // fully retired; no stale entries churn the active table.
+    assert_eq!(w.active_link_count(), 0);
+    assert_eq!(w.retired_link_count(), 1);
+    assert!(w.metrics().global().links_broken >= 2);
+}

@@ -1,0 +1,89 @@
+//! Node slots, positions and the spatial index.
+//!
+//! The topology layer owns every node's static identity (name, radios,
+//! compiled motion plan, RNG stream, agent) and answers "who is where"
+//! questions. Position lookups are pure reads of the compiled plans; the
+//! [`SpatialGrid`] accelerates *radius* queries and is refreshed lazily
+//! behind a `RefCell` so read-only world APIs keep their `&self` signatures.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::grid::SpatialGrid;
+use crate::geometry::Point;
+use crate::mobility::MotionPlan;
+use crate::node::{NodeAgent, NodeId};
+use crate::radio::RadioTech;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Everything the world knows about one node.
+pub(crate) struct NodeSlot {
+    pub(crate) id: NodeId,
+    pub(crate) name: String,
+    pub(crate) plan: MotionPlan,
+    pub(crate) techs: BTreeSet<RadioTech>,
+    pub(crate) discoverable: BTreeSet<RadioTech>,
+    pub(crate) inquiring_until: BTreeMap<RadioTech, SimTime>,
+    pub(crate) agent: Option<Box<dyn NodeAgent>>,
+    pub(crate) rng: SimRng,
+    pub(crate) alive: bool,
+}
+
+/// The node table plus the spatial index over node positions.
+pub(crate) struct Topology {
+    pub(crate) nodes: Vec<NodeSlot>,
+    grid: RefCell<SpatialGrid>,
+}
+
+impl Topology {
+    pub(crate) fn new(grid_cell_m: f64) -> Self {
+        Topology {
+            nodes: Vec::new(),
+            grid: RefCell::new(SpatialGrid::new(grid_cell_m)),
+        }
+    }
+
+    /// Side length of one grid cell in metres.
+    pub(crate) fn grid_cell_m(&self) -> f64 {
+        self.grid.borrow().cell_m()
+    }
+
+    /// Adds a node (ids are dense and assigned in insertion order).
+    pub(crate) fn add(&mut self, slot: NodeSlot, now: SimTime) {
+        let id = slot.id;
+        self.grid.get_mut().insert(id, &slot.plan, now);
+        self.nodes.push(slot);
+    }
+
+    pub(crate) fn slot(&self, node: NodeId) -> Option<&NodeSlot> {
+        self.nodes.get(node.as_raw() as usize)
+    }
+
+    pub(crate) fn slot_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot> {
+        self.nodes.get_mut(node.as_raw() as usize)
+    }
+
+    /// Position of a node at `now`, if the node exists.
+    pub(crate) fn position_of(&self, node: NodeId, now: SimTime) -> Option<Point> {
+        self.slot(node).map(|s| s.plan.position_at(now))
+    }
+
+    /// Marks a node dead and drops it from the spatial index.
+    pub(crate) fn power_off(&mut self, node: NodeId) {
+        self.grid.get_mut().remove(node);
+        if let Some(slot) = self.slot_mut(node) {
+            slot.alive = false;
+        }
+    }
+
+    /// Node ids in every grid cell intersecting the disk of `radius` metres
+    /// around `center`, sorted ascending. A superset of the nodes truly in
+    /// range (callers apply the exact predicate); byte-identical to a full
+    /// scan once filtered, because candidate order matches node-id order.
+    pub(crate) fn candidates_within(&self, center: Point, radius: f64, now: SimTime) -> Vec<NodeId> {
+        let mut grid = self.grid.borrow_mut();
+        grid.refresh(now, |id| &self.nodes[id.as_raw() as usize].plan);
+        grid.query(center, radius)
+    }
+}

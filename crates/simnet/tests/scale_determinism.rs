@@ -1,0 +1,180 @@
+//! Determinism at scale: a 500-node world must produce the identical event
+//! trace for the same seed, and the spatial-grid discovery path must agree
+//! with the full-scan reference oracle at every sampled instant.
+
+use std::any::Any;
+
+use simnet::prelude::*;
+
+/// FNV-1a, the digest the trace is folded into.
+fn fnv(digest: u64, value: u64) -> u64 {
+    let mut d = digest;
+    for byte in value.to_le_bytes() {
+        d ^= byte as u64;
+        d = d.wrapping_mul(0x100000001b3);
+    }
+    d
+}
+
+const INQUIRE: TimerToken = TimerToken(1);
+
+/// A lightweight agent that scans periodically, connects to its best hit,
+/// exchanges a payload and folds everything it observes into a digest.
+struct Pulse {
+    interval: SimDuration,
+    digest: u64,
+    attached: bool,
+}
+
+impl Pulse {
+    fn new(interval: SimDuration) -> Self {
+        Pulse {
+            interval,
+            digest: 0xcbf29ce484222325,
+            attached: false,
+        }
+    }
+}
+
+impl NodeAgent for Pulse {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Stagger the first scan so the world is not phase-locked.
+        let jitter = SimDuration::from_millis(ctx.rng().range(0..5_000u64));
+        ctx.schedule(jitter, INQUIRE);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: TimerToken) {
+        ctx.start_inquiry(RadioTech::Bluetooth);
+        ctx.schedule(self.interval, INQUIRE);
+    }
+    fn on_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, _tech: RadioTech, hits: Vec<InquiryHit>) {
+        self.digest = fnv(self.digest, ctx.now().as_micros());
+        for hit in &hits {
+            self.digest = fnv(self.digest, hit.node.as_raw());
+            self.digest = fnv(self.digest, hit.quality as u64);
+        }
+        if !self.attached {
+            if let Some(best) = hits.iter().max_by_key(|h| (h.quality, std::cmp::Reverse(h.node))) {
+                ctx.connect(best.node, RadioTech::Bluetooth);
+                self.attached = true;
+            }
+        }
+    }
+    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+        self.digest = fnv(self.digest, 0x10 + incoming.from.as_raw());
+        true
+    }
+    fn on_connected(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        _attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        _tech: RadioTech,
+    ) {
+        self.digest = fnv(self.digest, 0x20 + peer.as_raw());
+        let _ = ctx.send(link, vec![0xAB; 32]);
+    }
+    fn on_connect_failed(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        _attempt: AttemptId,
+        peer: NodeId,
+        _tech: RadioTech,
+        _error: ConnectError,
+    ) {
+        self.digest = fnv(self.digest, 0x30 + peer.as_raw());
+        self.attached = false;
+    }
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+        self.digest = fnv(self.digest, 0x40 + from.as_raw());
+        self.digest = fnv(self.digest, link.0);
+        self.digest = fnv(self.digest, payload.len() as u64);
+    }
+    fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, link: LinkId, peer: NodeId, _reason: DisconnectReason) {
+        self.digest = fnv(self.digest, 0x50 + peer.as_raw());
+        self.digest = fnv(self.digest, link.0);
+        self.attached = false;
+    }
+}
+
+fn build_city(seed: u64, nodes: usize) -> World {
+    let mut world = World::new(WorldConfig::with_seed(seed));
+    let area = Rect::square(300.0);
+    let mut placer = SimRng::new(seed ^ 0x5EED);
+    for i in 0..nodes {
+        let start = Point::new(placer.uniform_f64(0.0, 300.0), placer.uniform_f64(0.0, 300.0));
+        let mobility = if i % 4 == 0 {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.5,
+                max_speed_mps: 2.0,
+                pause: SimDuration::from_secs(10),
+            }
+        } else {
+            MobilityModel::stationary(start)
+        };
+        world.add_node(
+            format!("n{i}"),
+            mobility,
+            &[RadioTech::Bluetooth],
+            Box::new(Pulse::new(SimDuration::from_secs(15))),
+        );
+    }
+    world
+}
+
+/// Runs the 500-node world and returns its event-trace digest: per-node
+/// digests folded with the global metric counters.
+fn trace_digest(seed: u64, check_oracle: bool) -> u64 {
+    let mut world = build_city(seed, 500);
+    let mut digest = 0xcbf29ce484222325u64;
+    for _round in 0..6 {
+        world.run_for(SimDuration::from_secs(10));
+        if check_oracle {
+            // The grid path and the full-scan reference must agree for every
+            // node, mid-run, while mobile nodes are crossing cells.
+            for node in world.node_ids().collect::<Vec<_>>() {
+                let grid = world.neighbors_in_range(node, RadioTech::Bluetooth);
+                let reference = world.neighbors_in_range_reference(node, RadioTech::Bluetooth);
+                assert_eq!(grid, reference, "grid/scan divergence for {node} at {:?}", world.now());
+            }
+        }
+    }
+    for node in world.node_ids().collect::<Vec<_>>() {
+        let d = world.with_agent::<Pulse, _>(node, |p, _| p.digest).unwrap_or(0);
+        digest = fnv(digest, d);
+    }
+    let g = world.metrics().global();
+    for v in [
+        g.inquiries_started,
+        g.inquiry_hits,
+        g.connect_attempts,
+        g.connects_established,
+        g.connect_failures,
+        g.messages_sent,
+        g.messages_delivered,
+        g.messages_lost,
+        g.links_broken,
+    ] {
+        digest = fnv(digest, v);
+    }
+    digest
+}
+
+#[test]
+fn same_seed_identical_trace_digest_at_500_nodes() {
+    let first = trace_digest(2008, true);
+    let second = trace_digest(2008, false);
+    assert_eq!(first, second, "same seed must reproduce the identical event trace");
+    // A different seed must give a different trace (astronomically unlikely
+    // to collide if the RNG plumbing is healthy).
+    let other = trace_digest(2009, false);
+    assert_ne!(first, other, "different seeds should not collide");
+}
