@@ -1,0 +1,110 @@
+//! Cost of the fault-injection hooks.
+//!
+//! Two measurements per population size:
+//!
+//! * `sim_no_faults_*` — the E12-style discovery simulation with no fault
+//!   plan installed. This is the price a fault-free world pays for the
+//!   subsystem's existence: the hooks reduce to emptiness checks and the
+//!   run must stay within noise of the pre-faults (PR 2) baseline.
+//! * `sim_churn_*` — the same world with a seeded churn plan on every
+//!   node, as a reference for what fault processing itself costs.
+//!
+//! A byte-identity assertion runs alongside: a zero-plan world's metrics
+//! must be identical to a second zero-plan run (hooks draw no randomness).
+
+use std::any::Any;
+
+use bench::harness::{bb, Group};
+use simnet::prelude::*;
+
+const SCAN: TimerToken = TimerToken(9);
+
+struct Beacon {
+    interval: SimDuration,
+}
+
+impl NodeAgent for Beacon {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let jitter = SimDuration::from_millis(ctx.rng().range(0..self.interval.as_millis().max(1)));
+        ctx.schedule(jitter, SCAN);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: TimerToken) {
+        ctx.start_inquiry(RadioTech::Bluetooth);
+        ctx.schedule(self.interval, SCAN);
+    }
+}
+
+/// Constant-density city of scanning devices (the `world_scale` world).
+fn build_world(nodes: usize, seed: u64) -> World {
+    let side = (nodes as f64 / 2_000.0 * 1_000_000.0).sqrt();
+    let mut world = World::new(WorldConfig::with_seed(seed));
+    let area = Rect::square(side);
+    let mut placer = SimRng::new(seed ^ 0xFA17);
+    for i in 0..nodes {
+        let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        let mobility = if i % 4 == 0 {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.7,
+                max_speed_mps: 2.0,
+                pause: SimDuration::from_secs(15),
+            }
+        } else {
+            MobilityModel::stationary(start)
+        };
+        world.add_node(
+            format!("n{i}"),
+            mobility,
+            &[RadioTech::Bluetooth],
+            Box::new(Beacon {
+                interval: SimDuration::from_secs(10),
+            }),
+        );
+    }
+    world
+}
+
+fn install_churn(world: &mut World, seed: u64) {
+    let planner = SimRng::new(seed ^ 0xC4A5);
+    let horizon = SimTime::from_secs(40);
+    for (i, node) in world.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+        let mut rng = planner.derive(i as u64);
+        let plan = FaultPlan::churn(horizon, SimDuration::from_secs(30), SimDuration::from_secs(5), &mut rng);
+        world.install_fault_plan(node, plan);
+    }
+}
+
+fn main() {
+    let mut group = Group::new("faults_overhead");
+    group.sample_size(5);
+    for &nodes in &[250usize, 1_000] {
+        group.bench(format!("sim_no_faults_{nodes}_20s"), || {
+            let mut w = build_world(bb(nodes), 20080815);
+            w.run_for(SimDuration::from_secs(20));
+            w.metrics().global().inquiries_started
+        });
+        group.bench(format!("sim_churn_{nodes}_20s"), || {
+            let mut w = build_world(bb(nodes), 20080815);
+            install_churn(&mut w, 20080815);
+            w.run_for(SimDuration::from_secs(20));
+            w.metrics().global().inquiries_started + w.fault_stats().crashes
+        });
+    }
+    // Zero-plan runs must be bit-for-bit reproducible: the hooks draw no
+    // randomness and change no event ordering.
+    let run = |seed| {
+        let mut w = build_world(250, seed);
+        w.run_for(SimDuration::from_secs(20));
+        *w.metrics().global()
+    };
+    assert_eq!(run(7), run(7), "zero-fault worlds must reproduce exactly");
+    eprintln!("  (zero-plan reproducibility checked at 250 nodes)");
+    group.finish();
+}

@@ -1,12 +1,15 @@
 //! Regenerates every figure-level result of the thesis' evaluation.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro            # full run (EXPERIMENTS.md sizes)
-//! cargo run -p bench --release --bin repro -- --quick # reduced sizes
+//! cargo run -p bench --release --bin repro                    # full run (EXPERIMENTS.md sizes)
+//! cargo run -p bench --release --bin repro -- --quick         # reduced sizes
+//! cargo run -p bench --release --bin repro -- churn           # only the E13 churn table
+//! cargo run -p bench --release --bin repro -- churn --quick --seed 13
 //! ```
 //!
 //! The output is the markdown recorded in `EXPERIMENTS.md`.
 
+use scenarios::experiments::{e13_churn_sweep, ChurnSettings};
 use scenarios::{run_all, Effort};
 
 fn main() {
@@ -15,9 +18,22 @@ fn main() {
     let seed = std::env::args()
         .skip_while(|a| a != "--seed")
         .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20080815u64);
-    eprintln!("running the E1-E12 experiment suite (seed {seed}, {effort:?}) ...");
+        .and_then(|s| s.parse().ok());
+    if std::env::args().any(|a| a == "churn") {
+        // Regenerate only the E13 churn table from a seed.
+        let mut settings = match effort {
+            Effort::Quick => ChurnSettings::quick(),
+            Effort::Full => ChurnSettings::full(),
+        };
+        if let Some(seed) = seed {
+            settings.seed = seed;
+        }
+        eprintln!("running the E13 churn sweep (seed {}, {effort:?}) ...", settings.seed);
+        println!("{}", e13_churn_sweep(&settings));
+        return;
+    }
+    let seed = seed.unwrap_or(20080815u64);
+    eprintln!("running the E1-E14 experiment suite (seed {seed}, {effort:?}) ...");
     let reports = run_all(seed, effort);
     for report in &reports {
         println!("{report}");

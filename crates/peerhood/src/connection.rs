@@ -195,6 +195,11 @@ pub struct ConnectionSnapshot {
     pub state: ConnState,
     /// Whether a bridge is involved on our first hop.
     pub bridged: bool,
+    /// The device the route physically connects to first: the bridge for
+    /// bridged connections, the remote itself for direct ones, `None` for
+    /// incoming connections. Tracks handovers, so tests can assert which
+    /// bridge actually carries the session.
+    pub first_hop: Option<DeviceAddress>,
     /// Current value of the "sending" flag.
     pub sending: bool,
     /// Number of routing-handover attempts performed so far.
@@ -209,6 +214,7 @@ impl From<&AppConnection> for ConnectionSnapshot {
             service: c.service.clone(),
             state: c.state,
             bridged: matches!(c.kind, ConnKind::OutgoingBridged { .. }),
+            first_hop: c.kind.first_hop(c.remote),
             sending: c.sending,
             handover_attempts: c.monitor.as_ref().map(|m| m.attempts).unwrap_or(0),
         }

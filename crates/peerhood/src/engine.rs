@@ -36,7 +36,17 @@ pub enum LinkRole {
     /// The link is a replacement route being established by the handover
     /// machinery for the given connection; it becomes `AppConnection` once
     /// the end-to-end acknowledgement arrives.
-    HandoverPending(ConnectionId),
+    HandoverPending {
+        /// The connection being re-routed.
+        conn: ConnectionId,
+        /// The device this replacement link physically connects to — the
+        /// bridge the new route goes through, or the destination itself for
+        /// a direct re-route. Recorded here (not recovered from the
+        /// handover monitor) so the connection's `ConnKind` reflects the
+        /// route actually built even when the monitor's candidate has been
+        /// refreshed while the switch was in flight.
+        via: DeviceAddress,
+    },
     /// Upstream leg (towards the requester) of a relayed bridge pair.
     BridgeUpstream(ConnectionId),
     /// Downstream leg (towards the destination) of a relayed bridge pair.
@@ -47,10 +57,8 @@ impl LinkRole {
     /// The connection this role is tied to, if any.
     pub fn connection(&self) -> Option<ConnectionId> {
         match self {
-            LinkRole::AppConnection(c)
-            | LinkRole::HandoverPending(c)
-            | LinkRole::BridgeUpstream(c)
-            | LinkRole::BridgeDownstream(c) => Some(*c),
+            LinkRole::AppConnection(c) | LinkRole::BridgeUpstream(c) | LinkRole::BridgeDownstream(c) => Some(*c),
+            LinkRole::HandoverPending { conn, .. } => Some(*conn),
             _ => None,
         }
     }
@@ -131,7 +139,14 @@ mod tests {
     #[test]
     fn connection_extraction() {
         assert_eq!(LinkRole::AppConnection(conn(1)).connection(), Some(conn(1)));
-        assert_eq!(LinkRole::HandoverPending(conn(2)).connection(), Some(conn(2)));
+        assert_eq!(
+            LinkRole::HandoverPending {
+                conn: conn(2),
+                via: DeviceAddress::from_node_raw(7)
+            }
+            .connection(),
+            Some(conn(2))
+        );
         assert_eq!(LinkRole::BridgeDownstream(conn(3)).connection(), Some(conn(3)));
         assert_eq!(LinkRole::IncomingUnidentified.connection(), None);
         assert_eq!(
@@ -150,7 +165,13 @@ mod tests {
     fn links_for_connection_finds_both_current_and_pending() {
         let mut e = Engine::new();
         e.set_role(LinkId(1), LinkRole::AppConnection(conn(7)));
-        e.set_role(LinkId(2), LinkRole::HandoverPending(conn(7)));
+        e.set_role(
+            LinkId(2),
+            LinkRole::HandoverPending {
+                conn: conn(7),
+                via: DeviceAddress::from_node_raw(9),
+            },
+        );
         e.set_role(LinkId(3), LinkRole::AppConnection(conn(8)));
         let mut links = e.links_for_connection(conn(7));
         links.sort();

@@ -317,6 +317,13 @@ impl PeerHoodNode {
         result
     }
 
+    /// White-box access to the middleware state for protocol regression
+    /// tests (e.g. interfering with the handover machinery mid-switch).
+    #[cfg(test)]
+    pub(crate) fn core_mut(&mut self) -> Option<&mut Core> {
+        self.core.as_mut()
+    }
+
     fn drain_events(&mut self, ctx: &mut NodeCtx<'_>) {
         while let Some(event) = self.core.as_mut().and_then(|c| c.events.pop_front()) {
             if let Some(trace) = self.trace.as_mut() {
@@ -446,6 +453,16 @@ impl NodeAgent for PeerHoodNode {
         }
         self.core = Some(core);
         self.drain_events(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        // A crash wipes the middleware state — daemon storage, connection
+        // table, bridge pairs, pending attempts — exactly like killing and
+        // relaunching the real daemon. The reborn daemon starts its
+        // discovery cycles from scratch and re-advertises its services;
+        // hosted applications receive `on_start` again.
+        self.core = None;
+        self.on_start(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) {

@@ -167,7 +167,7 @@ impl Core {
                     }
                 };
                 self.engine
-                    .set_role(link, crate::engine::LinkRole::HandoverPending(conn));
+                    .set_role(link, crate::engine::LinkRole::HandoverPending { conn, via });
                 self.send_frame(ctx, link, &message);
             }
             PendingPurpose::ReplyConnect { conn } => {

@@ -165,7 +165,7 @@ impl Core {
                 // The requester normally just closes; ignore anything else.
             }
             LinkRole::AppConnection(conn) => self.handle_app_message(ctx, link, conn, message),
-            LinkRole::HandoverPending(conn) => self.handle_handover_message(ctx, link, conn, message),
+            LinkRole::HandoverPending { conn, via } => self.handle_handover_message(ctx, link, conn, via, message),
             LinkRole::BridgeUpstream(conn) => {
                 self.handle_bridge_message(ctx, link, conn, BridgeSide::Upstream, message)
             }
@@ -503,12 +503,18 @@ impl Core {
         }
     }
 
-    fn handle_handover_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, conn: ConnectionId, message: Message) {
+    fn handle_handover_message(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        link: LinkId,
+        conn: ConnectionId,
+        via: DeviceAddress,
+        message: Message,
+    ) {
         match message {
             Message::Accept { .. } => {
                 let now = ctx.now();
                 let old_link = self.connections.get(conn).and_then(|c| c.link);
-                let via = self.engine.role(link).and_then(|_| self.pending_handover_via(conn));
                 if let Some(c) = self.connections.get_mut(conn) {
                     if let Some(old) = old_link {
                         if old != link {
@@ -516,9 +522,17 @@ impl Core {
                         }
                     }
                     c.establish(link, now);
-                    if let Some(via) = via {
-                        c.kind = ConnKind::OutgoingBridged { bridge: via };
-                    }
+                    // Record the route actually built. `via` travelled with
+                    // the link role from the moment the switch began, so a
+                    // candidate refreshed (or consumed) while the replacement
+                    // connection was in flight can no longer masquerade as
+                    // the bridge in use — and a direct re-route to the
+                    // destination correctly sheds the bridged kind.
+                    c.kind = if via == c.remote {
+                        ConnKind::OutgoingDirect
+                    } else {
+                        ConnKind::OutgoingBridged { bridge: via }
+                    };
                     if let Some(monitor) = c.monitor.as_mut() {
                         monitor.switch_succeeded();
                     }
@@ -542,23 +556,6 @@ impl Core {
             }
             _ => {}
         }
-    }
-
-    /// The bridge the in-flight handover of `conn` goes through, recovered
-    /// from the connection's stored candidate.
-    fn pending_handover_via(&self, conn: ConnectionId) -> Option<DeviceAddress> {
-        self.connections
-            .get(conn)
-            .and_then(|c| c.monitor.as_ref())
-            .and_then(|m| m.candidate.map(|cand| cand.bridge))
-            .or_else(|| {
-                // The candidate is consumed on begin_switch; fall back to the
-                // last pending Handover purpose if any is still recorded.
-                self.pending.values().find_map(|p| match p {
-                    PendingPurpose::Handover { conn: c, via } if *c == conn => Some(*via),
-                    _ => None,
-                })
-            })
     }
 
     fn handle_bridge_message(
@@ -655,9 +652,19 @@ impl Core {
         &mut self,
         ctx: &mut NodeCtx<'_>,
         link: LinkId,
-        _peer: NodeId,
+        peer: NodeId,
         reason: DisconnectReason,
     ) {
+        if reason == DisconnectReason::PeerFailed {
+            // The peer's whole stack died, not just this link: flag its
+            // storage entry so it ages out within one discovery cycle
+            // instead of surviving the full missed-loop tolerance. If the
+            // device actually comes back it answers the next inquiry and the
+            // flag is reset.
+            self.daemon
+                .storage_mut()
+                .mark_suspect(DeviceAddress::from_node(peer), self.config.discovery.max_missed_loops);
+        }
         let role = match self.engine.remove(link) {
             Some(r) => r,
             None => return,
@@ -668,7 +675,7 @@ impl Core {
                 self.note_fetch_finished(ctx, tech);
             }
             LinkRole::AppConnection(conn) => self.app_link_lost(ctx, conn, link, reason),
-            LinkRole::HandoverPending(conn) => self.handover_attempt_failed(ctx, conn),
+            LinkRole::HandoverPending { conn, .. } => self.handover_attempt_failed(ctx, conn),
             LinkRole::BridgeUpstream(conn) => {
                 let matches = self.bridge.get(conn).map(|p| p.upstream == link).unwrap_or(false);
                 if matches {

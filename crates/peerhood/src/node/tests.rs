@@ -11,9 +11,10 @@ use crate::config::PeerHoodConfig;
 use crate::device::{DeviceInfo, MobilityClass};
 use crate::error::PeerHoodError;
 use crate::ids::{ConnectionId, DeviceAddress};
+use crate::proto::NeighborRecord;
 use crate::service::ServiceInfo;
 
-use super::{AppId, PeerHoodApi, PeerHoodEvent, PeerHoodNode};
+use super::{AppId, PeerHoodApi, PeerHoodEvent, PeerHoodNode, PendingPurpose};
 
 /// A scriptable test application that records every callback and echoes
 /// received data back when asked to.
@@ -548,4 +549,253 @@ fn event_trace_records_the_dispatch_stream() {
         ),
         "incoming connection must be traced with its owning app"
     );
+}
+
+// ---------------------------------------------------------------------
+// Handover route-recording regression (the seed bug fixed in PR 3)
+// ---------------------------------------------------------------------
+
+/// The routing handover must record the bridge the replacement route was
+/// actually built through. The seed implementation recovered the bridge from
+/// the monitor's *current* candidate at Accept time — a candidate refreshed
+/// while the switch was in flight could then masquerade as the connection's
+/// `ConnKind` bridge, poisoning later handover exclusion and LinkPeer-target
+/// routing. This test reproduces exactly that interleaving: it lets a switch
+/// begin towards one bridge, then (inside the multi-second setup window)
+/// makes the *other* bridge the storage's best candidate, and asserts the
+/// established connection records the bridge that really carries it.
+#[test]
+fn handover_records_the_bridge_actually_used_not_the_refreshed_candidate() {
+    // Ideal radios (no faults, no noise) but a fixed 2 s connection setup,
+    // so there is a deterministic window while the replacement route is in
+    // flight.
+    let mut cfg = WorldConfig::ideal(47);
+    cfg.radio.bluetooth.setup_min_s = 2.0;
+    cfg.radio.bluetooth.setup_max_s = 2.0;
+    let mut world = World::new(cfg);
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        peerhood("client", MobilityClass::Dynamic, TestApp::default()),
+    );
+    let server = world.add_node(
+        "server",
+        // Close enough that the direct link's natural quality stays above
+        // the 230 threshold — only the injected decay may trigger a switch.
+        MobilityModel::stationary(Point::new(5.0, 0.0)),
+        &bt(),
+        peerhood("server", MobilityClass::Static, TestApp::server("echo", false)),
+    );
+    let bridges = [
+        Point::new(2.5, 3.5),  // in range of both client and server
+        Point::new(2.5, -4.0), // slightly farther, so scores differ
+    ]
+    .map(|p| {
+        world.add_node(
+            "bridge",
+            MobilityModel::stationary(p),
+            &bt(),
+            Box::new(PeerHoodNode::relay(fast_discovery_config(
+                "bridge",
+                MobilityClass::Static,
+            ))),
+        )
+    });
+    let bridge_addrs = bridges.map(DeviceAddress::from_node);
+    // Let dynamic discovery converge: the client must know the server
+    // directly and both bridges must have reported it as their neighbour.
+    world.run_for(SimDuration::from_secs(180));
+    let server_addr = DeviceAddress::from_node(server);
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to(server_addr, "echo")).unwrap()
+        })
+        .unwrap()
+        .expect("direct connection must start");
+    world.run_for(SimDuration::from_secs(10));
+    let link = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.connection_link(conn))
+        .unwrap()
+        .expect("connection established");
+    assert!(
+        world
+            .with_agent::<PeerHoodNode, _>(client, |n, _| n.connection(conn).unwrap().first_hop)
+            .unwrap()
+            == Some(server_addr),
+        "the initial route is direct"
+    );
+
+    // Degrade the direct link so the HandoverThread triggers a switch.
+    world.set_link_quality_override(link, 240.0, 20.0);
+    let mut in_flight_via = None;
+    for _ in 0..300 {
+        world.run_for(SimDuration::from_millis(100));
+        in_flight_via = world
+            .with_agent::<PeerHoodNode, _>(client, |n, _| {
+                n.core_mut().and_then(|core| {
+                    core.pending.values().find_map(|p| match p {
+                        PendingPurpose::Handover { conn: c, via } if *c == conn => Some(*via),
+                        _ => None,
+                    })
+                })
+            })
+            .unwrap();
+        if in_flight_via.is_some() {
+            break;
+        }
+    }
+    let in_flight_via = in_flight_via.expect("a routing handover must start");
+    let decoy = if in_flight_via == bridge_addrs[0] {
+        bridge_addrs[1]
+    } else {
+        bridge_addrs[0]
+    };
+
+    // While the replacement connection is still being set up, make the
+    // *other* bridge the storage's best candidate: a perfect-quality report
+    // of the server. The next monitor pass (still inside the 2 s window)
+    // refreshes the monitor's candidate to the decoy — the exact
+    // interleaving under which the seed code recorded the wrong bridge.
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            let now = ctx.now();
+            let core = n.core_mut().expect("client core running");
+            let server_info = core
+                .daemon
+                .storage()
+                .get(server_addr)
+                .expect("server known")
+                .info
+                .clone();
+            core.daemon.storage_mut().integrate_neighbor_report(
+                decoy,
+                255,
+                MobilityClass::Static,
+                &[NeighborRecord {
+                    info: server_info,
+                    jumps: 0,
+                    hop_qualities: vec![255],
+                    services: vec![],
+                }],
+                crate::config::DiscoveryMode::Dynamic,
+                now,
+            );
+        })
+        .unwrap();
+
+    world.run_for(SimDuration::from_secs(30));
+    let (completions, snapshot) = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| (n.handover_completions(), n.connection(conn).unwrap()))
+        .unwrap();
+    assert!(completions >= 1, "the degraded link must be substituted");
+    assert!(snapshot.bridged, "the replacement route goes through a bridge");
+    // The recorded first hop must be the bridge that actually relays the
+    // session, not whichever candidate the monitor held at Accept time.
+    let carrier: Vec<DeviceAddress> = bridges
+        .iter()
+        .filter(|b| {
+            world
+                .with_agent::<PeerHoodNode, _>(**b, |n, _| n.bridge_stats().0)
+                .unwrap_or(0)
+                >= 1
+        })
+        .map(|b| DeviceAddress::from_node(*b))
+        .collect();
+    assert_eq!(carrier.len(), 1, "exactly one bridge carries the session");
+    assert_eq!(
+        snapshot.first_hop,
+        Some(carrier[0]),
+        "ConnKind must record the bridge actually in use"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Crash & restart lifecycle (fault injection)
+// ---------------------------------------------------------------------
+
+/// A crashed peer must surface as a non-graceful `Disconnected` to the
+/// owning application, age out of the daemon storage within one discovery
+/// cycle, and — after the node restarts — be rediscovered with its services
+/// re-advertised by the reborn daemon.
+#[test]
+fn crashed_peer_expires_and_reborn_daemon_readvertises() {
+    let mut world = World::new(WorldConfig::ideal(48));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("client", MobilityClass::Dynamic))
+                .app(TestApp::default())
+                .event_trace(true)
+                .build(),
+        ),
+    );
+    let server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        peerhood("server", MobilityClass::Static, TestApp::server("echo", false)),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+        })
+        .unwrap()
+        .expect("echo service reachable");
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            assert_eq!(n.app::<TestApp>().unwrap().connected, vec![conn]);
+            let _ = n.take_event_trace();
+        })
+        .unwrap();
+
+    world.crash_node(server);
+    // Within one discovery cycle: the app sees the non-graceful disconnect
+    // and the crashed neighbour is erased from the storage (DeviceLost).
+    world.run_for(SimDuration::from_secs(30));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            let app = n.app::<TestApp>().unwrap();
+            assert_eq!(app.disconnected, vec![(conn, false)], "crash is not a graceful close");
+            assert_eq!(n.storage_stats().known_devices, 0, "the crashed neighbour must age out");
+            let trace = n.take_event_trace();
+            assert!(
+                trace.iter().any(|e| matches!(e, PeerHoodEvent::DeviceLost { .. })),
+                "the expiry must fan out as DeviceLost"
+            );
+        })
+        .unwrap();
+
+    world.restart_node(server);
+    world.run_for(SimDuration::from_secs(40));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            let stats = n.storage_stats();
+            assert_eq!(stats.known_devices, 1, "the restarted server must be rediscovered");
+            assert_eq!(stats.known_services, 1, "the reborn daemon re-advertises its service");
+        })
+        .unwrap();
+    // The middleware came back cold: no connections survive on the server.
+    let server_conns = world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| n.connections().len())
+        .unwrap();
+    assert_eq!(server_conns, 0, "the reborn core starts with an empty connection table");
+    // A fresh end-to-end session works against the reborn daemon.
+    let conn2 = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+        })
+        .unwrap()
+        .expect("reconnect to the reborn service");
+    world.run_for(SimDuration::from_secs(5));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| {
+            assert!(n.app::<TestApp>().unwrap().connected.contains(&conn2));
+        })
+        .unwrap();
 }

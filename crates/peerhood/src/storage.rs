@@ -351,6 +351,19 @@ impl DeviceStorage {
         removed
     }
 
+    /// Flags a device as suspected dead (its node crashed under a live
+    /// link): its missed-loop counter jumps straight to the tolerance, so
+    /// the next inquiry cycle it stays silent through removes it — i.e. a
+    /// crashed neighbour ages out within one discovery cycle instead of
+    /// `max_missed_loops` of them. A device that answers an inquiry after
+    /// all resets the counter through [`DeviceStorage::mark_responded`] /
+    /// [`DeviceStorage::upsert_direct`] and stays.
+    pub fn mark_suspect(&mut self, address: DeviceAddress, max_missed_loops: u32) {
+        if let Some(entry) = self.devices.get_mut(&address) {
+            entry.missed_loops = entry.missed_loops.max(max_missed_loops);
+        }
+    }
+
     /// Removes a device outright (e.g. after repeated connection failures).
     pub fn remove(&mut self, address: DeviceAddress) -> Option<StoredDevice> {
         self.reported_neighbors.remove(&address);
@@ -549,6 +562,47 @@ mod tests {
         );
         assert!(s.get(addr(2)).is_none());
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn suspect_neighbour_ages_out_within_one_cycle() {
+        // A crashed neighbour (PeerFailed on a live link) is flagged suspect
+        // and must disappear after the very next inquiry cycle it stays
+        // silent through — not after the full missed-loop tolerance.
+        let max_missed = 5;
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.upsert_direct(info(2, MobilityClass::Static), 240, vec![], T0);
+        s.mark_suspect(addr(1), max_missed);
+        // Marking an unknown device is a no-op.
+        s.mark_suspect(addr(9), max_missed);
+        let removed = s.age_cycle(
+            &[addr(2)],
+            SimTime::from_secs(10),
+            max_missed,
+            SimDuration::from_secs(600),
+        );
+        assert_eq!(removed, vec![addr(1)], "the suspect must age out in one cycle");
+        assert!(s.get(addr(2)).is_some(), "unsuspected neighbours keep their tolerance");
+    }
+
+    #[test]
+    fn suspect_neighbour_that_answers_again_is_kept() {
+        let max_missed = 5;
+        let mut s = storage();
+        s.upsert_direct(info(1, MobilityClass::Static), 240, vec![], T0);
+        s.mark_suspect(addr(1), max_missed);
+        // The device answers the next inquiry after all (it was a link
+        // glitch, not a crash): the cheap responded path clears the flag.
+        s.mark_responded(addr(1), 245, SimTime::from_secs(5));
+        let removed = s.age_cycle(
+            &[addr(1)],
+            SimTime::from_secs(10),
+            max_missed,
+            SimDuration::from_secs(600),
+        );
+        assert!(removed.is_empty());
+        assert_eq!(s.get(addr(1)).unwrap().missed_loops, 0);
     }
 
     #[test]

@@ -153,6 +153,12 @@ impl<'a> Reader<'a> {
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
+    /// Pre-allocation bound for a count read from the wire: every element
+    /// occupies at least one byte, so a corrupted count can never make us
+    /// reserve more slots than there are bytes left in the frame.
+    fn capped(&self, count: usize) -> usize {
+        count.min(self.remaining())
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated);
@@ -213,7 +219,7 @@ impl<'a> Reader<'a> {
         let mobility = MobilityClass::from_value(self.u8()?).ok_or(WireError::InvalidValue("mobility class"))?;
         let checksum = Checksum(self.u32()?);
         let tech_count = self.u8()? as usize;
-        let mut techs = Vec::with_capacity(tech_count);
+        let mut techs = Vec::with_capacity(self.capped(tech_count));
         for _ in 0..tech_count {
             techs.push(self.tech()?);
         }
@@ -235,12 +241,12 @@ impl<'a> Reader<'a> {
         let info = self.device()?;
         let jumps = self.u8()?;
         let hop_count = self.u8()? as usize;
-        let mut hop_qualities = Vec::with_capacity(hop_count);
+        let mut hop_qualities = Vec::with_capacity(self.capped(hop_count));
         for _ in 0..hop_count {
             hop_qualities.push(self.u8()?);
         }
         let svc_count = self.u16()? as usize;
-        let mut services = Vec::with_capacity(svc_count);
+        let mut services = Vec::with_capacity(self.capped(svc_count));
         for _ in 0..svc_count {
             services.push(self.service()?);
         }
@@ -347,12 +353,12 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
         TAG_INQUIRY_RESPONSE => {
             let device = r.device()?;
             let svc_count = r.u16()? as usize;
-            let mut services = Vec::with_capacity(svc_count);
+            let mut services = Vec::with_capacity(r.capped(svc_count));
             for _ in 0..svc_count {
                 services.push(r.service()?);
             }
             let n_count = r.u16()? as usize;
-            let mut neighbors = Vec::with_capacity(n_count);
+            let mut neighbors = Vec::with_capacity(r.capped(n_count));
             for _ in 0..n_count {
                 neighbors.push(r.neighbor()?);
             }
@@ -645,5 +651,75 @@ mod tests {
             let cut = rng.range(0usize..64).min(frame.len());
             let _ = decode(&frame[..cut]);
         }
+    }
+
+    #[test]
+    fn fuzz_bit_flips_never_panic() {
+        // The fault engine's corruption bursts flip a handful of bits in
+        // otherwise valid frames — the exact input shape this test feeds
+        // `decode`: mostly-plausible structure with corrupted lengths, tags,
+        // counts and enum discriminants. The decoder must return a
+        // `WireError` (or, occasionally, a different valid message), never
+        // panic or over-allocate.
+        let mut rng = SimRng::new(0xB17F11);
+        for _ in 0..3000 {
+            let message = arb_message(&mut rng);
+            let mut frame = encode(&message);
+            if frame.is_empty() {
+                continue;
+            }
+            let flips = 1 + rng.index(6);
+            for _ in 0..flips {
+                let byte = rng.index(frame.len());
+                let bit = rng.index(8) as u8;
+                frame[byte] ^= 1 << bit;
+            }
+            let _ = decode(&frame);
+        }
+    }
+
+    #[test]
+    fn fuzz_heavy_corruption_never_panics() {
+        // Denser damage than a burst would cause: up to a quarter of the
+        // frame's bits flipped.
+        let mut rng = SimRng::new(0x0DEA_DB17);
+        for _ in 0..1000 {
+            let message = arb_message(&mut rng);
+            let mut frame = encode(&message);
+            if frame.is_empty() {
+                continue;
+            }
+            let flips = 1 + rng.index(frame.len() * 2);
+            for _ in 0..flips {
+                let byte = rng.index(frame.len());
+                let bit = rng.index(8) as u8;
+                frame[byte] ^= 1 << bit;
+            }
+            let _ = decode(&frame);
+        }
+    }
+
+    #[test]
+    fn corrupted_counts_do_not_overallocate() {
+        // A flipped length prefix must not reserve gigabytes: the decoder
+        // caps pre-allocation by the bytes actually remaining. This frame
+        // announces 65535 services in a response that is a few bytes long.
+        let mut frame = encode(&Message::InquiryResponse {
+            device: device(1),
+            services: vec![],
+            neighbors: vec![],
+            bridge_load_percent: 0,
+        });
+        // The service count is the first u16 after the device block; find it
+        // by re-encoding with one service and diffing is overkill — corrupt
+        // every u16-aligned pair instead and decode them all.
+        for i in 0..frame.len().saturating_sub(1) {
+            let mut corrupt = frame.clone();
+            corrupt[i] = 0xFF;
+            corrupt[i + 1] = 0xFF;
+            let _ = decode(&corrupt);
+        }
+        frame.truncate(frame.len() - 1);
+        let _ = decode(&frame);
     }
 }

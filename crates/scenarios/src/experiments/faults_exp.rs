@@ -1,0 +1,456 @@
+//! E13 and E14: fault & churn experiments on the `simnet::faults` subsystem.
+//!
+//! * **E13 "churn sweep"** — session survival and reconnection latency as a
+//!   function of the node churn rate (seeded crash/restart schedules from
+//!   [`FaultPlan::churn`]), at populations from a hundred to thousands of
+//!   devices.
+//! * **E14 "blackout & flash crowd"** — a mass radio outage combined with a
+//!   crash wave whose restarts all land inside a few seconds (a restart
+//!   storm), measuring how attachment collapses and recovers.
+//!
+//! Like E12, both drive the `simnet` substrate with a lightweight agent
+//! rather than the full middleware: the subject under test is the world's
+//! fault engine — lifecycle correctness, determinism and scale — not the
+//! PeerHood protocol (whose fault reactions are covered by the middleware
+//! test suites). Every number is deterministic in the seed.
+
+use std::any::Any;
+
+use simnet::prelude::*;
+
+use crate::report::ExperimentReport;
+
+const SCAN: TimerToken = TimerToken(0xE131);
+
+/// A device under churn: scans periodically, attaches to its best-quality
+/// neighbour, and re-attaches after every loss — while counting sessions,
+/// breaks and reconnection latency. Counters survive crashes (the probe is
+/// the measurement instrument, not the subject), but all session state is
+/// reset when the node reboots.
+struct ChurnAgent {
+    inquiry_interval: SimDuration,
+    attached: Option<(LinkId, NodeId)>,
+    connecting: bool,
+    last_hits: Vec<InquiryHit>,
+    /// Set when a session is lost (or the node reboots); consumed by the
+    /// next successful attachment to measure reconnection latency.
+    down_since: Option<SimTime>,
+    sessions_established: u64,
+    /// Sessions killed by churn: the peer's stack died (`PeerFailed`).
+    broken_by_crash: u64,
+    /// Sessions lost to geometry or radio outage (`OutOfRange`) — the
+    /// background rate mobility produces even without any fault plan.
+    broken_by_range: u64,
+    reconnect_secs_total: f64,
+    reconnects: u64,
+}
+
+impl ChurnAgent {
+    fn new(inquiry_interval: SimDuration) -> Self {
+        ChurnAgent {
+            inquiry_interval,
+            attached: None,
+            connecting: false,
+            last_hits: Vec::new(),
+            down_since: None,
+            sessions_established: 0,
+            broken_by_crash: 0,
+            broken_by_range: 0,
+            reconnect_secs_total: 0.0,
+            reconnects: 0,
+        }
+    }
+
+    fn best_candidate(&self) -> Option<InquiryHit> {
+        self.last_hits
+            .iter()
+            .max_by_key(|h| (h.quality, std::cmp::Reverse(h.node)))
+            .copied()
+    }
+}
+
+impl NodeAgent for ChurnAgent {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let jitter_ms = ctx.rng().range(0..self.inquiry_interval.as_millis().max(1));
+        ctx.schedule(SimDuration::from_millis(jitter_ms), SCAN);
+    }
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Reboot: session state is gone (the epoch guard already killed the
+        // old timers and attempts), measurement counters persist. Time spent
+        // dead does not count as reconnection latency.
+        self.attached = None;
+        self.connecting = false;
+        self.last_hits.clear();
+        self.down_since = Some(ctx.now());
+        self.on_start(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: TimerToken) {
+        ctx.start_inquiry(RadioTech::Wlan);
+        ctx.schedule(self.inquiry_interval, SCAN);
+    }
+    fn on_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, _tech: RadioTech, hits: Vec<InquiryHit>) {
+        self.last_hits = hits;
+        if self.attached.is_none() && !self.connecting {
+            if let Some(best) = self.best_candidate() {
+                self.connecting = true;
+                ctx.connect(best.node, RadioTech::Wlan);
+            }
+        }
+    }
+    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, _incoming: IncomingConnection) -> bool {
+        true
+    }
+    fn on_connected(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        _attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        _tech: RadioTech,
+    ) {
+        self.connecting = false;
+        self.attached = Some((link, peer));
+        self.sessions_established += 1;
+        if let Some(t0) = self.down_since.take() {
+            self.reconnect_secs_total += ctx.now().saturating_since(t0).as_secs_f64();
+            self.reconnects += 1;
+        }
+    }
+    fn on_connect_failed(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        _attempt: AttemptId,
+        _peer: NodeId,
+        _tech: RadioTech,
+        _error: ConnectError,
+    ) {
+        self.connecting = false;
+    }
+    fn on_disconnected(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
+        if self.attached.map(|(l, _)| l) == Some(link) {
+            self.attached = None;
+            match reason {
+                DisconnectReason::PeerClosed | DisconnectReason::LocalClosed => {}
+                DisconnectReason::PeerFailed => {
+                    self.broken_by_crash += 1;
+                    self.down_since = Some(ctx.now());
+                }
+                DisconnectReason::OutOfRange => {
+                    self.broken_by_range += 1;
+                    self.down_since = Some(ctx.now());
+                }
+            }
+        }
+    }
+}
+
+/// Settings for the E13 churn sweep.
+#[derive(Debug, Clone)]
+pub struct ChurnSettings {
+    /// Base random seed (world, placement and fault plans all derive from
+    /// it).
+    pub seed: u64,
+    /// Population sizes to sweep.
+    pub node_counts: Vec<usize>,
+    /// Churn rates to sweep, in expected crashes per node per hour. Zero is
+    /// the fault-free control.
+    pub churn_per_hour: Vec<f64>,
+    /// Mean downtime of a crashed node.
+    pub mean_downtime: SimDuration,
+    /// Device density in nodes per square kilometre (area grows with the
+    /// population, like E12).
+    pub density_per_km2: f64,
+    /// Fraction of nodes roaming as random-waypoint pedestrians.
+    pub mobile_fraction: f64,
+    /// Simulated duration of each cell of the sweep.
+    pub duration: SimDuration,
+    /// How often each device scans its neighbourhood.
+    pub inquiry_interval: SimDuration,
+}
+
+impl ChurnSettings {
+    /// The sizes used to produce `EXPERIMENTS.md` (up to 2000 nodes).
+    pub fn full() -> Self {
+        ChurnSettings {
+            seed: 13,
+            node_counts: vec![100, 500, 2_000],
+            churn_per_hour: vec![0.0, 20.0, 60.0],
+            mean_downtime: SimDuration::from_secs(20),
+            density_per_km2: 2_000.0,
+            mobile_fraction: 0.25,
+            duration: SimDuration::from_secs(600),
+            inquiry_interval: SimDuration::from_secs(8),
+        }
+    }
+
+    /// A reduced variant for CI and `cargo test`.
+    pub fn quick() -> Self {
+        ChurnSettings {
+            seed: 13,
+            node_counts: vec![100],
+            churn_per_hour: vec![0.0, 60.0, 240.0],
+            mean_downtime: SimDuration::from_secs(15),
+            density_per_km2: 2_000.0,
+            mobile_fraction: 0.25,
+            duration: SimDuration::from_secs(150),
+            inquiry_interval: SimDuration::from_secs(8),
+        }
+    }
+
+    /// Side length in metres of the square area holding `nodes` devices at
+    /// the configured density.
+    pub fn side_m(&self, nodes: usize) -> f64 {
+        (nodes as f64 / self.density_per_km2 * 1_000_000.0).sqrt()
+    }
+}
+
+/// Builds the WLAN city and installs one churn plan per node (none when
+/// `churn_per_hour` is zero, so the control run never touches the fault
+/// engine).
+fn churn_city(settings: &ChurnSettings, nodes: usize, churn_per_hour: f64) -> World {
+    let side = settings.side_m(nodes);
+    let mut config = WorldConfig::with_seed(settings.seed ^ (nodes as u64));
+    config.grid_cell_m = config.radio.wlan.range_m;
+    let mut world = World::new(config);
+    let area = Rect::square(side);
+    let mut placer = SimRng::new(settings.seed ^ 0xC18E ^ (nodes as u64));
+    let mobile_every = if settings.mobile_fraction <= 0.0 {
+        usize::MAX
+    } else {
+        (1.0 / settings.mobile_fraction).round().max(1.0) as usize
+    };
+    for i in 0..nodes {
+        let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        let mobility = if i % mobile_every == 0 {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.7,
+                max_speed_mps: 2.0,
+                pause: SimDuration::from_secs(20),
+            }
+        } else {
+            MobilityModel::stationary(start)
+        };
+        world.add_node(
+            format!("c{i}"),
+            mobility,
+            &[RadioTech::Wlan],
+            Box::new(ChurnAgent::new(settings.inquiry_interval)),
+        );
+    }
+    if churn_per_hour > 0.0 {
+        let mtbf = SimDuration::from_secs_f64(3_600.0 / churn_per_hour);
+        let horizon = SimTime::ZERO + settings.duration;
+        let planner = SimRng::new(settings.seed ^ 0xFA17 ^ (nodes as u64) ^ churn_per_hour.to_bits());
+        for (i, node) in world.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let mut rng = planner.derive(i as u64);
+            let plan = FaultPlan::churn(horizon, mtbf, settings.mean_downtime, &mut rng);
+            world.install_fault_plan(node, plan);
+        }
+    }
+    world.run_for(settings.duration);
+    // Quiesce: every churn crash has a paired restart, but its exponential
+    // downtime can land past the horizon — and a dead node's counters are
+    // unreadable (`with_agent` returns `None` while down). Run on until the
+    // last scheduled restart has fired, so the report aggregates every
+    // probe's numbers instead of silently dropping the nodes that happened
+    // to be mid-reboot at the horizon.
+    while world.fault_stats().restarts < world.fault_stats().crashes {
+        world.run_for(SimDuration::from_secs(5));
+    }
+    world
+}
+
+/// E13 (beyond the thesis): session survival and reconnection latency under
+/// seeded node churn.
+pub fn e13_churn_sweep(settings: &ChurnSettings) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E13",
+        "Churn sweep: session survival under crash/restart schedules",
+        "Beyond the thesis: the middleware's whole premise is surviving mobility-induced failure, \
+         but the original evaluation only ever breaks links by walking out of range. E13 injects \
+         seeded crash/restart churn and measures how sessions survive and how quickly devices \
+         re-attach as the churn rate grows.",
+        &[
+            "nodes",
+            "churn (/node/h)",
+            "crashes",
+            "restarts",
+            "sessions",
+            "broken by churn",
+            "broken by range",
+            "churn survival %",
+            "mean reconnect (s)",
+        ],
+    );
+    for &nodes in &settings.node_counts {
+        for &rate in &settings.churn_per_hour {
+            let mut world = churn_city(settings, nodes, rate);
+            let ids: Vec<NodeId> = world.node_ids().collect();
+            let (mut established, mut by_crash, mut by_range) = (0u64, 0u64, 0u64);
+            let (mut latency_sum, mut latency_n) = (0.0f64, 0u64);
+            for id in &ids {
+                if let Some((e, c, r, ls, ln)) = world.with_agent::<ChurnAgent, _>(*id, |a, _| {
+                    (
+                        a.sessions_established,
+                        a.broken_by_crash,
+                        a.broken_by_range,
+                        a.reconnect_secs_total,
+                        a.reconnects,
+                    )
+                }) {
+                    established += e;
+                    by_crash += c;
+                    by_range += r;
+                    latency_sum += ls;
+                    latency_n += ln;
+                }
+            }
+            let stats = world.fault_stats();
+            let survival = if established == 0 {
+                100.0
+            } else {
+                100.0 * (1.0 - by_crash as f64 / established as f64)
+            };
+            let mean_reconnect = if latency_n == 0 {
+                0.0
+            } else {
+                latency_sum / latency_n as f64
+            };
+            report.push_row([
+                nodes.to_string(),
+                ExperimentReport::f(rate),
+                stats.crashes.to_string(),
+                stats.restarts.to_string(),
+                established.to_string(),
+                by_crash.to_string(),
+                by_range.to_string(),
+                ExperimentReport::f(survival),
+                ExperimentReport::f(mean_reconnect),
+            ]);
+        }
+    }
+    report.push_note(format!(
+        "constant density {} nodes/km^2, {:.0}% mobile, mean downtime {}s, {}s simulated per cell; \
+         zero-churn rows are the control (no fault plan installed at all)",
+        settings.density_per_km2,
+        settings.mobile_fraction * 100.0,
+        settings.mean_downtime.as_secs(),
+        settings.duration.as_secs_f64()
+    ));
+    report
+}
+
+/// Population of the E14 run per effort level.
+fn e14_nodes(quick: bool) -> usize {
+    if quick {
+        120
+    } else {
+        400
+    }
+}
+
+/// E14 (beyond the thesis): a mass radio blackout plus a crash wave whose
+/// restarts all land within a few seconds.
+pub fn e14_blackout_flash_crowd(seed: u64, quick: bool) -> ExperimentReport {
+    let nodes = e14_nodes(quick);
+    let settings = ChurnSettings {
+        seed,
+        ..ChurnSettings::quick()
+    };
+    let side = settings.side_m(nodes);
+    let mut config = WorldConfig::with_seed(seed ^ 0xE14);
+    config.grid_cell_m = config.radio.wlan.range_m;
+    let mut world = World::new(config);
+    let mut placer = SimRng::new(seed ^ 0xB1AC0);
+    for i in 0..nodes {
+        let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        world.add_node(
+            format!("b{i}"),
+            MobilityModel::stationary(start),
+            &[RadioTech::Wlan],
+            Box::new(ChurnAgent::new(settings.inquiry_interval)),
+        );
+    }
+    // The event: at t=120 s, 60 % of the devices lose their radio for 60 s
+    // (staggered over two seconds, like a power sag rolling through a block)
+    // and a further 25 % crash outright; every crashed device restarts
+    // inside the same five-second window at t=180 s — the flash crowd.
+    let blackout_at = SimTime::from_secs(120);
+    let restart_storm = SimTime::from_secs(180);
+    let mut stagger = SimRng::new(seed ^ 0x57A66);
+    let ids: Vec<NodeId> = world.node_ids().collect();
+    for (i, node) in ids.iter().enumerate() {
+        let offset = SimDuration::from_millis(stagger.range(0u64..2_000));
+        let plan = match i % 20 {
+            0..=11 => FaultPlan::new().radio_outage(RadioTech::Wlan, blackout_at + offset, SimDuration::from_secs(60)),
+            12..=16 => {
+                let restart_offset = SimDuration::from_millis(stagger.range(0u64..5_000));
+                FaultPlan::new()
+                    .crash_at(blackout_at + offset)
+                    .restart_at(restart_storm + restart_offset)
+            }
+            _ => FaultPlan::new(),
+        };
+        world.install_fault_plan(*node, plan);
+    }
+
+    let mut report = ExperimentReport::new(
+        "E14",
+        "Blackout & flash crowd: mass outage and a restart storm",
+        "Beyond the thesis: 60% of a city block loses its radio at once and another 25% crashes, \
+         then every crashed device reboots within five seconds. Attachment must collapse during \
+         the blackout and recover once radios return and the restart storm's discovery wave \
+         passes.",
+        &["phase", "t (s)", "alive", "radios dark", "attached %", "open links"],
+    );
+    let mut sample = |world: &mut World, phase: &str| {
+        let t = world.now().as_secs();
+        let alive = ids.iter().filter(|id| world.is_alive(**id)).count();
+        let dark = ids
+            .iter()
+            .filter(|id| world.is_alive(**id) && !world.radio_enabled(**id, RadioTech::Wlan))
+            .count();
+        let attached = ids
+            .iter()
+            .filter(|id| {
+                world
+                    .with_agent::<ChurnAgent, _>(**id, |a, _| a.attached.is_some())
+                    .unwrap_or(false)
+            })
+            .count();
+        let open_links = ids.iter().flat_map(|id| world.links_of(*id)).filter(|l| l.open).count() / 2;
+        report.push_row([
+            phase.to_string(),
+            t.to_string(),
+            alive.to_string(),
+            dark.to_string(),
+            ExperimentReport::f(100.0 * attached as f64 / ids.len() as f64),
+            open_links.to_string(),
+        ]);
+    };
+    world.run_until(SimTime::from_secs(115));
+    sample(&mut world, "before");
+    world.run_until(SimTime::from_secs(150));
+    sample(&mut world, "blackout");
+    world.run_until(SimTime::from_secs(300));
+    sample(&mut world, "recovered");
+    let stats = world.fault_stats();
+    report.push_note(format!(
+        "{} nodes; {} crashes, {} restarts, {} radio outages injected; every transition is in the \
+         world's typed lifecycle stream ({} events)",
+        nodes,
+        stats.crashes,
+        stats.restarts,
+        stats.radio_outages,
+        world.lifecycle_events().len()
+    ));
+    report
+}

@@ -1,5 +1,6 @@
-//! The experiment runners E1–E12 (see `DESIGN.md` for the per-figure index;
-//! E12 is the dense-city scale family added on top of the thesis).
+//! The experiment runners E1–E14 (see `DESIGN.md` for the per-figure index;
+//! E12 is the dense-city scale family and E13/E14 are the fault & churn
+//! family added on top of the thesis).
 //!
 //! Each function builds the scenario it needs, runs the simulation and
 //! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
@@ -7,6 +8,7 @@
 
 pub mod bridge;
 pub mod discovery;
+pub mod faults_exp;
 pub mod handover;
 pub mod migration_exp;
 pub mod scale;
@@ -16,6 +18,7 @@ pub use discovery::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, DiscoverySettings,
 };
+pub use faults_exp::{e13_churn_sweep, e14_blackout_flash_crowd, ChurnSettings};
 pub use handover::{
     e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun,
 };
@@ -47,6 +50,10 @@ pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
         Effort::Quick => ScaleSettings::quick(),
         Effort::Full => ScaleSettings::full(),
     };
+    let churn_settings = match effort {
+        Effort::Quick => ChurnSettings::quick(),
+        Effort::Full => ChurnSettings::full(),
+    };
     vec![
         e01_coverage_exclusion(&discovery_settings),
         e02_gnutella_traffic(seed),
@@ -60,5 +67,7 @@ pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
         e10_coverage_amplification(seed),
         e11_monitoring_limitation(seed),
         e12_dense_city(&scale_settings),
+        e13_churn_sweep(&churn_settings),
+        e14_blackout_flash_crowd(seed, effort == Effort::Quick),
     ]
 }

@@ -1,0 +1,468 @@
+//! Deterministic fault and churn injection.
+//!
+//! The thesis evaluates PeerHood against one kind of adversity — geometry: a
+//! device walks out of radio range. Real deployments also die of crashed
+//! daemons, radios toggled off and lossy links. This module adds those
+//! failure modes to the simulated world without giving up determinism:
+//!
+//! * a [`FaultPlan`] is a per-node schedule of **crashes & restarts** (the
+//!   node's slot is freed of links, it is evicted from the spatial index
+//!   while down, and its agent is reborn with fresh state through
+//!   [`NodeAgent::on_restart`](crate::node::NodeAgent::on_restart)),
+//!   **radio outages** (per-technology airplane mode: the node answers no
+//!   inquiries and its links on that technology drop) and **loss bursts**
+//!   (windows during which payloads touching the node are dropped or
+//!   bit-flipped with seeded randomness),
+//! * plans are either scripted explicitly (the builder methods) or derived
+//!   from a seed with [`FaultPlan::churn`], so every run of a churn scenario
+//!   reproduces byte-for-byte,
+//! * the world records a typed [`LifecycleEvent`] stream
+//!   ([`NodeDown`](LifecycleKind::NodeDown) / [`NodeUp`](LifecycleKind::NodeUp) /
+//!   [`RadioDown`](LifecycleKind::RadioDown) / [`RadioUp`](LifecycleKind::RadioUp))
+//!   and aggregate [`FaultStats`] for experiment reports.
+//!
+//! A world with **no plans installed pays nothing**: the hooks in the event
+//! loop are guarded by emptiness checks, no randomness is drawn, and event
+//! traces are byte-identical to a fault-free build (asserted by the
+//! `faults_overhead` bench and the scale-determinism tests).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::radio::RadioTech;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled state transition of a node or one of its radios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The node crashes: links break, the slot leaves the spatial index and
+    /// the agent stops receiving events.
+    NodeDown,
+    /// The node restarts: it re-enters the spatial index and its agent is
+    /// reborn through `NodeAgent::on_restart`.
+    NodeUp,
+    /// The given radio goes dark (airplane mode): links on it drop and the
+    /// node no longer answers inquiries on it.
+    RadioDown(RadioTech),
+    /// The given radio comes back.
+    RadioUp(RadioTech),
+}
+
+/// A window during which payloads travelling to or from the planned node are
+/// subject to seeded loss and corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossBurst {
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+    /// Probability that an affected payload is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that an affected (non-dropped) payload has random bits
+    /// flipped before delivery — exercising the wire codec's error paths.
+    pub corrupt_prob: f64,
+}
+
+impl LossBurst {
+    /// True if `now` falls inside the window.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// A deterministic per-node fault schedule.
+///
+/// Built fluently by scenarios, or derived from a seed with
+/// [`FaultPlan::churn`]; installed with
+/// [`World::install_fault_plan`](crate::world::World::install_fault_plan).
+///
+/// ```
+/// use simnet::faults::FaultPlan;
+/// use simnet::time::{SimDuration, SimTime};
+/// use simnet::radio::RadioTech;
+///
+/// let plan = FaultPlan::new()
+///     .crash_for(SimTime::from_secs(60), SimDuration::from_secs(10))
+///     .radio_outage(RadioTech::Bluetooth, SimTime::from_secs(120), SimDuration::from_secs(5))
+///     .loss_burst(SimTime::from_secs(30), SimTime::from_secs(40), 0.2, 0.1);
+/// assert_eq!(plan.actions().len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    actions: Vec<(SimTime, FaultAction)>,
+    bursts: Vec<LossBurst>,
+}
+
+impl FaultPlan {
+    /// An empty plan (installing it is a no-op).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty() && self.bursts.is_empty()
+    }
+
+    /// The scheduled actions, in insertion order.
+    pub fn actions(&self) -> &[(SimTime, FaultAction)] {
+        &self.actions
+    }
+
+    /// The loss/corruption windows.
+    pub fn bursts(&self) -> &[LossBurst] {
+        &self.bursts
+    }
+
+    /// Schedules a permanent crash at `at`.
+    pub fn crash_at(mut self, at: SimTime) -> Self {
+        self.actions.push((at, FaultAction::NodeDown));
+        self
+    }
+
+    /// Schedules a crash at `at` followed by a restart `downtime` later.
+    pub fn crash_for(mut self, at: SimTime, downtime: SimDuration) -> Self {
+        self.actions.push((at, FaultAction::NodeDown));
+        self.actions.push((at + downtime, FaultAction::NodeUp));
+        self
+    }
+
+    /// Schedules a restart at `at` (pairs with [`FaultPlan::crash_at`]).
+    pub fn restart_at(mut self, at: SimTime) -> Self {
+        self.actions.push((at, FaultAction::NodeUp));
+        self
+    }
+
+    /// Schedules an airplane-mode window on `tech` starting at `at`.
+    pub fn radio_outage(mut self, tech: RadioTech, at: SimTime, duration: SimDuration) -> Self {
+        self.actions.push((at, FaultAction::RadioDown(tech)));
+        self.actions.push((at + duration, FaultAction::RadioUp(tech)));
+        self
+    }
+
+    /// Adds a loss/corruption window. Probabilities are clamped to `[0, 1]`.
+    pub fn loss_burst(mut self, from: SimTime, until: SimTime, drop_prob: f64, corrupt_prob: f64) -> Self {
+        self.bursts.push(LossBurst {
+            from,
+            until,
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+            corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Derives a crash/restart churn schedule from a random stream: crash
+    /// inter-arrival times are exponential with mean `mtbf`, downtimes are
+    /// exponential with mean `mean_downtime` (floored at one second so a
+    /// restart is always observable), covering `[0, horizon)`.
+    ///
+    /// Callers derive `rng` from their scenario seed, so the same seed
+    /// always produces the same churn.
+    pub fn churn(horizon: SimTime, mtbf: SimDuration, mean_downtime: SimDuration, rng: &mut SimRng) -> Self {
+        let mut plan = FaultPlan::new();
+        if mtbf == SimDuration::ZERO {
+            return plan;
+        }
+        let mut t = SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(mtbf.as_secs_f64()));
+        while t < horizon {
+            let down = SimDuration::from_secs_f64(rng.exponential(mean_downtime.as_secs_f64()).max(1.0));
+            plan = plan.crash_for(t, down);
+            t = t + down + SimDuration::from_secs_f64(rng.exponential(mtbf.as_secs_f64()));
+        }
+        plan
+    }
+}
+
+/// What happened to a node, as recorded in the world's lifecycle stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleKind {
+    /// The node crashed (or was switched off).
+    NodeDown,
+    /// The node restarted.
+    NodeUp,
+    /// A radio went dark.
+    RadioDown(RadioTech),
+    /// A radio came back.
+    RadioUp(RadioTech),
+}
+
+/// One entry of the world's typed lifecycle stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleEvent {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// The node concerned.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: LifecycleKind,
+}
+
+/// Aggregate fault-injection counters for experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Nodes crashed (transitions to down).
+    pub crashes: u64,
+    /// Nodes restarted (transitions back up).
+    pub restarts: u64,
+    /// Radio outages started.
+    pub radio_outages: u64,
+    /// Radios restored.
+    pub radio_restores: u64,
+    /// Payloads dropped by loss bursts.
+    pub payloads_dropped: u64,
+    /// Payloads bit-flipped by loss bursts.
+    pub payloads_corrupted: u64,
+}
+
+/// The outcome a loss burst imposes on one payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BurstOutcome {
+    Drop,
+    Corrupt,
+}
+
+/// The world-side fault engine: installed plans, the dedicated fault RNG
+/// stream, lifecycle log and counters.
+///
+/// The RNG is seeded independently of the world's master stream (from the
+/// world seed, but through its own constant), so installing plans never
+/// perturbs the draws a fault-free world would make.
+pub(crate) struct FaultEngine {
+    plans: BTreeMap<NodeId, FaultPlan>,
+    /// True once any installed plan carries a loss burst; lets the delivery
+    /// hot path skip all burst bookkeeping in burst-free worlds.
+    any_bursts: bool,
+    rng: SimRng,
+    pub(crate) stats: FaultStats,
+    pub(crate) lifecycle: Vec<LifecycleEvent>,
+}
+
+const FAULT_RNG_LABEL: u64 = 0xFA17_5EED_0000_0001;
+
+impl FaultEngine {
+    pub(crate) fn new(world_seed: u64) -> Self {
+        FaultEngine {
+            plans: BTreeMap::new(),
+            any_bursts: false,
+            rng: SimRng::new(world_seed ^ FAULT_RNG_LABEL),
+            stats: FaultStats::default(),
+            lifecycle: Vec::new(),
+        }
+    }
+
+    /// Registers a plan and returns the actions to schedule. Installing a
+    /// second plan for the same node extends the first.
+    pub(crate) fn install(&mut self, node: NodeId, plan: FaultPlan) -> Vec<(SimTime, usize)> {
+        self.any_bursts |= !plan.bursts.is_empty();
+        let entry = self.plans.entry(node).or_default();
+        let base = entry.actions.len();
+        let schedule: Vec<(SimTime, usize)> = plan
+            .actions
+            .iter()
+            .enumerate()
+            .map(|(i, (at, _))| (*at, base + i))
+            .collect();
+        entry.actions.extend(plan.actions);
+        entry.bursts.extend(plan.bursts);
+        schedule
+    }
+
+    /// The action a previously installed plan scheduled under `idx`.
+    pub(crate) fn action(&self, node: NodeId, idx: usize) -> Option<FaultAction> {
+        self.plans.get(&node).and_then(|p| p.actions.get(idx)).map(|(_, a)| *a)
+    }
+
+    /// True if any installed plan has loss bursts (cheap guard for the
+    /// delivery hot path).
+    pub(crate) fn has_bursts(&self) -> bool {
+        self.any_bursts
+    }
+
+    /// Samples the fate of a payload travelling between `from` and `to` at
+    /// `now`. Draws randomness only while a burst window of either endpoint
+    /// is active, so burst-free instants cost nothing and perturb nothing.
+    pub(crate) fn sample_burst(&mut self, from: NodeId, to: NodeId, now: SimTime) -> Option<BurstOutcome> {
+        let (mut drop_p, mut corrupt_p) = (0.0f64, 0.0f64);
+        for node in [from, to] {
+            if let Some(plan) = self.plans.get(&node) {
+                for burst in &plan.bursts {
+                    if burst.active_at(now) {
+                        drop_p = drop_p.max(burst.drop_prob);
+                        corrupt_p = corrupt_p.max(burst.corrupt_prob);
+                    }
+                }
+            }
+        }
+        if drop_p <= 0.0 && corrupt_p <= 0.0 {
+            return None;
+        }
+        if self.rng.chance(drop_p) {
+            self.stats.payloads_dropped += 1;
+            return Some(BurstOutcome::Drop);
+        }
+        if self.rng.chance(corrupt_p) {
+            self.stats.payloads_corrupted += 1;
+            return Some(BurstOutcome::Corrupt);
+        }
+        None
+    }
+
+    /// Flips `1..=4` random bits of a payload in place (no-op on empty
+    /// payloads).
+    pub(crate) fn corrupt_payload(&mut self, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let flips = 1 + self.rng.index(4);
+        for _ in 0..flips {
+            let byte = self.rng.index(payload.len());
+            let bit = self.rng.index(8) as u8;
+            payload[byte] ^= 1 << bit;
+        }
+    }
+
+    pub(crate) fn record(&mut self, at: SimTime, node: NodeId, kind: LifecycleKind) {
+        match kind {
+            LifecycleKind::NodeDown => self.stats.crashes += 1,
+            LifecycleKind::NodeUp => self.stats.restarts += 1,
+            LifecycleKind::RadioDown(_) => self.stats.radio_outages += 1,
+            LifecycleKind::RadioUp(_) => self.stats.radio_restores += 1,
+        }
+        self.lifecycle.push(LifecycleEvent { at, node, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_actions_in_order() {
+        let plan = FaultPlan::new()
+            .crash_for(SimTime::from_secs(10), SimDuration::from_secs(5))
+            .radio_outage(RadioTech::Wlan, SimTime::from_secs(20), SimDuration::from_secs(2))
+            .crash_at(SimTime::from_secs(100));
+        assert_eq!(
+            plan.actions(),
+            &[
+                (SimTime::from_secs(10), FaultAction::NodeDown),
+                (SimTime::from_secs(15), FaultAction::NodeUp),
+                (SimTime::from_secs(20), FaultAction::RadioDown(RadioTech::Wlan)),
+                (SimTime::from_secs(22), FaultAction::RadioUp(RadioTech::Wlan)),
+                (SimTime::from_secs(100), FaultAction::NodeDown),
+            ]
+        );
+        assert!(plan.bursts().is_empty());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn loss_burst_probabilities_are_clamped_and_windows_tested() {
+        let plan = FaultPlan::new().loss_burst(SimTime::from_secs(5), SimTime::from_secs(10), 2.0, -1.0);
+        let burst = plan.bursts()[0];
+        assert_eq!(burst.drop_prob, 1.0);
+        assert_eq!(burst.corrupt_prob, 0.0);
+        assert!(!burst.active_at(SimTime::from_secs(4)));
+        assert!(burst.active_at(SimTime::from_secs(5)));
+        assert!(burst.active_at(SimTime::from_secs(9)));
+        assert!(!burst.active_at(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn churn_is_deterministic_in_the_seed_and_alternates() {
+        let horizon = SimTime::from_secs(3600);
+        let mtbf = SimDuration::from_secs(300);
+        let down = SimDuration::from_secs(20);
+        let a = FaultPlan::churn(horizon, mtbf, down, &mut SimRng::new(7));
+        let b = FaultPlan::churn(horizon, mtbf, down, &mut SimRng::new(7));
+        assert_eq!(a, b, "same seed must derive the same plan");
+        let c = FaultPlan::churn(horizon, mtbf, down, &mut SimRng::new(8));
+        assert_ne!(a, c, "different seeds should not collide");
+        // Actions strictly alternate Down/Up, times non-decreasing, within
+        // horizon for the Down edges.
+        let actions = a.actions();
+        assert!(!actions.is_empty(), "an hour at 5-minute MTBF must produce churn");
+        for (i, (at, action)) in actions.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*action, FaultAction::NodeDown);
+                assert!(*at < horizon);
+            } else {
+                assert_eq!(*action, FaultAction::NodeUp);
+            }
+            if i > 0 {
+                assert!(actions[i - 1].0 <= *at);
+            }
+        }
+        assert_eq!(actions.len() % 2, 0, "every churn crash has a restart");
+    }
+
+    #[test]
+    fn zero_mtbf_means_no_churn() {
+        let plan = FaultPlan::churn(
+            SimTime::from_secs(100),
+            SimDuration::ZERO,
+            SimDuration::from_secs(5),
+            &mut SimRng::new(1),
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn engine_samples_bursts_only_inside_windows() {
+        let mut engine = FaultEngine::new(42);
+        let node = NodeId::from_raw(0);
+        let peer = NodeId::from_raw(1);
+        engine.install(
+            node,
+            FaultPlan::new().loss_burst(SimTime::from_secs(10), SimTime::from_secs(20), 1.0, 0.0),
+        );
+        assert!(engine.has_bursts());
+        // Outside the window: no outcome and no randomness drawn.
+        assert_eq!(engine.sample_burst(node, peer, SimTime::from_secs(5)), None);
+        // Inside, drop_prob 1.0 always drops, in either direction.
+        assert_eq!(
+            engine.sample_burst(node, peer, SimTime::from_secs(15)),
+            Some(BurstOutcome::Drop)
+        );
+        assert_eq!(
+            engine.sample_burst(peer, node, SimTime::from_secs(15)),
+            Some(BurstOutcome::Drop)
+        );
+        assert_eq!(engine.stats.payloads_dropped, 2);
+    }
+
+    #[test]
+    fn corruption_flips_bits_deterministically() {
+        let mut a = FaultEngine::new(9);
+        let mut b = FaultEngine::new(9);
+        let original = vec![0u8; 32];
+        let mut pa = original.clone();
+        let mut pb = original.clone();
+        a.corrupt_payload(&mut pa);
+        b.corrupt_payload(&mut pb);
+        assert_eq!(pa, pb, "same engine seed must corrupt identically");
+        assert_ne!(pa, original, "at least one bit must flip");
+        // Empty payloads are left alone.
+        let mut empty: Vec<u8> = Vec::new();
+        a.corrupt_payload(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn installing_a_second_plan_extends_the_first() {
+        let mut engine = FaultEngine::new(1);
+        let node = NodeId::from_raw(3);
+        let first = engine.install(node, FaultPlan::new().crash_at(SimTime::from_secs(1)));
+        let second = engine.install(node, FaultPlan::new().restart_at(SimTime::from_secs(2)));
+        assert_eq!(first, vec![(SimTime::from_secs(1), 0)]);
+        assert_eq!(second, vec![(SimTime::from_secs(2), 1)]);
+        assert_eq!(engine.action(node, 0), Some(FaultAction::NodeDown));
+        assert_eq!(engine.action(node, 1), Some(FaultAction::NodeUp));
+        assert_eq!(engine.action(node, 2), None);
+        assert_eq!(engine.action(NodeId::from_raw(9), 0), None);
+    }
+}

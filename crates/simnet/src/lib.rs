@@ -21,7 +21,12 @@
 //! * **links and transmissions** ([`link`], [`world`]) — multi-second
 //!   connection setup, in-flight messages that are lost when coverage breaks,
 //!   periodic link checks and the artificial quality-decay mode the thesis
-//!   uses in its own handover simulation (§5.2.1).
+//!   uses in its own handover simulation (§5.2.1),
+//! * **faults and churn** ([`faults`]) — seeded per-node schedules of node
+//!   crashes & restarts, per-technology radio outages and link-level
+//!   loss/corruption bursts, with a typed lifecycle-event stream; a world
+//!   with no fault plans installed behaves byte-identically to one built
+//!   without the subsystem.
 //!
 //! Behaviour is attached to nodes through the [`node::NodeAgent`] trait; the
 //! `peerhood` crate implements that trait with the full middleware stack.
@@ -71,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod geometry;
 pub mod link;
 pub mod metrics;
@@ -83,6 +89,7 @@ pub mod world;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::faults::{FaultAction, FaultPlan, FaultStats, LifecycleEvent, LifecycleKind, LossBurst};
     pub use crate::geometry::{Point, Rect};
     pub use crate::link::LinkInfo;
     pub use crate::metrics::{Counters, Metrics};

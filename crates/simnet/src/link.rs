@@ -115,6 +115,9 @@ pub(crate) struct PendingAttempt {
     pub tech: RadioTech,
     #[allow(dead_code)]
     pub started_at: SimTime,
+    /// The initiator's life the attempt belongs to; stale attempts from
+    /// before a crash resolve to nothing.
+    pub epoch: u64,
 }
 
 /// A payload travelling across a link.

@@ -156,6 +156,18 @@ pub trait NodeAgent: Any {
         let _ = ctx;
     }
 
+    /// Called when the node restarts after a crash (scheduled by a
+    /// [`FaultPlan`](crate::faults::FaultPlan) or forced through
+    /// [`World::restart_node`](crate::world::World::restart_node)). Timers,
+    /// inquiries and connection attempts from before the crash are dead and
+    /// will never call back; the agent is expected to come up with fresh
+    /// state, like a rebooted device. The default implementation simply runs
+    /// [`NodeAgent::on_start`] again — agents carrying per-session state
+    /// should override this to reset it first.
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.on_start(ctx);
+    }
+
     /// Called when a timer scheduled via [`NodeCtx::schedule`] fires.
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) {
         let _ = (ctx, timer);

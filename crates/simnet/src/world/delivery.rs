@@ -8,13 +8,15 @@
 //! so its cost follows one link's traffic, not the world's.
 
 use super::{Event, World};
+use crate::faults::{BurstOutcome, LifecycleKind};
 use crate::link::InFlightMessage;
 use crate::node::{DisconnectReason, LinkId, NodeId};
+use crate::radio::RadioTech;
 use crate::time::SimDuration;
 
 impl World {
     pub(super) fn deliver(&mut self, msg: u64) {
-        let in_flight = match self.links.take_in_flight(msg) {
+        let mut in_flight = match self.links.take_in_flight(msg) {
             Some(m) => m,
             None => return,
         };
@@ -30,6 +32,20 @@ impl World {
             self.metrics.record_message_lost(in_flight.to);
             self.links.retire_if_drained(in_flight.link);
             return;
+        }
+        // Loss/corruption bursts from installed fault plans. The guard keeps
+        // burst-free worlds off this path entirely, so they draw no fault
+        // randomness and behave byte-identically to a build without it.
+        if self.faults.has_bursts() {
+            match self.faults.sample_burst(in_flight.from, in_flight.to, self.now) {
+                Some(BurstOutcome::Drop) => {
+                    self.metrics.record_message_lost(in_flight.to);
+                    self.links.retire_if_drained(in_flight.link);
+                    return;
+                }
+                Some(BurstOutcome::Corrupt) => self.faults.corrupt_payload(&mut in_flight.payload),
+                None => {}
+            }
         }
         self.metrics.record_message_delivered(in_flight.to);
         let InFlightMessage {
@@ -63,11 +79,13 @@ impl World {
         }
         let a_alive = self.is_alive(a);
         let b_alive = self.is_alive(b);
-        let physically_broken = if has_override {
-            exhausted
-        } else {
-            !self.in_range(a, b, tech)
-        };
+        let radio_dark = !self.radio_enabled(a, tech) || !self.radio_enabled(b, tech);
+        let physically_broken = radio_dark
+            || if has_override {
+                exhausted
+            } else {
+                !self.in_range(a, b, tech)
+            };
         if !a_alive || !b_alive || physically_broken {
             if let Some(state) = self.links.get_mut(link) {
                 state.open = false;
@@ -126,7 +144,11 @@ impl World {
     }
 
     /// Powers a node off: every open link it participates in breaks and the
-    /// surviving peers are notified. Used for failure-injection tests.
+    /// surviving peers are notified with
+    /// [`DisconnectReason::PeerFailed`]. The node leaves the spatial index,
+    /// stops answering inquiries and its pending timers/attempts die; it can
+    /// come back through [`World::restart_node`] (or a scheduled
+    /// [`FaultPlan`](crate::faults::FaultPlan) restart).
     ///
     /// # Panics
     ///
@@ -136,6 +158,7 @@ impl World {
             Some(slot) if slot.alive => self.topology.power_off(node),
             _ => return,
         }
+        self.faults.record(self.now, node, LifecycleKind::NodeDown);
         let affected: Vec<(LinkId, NodeId)> = self
             .links
             .open_links_of(node)
@@ -150,6 +173,39 @@ impl World {
             self.metrics.record_link_broken(node);
             self.agent_call(peer, |agent, ctx| {
                 agent.on_disconnected(ctx, link, node, DisconnectReason::PeerFailed);
+            });
+            self.links.retire_if_drained(link);
+        }
+    }
+
+    /// Breaks every open link of `node` that runs over `tech` (the radio
+    /// went dark). Unlike a crash both endpoints are still running, so both
+    /// are notified — with `OutOfRange`, the same reason a coverage loss
+    /// produces, which routes the break into the identical recovery paths.
+    pub(super) fn break_links_on_tech(&mut self, node: NodeId, tech: RadioTech) {
+        let affected: Vec<(LinkId, NodeId)> = self
+            .links
+            .open_links_of(node)
+            .into_iter()
+            .filter_map(|id| {
+                self.links
+                    .get(id)
+                    .filter(|l| l.tech == tech)
+                    .and_then(|l| l.peer_of(node))
+                    .map(|peer| (id, peer))
+            })
+            .collect();
+        for (link, peer) in affected {
+            if let Some(state) = self.links.get_mut(link) {
+                state.open = false;
+            }
+            self.metrics.record_link_broken(node);
+            self.metrics.record_link_broken(peer);
+            self.agent_call(node, |agent, ctx| {
+                agent.on_disconnected(ctx, link, peer, DisconnectReason::OutOfRange);
+            });
+            self.agent_call(peer, |agent, ctx| {
+                agent.on_disconnected(ctx, link, node, DisconnectReason::OutOfRange);
             });
             self.links.retire_if_drained(link);
         }

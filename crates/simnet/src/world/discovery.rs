@@ -30,13 +30,18 @@ impl World {
     }
 
     /// Ground-truth list of nodes within radio range of `node` for `tech`
-    /// (regardless of discoverability). Used by experiments that need the
-    /// true topology to compare discovery results against.
+    /// (regardless of discoverability, but excluding nodes whose radio a
+    /// fault has forced dark — they cannot communicate at all). Used by
+    /// experiments that need the true topology to compare discovery results
+    /// against. Empty when `node` itself is crashed or its radio is dark.
     pub fn neighbors_in_range(&self, node: NodeId, tech: RadioTech) -> Vec<NodeId> {
         let pos = match self.position_of(node) {
             Some(p) => p,
             None => return Vec::new(),
         };
+        if !self.radio_enabled(node, tech) {
+            return Vec::new();
+        }
         let range = match self.grid_query_radius(tech) {
             Some(r) => r,
             None => return self.neighbors_in_range_reference(node, tech),
@@ -51,6 +56,7 @@ impl World {
                     .map(|other| {
                         other.alive
                             && other.techs.contains(&tech)
+                            && !other.radio_off.contains(&tech)
                             && self.pair_in_range(pos, other.plan.position_at(self.now), tech)
                     })
                     .unwrap_or(false)
@@ -67,10 +73,15 @@ impl World {
             Some(p) => p,
             None => return Vec::new(),
         };
+        if !self.radio_enabled(node, tech) {
+            return Vec::new();
+        }
         self.topology
             .nodes
             .iter()
-            .filter(|other| other.id != node && other.alive && other.techs.contains(&tech))
+            .filter(|other| {
+                other.id != node && other.alive && other.techs.contains(&tech) && !other.radio_off.contains(&tech)
+            })
             .filter(|other| self.pair_in_range(pos, other.plan.position_at(self.now), tech))
             .map(|other| other.id)
             .collect()
@@ -89,10 +100,16 @@ impl World {
 
         // Collect candidate peers first (immutable pass), then sample
         // miss/quality with the inquirer's RNG. Candidates are ordered by
-        // node id in both paths, so the RNG draw sequence is stable.
-        let candidates: Vec<(NodeId, f64)> = match self.grid_query_radius(tech) {
-            Some(range) => self.inquiry_candidates_grid(node, pos, range, tech, &profile, now),
-            None => self.inquiry_candidates_scan(node, pos, tech, &profile, now),
+        // node id in both paths, so the RNG draw sequence is stable. An
+        // inquirer whose own radio a fault forced dark scans into the void:
+        // the completion callback still fires, with no hits.
+        let candidates: Vec<(NodeId, f64)> = if !self.radio_enabled(node, tech) {
+            Vec::new()
+        } else {
+            match self.grid_query_radius(tech) {
+                Some(range) => self.inquiry_candidates_grid(node, pos, range, tech, &profile, now),
+                None => self.inquiry_candidates_scan(node, pos, tech, &profile, now),
+            }
         };
 
         let mut hits = Vec::new();
@@ -135,6 +152,7 @@ impl World {
     ) -> bool {
         other.alive
             && other.techs.contains(&tech)
+            && !other.radio_off.contains(&tech)
             && other.discoverable.contains(&tech)
             && !(profile.inquiry_asymmetric
                 && other

@@ -1,0 +1,374 @@
+//! World-level tests of the fault-injection subsystem: crash/restart
+//! lifecycle, epoch guards, radio outages and loss bursts.
+
+use std::any::Any;
+
+use super::*;
+use crate::faults::{FaultPlan, LifecycleKind};
+use crate::node::{ConnectError, DisconnectReason, IncomingConnection, InquiryHit};
+
+/// A probe that records lives: how often it started, restarted, what it saw.
+#[derive(Default)]
+struct FaultProbe {
+    starts: usize,
+    restarts: usize,
+    timers: Vec<TimerToken>,
+    inquiry_hits: Vec<Vec<NodeId>>,
+    connected: Vec<(LinkId, NodeId)>,
+    failed: Vec<ConnectError>,
+    messages: Vec<Vec<u8>>,
+    disconnects: Vec<(NodeId, DisconnectReason)>,
+}
+
+impl NodeAgent for FaultProbe {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {
+        self.starts += 1;
+    }
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.restarts += 1;
+        self.on_start(ctx);
+    }
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+        self.timers.push(timer);
+    }
+    fn on_inquiry_complete(&mut self, _ctx: &mut NodeCtx<'_>, _tech: RadioTech, hits: Vec<InquiryHit>) {
+        self.inquiry_hits.push(hits.into_iter().map(|h| h.node).collect());
+    }
+    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, _incoming: IncomingConnection) -> bool {
+        true
+    }
+    fn on_connected(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        _attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        _tech: RadioTech,
+    ) {
+        self.connected.push((link, peer));
+    }
+    fn on_connect_failed(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        _attempt: AttemptId,
+        _peer: NodeId,
+        _tech: RadioTech,
+        error: ConnectError,
+    ) {
+        self.failed.push(error);
+    }
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, _from: NodeId, payload: Vec<u8>) {
+        self.messages.push(payload);
+    }
+    fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, peer: NodeId, reason: DisconnectReason) {
+        self.disconnects.push((peer, reason));
+    }
+}
+
+fn bt() -> [RadioTech; 1] {
+    [RadioTech::Bluetooth]
+}
+
+fn probe_world(seed: u64) -> World {
+    World::new(WorldConfig::ideal(seed))
+}
+
+fn add_probe(w: &mut World, name: &str, x: f64) -> NodeId {
+    w.add_node(
+        name,
+        MobilityModel::stationary(Point::new(x, 0.0)),
+        &bt(),
+        Box::new(FaultProbe::default()),
+    )
+}
+
+/// Connects `a` to `b` and returns the established link id.
+fn connect_pair(w: &mut World, a: NodeId, b: NodeId) -> LinkId {
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    w.with_agent::<FaultProbe, _>(a, |p, _| p.connected.last().map(|(l, _)| *l))
+        .unwrap()
+        .expect("pair must connect")
+}
+
+#[test]
+fn scheduled_crash_breaks_links_and_notifies_the_peer() {
+    let mut w = probe_world(11);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    w.run_for(SimDuration::from_secs(1));
+    let link = connect_pair(&mut w, a, b);
+    w.install_fault_plan(b, FaultPlan::new().crash_at(SimTime::from_secs(30)));
+    w.run_for(SimDuration::from_secs(60));
+    assert!(!w.is_alive(b));
+    assert!(!w.link_info(link).unwrap().open);
+    w.with_agent::<FaultProbe, _>(a, |p, _| {
+        assert_eq!(p.disconnects, vec![(b, DisconnectReason::PeerFailed)]);
+    })
+    .unwrap();
+    // The crashed node's agent is unreachable while down.
+    assert!(w.with_agent::<FaultProbe, _>(b, |_, _| ()).is_none());
+    let stats = w.fault_stats();
+    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.restarts, 0);
+    assert_eq!(
+        w.lifecycle_events(),
+        &[LifecycleEvent {
+            at: SimTime::from_secs(30),
+            node: b,
+            kind: LifecycleKind::NodeDown,
+        }]
+    );
+}
+
+#[test]
+fn restart_rebirths_the_agent_and_reenters_the_spatial_index() {
+    let mut w = probe_world(12);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    w.install_fault_plan(
+        b,
+        FaultPlan::new().crash_for(SimTime::from_secs(10), SimDuration::from_secs(10)),
+    );
+    w.run_for(SimDuration::from_secs(15));
+    assert!(!w.is_alive(b));
+    assert!(w.neighbors_in_range(a, RadioTech::Bluetooth).is_empty());
+    w.run_for(SimDuration::from_secs(10));
+    assert!(w.is_alive(b));
+    // Back in the grid: both the indexed path and the oracle see it.
+    assert_eq!(w.neighbors_in_range(a, RadioTech::Bluetooth), vec![b]);
+    assert_eq!(w.neighbors_in_range_reference(a, RadioTech::Bluetooth), vec![b]);
+    w.with_agent::<FaultProbe, _>(b, |p, _| {
+        assert_eq!(p.restarts, 1);
+        assert_eq!(p.starts, 2, "the default on_restart runs on_start again");
+    })
+    .unwrap();
+    let stats = w.fault_stats();
+    assert_eq!((stats.crashes, stats.restarts), (1, 1));
+    let kinds: Vec<LifecycleKind> = w.take_lifecycle_events().into_iter().map(|e| e.kind).collect();
+    assert_eq!(kinds, vec![LifecycleKind::NodeDown, LifecycleKind::NodeUp]);
+    assert!(w.lifecycle_events().is_empty(), "take drains the stream");
+}
+
+#[test]
+fn timers_and_inquiries_from_a_previous_life_never_fire() {
+    let mut w = probe_world(13);
+    let a = add_probe(&mut w, "a", 0.0);
+    let _b = add_probe(&mut w, "b", 5.0);
+    w.run_for(SimDuration::from_secs(1));
+    // Schedule a timer and start an inquiry, then crash before they land.
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| {
+        ctx.schedule(SimDuration::from_secs(30), TimerToken(7));
+        ctx.start_inquiry(RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.crash_node(a);
+    w.restart_node(a);
+    w.run_for(SimDuration::from_secs(60));
+    w.with_agent::<FaultProbe, _>(a, |p, ctx| {
+        assert!(p.timers.is_empty(), "pre-crash timer leaked into the new life");
+        assert!(p.inquiry_hits.is_empty(), "pre-crash inquiry leaked into the new life");
+        // The new life schedules its own timer, which does fire.
+        ctx.schedule(SimDuration::from_secs(5), TimerToken(8));
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(10));
+    w.with_agent::<FaultProbe, _>(a, |p, _| assert_eq!(p.timers, vec![TimerToken(8)]))
+        .unwrap();
+}
+
+#[test]
+fn connect_attempts_from_a_previous_life_resolve_to_nothing() {
+    let mut w = probe_world(14);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    w.run_for(SimDuration::from_secs(1));
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    // Crash and restart before the attempt resolves.
+    w.crash_node(a);
+    w.restart_node(a);
+    w.run_for(SimDuration::from_secs(30));
+    w.with_agent::<FaultProbe, _>(a, |p, _| {
+        assert!(p.connected.is_empty(), "stale attempt must not connect the new life");
+        assert!(p.failed.is_empty(), "stale attempt must not fail into the new life");
+    })
+    .unwrap();
+}
+
+#[test]
+fn radio_outage_breaks_links_like_range_loss_and_hides_the_node() {
+    let mut w = probe_world(15);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    w.run_for(SimDuration::from_secs(1));
+    let link = connect_pair(&mut w, a, b);
+    w.install_fault_plan(
+        b,
+        FaultPlan::new().radio_outage(RadioTech::Bluetooth, SimTime::from_secs(30), SimDuration::from_secs(30)),
+    );
+    w.run_for(SimDuration::from_secs(40));
+    assert!(w.is_alive(b), "an outage is not a crash");
+    assert!(!w.radio_enabled(b, RadioTech::Bluetooth));
+    assert!(!w.link_info(link).unwrap().open);
+    // Both endpoints see the break, with the range-loss reason.
+    for node in [a, b] {
+        w.with_agent::<FaultProbe, _>(node, |p, _| {
+            assert_eq!(p.disconnects.len(), 1);
+            assert_eq!(p.disconnects[0].1, DisconnectReason::OutOfRange);
+        })
+        .unwrap();
+    }
+    // Invisible to discovery and unreachable while dark.
+    assert!(w.neighbors_in_range(a, RadioTech::Bluetooth).is_empty());
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    w.with_agent::<FaultProbe, _>(a, |p, _| {
+        assert_eq!(p.failed, vec![ConnectError::Unreachable]);
+    })
+    .unwrap();
+    // After the outage the node is reachable again.
+    w.run_for(SimDuration::from_secs(20));
+    assert!(w.radio_enabled(b, RadioTech::Bluetooth));
+    assert_eq!(w.neighbors_in_range(a, RadioTech::Bluetooth), vec![b]);
+    let stats = w.fault_stats();
+    assert_eq!((stats.radio_outages, stats.radio_restores), (1, 1));
+}
+
+#[test]
+fn radio_outage_is_per_technology() {
+    let mut w = probe_world(16);
+    let techs = [RadioTech::Bluetooth, RadioTech::Wlan];
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &techs,
+        Box::new(FaultProbe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(5.0, 0.0)),
+        &techs,
+        Box::new(FaultProbe::default()),
+    );
+    w.run_for(SimDuration::from_secs(1));
+    w.set_radio_enabled(b, RadioTech::Bluetooth, false);
+    assert!(w.neighbors_in_range(a, RadioTech::Bluetooth).is_empty());
+    assert_eq!(w.neighbors_in_range(a, RadioTech::Wlan), vec![b]);
+    // Toggling a technology the node does not carry is a no-op.
+    w.set_radio_enabled(b, RadioTech::Gprs, false);
+    assert_eq!(w.fault_stats().radio_outages, 1);
+}
+
+#[test]
+fn loss_burst_drops_payloads_only_inside_the_window() {
+    let mut w = probe_world(17);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    w.run_for(SimDuration::from_secs(1));
+    let link = connect_pair(&mut w, a, b);
+    w.install_fault_plan(
+        a,
+        FaultPlan::new().loss_burst(SimTime::from_secs(100), SimTime::from_secs(200), 1.0, 0.0),
+    );
+    // Before the window: delivered.
+    w.run_until(SimTime::from_secs(50));
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| ctx.send(link, b"before".to_vec()).unwrap())
+        .unwrap();
+    // Inside: dropped.
+    w.run_until(SimTime::from_secs(150));
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| ctx.send(link, b"during".to_vec()).unwrap())
+        .unwrap();
+    // After: delivered again.
+    w.run_until(SimTime::from_secs(250));
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| ctx.send(link, b"after".to_vec()).unwrap())
+        .unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    w.with_agent::<FaultProbe, _>(b, |p, _| {
+        assert_eq!(p.messages, vec![b"before".to_vec(), b"after".to_vec()]);
+    })
+    .unwrap();
+    assert_eq!(w.fault_stats().payloads_dropped, 1);
+    assert_eq!(w.metrics().global().messages_lost, 1);
+}
+
+#[test]
+fn corruption_bursts_flip_bits_but_still_deliver() {
+    let mut w = probe_world(18);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    w.run_for(SimDuration::from_secs(1));
+    let link = connect_pair(&mut w, a, b);
+    w.install_fault_plan(b, FaultPlan::new().loss_burst(SimTime::ZERO, SimTime::MAX, 0.0, 1.0));
+    let original = vec![0u8; 64];
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| ctx.send(link, original.clone()).unwrap())
+        .unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    w.with_agent::<FaultProbe, _>(b, |p, _| {
+        assert_eq!(p.messages.len(), 1, "corrupted payloads are still delivered");
+        assert_eq!(p.messages[0].len(), original.len());
+        assert_ne!(p.messages[0], original, "bits must have flipped");
+    })
+    .unwrap();
+    assert!(w.fault_stats().payloads_corrupted >= 1);
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_the_same_fault_run() {
+    let run = |seed: u64| {
+        let mut w = probe_world(seed);
+        let nodes: Vec<NodeId> = (0..8)
+            .map(|i| add_probe(&mut w, &format!("n{i}"), i as f64 * 4.0))
+            .collect();
+        let planner = SimRng::new(seed ^ 0xC0FFEE);
+        for (i, node) in nodes.iter().enumerate() {
+            let mut rng = planner.derive(i as u64);
+            let plan = FaultPlan::churn(
+                SimTime::from_secs(300),
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(10),
+                &mut rng,
+            )
+            .loss_burst(SimTime::from_secs(100), SimTime::from_secs(140), 0.3, 0.3);
+            w.install_fault_plan(*node, plan);
+        }
+        // Every node keeps trying to talk to its right neighbour.
+        for round in 0..30 {
+            w.run_for(SimDuration::from_secs(10));
+            for pair in nodes.windows(2) {
+                let (from, to) = (pair[0], pair[1]);
+                w.with_agent::<FaultProbe, _>(from, |p, ctx| {
+                    if let Some((link, peer)) = p.connected.last().copied() {
+                        if peer == to {
+                            let _ = ctx.send(link, vec![round as u8; 16]);
+                            return;
+                        }
+                    }
+                    ctx.connect(to, RadioTech::Bluetooth);
+                });
+            }
+        }
+        w.run_for(SimDuration::from_secs(10));
+        (w.fault_stats(), *w.metrics().global(), w.lifecycle_events().len())
+    };
+    let first = run(77);
+    let second = run(77);
+    assert_eq!(first, second, "same seed + same plans must reproduce exactly");
+    assert!(first.0.crashes > 0, "the churn plans must actually crash nodes");
+    let other = run(78);
+    assert_ne!(first, other, "different seeds should diverge");
+}

@@ -114,6 +114,23 @@ impl SpatialGrid {
         self.remove_from_bucket(cell, node);
     }
 
+    /// Resumes tracking a node previously dropped by [`SpatialGrid::remove`]
+    /// (a crashed node powering back on): buckets it at its current position
+    /// and re-enters it into the refresh cycle. No-op while still tracked.
+    pub(crate) fn reinsert(&mut self, node: NodeId, plan: &MotionPlan, now: SimTime) {
+        let raw = node.as_raw() as usize;
+        let Some(r) = self.residency.get_mut(raw) else {
+            return;
+        };
+        if r.tracked {
+            return;
+        }
+        r.tracked = true;
+        let cell = self.cell_of(plan.position_at(now));
+        self.cells.entry(cell).or_default().push(node);
+        self.rebucket(node, cell, plan, now);
+    }
+
     fn remove_from_bucket(&mut self, cell: (i64, i64), node: NodeId) {
         if let Some(bucket) = self.cells.get_mut(&cell) {
             if let Some(pos) = bucket.iter().position(|n| *n == node) {

@@ -213,7 +213,14 @@ impl World {
             Some(p) => p,
             None => return,
         };
-        let PendingAttempt { id, from, to, tech, .. } = pending;
+        let PendingAttempt {
+            id,
+            from,
+            to,
+            tech,
+            epoch,
+            ..
+        } = pending;
 
         let fail = |world: &mut World, error: ConnectError| {
             world.metrics.record_connect_failure(from);
@@ -225,10 +232,23 @@ impl World {
         if !self.is_alive(from) {
             return;
         }
+        match self.topology.slot(from) {
+            // The attempt was started in a previous life of the initiator;
+            // the reborn agent must not receive its callbacks.
+            Some(slot) if slot.epoch != epoch => return,
+            // The initiator's own radio went dark mid-attempt: a local
+            // technology failure.
+            Some(slot) if slot.radio_off.contains(&tech) => {
+                fail(self, ConnectError::Fault);
+                return;
+            }
+            Some(_) => {}
+            None => return,
+        }
         let target_ok = self
             .topology
             .slot(to)
-            .map(|s| s.alive && s.techs.contains(&tech))
+            .map(|s| s.alive && s.techs.contains(&tech) && !s.radio_off.contains(&tech))
             .unwrap_or(false);
         if !target_ok {
             fail(self, ConnectError::Unreachable);

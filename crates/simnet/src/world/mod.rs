@@ -25,6 +25,8 @@ mod links;
 mod topology;
 
 #[cfg(test)]
+mod faults_tests;
+#[cfg(test)]
 mod tests;
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -32,6 +34,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use self::links::LinkTable;
 use self::topology::{NodeSlot, Topology};
 use crate::event::Scheduler;
+use crate::faults::{FaultAction, FaultEngine, FaultPlan, FaultStats, LifecycleEvent, LifecycleKind};
 use crate::geometry::{Point, Rect};
 use crate::link::{InFlightMessage, LinkInfo, PendingAttempt, QualityOverride};
 use crate::metrics::Metrics;
@@ -141,12 +144,33 @@ impl std::error::Error for SendError {}
 #[derive(Debug, Clone)]
 enum Event {
     NodeStart(NodeId),
-    Timer { node: NodeId, token: TimerToken },
-    InquiryComplete { node: NodeId, tech: RadioTech },
-    ConnectResolve { attempt: AttemptId },
-    Deliver { msg: u64 },
-    LinkCheck { link: LinkId },
-    Disconnect { link: LinkId, closer: NodeId },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        epoch: u64,
+    },
+    InquiryComplete {
+        node: NodeId,
+        tech: RadioTech,
+        epoch: u64,
+    },
+    ConnectResolve {
+        attempt: AttemptId,
+    },
+    Deliver {
+        msg: u64,
+    },
+    LinkCheck {
+        link: LinkId,
+    },
+    Disconnect {
+        link: LinkId,
+        closer: NodeId,
+    },
+    Fault {
+        node: NodeId,
+        idx: usize,
+    },
 }
 
 /// The simulation world. See the crate-level documentation for an overview.
@@ -157,6 +181,7 @@ pub struct World {
     topology: Topology,
     links: LinkTable,
     metrics: Metrics,
+    faults: FaultEngine,
     rng: SimRng,
 }
 
@@ -165,6 +190,7 @@ impl World {
     pub fn new(config: WorldConfig) -> Self {
         let rng = SimRng::new(config.seed);
         let grid_cell_m = config.resolved_grid_cell_m();
+        let faults = FaultEngine::new(config.seed);
         World {
             config,
             now: SimTime::ZERO,
@@ -172,6 +198,7 @@ impl World {
             topology: Topology::new(grid_cell_m),
             links: LinkTable::new(),
             metrics: Metrics::new(),
+            faults,
             rng,
         }
     }
@@ -206,6 +233,8 @@ impl World {
                 agent: Some(agent),
                 rng: node_rng,
                 alive: true,
+                radio_off: BTreeSet::new(),
+                epoch: 0,
             },
             self.now,
         );
@@ -346,6 +375,117 @@ impl World {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection (see the `faults` module)
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault schedule on a node. Scheduling is
+    /// additive: a second plan for the same node extends the first. Actions
+    /// dated before the current instant fire immediately when the event loop
+    /// next advances. Plans for unknown nodes are ignored.
+    pub fn install_fault_plan(&mut self, node: NodeId, plan: FaultPlan) {
+        if self.topology.slot(node).is_none() || plan.is_empty() {
+            return;
+        }
+        let now = self.now;
+        for (at, idx) in self.faults.install(node, plan) {
+            self.scheduler.schedule(at.max(now), Event::Fault { node, idx });
+        }
+    }
+
+    /// Powers a previously crashed node back on: it re-enters the spatial
+    /// index at its current planned position, becomes discoverable again and
+    /// its agent is reborn through [`NodeAgent::on_restart`]. Timers,
+    /// inquiries and connection attempts from before the crash stay dead
+    /// (each life has its own epoch). No-op for alive or unknown nodes.
+    ///
+    /// # Panics
+    ///
+    /// Must not be called from inside an agent callback.
+    pub fn restart_node(&mut self, node: NodeId) {
+        match self.topology.slot(node) {
+            Some(slot) if !slot.alive => {}
+            _ => return,
+        }
+        let now = self.now;
+        self.topology.power_on(node, now);
+        self.faults.record(now, node, LifecycleKind::NodeUp);
+        self.agent_call(node, |agent, ctx| agent.on_restart(ctx));
+    }
+
+    /// Per-technology airplane mode. Disabling a radio makes the node
+    /// invisible to inquiries on `tech`, blocks new connections over it and
+    /// breaks its open links on that technology immediately — both endpoints
+    /// observe [`DisconnectReason::OutOfRange`](crate::node::DisconnectReason::OutOfRange),
+    /// exactly as on a range loss, so the same recovery machinery fires.
+    /// No-op when the node is unknown, does not carry `tech`, or is already
+    /// in the requested state.
+    ///
+    /// # Panics
+    ///
+    /// Must not be called from inside an agent callback.
+    pub fn set_radio_enabled(&mut self, node: NodeId, tech: RadioTech, enabled: bool) {
+        let changed = match self.topology.slot_mut(node) {
+            Some(slot) if slot.techs.contains(&tech) => {
+                if enabled {
+                    slot.radio_off.remove(&tech)
+                } else {
+                    slot.radio_off.insert(tech)
+                }
+            }
+            _ => false,
+        };
+        if !changed {
+            return;
+        }
+        let now = self.now;
+        let kind = if enabled {
+            LifecycleKind::RadioUp(tech)
+        } else {
+            LifecycleKind::RadioDown(tech)
+        };
+        self.faults.record(now, node, kind);
+        if !enabled {
+            self.break_links_on_tech(node, tech);
+        }
+    }
+
+    /// True when the node is alive, carries `tech`, and the radio is not
+    /// forced dark by a fault — i.e. the node can actually communicate over
+    /// that technology right now.
+    pub fn radio_enabled(&self, node: NodeId, tech: RadioTech) -> bool {
+        self.slot(node)
+            .map(|s| s.alive && s.techs.contains(&tech) && !s.radio_off.contains(&tech))
+            .unwrap_or(false)
+    }
+
+    /// Aggregate fault-injection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
+    }
+
+    /// The typed lifecycle stream recorded so far (crashes, restarts, radio
+    /// transitions), in event order.
+    pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+        &self.faults.lifecycle
+    }
+
+    /// Drains and returns the recorded lifecycle stream. Long churn runs
+    /// should drain periodically to keep memory flat.
+    pub fn take_lifecycle_events(&mut self) -> Vec<LifecycleEvent> {
+        std::mem::take(&mut self.faults.lifecycle)
+    }
+
+    fn apply_fault(&mut self, node: NodeId, idx: usize) {
+        match self.faults.action(node, idx) {
+            Some(FaultAction::NodeDown) => self.crash_node(node),
+            Some(FaultAction::NodeUp) => self.restart_node(node),
+            Some(FaultAction::RadioDown(tech)) => self.set_radio_enabled(node, tech, false),
+            Some(FaultAction::RadioUp(tech)) => self.set_radio_enabled(node, tech, true),
+            None => {}
+        }
+    }
+
     /// Runs the event loop until simulation time `deadline` and then sets the
     /// clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
@@ -422,19 +562,32 @@ impl World {
         Some(result)
     }
 
+    /// True when the node's epoch still matches `epoch` — i.e. the event was
+    /// scheduled in the node's current life.
+    fn epoch_current(&self, node: NodeId, epoch: u64) -> bool {
+        self.slot(node).map(|s| s.epoch == epoch).unwrap_or(false)
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::NodeStart(node) => {
                 self.agent_call(node, |agent, ctx| agent.on_start(ctx));
             }
-            Event::Timer { node, token } => {
-                self.agent_call(node, |agent, ctx| agent.on_timer(ctx, token));
+            Event::Timer { node, token, epoch } => {
+                if self.epoch_current(node, epoch) {
+                    self.agent_call(node, |agent, ctx| agent.on_timer(ctx, token));
+                }
             }
-            Event::InquiryComplete { node, tech } => self.complete_inquiry(node, tech),
+            Event::InquiryComplete { node, tech, epoch } => {
+                if self.epoch_current(node, epoch) {
+                    self.complete_inquiry(node, tech);
+                }
+            }
             Event::ConnectResolve { attempt } => self.resolve_attempt(attempt),
             Event::Deliver { msg } => self.deliver(msg),
             Event::LinkCheck { link } => self.check_link(link),
             Event::Disconnect { link, closer } => self.graceful_disconnect(link, closer),
+            Event::Fault { node, idx } => self.apply_fault(node, idx),
         }
     }
 }
@@ -472,12 +625,19 @@ impl<'a> NodeCtx<'a> {
     }
 
     /// Schedules a timer that will fire `after` from now with the given
-    /// opaque token.
+    /// opaque token. The timer dies with the node's current life: after a
+    /// crash and restart it never fires.
     pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
         let at = self.world.now + after;
-        self.world
-            .scheduler
-            .schedule(at, Event::Timer { node: self.node, token });
+        let epoch = self.world.slot(self.node).map(|s| s.epoch).unwrap_or(0);
+        self.world.scheduler.schedule(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+                epoch,
+            },
+        );
     }
 
     /// Starts a device-discovery inquiry on `tech`. The result arrives via
@@ -488,19 +648,21 @@ impl<'a> NodeCtx<'a> {
         let duration = self.world.config.radio.profile(tech).inquiry_duration;
         let node = self.node;
         let finish = self.world.now + duration;
-        if let Some(slot) = self.world.slot_mut(node) {
-            if !slot.techs.contains(&tech) {
-                return;
+        let epoch = match self.world.slot_mut(node) {
+            Some(slot) => {
+                if !slot.techs.contains(&tech) {
+                    return;
+                }
+                let entry = slot.inquiring_until.entry(tech).or_insert(finish);
+                *entry = (*entry).max(finish);
+                slot.epoch
             }
-            let entry = slot.inquiring_until.entry(tech).or_insert(finish);
-            *entry = (*entry).max(finish);
-        } else {
-            return;
-        }
+            None => return,
+        };
         self.world.metrics.record_inquiry_started(node);
         self.world
             .scheduler
-            .schedule(finish, Event::InquiryComplete { node, tech });
+            .schedule(finish, Event::InquiryComplete { node, tech, epoch });
     }
 
     /// Controls whether this node answers discovery inquiries on `tech`.
@@ -526,9 +688,9 @@ impl<'a> NodeCtx<'a> {
         let node = self.node;
         self.world.metrics.record_connect_attempt(node);
         let profile = self.world.config.radio.profile(tech).clone();
-        let latency = {
+        let (latency, epoch) = {
             let slot = self.world.slot_mut(node).expect("node exists while ctx is alive");
-            profile.sample_setup_latency(&mut slot.rng)
+            (profile.sample_setup_latency(&mut slot.rng), slot.epoch)
         };
         self.world.links.attempts.insert(
             id,
@@ -538,6 +700,7 @@ impl<'a> NodeCtx<'a> {
                 to: peer,
                 tech,
                 started_at: self.world.now,
+                epoch,
             },
         );
         let resolve_at = self.world.now + latency;

@@ -28,6 +28,15 @@ pub(crate) struct NodeSlot {
     pub(crate) agent: Option<Box<dyn NodeAgent>>,
     pub(crate) rng: SimRng,
     pub(crate) alive: bool,
+    /// Radios currently forced dark by a fault (airplane mode). Disjoint
+    /// from `discoverable`: an outage hides the node from inquiries and
+    /// breaks its links regardless of the discoverability the agent chose.
+    pub(crate) radio_off: BTreeSet<RadioTech>,
+    /// Incarnation counter, bumped on every crash. Timers, inquiries and
+    /// connection attempts record the epoch they were created in and are
+    /// dropped when it no longer matches, so events from a previous life
+    /// never leak into a restarted agent.
+    pub(crate) epoch: u64,
 }
 
 /// The node table plus the spatial index over node positions.
@@ -69,12 +78,28 @@ impl Topology {
         self.slot(node).map(|s| s.plan.position_at(now))
     }
 
-    /// Marks a node dead and drops it from the spatial index.
+    /// Marks a node dead, drops it from the spatial index and bumps its
+    /// epoch so pending events from this life are discarded.
     pub(crate) fn power_off(&mut self, node: NodeId) {
         self.grid.get_mut().remove(node);
         if let Some(slot) = self.slot_mut(node) {
             slot.alive = false;
+            slot.epoch += 1;
         }
+    }
+
+    /// Marks a crashed node alive again and re-enters it into the spatial
+    /// index at its current planned position. Discoverability and inquiry
+    /// bookkeeping reset to the fresh-node defaults; radio outages in force
+    /// are kept (the fault schedule, not the reboot, ends them).
+    pub(crate) fn power_on(&mut self, node: NodeId, now: SimTime) {
+        let Some(slot) = self.nodes.get_mut(node.as_raw() as usize) else {
+            return;
+        };
+        slot.alive = true;
+        slot.discoverable = slot.techs.clone();
+        slot.inquiring_until.clear();
+        self.grid.get_mut().reinsert(node, &slot.plan, now);
     }
 
     /// Node ids in every grid cell intersecting the disk of `radius` metres

@@ -1,6 +1,7 @@
 //! Determinism at scale: a 500-node world must produce the identical event
-//! trace for the same seed, and the spatial-grid discovery path must agree
-//! with the full-scan reference oracle at every sampled instant.
+//! trace for the same seed — with and without fault plans installed — and
+//! the spatial-grid discovery path must agree with the full-scan reference
+//! oracle at every sampled instant.
 
 use std::any::Any;
 
@@ -47,6 +48,13 @@ impl NodeAgent for Pulse {
         // Stagger the first scan so the world is not phase-locked.
         let jitter = SimDuration::from_millis(ctx.rng().range(0..5_000u64));
         ctx.schedule(jitter, INQUIRE);
+    }
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Reborn with fresh session state; the digest survives as the
+        // measurement record of both lives.
+        self.attached = false;
+        self.digest = fnv(self.digest, 0x60);
+        self.on_start(ctx);
     }
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: TimerToken) {
         ctx.start_inquiry(RadioTech::Bluetooth);
@@ -130,10 +138,40 @@ fn build_city(seed: u64, nodes: usize) -> World {
     world
 }
 
+/// Installs a seeded churn + outage + loss-burst plan on every tenth node.
+fn install_fault_plans(world: &mut World, seed: u64) {
+    let planner = SimRng::new(seed ^ 0xFA17_CAFE);
+    for (i, node) in world.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+        if i % 10 != 0 {
+            continue;
+        }
+        let mut rng = planner.derive(i as u64);
+        let mut plan = FaultPlan::churn(
+            SimTime::from_secs(60),
+            SimDuration::from_secs(25),
+            SimDuration::from_secs(8),
+            &mut rng,
+        );
+        if i % 20 == 0 {
+            plan = plan
+                .radio_outage(
+                    RadioTech::Bluetooth,
+                    SimTime::from_secs(10 + (i as u64 % 30)),
+                    SimDuration::from_secs(5),
+                )
+                .loss_burst(SimTime::from_secs(20), SimTime::from_secs(40), 0.25, 0.25);
+        }
+        world.install_fault_plan(node, plan);
+    }
+}
+
 /// Runs the 500-node world and returns its event-trace digest: per-node
 /// digests folded with the global metric counters.
-fn trace_digest(seed: u64, check_oracle: bool) -> u64 {
+fn trace_digest_with_faults(seed: u64, check_oracle: bool, faults: bool) -> u64 {
     let mut world = build_city(seed, 500);
+    if faults {
+        install_fault_plans(&mut world, seed);
+    }
     let mut digest = 0xcbf29ce484222325u64;
     for _round in 0..6 {
         world.run_for(SimDuration::from_secs(10));
@@ -165,7 +203,33 @@ fn trace_digest(seed: u64, check_oracle: bool) -> u64 {
     ] {
         digest = fnv(digest, v);
     }
+    let f = world.fault_stats();
+    for v in [
+        f.crashes,
+        f.restarts,
+        f.radio_outages,
+        f.radio_restores,
+        f.payloads_dropped,
+        f.payloads_corrupted,
+    ] {
+        digest = fnv(digest, v);
+    }
+    for event in world.lifecycle_events() {
+        digest = fnv(digest, event.at.as_micros());
+        digest = fnv(digest, event.node.as_raw());
+        let kind = match event.kind {
+            LifecycleKind::NodeDown => 1,
+            LifecycleKind::NodeUp => 2,
+            LifecycleKind::RadioDown(tech) => 0x10 + tech as u64,
+            LifecycleKind::RadioUp(tech) => 0x20 + tech as u64,
+        };
+        digest = fnv(digest, kind);
+    }
     digest
+}
+
+fn trace_digest(seed: u64, check_oracle: bool) -> u64 {
+    trace_digest_with_faults(seed, check_oracle, false)
 }
 
 #[test]
@@ -177,4 +241,27 @@ fn same_seed_identical_trace_digest_at_500_nodes() {
     // to collide if the RNG plumbing is healthy).
     let other = trace_digest(2009, false);
     assert_ne!(first, other, "different seeds should not collide");
+}
+
+#[test]
+fn same_seed_and_fault_plan_identical_trace_digest_at_500_nodes() {
+    // Crashes, restarts, radio outages and loss bursts included: the whole
+    // event trace — and the lifecycle stream itself — must reproduce from
+    // the seed. The oracle check runs mid-churn, so the grid's
+    // eviction/reinsertion path is compared against the full scan while
+    // nodes are dying and rebooting.
+    let first = trace_digest_with_faults(2008, true, true);
+    let second = trace_digest_with_faults(2008, false, true);
+    assert_eq!(
+        first, second,
+        "same seed + same fault plan must reproduce the identical event trace"
+    );
+    // The faults must actually change the run relative to the fault-free
+    // world, and a different seed must diverge.
+    assert_ne!(first, trace_digest(2008, false), "the plans must have bitten");
+    assert_ne!(
+        first,
+        trace_digest_with_faults(2009, false, true),
+        "different seeds should not collide"
+    );
 }
