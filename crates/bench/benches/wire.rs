@@ -25,7 +25,7 @@ fn inquiry_response(neighbors: usize) -> Message {
                 info: device(n),
                 jumps: (n % 4) as u8,
                 hop_qualities: vec![240, 231, 250],
-                services: vec![ServiceInfo::new("svc", "", n as u16)],
+                services: vec![ServiceInfo::new("svc", "", n as u16)].into(),
             })
             .collect(),
         bridge_load_percent: 25,

@@ -5,11 +5,12 @@
 //! cargo run -p bench --release --bin repro -- --quick         # reduced sizes
 //! cargo run -p bench --release --bin repro -- churn           # only the E13 churn table
 //! cargo run -p bench --release --bin repro -- churn --quick --seed 13
+//! cargo run -p bench --release --bin repro -- metropolis --quick   # only the E15 table
 //! ```
 //!
 //! The output is the markdown recorded in `EXPERIMENTS.md`.
 
-use scenarios::experiments::{e13_churn_sweep, ChurnSettings};
+use scenarios::experiments::{e13_churn_sweep, e15_full_stack_metropolis, ChurnSettings, MetropolisSettings};
 use scenarios::{run_all, Effort};
 
 fn main() {
@@ -19,6 +20,22 @@ fn main() {
         .skip_while(|a| a != "--seed")
         .nth(1)
         .and_then(|s| s.parse().ok());
+    if std::env::args().any(|a| a == "metropolis") {
+        // Regenerate only the E15 full-stack metropolis table.
+        let mut settings = match effort {
+            Effort::Quick => MetropolisSettings::quick(),
+            Effort::Full => MetropolisSettings::full(),
+        };
+        if let Some(seed) = seed {
+            settings.seed = seed;
+        }
+        eprintln!(
+            "running the E15 full-stack metropolis ({} nodes, seed {}, {effort:?}) ...",
+            settings.nodes, settings.seed
+        );
+        println!("{}", e15_full_stack_metropolis(&settings));
+        return;
+    }
     if std::env::args().any(|a| a == "churn") {
         // Regenerate only the E13 churn table from a seed.
         let mut settings = match effort {

@@ -266,7 +266,7 @@ mod tests {
             info: info(2),
             jumps: 0,
             hop_qualities: vec![250],
-            services: vec![],
+            services: vec![].into(),
         }];
         let added = d.process_inquiry_response(
             responder.clone(),
@@ -305,7 +305,7 @@ mod tests {
             info: info(9),
             jumps: 0,
             hop_qualities: vec![250],
-            services: vec![],
+            services: vec![].into(),
         };
         d.process_inquiry_response(
             info(1),

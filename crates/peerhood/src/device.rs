@@ -1,6 +1,7 @@
 //! Device descriptions and the static/hybrid/dynamic mobility classes.
 
 use std::fmt;
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 use simnet::{NodeId, RadioTech};
@@ -65,18 +66,24 @@ impl fmt::Display for MobilityClass {
 /// Everything a PeerHood device advertises about itself during discovery:
 /// address, human-readable name, mobility class, checksum (daemon pid) and
 /// the radio technologies it supports.
+///
+/// The name and technology list are interned behind `Rc`s: a device
+/// description is cloned on every protocol hop (connect requests, neighbour
+/// exports, storage upserts), and at metropolis scale those clones must be
+/// reference-count bumps, not string copies. Both equality and the wire
+/// encoding compare/serialise the *contents*, so the sharing is invisible.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceInfo {
     /// Unique device address.
     pub address: DeviceAddress,
     /// Human-readable device name.
-    pub name: String,
+    pub name: Rc<str>,
     /// Mobility classification configured in the daemon.
     pub mobility: MobilityClass,
     /// Daemon process-id checksum.
     pub checksum: Checksum,
     /// Radio technologies the device's plugins cover.
-    pub techs: Vec<RadioTech>,
+    pub techs: Rc<[RadioTech]>,
 }
 
 impl DeviceInfo {
@@ -84,10 +91,10 @@ impl DeviceInfo {
     pub fn new(node: NodeId, name: impl Into<String>, mobility: MobilityClass, techs: &[RadioTech]) -> Self {
         DeviceInfo {
             address: DeviceAddress::from_node(node),
-            name: name.into(),
+            name: name.into().into(),
             mobility,
             checksum: Checksum(1000 + node.as_raw() as u32),
-            techs: techs.to_vec(),
+            techs: techs.into(),
         }
     }
 

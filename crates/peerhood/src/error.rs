@@ -28,6 +28,10 @@ pub enum PeerHoodError {
     BridgeBusy,
     /// The remote end answered with a protocol error.
     Remote(String),
+    /// The operation acted on a connection owned by a different application
+    /// on the same node, and the node was built without the
+    /// `trusted_apps(true)` escape hatch.
+    NotOwner(ConnectionId),
 }
 
 impl fmt::Display for PeerHoodError {
@@ -45,6 +49,9 @@ impl fmt::Display for PeerHoodError {
             }
             PeerHoodError::BridgeBusy => write!(f, "bridge connection limit reached"),
             PeerHoodError::Remote(reason) => write!(f, "remote error: {reason}"),
+            PeerHoodError::NotOwner(id) => {
+                write!(f, "connection {id} is owned by a different application")
+            }
         }
     }
 }

@@ -78,6 +78,13 @@ pub struct HandoverMonitor {
     pub phase: HandoverPhase,
     /// Target semantics in force.
     pub target: HandoverTarget,
+    /// Opaque key of the inputs the candidate was last refreshed from
+    /// (storage generation, target, excluded bridge). Lets the monitoring
+    /// pass skip recomputing the candidate list when nothing it derives
+    /// from has changed — the steady-state common case. `None` until the
+    /// first refresh; dies with the monitor, so a replacement monitor
+    /// always recomputes.
+    refresh_key: Option<(u64, DeviceAddress, Option<DeviceAddress>)>,
 }
 
 impl HandoverMonitor {
@@ -90,7 +97,22 @@ impl HandoverMonitor {
             attempts: 0,
             phase: HandoverPhase::Monitoring,
             target,
+            refresh_key: None,
         }
+    }
+
+    /// The key of the last refresh, if any (see
+    /// [`HandoverMonitor::note_refreshed`]).
+    pub fn refresh_key(&self) -> Option<(u64, DeviceAddress, Option<DeviceAddress>)> {
+        self.refresh_key
+    }
+
+    /// Records that the candidate list was just recomputed from inputs
+    /// identified by `key`; while the caller observes the same key it may
+    /// skip the recomputation ([`HandoverMonitor::refresh_candidates`] is a
+    /// pure function of its inputs).
+    pub fn note_refreshed(&mut self, key: (u64, DeviceAddress, Option<DeviceAddress>)) {
+        self.refresh_key = Some(key);
     }
 
     /// State 0: refresh the best candidate from the list produced by

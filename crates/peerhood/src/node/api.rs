@@ -86,8 +86,13 @@ impl<'a, 'w> PeerHoodApi<'a, 'w> {
     }
 
     /// `GetDeviceList`: every remote device currently in the storage.
+    ///
+    /// Returns owned snapshots; middleware-internal code iterates the
+    /// storage directly (see
+    /// [`DeviceStorage::devices`](crate::storage::DeviceStorage::devices))
+    /// without this copy.
     pub fn device_list(&self) -> Vec<StoredDevice> {
-        self.core.daemon.storage().device_list().into_iter().cloned().collect()
+        self.core.daemon.storage().devices().cloned().collect()
     }
 
     /// `GetServiceList`: every `(device, service)` pair currently known.
@@ -95,8 +100,7 @@ impl<'a, 'w> PeerHoodApi<'a, 'w> {
         self.core
             .daemon
             .storage()
-            .device_list()
-            .into_iter()
+            .devices()
             .flat_map(|d| d.services.iter().cloned().map(move |s| (d.info.address, s)))
             .collect()
     }
@@ -133,9 +137,12 @@ impl<'a, 'w> PeerHoodApi<'a, 'w> {
     ///
     /// # Errors
     ///
-    /// Fails if the connection is unknown, or if an outgoing connection is
-    /// not currently established.
+    /// Fails if the connection is unknown, if an outgoing connection is not
+    /// currently established, or — on a node built with
+    /// `trusted_apps(false)` — with [`PeerHoodError::NotOwner`] when the
+    /// connection belongs to a different application.
     pub fn send(&mut self, conn: ConnectionId, payload: Vec<u8>) -> Result<(), PeerHoodError> {
+        self.check_owner(conn)?;
         self.core.op_send(self.ctx, conn, payload)
     }
 
@@ -145,14 +152,41 @@ impl<'a, 'w> PeerHoodApi<'a, 'w> {
     ///
     /// # Errors
     ///
-    /// Fails if the connection is unknown.
+    /// Fails if the connection is unknown, or — on a node built with
+    /// `trusted_apps(false)` — with [`PeerHoodError::NotOwner`] when the
+    /// connection belongs to a different application.
     pub fn set_sending(&mut self, conn: ConnectionId, sending: bool) -> Result<(), PeerHoodError> {
+        self.check_owner(conn)?;
         self.core.op_set_sending(conn, sending)
     }
 
-    /// Closes a connection and forgets it.
-    pub fn close(&mut self, conn: ConnectionId) {
+    /// Closes a connection and forgets it. Closing an unknown (e.g. already
+    /// closed) connection is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// On a node built with `trusted_apps(false)`, returns
+    /// [`PeerHoodError::NotOwner`] when the connection belongs to a
+    /// different application; the connection is left untouched.
+    pub fn close(&mut self, conn: ConnectionId) -> Result<(), PeerHoodError> {
+        self.check_owner(conn)?;
         self.core.op_close(self.ctx, conn);
+        Ok(())
+    }
+
+    /// Ownership gate for mutating per-connection operations: enforced only
+    /// on nodes built with `trusted_apps(false)`, and only between two
+    /// *applications* — a driver-side handle (no application identity) and
+    /// unowned connections pass, preserving the scenario-driver escape
+    /// hatch.
+    fn check_owner(&self, conn: ConnectionId) -> Result<(), PeerHoodError> {
+        if self.core.trusted_apps {
+            return Ok(());
+        }
+        match (self.app, self.core.owner_of(conn)) {
+            (Some(acting), Some(owner)) if acting != owner => Err(PeerHoodError::NotOwner(conn)),
+            _ => Ok(()),
+        }
     }
 
     /// Snapshot of one connection.
@@ -246,8 +280,7 @@ impl Core {
         let provider = self
             .daemon
             .storage()
-            .find_service_providers(service)
-            .first()
+            .best_service_provider(service)
             .map(|(d, _)| d.info.address)
             .ok_or_else(|| PeerHoodError::ServiceNotFound(service.to_string()))?;
         self.op_connect_to(ctx, owner, provider, service)

@@ -25,10 +25,11 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 use simnet::{
     AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent, NodeCtx, NodeId,
-    RadioTech, TimerToken,
+    Payload, RadioTech, TimerToken,
 };
 
 use crate::application::Application;
@@ -48,9 +49,13 @@ pub const EVENT_TRACE_CAP: usize = 65_536;
 
 /// A complete PeerHood device: middleware plus its hosted applications.
 pub struct PeerHoodNode {
-    config: PeerHoodConfig,
+    /// Shared configuration — clone the `Rc` across a fleet of nodes
+    /// (builder [`config_shared`](PeerHoodNodeBuilder::config_shared)) and
+    /// thousands of devices reference one allocation.
+    config: Rc<PeerHoodConfig>,
     core: Option<Core>,
     apps: BTreeMap<AppId, Box<dyn Application>>,
+    trusted_apps: bool,
     /// When `Some`, every dispatched [`PeerHoodEvent`] is also recorded here
     /// for scenario drivers (see [`PeerHoodNode::subscribe_event_trace`]).
     /// Bounded to [`EVENT_TRACE_CAP`] entries (oldest dropped first).
@@ -60,9 +65,10 @@ pub struct PeerHoodNode {
 /// Fluent constructor for [`PeerHoodNode`]: configuration → applications →
 /// relay flag.
 pub struct PeerHoodNodeBuilder {
-    config: PeerHoodConfig,
+    config: Rc<PeerHoodConfig>,
     apps: Vec<Box<dyn Application>>,
     relay: Option<bool>,
+    trusted_apps: bool,
     trace: bool,
 }
 
@@ -70,6 +76,15 @@ impl PeerHoodNodeBuilder {
     /// Replaces the node configuration (defaults to
     /// [`PeerHoodConfig::default`]).
     pub fn config(mut self, config: PeerHoodConfig) -> Self {
+        self.config = Rc::new(config);
+        self
+    }
+
+    /// Replaces the node configuration with an already-shared one. Scenario
+    /// drivers building large fleets pass the same `Rc` to every node, so
+    /// the configuration (device names aside, see
+    /// [`PeerHoodConfig::device_name`]) is stored once for the whole world.
+    pub fn config_shared(mut self, config: Rc<PeerHoodConfig>) -> Self {
         self.config = config;
         self
     }
@@ -95,6 +110,21 @@ impl PeerHoodNodeBuilder {
         self
     }
 
+    /// Controls whether co-hosted applications trust each other with every
+    /// connection on the node.
+    ///
+    /// The default (`true`) matches the original library's same-device trust
+    /// model: any application (or a scenario driver) may `send`/`close` any
+    /// connection. Built with `trusted_apps(false)`, those operations return
+    /// [`PeerHoodError::NotOwner`](crate::error::PeerHoodError::NotOwner)
+    /// when invoked by an application on a connection owned by a *different*
+    /// application (driver-side handles with no application identity are
+    /// exempt — that is the driver escape hatch).
+    pub fn trusted_apps(mut self, trusted: bool) -> Self {
+        self.trusted_apps = trusted;
+        self
+    }
+
     /// Enables the typed event trace from the start (equivalent to calling
     /// [`PeerHoodNode::subscribe_event_trace`] on the built node).
     pub fn event_trace(mut self, enabled: bool) -> Self {
@@ -106,7 +136,11 @@ impl PeerHoodNodeBuilder {
     pub fn build(self) -> PeerHoodNode {
         let mut config = self.config;
         if let Some(relay) = self.relay {
-            config.bridge.enabled = relay;
+            if config.bridge.enabled != relay {
+                // Copy-on-write: only fork the shared configuration when the
+                // relay flag actually diverges from it.
+                Rc::make_mut(&mut config).bridge.enabled = relay;
+            }
         }
         let apps = self
             .apps
@@ -118,6 +152,7 @@ impl PeerHoodNodeBuilder {
             config,
             core: None,
             apps,
+            trusted_apps: self.trusted_apps,
             trace: if self.trace { Some(VecDeque::new()) } else { None },
         }
     }
@@ -127,9 +162,10 @@ impl PeerHoodNode {
     /// Starts building a node (configuration → applications → relay flag).
     pub fn builder() -> PeerHoodNodeBuilder {
         PeerHoodNodeBuilder {
-            config: PeerHoodConfig::default(),
+            config: Rc::new(PeerHoodConfig::default()),
             apps: Vec::new(),
             relay: None,
+            trusted_apps: true,
             trace: false,
         }
     }
@@ -446,7 +482,7 @@ impl NodeAgent for PeerHoodNode {
             self.config.mobility,
             &self.config.techs,
         );
-        let mut core = Core::new(info, self.config.clone());
+        let mut core = Core::new(info, Rc::clone(&self.config), self.trusted_apps);
         core.start(ctx);
         for id in self.apps.keys() {
             core.events.push_back(PeerHoodEvent::Started { app: *id });
@@ -510,7 +546,7 @@ impl NodeAgent for PeerHoodNode {
         self.drain_events(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Payload) {
         if let Some(core) = self.core.as_mut() {
             core.handle_message(ctx, link, from, payload);
         }

@@ -27,6 +27,7 @@
 //! deterministic.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
 
 use simnet::{AttemptId, RadioTech, TimerToken};
 
@@ -66,7 +67,10 @@ fn token(kind: u64, payload: u64) -> TimerToken {
 /// Everything the node owns once started: the middleware state shared by the
 /// protocol, pending-attempt and API layers.
 pub(crate) struct Core {
-    pub(crate) config: PeerHoodConfig,
+    /// Shared with the host (and, via
+    /// [`PeerHoodNodeBuilder::config_shared`], potentially with thousands of
+    /// sibling nodes): one configuration allocation per fleet, not per node.
+    pub(crate) config: Rc<PeerHoodConfig>,
     pub(crate) daemon: Daemon,
     pub(crate) engine: Engine,
     pub(crate) connections: ConnectionTable,
@@ -90,10 +94,23 @@ pub(crate) struct Core {
     pub(crate) conn_owner: BTreeMap<ConnectionId, AppId>,
     pub(crate) handover_completions: u64,
     pub(crate) reply_reconnections: u64,
+    /// When false, `send`/`close` through a [`PeerHoodApi`] enforce
+    /// connection ownership (see [`PeerHoodNodeBuilder::trusted_apps`]).
+    pub(crate) trusted_apps: bool,
+    /// Reusable encode buffer: every outgoing frame is written here first,
+    /// then copied once into a shared [`wire::Frame`](crate::wire::Frame) —
+    /// the steady-state send path performs no buffer growth.
+    pub(crate) scratch: Vec<u8>,
+    /// Cached encoded inquiry-response frame, keyed by (storage generation,
+    /// registry generation, bridge load). While nothing changes — the common
+    /// case between discovery cycles — every inquiry served on any link
+    /// reuses the same allocation instead of re-exporting and re-encoding
+    /// the whole neighbourhood per neighbour.
+    pub(crate) inquiry_frame: Option<((u64, u64, u8), crate::wire::Frame)>,
 }
 
 impl Core {
-    pub(crate) fn new(info: DeviceInfo, config: PeerHoodConfig) -> Self {
+    pub(crate) fn new(info: DeviceInfo, config: Rc<PeerHoodConfig>, trusted_apps: bool) -> Self {
         Core {
             daemon: Daemon::new(info, &config),
             engine: Engine::new(),
@@ -109,6 +126,9 @@ impl Core {
             conn_owner: BTreeMap::new(),
             handover_completions: 0,
             reply_reconnections: 0,
+            trusted_apps,
+            scratch: Vec::with_capacity(256),
+            inquiry_frame: None,
             config,
         }
     }

@@ -6,7 +6,7 @@
 //! HandoverThread (§5.2.1). They mutate the shared [`Core`] and queue typed
 //! [`PeerHoodEvent`]s for the host to dispatch.
 
-use simnet::{DisconnectReason, InquiryHit, LinkId, NodeCtx, NodeId, RadioTech, SimDuration};
+use simnet::{DisconnectReason, InquiryHit, LinkId, NodeCtx, NodeId, Payload, RadioTech, SimDuration};
 
 use crate::bridge::BridgeSide;
 use crate::connection::{AppConnection, ConnKind, ConnState};
@@ -22,8 +22,36 @@ use super::pending::PendingPurpose;
 use super::{token, Core, PeerHoodEvent, KIND_APP, KIND_INQUIRY, KIND_MONITOR, KIND_RETRY, KIND_SHIFT, PAYLOAD_MASK};
 
 impl Core {
-    pub(crate) fn send_frame(&self, ctx: &mut NodeCtx<'_>, link: LinkId, message: &Message) {
-        let _ = ctx.send(link, wire::encode(message));
+    pub(crate) fn send_frame(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, message: &Message) {
+        // Encode into the node's reusable scratch buffer; the frame handed
+        // to the world is a shared allocation the delivery pipeline carries
+        // end to end without further copies.
+        let frame = wire::encode_frame(message, &mut self.scratch);
+        let _ = ctx.send(link, frame);
+    }
+
+    /// The encoded response to an inquiry request. Encoded once and then
+    /// reused — served to every neighbour that asks — until the device
+    /// storage, the service registry or the bridge load actually changes
+    /// (tracked by generation counters, so the cached bytes are always
+    /// exactly what a fresh encode would produce).
+    fn inquiry_response_frame(&mut self) -> wire::Frame {
+        let key = (
+            self.daemon.storage().generation(),
+            self.daemon.registry().generation(),
+            self.bridge.load_percent(),
+        );
+        if let Some((cached_key, frame)) = &self.inquiry_frame {
+            if *cached_key == key {
+                return frame.clone();
+            }
+        }
+        let response = self
+            .daemon
+            .build_inquiry_response(self.config.discovery.max_export_jumps, key.2);
+        let frame = wire::encode_frame(&response, &mut self.scratch);
+        self.inquiry_frame = Some((key, frame.clone()));
+        frame
     }
 
     pub(crate) fn start(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -97,10 +125,12 @@ impl Core {
             if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
                 plugin.note_responder(addr);
             }
-            if self.daemon.storage().needs_recheck(addr, now, service_check) {
+            if self
+                .daemon
+                .storage_mut()
+                .note_inquiry_hit(addr, hit.quality, now, service_check)
+            {
                 fetches.push((hit.node, addr, hit.quality));
-            } else {
-                self.daemon.storage_mut().mark_responded(addr, hit.quality, now);
             }
         }
         for (node, addr, quality) in fetches {
@@ -150,7 +180,7 @@ impl Core {
         }
     }
 
-    pub(crate) fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+    pub(crate) fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Payload) {
         let message = match wire::decode(&payload) {
             Ok(m) => m,
             Err(_) => return,
@@ -167,10 +197,10 @@ impl Core {
             LinkRole::AppConnection(conn) => self.handle_app_message(ctx, link, conn, message),
             LinkRole::HandoverPending { conn, via } => self.handle_handover_message(ctx, link, conn, via, message),
             LinkRole::BridgeUpstream(conn) => {
-                self.handle_bridge_message(ctx, link, conn, BridgeSide::Upstream, message)
+                self.handle_bridge_message(ctx, link, conn, BridgeSide::Upstream, message, &payload)
             }
             LinkRole::BridgeDownstream(conn) => {
-                self.handle_bridge_message(ctx, link, conn, BridgeSide::Downstream, message)
+                self.handle_bridge_message(ctx, link, conn, BridgeSide::Downstream, message, &payload)
             }
         }
     }
@@ -178,11 +208,9 @@ impl Core {
     fn identify_incoming(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, message: Message) {
         match message {
             Message::InquiryRequest { requester: _ } => {
-                let response = self
-                    .daemon
-                    .build_inquiry_response(self.config.discovery.max_export_jumps, self.bridge.load_percent());
+                let frame = self.inquiry_response_frame();
                 self.engine.set_role(link, LinkRole::DaemonServe);
-                self.send_frame(ctx, link, &response);
+                let _ = ctx.send(link, frame);
             }
             Message::ConnectRequest {
                 conn_id,
@@ -565,6 +593,7 @@ impl Core {
         conn: ConnectionId,
         side: BridgeSide,
         message: Message,
+        raw: &Payload,
     ) {
         // Ignore traffic on legs that are no longer part of the pair.
         let current = match self.bridge.get(conn) {
@@ -603,10 +632,21 @@ impl Core {
                     self.engine.remove(link);
                 }
             }
-            Message::Data { payload, .. } => {
+            Message::Data { conn_id, payload } => {
                 if let Some((_, other, _)) = self.bridge.relay_target(link) {
                     self.bridge.record_relay(conn, payload.len());
-                    self.send_frame(ctx, other, &Message::Data { conn_id: conn, payload });
+                    if conn_id == conn {
+                        // The relayed frame would re-encode to exactly the
+                        // received bytes, so forward the original shared
+                        // frame: a bridge chain of any length carries one
+                        // allocation end to end.
+                        let _ = ctx.send(other, raw.clone());
+                    } else {
+                        // Defensive path (e.g. a corrupted-but-decodable
+                        // frame whose conn id no longer matches the pair):
+                        // rewrite the id exactly as before.
+                        self.send_frame(ctx, other, &Message::Data { conn_id: conn, payload });
+                    }
                 }
             }
             Message::Disconnect { .. } => {
@@ -746,6 +786,20 @@ impl Core {
             Some(c) => (self.handover_destination(c), c.kind.first_hop(c.remote)),
             None => return,
         };
+        // The candidate ranking is a pure function of the device storage
+        // (generation-tracked), the target and the excluded bridge: when
+        // none of them moved since the monitor's last refresh — the
+        // steady-state monitoring pass — skip the walk-and-sort entirely.
+        let key = (self.daemon.storage().generation(), target, exclude);
+        if self
+            .connections
+            .get(conn)
+            .and_then(|c| c.monitor.as_ref())
+            .and_then(|m| m.refresh_key())
+            == Some(key)
+        {
+            return;
+        }
         let mut candidates = self.daemon.storage().handover_candidates(target);
         // Fall back on the stored multi-hop route towards the target if no
         // direct neighbour reports it.
@@ -761,6 +815,7 @@ impl Core {
         if let Some(c) = self.connections.get_mut(conn) {
             if let Some(monitor) = c.monitor.as_mut() {
                 monitor.refresh_candidates(&candidates, exclude);
+                monitor.note_refreshed(key);
             }
         }
     }
@@ -838,8 +893,7 @@ impl Core {
         let candidates: Vec<DeviceAddress> = self
             .daemon
             .storage()
-            .find_service_providers(&service)
-            .into_iter()
+            .service_providers(&service)
             .map(|(d, _)| d.info.address)
             .filter(|a| *a != remote)
             .collect();

@@ -432,6 +432,92 @@ fn two_services_on_one_device_route_to_the_right_app() {
         .unwrap();
 }
 
+/// Builds a two-node world (client with two apps, echo server) and returns
+/// `(world, client, conn)` where `conn` is an established connection owned
+/// by the client's app 0.
+fn ownership_world(trusted: bool) -> (World, simnet::NodeId, ConnectionId) {
+    let mut world = World::new(WorldConfig::ideal(47));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("client", MobilityClass::Dynamic))
+                .app(TestApp::default())
+                .app(TestApp::default())
+                .trusted_apps(trusted)
+                .build(),
+        ),
+    );
+    world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(3.0, 0.0)),
+        &bt(),
+        peerhood("server", MobilityClass::Static, TestApp::server("echo", true)),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    let conn = world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            n.with_api_for(Some(AppId(0)), ctx, |api| api.connect_to_service("echo"))
+                .unwrap()
+        })
+        .unwrap()
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    (world, client, conn)
+}
+
+#[test]
+fn untrusted_apps_cannot_touch_each_others_connections() {
+    let (mut world, client, conn) = ownership_world(false);
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            assert_eq!(n.connection_owner(conn), Some(AppId(0)));
+            // App 1 is neither owner nor trusted: send and close refuse.
+            n.with_api_for(Some(AppId(1)), ctx, |api| {
+                assert_eq!(api.send(conn, b"sneaky".to_vec()), Err(PeerHoodError::NotOwner(conn)));
+                assert_eq!(api.close(conn), Err(PeerHoodError::NotOwner(conn)));
+                assert_eq!(api.set_sending(conn, false), Err(PeerHoodError::NotOwner(conn)));
+            });
+        })
+        .unwrap();
+    world.run_for(SimDuration::from_secs(2));
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            // The refused close left the connection alive; the owner still
+            // works, and a driver-side handle (no app identity) is the
+            // documented escape hatch.
+            assert_eq!(
+                n.connection(conn).unwrap().state,
+                crate::connection::ConnState::Established
+            );
+            n.with_api_for(Some(AppId(0)), ctx, |api| {
+                api.send(conn, b"mine".to_vec()).unwrap();
+            });
+            n.with_api_for(None, ctx, |api| {
+                api.send(conn, b"driver".to_vec()).unwrap();
+            });
+        })
+        .unwrap();
+}
+
+#[test]
+fn trusted_apps_default_preserves_the_shared_daemon_model() {
+    let (mut world, client, conn) = ownership_world(true);
+    world
+        .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+            // Any co-hosted app may act on the connection, as in the
+            // original library where applications share one daemon.
+            n.with_api_for(Some(AppId(1)), ctx, |api| {
+                api.send(conn, b"shared".to_vec()).unwrap();
+                api.close(conn).unwrap();
+            });
+            assert!(n.connection(conn).is_none(), "the trusted close must stick");
+        })
+        .unwrap();
+}
+
 #[test]
 fn timers_are_routed_to_the_scheduling_app() {
     let mut world = World::new(WorldConfig::ideal(45));
@@ -676,7 +762,7 @@ fn handover_records_the_bridge_actually_used_not_the_refreshed_candidate() {
                     info: server_info,
                     jumps: 0,
                     hop_qualities: vec![255],
-                    services: vec![],
+                    services: vec![].into(),
                 }],
                 crate::config::DiscoveryMode::Dynamic,
                 now,

@@ -7,6 +7,8 @@
 //! counts and qualities) and for result routing (client parameters carried
 //! at connection start, §5.3 option 2).
 
+use std::rc::Rc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceInfo;
@@ -26,8 +28,10 @@ pub struct NeighborRecord {
     /// Per-hop qualities along the responder's route to this device, nearest
     /// hop first.
     pub hop_qualities: Vec<u8>,
-    /// Services the device offers.
-    pub services: Vec<ServiceInfo>,
+    /// Services the device offers. Interned behind an `Rc` slice so the same
+    /// list flows from decode through the device storage and back out of
+    /// `export_neighbors` without per-record deep clones.
+    pub services: Rc<[ServiceInfo]>,
 }
 
 /// A protocol message carried as one payload on a simulated link.

@@ -43,12 +43,20 @@ impl fmt::Display for ServiceInfo {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceRegistry {
     services: Vec<ServiceInfo>,
+    generation: u64,
 }
 
 impl ServiceRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         ServiceRegistry::default()
+    }
+
+    /// Monotonic mutation counter (see
+    /// [`DeviceStorage::generation`](crate::storage::DeviceStorage::generation)):
+    /// unchanged generation ⇒ unchanged registry contents.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Registers a service, making it visible to discovery inquiries.
@@ -61,6 +69,7 @@ impl ServiceRegistry {
         if self.services.iter().any(|s| s.name == service.name) {
             return Err(PeerHoodError::ServiceAlreadyRegistered(service.name));
         }
+        self.generation += 1;
         self.services.push(service);
         Ok(())
     }
@@ -68,6 +77,7 @@ impl ServiceRegistry {
     /// Removes a service by name, returning it if it was registered.
     pub fn unregister(&mut self, name: &str) -> Option<ServiceInfo> {
         let idx = self.services.iter().position(|s| s.name == name)?;
+        self.generation += 1;
         Some(self.services.remove(idx))
     }
 

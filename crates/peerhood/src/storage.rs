@@ -9,6 +9,7 @@
 //! connected device from neighbours of each DeviceList element", Fig. 5.5).
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 use simnet::{SimDuration, SimTime};
@@ -17,6 +18,7 @@ use crate::config::DiscoveryMode;
 use crate::device::{DeviceInfo, MobilityClass};
 use crate::ids::DeviceAddress;
 use crate::proto::NeighborRecord;
+use crate::quality::route_acceptable;
 use crate::route::{candidate_replaces, RouteInfo};
 use crate::service::ServiceInfo;
 
@@ -27,8 +29,10 @@ pub struct StoredDevice {
     pub info: DeviceInfo,
     /// Best known route to the device.
     pub route: RouteInfo,
-    /// Services the device offers.
-    pub services: Vec<ServiceInfo>,
+    /// Services the device offers. Shared with the [`NeighborRecord`]s the
+    /// list arrived in (and leaves through): cloning an entry or exporting
+    /// the neighbourhood bumps a reference count instead of copying strings.
+    pub services: Rc<[ServiceInfo]>,
     /// Last time the entry was confirmed (directly or via a neighbour
     /// report).
     pub last_seen: SimTime,
@@ -72,6 +76,13 @@ pub struct DeviceStorage {
     devices: BTreeMap<DeviceAddress, StoredDevice>,
     /// responder -> (neighbour -> quality the responder reported for it)
     reported_neighbors: BTreeMap<DeviceAddress, BTreeMap<DeviceAddress, u8>>,
+    /// Bumped on every mutation; lets callers (the node's cached inquiry
+    /// response frame) detect staleness without diffing contents.
+    generation: u64,
+    /// Set by [`DeviceStorage::remove`] (which defers its orphan cascade to
+    /// the next aging cycle); lets [`DeviceStorage::age_cycle`] skip the
+    /// orphaned-bridge scan when nothing could possibly be orphaned.
+    maybe_orphans: bool,
 }
 
 impl DeviceStorage {
@@ -82,12 +93,21 @@ impl DeviceStorage {
             quality_threshold,
             devices: BTreeMap::new(),
             reported_neighbors: BTreeMap::new(),
+            generation: 0,
+            maybe_orphans: false,
         }
     }
 
     /// The owning device's address (never stored as an entry).
     pub fn own_address(&self) -> DeviceAddress {
         self.own_address
+    }
+
+    /// Monotonic mutation counter: unchanged generation ⇒ unchanged
+    /// contents, so derived artefacts (e.g. the encoded inquiry-response
+    /// frame) can be cached and reused until it moves.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of known remote devices.
@@ -105,32 +125,77 @@ impl DeviceStorage {
         self.devices.get(&address)
     }
 
-    /// All known devices in address order.
-    pub fn device_list(&self) -> Vec<&StoredDevice> {
-        self.devices.values().collect()
+    /// All known devices in address order, without allocating.
+    pub fn devices(&self) -> impl Iterator<Item = &StoredDevice> + '_ {
+        self.devices.values()
     }
 
-    /// All known direct neighbours.
+    /// All known devices in address order (thin [`DeviceStorage::devices`]
+    /// shim kept for tests and drivers that want a `Vec`).
+    pub fn device_list(&self) -> Vec<&StoredDevice> {
+        self.devices().collect()
+    }
+
+    /// All known direct neighbours, in address order, without allocating.
+    pub fn direct_neighbors_iter(&self) -> impl Iterator<Item = &StoredDevice> + '_ {
+        self.devices.values().filter(|d| d.is_direct())
+    }
+
+    /// All known direct neighbours (thin
+    /// [`DeviceStorage::direct_neighbors_iter`] shim kept for tests).
     pub fn direct_neighbors(&self) -> Vec<&StoredDevice> {
-        self.devices.values().filter(|d| d.is_direct()).collect()
+        self.direct_neighbors_iter().collect()
+    }
+
+    /// Comparison chain of the provider-selection sort: jumps, then nearest
+    /// mobility, then (descending) quality sum.
+    fn provider_order(a: &StoredDevice, b: &StoredDevice) -> std::cmp::Ordering {
+        a.route
+            .jumps
+            .cmp(&b.route.jumps)
+            .then(a.route.nearest_mobility.value().cmp(&b.route.nearest_mobility.value()))
+            .then(b.route.quality_sum().cmp(&a.route.quality_sum()))
     }
 
     /// Every `(device, service)` pair whose service name matches `name`,
-    /// best route first.
-    pub fn find_service_providers(&self, name: &str) -> Vec<(&StoredDevice, &ServiceInfo)> {
+    /// best route first. (The ranking requires a sort, so the iterator is
+    /// backed by one internally collected vector; it exists so call sites
+    /// can stream the ranked results without a second allocation.)
+    pub fn service_providers<'a>(&'a self, name: &str) -> impl Iterator<Item = (&'a StoredDevice, &'a ServiceInfo)> {
         let mut providers: Vec<(&StoredDevice, &ServiceInfo)> = self
             .devices
             .values()
             .filter_map(|d| d.services.iter().find(|s| s.name == name).map(|s| (d, s)))
             .collect();
-        providers.sort_by(|(a, _), (b, _)| {
-            a.route
-                .jumps
-                .cmp(&b.route.jumps)
-                .then(a.route.nearest_mobility.value().cmp(&b.route.nearest_mobility.value()))
-                .then(b.route.quality_sum().cmp(&a.route.quality_sum()))
-        });
-        providers
+        providers.sort_by(|(a, _), (b, _)| Self::provider_order(a, b));
+        providers.into_iter()
+    }
+
+    /// The best-ranked provider of `name` — exactly
+    /// `find_service_providers(name).first()`, but found in one allocation-
+    /// free pass (a strict-minimum scan keeps the stable sort's tie-breaking:
+    /// first in address order wins among equals).
+    pub fn best_service_provider(&self, name: &str) -> Option<(&StoredDevice, &ServiceInfo)> {
+        let mut best: Option<(&StoredDevice, &ServiceInfo)> = None;
+        for d in self.devices.values() {
+            if let Some(s) = d.services.iter().find(|s| s.name == name) {
+                let wins = match best {
+                    Some((b, _)) => Self::provider_order(d, b) == std::cmp::Ordering::Less,
+                    None => true,
+                };
+                if wins {
+                    best = Some((d, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Every `(device, service)` pair whose service name matches `name`,
+    /// best route first (thin [`DeviceStorage::service_providers`] shim kept
+    /// for tests).
+    pub fn find_service_providers(&self, name: &str) -> Vec<(&StoredDevice, &ServiceInfo)> {
+        self.service_providers(name).collect()
     }
 
     /// Storage statistics.
@@ -146,10 +211,18 @@ impl DeviceStorage {
     /// Records or refreshes a **direct** neighbour observed by an inquiry and
     /// information fetch. Returns `true` when the device was not known
     /// before.
-    pub fn upsert_direct(&mut self, info: DeviceInfo, quality: u8, services: Vec<ServiceInfo>, now: SimTime) -> bool {
+    pub fn upsert_direct(
+        &mut self,
+        info: DeviceInfo,
+        quality: u8,
+        services: impl Into<Rc<[ServiceInfo]>>,
+        now: SimTime,
+    ) -> bool {
         if info.address == self.own_address {
             return false;
         }
+        let services = services.into();
+        self.generation += 1;
         let route = RouteInfo::direct(quality, info.mobility);
         match self.devices.get_mut(&info.address) {
             Some(existing) => {
@@ -158,7 +231,7 @@ impl DeviceStorage {
                 if existing.route.jumps > 0 || candidate_replaces(&route, &existing.route, self.quality_threshold) {
                     existing.route = route;
                 } else if existing.route.is_direct() {
-                    existing.route.hop_qualities = vec![quality];
+                    Self::set_single_hop_quality(&mut existing.route.hop_qualities, quality);
                 }
                 existing.info = info;
                 existing.services = services;
@@ -191,10 +264,24 @@ impl DeviceStorage {
         if let Some(entry) = self.devices.get_mut(&address) {
             entry.last_seen = now;
             entry.missed_loops = 0;
-            if entry.route.is_direct() {
-                entry.route.hop_qualities = vec![quality];
+            // `last_seen`/`missed_loops` are invisible to the generation's
+            // consumers (exports and handover candidates), so the counter
+            // only moves when the exported hop quality actually changes —
+            // keeping the encode-once inquiry-response cache warm across
+            // steady cycles.
+            if entry.route.is_direct() && entry.route.hop_qualities != [quality] {
+                self.generation += 1;
+                Self::set_single_hop_quality(&mut entry.route.hop_qualities, quality);
             }
         }
+    }
+
+    /// Rewrites a hop-quality list to the single entry `[quality]`, reusing
+    /// the existing allocation when it already holds exactly one hop (the
+    /// steady state of a direct route refreshed every inquiry cycle).
+    fn set_single_hop_quality(hop_qualities: &mut Vec<u8>, quality: u8) {
+        hop_qualities.clear();
+        hop_qualities.push(quality);
     }
 
     /// True if the device's full information should be re-fetched according
@@ -203,6 +290,38 @@ impl DeviceStorage {
         match self.devices.get(&address) {
             None => true,
             Some(entry) => now.saturating_since(entry.last_fetched) >= interval,
+        }
+    }
+
+    /// Processes one inquiry hit in a single lookup: when the device is
+    /// unknown or stale per the service-checking interval, returns `true`
+    /// (the caller starts a full fetch, exactly as
+    /// [`DeviceStorage::needs_recheck`] would have said); otherwise applies
+    /// the cheap [`DeviceStorage::mark_responded`] refresh and returns
+    /// `false`. Behaviour is identical to calling the two methods
+    /// separately — this just avoids walking the map twice per hit on the
+    /// discovery hot path.
+    pub fn note_inquiry_hit(
+        &mut self,
+        address: DeviceAddress,
+        quality: u8,
+        now: SimTime,
+        interval: SimDuration,
+    ) -> bool {
+        match self.devices.get_mut(&address) {
+            None => true,
+            Some(entry) => {
+                if now.saturating_since(entry.last_fetched) >= interval {
+                    return true;
+                }
+                entry.last_seen = now;
+                entry.missed_loops = 0;
+                if entry.route.is_direct() && entry.route.hop_qualities != [quality] {
+                    self.generation += 1;
+                    Self::set_single_hop_quality(&mut entry.route.hop_qualities, quality);
+                }
+                false
+            }
         }
     }
 
@@ -225,6 +344,7 @@ impl DeviceStorage {
         now: SimTime,
     ) -> Vec<DeviceAddress> {
         let mut added = Vec::new();
+        self.generation += 1;
         for record in records {
             // Own-device filter: avoid a route to ourselves through a
             // neighbour.
@@ -249,15 +369,19 @@ impl DeviceStorage {
                     .insert(record.info.address, record.hop_qualities.first().copied().unwrap_or(0));
             }
 
-            let mut hop_qualities = Vec::with_capacity(record.hop_qualities.len() + 1);
-            hop_qualities.push(responder_quality);
-            hop_qualities.extend_from_slice(&record.hop_qualities);
-            let candidate = RouteInfo::via(
-                responder,
-                record.jumps.saturating_add(1),
-                hop_qualities,
-                responder_mobility,
-            );
+            // The candidate route is `[responder_quality] ++ record hops`
+            // through `responder`. Its hop-quality vector is only
+            // materialised when the candidate actually wins (or the device
+            // is new) — in the steady state, where every report re-announces
+            // an already-known route that does not beat the stored one, this
+            // loop allocates nothing.
+            let cand_jumps = record.jumps.saturating_add(1);
+            let build_candidate = || {
+                let mut hop_qualities = Vec::with_capacity(record.hop_qualities.len() + 1);
+                hop_qualities.push(responder_quality);
+                hop_qualities.extend_from_slice(&record.hop_qualities);
+                RouteInfo::via(responder, cand_jumps, hop_qualities, responder_mobility)
+            };
 
             match self.devices.get_mut(&record.info.address) {
                 None => {
@@ -265,7 +389,7 @@ impl DeviceStorage {
                         record.info.address,
                         StoredDevice {
                             info: record.info.clone(),
-                            route: candidate,
+                            route: build_candidate(),
                             services: record.services.clone(),
                             last_seen: now,
                             last_fetched: now,
@@ -276,14 +400,47 @@ impl DeviceStorage {
                 }
                 Some(existing) => {
                     existing.last_seen = now;
-                    // Merge any newly advertised services.
-                    for svc in &record.services {
-                        if !existing.services.iter().any(|s| s.name == svc.name) {
-                            existing.services.push(svc.clone());
-                        }
+                    // Merge any newly advertised services. The list is
+                    // shared, so it is rebuilt (copy-on-write) only when a
+                    // genuinely new service appears — the steady state, where
+                    // reports repeat known services, touches nothing.
+                    let fresh: Vec<&ServiceInfo> = record
+                        .services
+                        .iter()
+                        .filter(|svc| !existing.services.iter().any(|s| s.name == svc.name))
+                        .collect();
+                    if !fresh.is_empty() {
+                        let mut merged: Vec<ServiceInfo> = Vec::with_capacity(existing.services.len() + fresh.len());
+                        merged.extend(existing.services.iter().cloned());
+                        merged.extend(fresh.into_iter().cloned());
+                        existing.services = merged.into();
                     }
-                    if candidate_replaces(&candidate, &existing.route, self.quality_threshold) {
-                        existing.route = candidate;
+                    // The `candidate_replaces` comparison chain of Fig. 3.13,
+                    // evaluated without building the candidate: jumps, then
+                    // nearest mobility, then the Fig. 3.9 quality rule over
+                    // the prefixed hop list.
+                    let current = &existing.route;
+                    let replaces = if cand_jumps != current.jumps {
+                        cand_jumps < current.jumps
+                    } else if responder_mobility.value() != current.nearest_mobility.value() {
+                        responder_mobility.value() < current.nearest_mobility.value()
+                    } else {
+                        let threshold = self.quality_threshold;
+                        let cand_ok =
+                            responder_quality >= threshold && record.hop_qualities.iter().all(|&q| q >= threshold);
+                        let curr_ok = route_acceptable(&current.hop_qualities, threshold);
+                        match (cand_ok, curr_ok) {
+                            (true, false) => true,
+                            (false, _) => false,
+                            (true, true) => {
+                                let cand_sum = responder_quality as u32
+                                    + record.hop_qualities.iter().map(|&q| q as u32).sum::<u32>();
+                                cand_sum > current.quality_sum()
+                            }
+                        }
+                    };
+                    if replaces {
+                        existing.route = build_candidate();
                     }
                 }
             }
@@ -306,6 +463,9 @@ impl DeviceStorage {
     ) -> Vec<DeviceAddress> {
         let mut removed = Vec::new();
         // Pass 1: age direct neighbours and drop stale indirect entries.
+        // Missed-loop counters are invisible to the generation's consumers,
+        // so the counter is bumped further down, only when an entry is
+        // actually removed.
         let mut to_remove: Vec<DeviceAddress> = Vec::new();
         for (addr, entry) in self.devices.iter_mut() {
             if entry.is_direct() {
@@ -327,6 +487,15 @@ impl DeviceStorage {
             removed.push(addr);
         }
         // Pass 2 (repeated): drop indirect entries whose bridge is gone.
+        // Orphans can only exist when something was removed — in pass 1
+        // just now, or earlier through `remove` (which defers its cascade
+        // here); every other mutation only adds or improves entries. The
+        // steady-state cycle with nothing to age skips the scan.
+        if removed.is_empty() && !self.maybe_orphans {
+            return removed;
+        }
+        self.generation += 1;
+        self.maybe_orphans = false;
         loop {
             let orphaned: Vec<DeviceAddress> = self
                 .devices
@@ -360,52 +529,73 @@ impl DeviceStorage {
     /// [`DeviceStorage::upsert_direct`] and stays.
     pub fn mark_suspect(&mut self, address: DeviceAddress, max_missed_loops: u32) {
         if let Some(entry) = self.devices.get_mut(&address) {
+            self.generation += 1;
             entry.missed_loops = entry.missed_loops.max(max_missed_loops);
         }
     }
 
     /// Removes a device outright (e.g. after repeated connection failures).
+    /// Routes through the removed device are cascaded away by the next
+    /// [`DeviceStorage::age_cycle`].
     pub fn remove(&mut self, address: DeviceAddress) -> Option<StoredDevice> {
+        self.generation += 1;
+        self.maybe_orphans = true;
         self.reported_neighbors.remove(&address);
         self.devices.remove(&address)
     }
 
     /// Exports the storage as neighbourhood information for an inquiry
-    /// response (Fig. 3.5), limited to entries within `max_jumps`.
-    pub fn export_neighbors(&self, max_jumps: u8) -> Vec<NeighborRecord> {
+    /// response (Fig. 3.5), limited to entries within `max_jumps`, without
+    /// allocating the record list. Each yielded record shares its service
+    /// list with the storage entry.
+    pub fn export_neighbors_iter(&self, max_jumps: u8) -> impl Iterator<Item = NeighborRecord> + '_ {
         self.devices
             .values()
-            .filter(|d| d.route.jumps <= max_jumps)
+            .filter(move |d| d.route.jumps <= max_jumps)
             .map(|d| NeighborRecord {
                 info: d.info.clone(),
                 jumps: d.route.jumps,
                 hop_qualities: d.route.hop_qualities.clone(),
                 services: d.services.clone(),
             })
-            .collect()
+    }
+
+    /// Exports the storage as neighbourhood information for an inquiry
+    /// response (thin [`DeviceStorage::export_neighbors_iter`] shim kept for
+    /// tests and for building owned [`Message`](crate::proto::Message)s).
+    pub fn export_neighbors(&self, max_jumps: u8) -> Vec<NeighborRecord> {
+        self.export_neighbors_iter(max_jumps).collect()
     }
 
     /// Direct neighbours that have reported `target` as *their* direct
     /// neighbour, together with the quality they reported — the candidate
     /// bridges for a routing handover towards `target` (Fig. 5.5 state 0).
-    /// Sorted best first (our quality to the bridge + its reported quality to
-    /// the target).
-    pub fn handover_candidates(&self, target: DeviceAddress) -> Vec<(DeviceAddress, u8, u8)> {
+    /// Best first (our quality to the bridge + its reported quality to the
+    /// target); like [`DeviceStorage::service_providers`] the ranking needs
+    /// one internal sort, after which the results stream without copies.
+    pub fn handover_candidates_iter(&self, target: DeviceAddress) -> impl Iterator<Item = (DeviceAddress, u8, u8)> {
+        // Walk the (much smaller) reporter table instead of the whole device
+        // storage: a candidate must have filed a neighbour report, and both
+        // maps iterate in address order, so the result list is identical to
+        // the historical full-storage scan.
         let mut candidates: Vec<(DeviceAddress, u8, u8)> = self
-            .devices
-            .values()
-            .filter(|d| d.is_direct() && d.info.address != target)
-            .filter_map(|d| {
-                let reported = self
-                    .reported_neighbors
-                    .get(&d.info.address)
-                    .and_then(|m| m.get(&target))
-                    .copied()?;
-                Some((d.info.address, d.route.first_hop_quality(), reported))
+            .reported_neighbors
+            .iter()
+            .filter(|(responder, _)| **responder != target)
+            .filter_map(|(responder, seen)| {
+                let reported = seen.get(&target).copied()?;
+                let d = self.devices.get(responder).filter(|d| d.is_direct())?;
+                Some((*responder, d.route.first_hop_quality(), reported))
             })
             .collect();
         candidates.sort_by_key(|(_, ours, theirs)| std::cmp::Reverse(*ours as u32 + *theirs as u32));
-        candidates
+        candidates.into_iter()
+    }
+
+    /// Handover candidate bridges, best first (thin
+    /// [`DeviceStorage::handover_candidates_iter`] shim kept for tests).
+    pub fn handover_candidates(&self, target: DeviceAddress) -> Vec<(DeviceAddress, u8, u8)> {
+        self.handover_candidates_iter(target).collect()
     }
 
     /// The quality `responder` last reported for `neighbor`, if any.
@@ -418,6 +608,7 @@ impl DeviceStorage {
 
     /// Clears every entry (used when the daemon restarts).
     pub fn clear(&mut self) {
+        self.generation += 1;
         self.devices.clear();
         self.reported_neighbors.clear();
     }
@@ -446,7 +637,7 @@ mod tests {
             info: info(n, MobilityClass::Dynamic),
             jumps,
             hop_qualities: vec![quality; jumps as usize + 1],
-            services,
+            services: services.into(),
         }
     }
 

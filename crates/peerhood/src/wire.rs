@@ -5,10 +5,21 @@
 //! serialisation framework. Every message round-trips exactly
 //! (property-tested below), and decoding is defensive: truncated or corrupt
 //! buffers produce a [`WireError`] instead of a panic.
+//!
+//! Encoded frames travel as shared [`Frame`]s (`Rc<[u8]>`-backed, re-exported
+//! from [`simnet::Payload`]): [`encode_frame`] writes the bytes into a
+//! caller-owned reusable scratch buffer — so a node's steady-state encode
+//! path stops allocating — and hands back a frame whose clones are free.
+//! Encode a discovery advertisement once, send it to every neighbour.
 
 use std::fmt;
 
 use simnet::RadioTech;
+
+/// A shared, immutable encoded frame (see [`simnet::Payload`]). Clones are
+/// reference-count bumps; the world's delivery pipeline carries the same
+/// allocation end to end.
+pub use simnet::Payload as Frame;
 
 use crate::device::{DeviceInfo, MobilityClass};
 use crate::error::ErrorCode;
@@ -60,16 +71,11 @@ const TAG_ERROR: u8 = 6;
 const TAG_DATA: u8 = 7;
 const TAG_DISCONNECT: u8 = 8;
 
-struct Writer {
-    buf: Vec<u8>,
+struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
-    fn new() -> Self {
-        Writer {
-            buf: Vec::with_capacity(64),
-        }
-    }
+impl<'a> Writer<'a> {
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -118,7 +124,7 @@ impl Writer {
         self.u8(d.mobility.value());
         self.u32(d.checksum.0);
         self.u8(d.techs.len() as u8);
-        for t in &d.techs {
+        for t in d.techs.iter() {
             self.tech(*t);
         }
     }
@@ -135,7 +141,7 @@ impl Writer {
             self.u8(*q);
         }
         self.u16(n.services.len() as u16);
-        for s in &n.services {
+        for s in n.services.iter() {
             self.service(s);
         }
     }
@@ -225,10 +231,10 @@ impl<'a> Reader<'a> {
         }
         Ok(DeviceInfo {
             address,
-            name,
+            name: name.into(),
             mobility,
             checksum,
-            techs,
+            techs: techs.into(),
         })
     }
     fn service(&mut self) -> Result<ServiceInfo, WireError> {
@@ -254,14 +260,34 @@ impl<'a> Reader<'a> {
             info,
             jumps,
             hop_qualities,
-            services,
+            services: services.into(),
         })
     }
 }
 
-/// Encodes a message into a self-contained frame.
+/// Encodes a message into a freshly allocated self-contained frame.
+///
+/// Hot paths should prefer [`encode_into`] / [`encode_frame`] with a reused
+/// scratch buffer; the bytes produced are identical.
 pub fn encode(message: &Message) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut buf = Vec::with_capacity(64);
+    encode_into(message, &mut buf);
+    buf
+}
+
+/// Encodes a message into a shared [`Frame`], using `scratch` as the encode
+/// buffer (cleared first, capacity reused across calls). The returned frame
+/// owns one copy of the bytes; cloning it is free.
+pub fn encode_frame(message: &Message, scratch: &mut Vec<u8>) -> Frame {
+    scratch.clear();
+    encode_into(message, scratch);
+    Frame::copy_from_slice(scratch)
+}
+
+/// Encodes a message by appending its frame bytes to `buf` (which is
+/// normally cleared by the caller; [`encode`]/[`encode_frame`] do so).
+pub fn encode_into(message: &Message, buf: &mut Vec<u8>) {
+    let mut w = Writer { buf };
     w.u8(WIRE_VERSION);
     match message {
         Message::InquiryRequest { requester } => {
@@ -332,7 +358,6 @@ pub fn encode(message: &Message) -> Vec<u8> {
             w.conn(*conn_id);
         }
     }
-    w.buf
 }
 
 /// Decodes a frame previously produced by [`encode`].
@@ -433,7 +458,7 @@ mod tests {
                     info: device(3),
                     jumps: 2,
                     hop_qualities: vec![240, 231, 255],
-                    services: vec![ServiceInfo::new("relay", "x", 9)],
+                    services: vec![ServiceInfo::new("relay", "x", 9)].into(),
                 }],
                 bridge_load_percent: 40,
             },
@@ -467,6 +492,26 @@ mod tests {
             let decoded = decode(&frame).unwrap();
             assert_eq!(decoded, m);
         }
+    }
+
+    #[test]
+    fn scratch_encoding_matches_owned_encoding() {
+        // `encode_frame` through a reused scratch buffer must produce the
+        // byte-identical frame `encode` allocates — including after the
+        // buffer has held a longer message (clearing, not truncating bugs).
+        let mut rng = SimRng::new(0x5C_4A7C4);
+        let mut scratch = Vec::new();
+        for _ in 0..200 {
+            let message = arb_message(&mut rng);
+            let frame = encode_frame(&message, &mut scratch);
+            assert_eq!(frame.as_slice(), encode(&message).as_slice());
+            assert_eq!(decode(&frame).unwrap(), message);
+        }
+        // Clones of a frame share one allocation.
+        let frame = encode_frame(&Message::Accept { conn_id: conn(1, 2) }, &mut scratch);
+        let copy = frame.clone();
+        assert_eq!(frame.ref_count(), 2);
+        assert_eq!(copy.as_slice(), frame.as_slice());
     }
 
     #[test]
@@ -540,10 +585,10 @@ mod tests {
         let techs: Vec<RadioTech> = (0..rng.range(0usize..3)).map(|_| arb_tech(rng)).collect();
         DeviceInfo {
             address: DeviceAddress::from_node_raw(rng.range(0u64..10_000)),
-            name: arb_string(rng, b"abcXYZ09 _-", 24),
+            name: arb_string(rng, b"abcXYZ09 _-", 24).into(),
             mobility: arb_mobility(rng),
             checksum: Checksum(rng.range(0u32..100_000)),
-            techs,
+            techs: techs.into(),
         }
     }
 

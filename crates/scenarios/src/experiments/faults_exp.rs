@@ -15,9 +15,11 @@
 //! test suites). Every number is deterministic in the seed.
 
 use std::any::Any;
+use std::rc::Rc;
 
 use simnet::prelude::*;
 
+use crate::experiments::full_stack::{metro_configs, FullStackHost, StackMode};
 use crate::report::ExperimentReport;
 
 const SCAN: TimerToken = TimerToken(0xE131);
@@ -172,6 +174,9 @@ pub struct ChurnSettings {
     pub duration: SimDuration,
     /// How often each device scans its neighbourhood.
     pub inquiry_interval: SimDuration,
+    /// Which agent populates the city: the lightweight probe (byte-identical
+    /// to the historical reports) or the real PeerHood middleware stack.
+    pub stack: StackMode,
 }
 
 impl ChurnSettings {
@@ -186,6 +191,7 @@ impl ChurnSettings {
             mobile_fraction: 0.25,
             duration: SimDuration::from_secs(600),
             inquiry_interval: SimDuration::from_secs(8),
+            stack: StackMode::Lightweight,
         }
     }
 
@@ -200,6 +206,7 @@ impl ChurnSettings {
             mobile_fraction: 0.25,
             duration: SimDuration::from_secs(150),
             inquiry_interval: SimDuration::from_secs(8),
+            stack: StackMode::Lightweight,
         }
     }
 
@@ -225,6 +232,10 @@ fn churn_city(settings: &ChurnSettings, nodes: usize, churn_per_hour: f64) -> Wo
     } else {
         (1.0 / settings.mobile_fraction).round().max(1.0) as usize
     };
+    let shared = match settings.stack {
+        StackMode::Full => Some(metro_configs(settings.inquiry_interval)),
+        StackMode::Lightweight => None,
+    };
     for i in 0..nodes {
         let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
         let mobility = if i % mobile_every == 0 {
@@ -238,12 +249,14 @@ fn churn_city(settings: &ChurnSettings, nodes: usize, churn_per_hour: f64) -> Wo
         } else {
             MobilityModel::stationary(start)
         };
-        world.add_node(
-            format!("c{i}"),
-            mobility,
-            &[RadioTech::Wlan],
-            Box::new(ChurnAgent::new(settings.inquiry_interval)),
-        );
+        let agent: Box<dyn NodeAgent> = match &shared {
+            None => Box::new(ChurnAgent::new(settings.inquiry_interval)),
+            Some((static_cfg, mobile_cfg)) => {
+                let cfg = if i % mobile_every == 0 { mobile_cfg } else { static_cfg };
+                Box::new(FullStackHost::new(Rc::clone(cfg)))
+            }
+        };
+        world.add_node(format!("c{i}"), mobility, &[RadioTech::Wlan], agent);
     }
     if churn_per_hour > 0.0 {
         let mtbf = SimDuration::from_secs_f64(3_600.0 / churn_per_hour);
@@ -297,15 +310,28 @@ pub fn e13_churn_sweep(settings: &ChurnSettings) -> ExperimentReport {
             let (mut established, mut by_crash, mut by_range) = (0u64, 0u64, 0u64);
             let (mut latency_sum, mut latency_n) = (0.0f64, 0u64);
             for id in &ids {
-                if let Some((e, c, r, ls, ln)) = world.with_agent::<ChurnAgent, _>(*id, |a, _| {
-                    (
-                        a.sessions_established,
-                        a.broken_by_crash,
-                        a.broken_by_range,
-                        a.reconnect_secs_total,
-                        a.reconnects,
-                    )
-                }) {
+                let counted = match settings.stack {
+                    StackMode::Lightweight => world.with_agent::<ChurnAgent, _>(*id, |a, _| {
+                        (
+                            a.sessions_established,
+                            a.broken_by_crash,
+                            a.broken_by_range,
+                            a.reconnect_secs_total,
+                            a.reconnects,
+                        )
+                    }),
+                    StackMode::Full => world.with_agent::<FullStackHost, _>(*id, |a, _| {
+                        let s = a.stats();
+                        (
+                            s.sessions_established,
+                            s.broken_by_crash,
+                            s.broken_by_range,
+                            s.reconnect_secs_total,
+                            s.reconnects,
+                        )
+                    }),
+                };
+                if let Some((e, c, r, ls, ln)) = counted {
                     established += e;
                     by_crash += c;
                     by_range += r;
@@ -345,6 +371,14 @@ pub fn e13_churn_sweep(settings: &ChurnSettings) -> ExperimentReport {
         settings.mean_downtime.as_secs(),
         settings.duration.as_secs_f64()
     ));
+    if settings.stack == StackMode::Full {
+        report.push_note(
+            "full PeerHood stack on every node (StackMode::Full): sessions are middleware-level \
+             service connections, break reasons classified at the radio layer under the session \
+             route"
+                .to_string(),
+        );
+    }
     report
 }
 
@@ -358,8 +392,15 @@ fn e14_nodes(quick: bool) -> usize {
 }
 
 /// E14 (beyond the thesis): a mass radio blackout plus a crash wave whose
-/// restarts all land within a few seconds.
+/// restarts all land within a few seconds. Runs the lightweight probe agent
+/// (the historical, byte-stable variant).
 pub fn e14_blackout_flash_crowd(seed: u64, quick: bool) -> ExperimentReport {
+    e14_blackout_flash_crowd_with(seed, quick, StackMode::Lightweight)
+}
+
+/// E14 with an explicit [`StackMode`]: `Full` populates the block with real
+/// PeerHood stacks instead of the lightweight probe.
+pub fn e14_blackout_flash_crowd_with(seed: u64, quick: bool, stack: StackMode) -> ExperimentReport {
     let nodes = e14_nodes(quick);
     let settings = ChurnSettings {
         seed,
@@ -370,13 +411,22 @@ pub fn e14_blackout_flash_crowd(seed: u64, quick: bool) -> ExperimentReport {
     config.grid_cell_m = config.radio.wlan.range_m;
     let mut world = World::new(config);
     let mut placer = SimRng::new(seed ^ 0xB1AC0);
+    let shared = match stack {
+        StackMode::Full => Some(metro_configs(settings.inquiry_interval)),
+        StackMode::Lightweight => None,
+    };
     for i in 0..nodes {
         let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        let agent: Box<dyn NodeAgent> = match &shared {
+            None => Box::new(ChurnAgent::new(settings.inquiry_interval)),
+            // Every E14 device is stationary: all advertise Static.
+            Some((static_cfg, _)) => Box::new(FullStackHost::new(Rc::clone(static_cfg))),
+        };
         world.add_node(
             format!("b{i}"),
             MobilityModel::stationary(start),
             &[RadioTech::Wlan],
-            Box::new(ChurnAgent::new(settings.inquiry_interval)),
+            agent,
         );
     }
     // The event: at t=120 s, 60 % of the devices lose their radio for 60 s
@@ -420,10 +470,13 @@ pub fn e14_blackout_flash_crowd(seed: u64, quick: bool) -> ExperimentReport {
             .count();
         let attached = ids
             .iter()
-            .filter(|id| {
-                world
+            .filter(|id| match stack {
+                StackMode::Lightweight => world
                     .with_agent::<ChurnAgent, _>(**id, |a, _| a.attached.is_some())
-                    .unwrap_or(false)
+                    .unwrap_or(false),
+                StackMode::Full => world
+                    .with_agent::<FullStackHost, _>(**id, |a, _| a.stats().attached)
+                    .unwrap_or(false),
             })
             .count();
         let open_links = ids.iter().flat_map(|id| world.links_of(*id)).filter(|l| l.open).count() / 2;

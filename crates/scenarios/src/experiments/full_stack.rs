@@ -1,0 +1,391 @@
+//! Full-stack scale machinery: run the **real PeerHood middleware** — not a
+//! lightweight stand-in agent — on every node of the E12–E15 city worlds.
+//!
+//! The scale experiments historically drove the `simnet` substrate with
+//! purpose-built probe agents because the full stack was too
+//! allocation-heavy per node. After the zero-copy frame / shared-payload /
+//! allocation-lean-storage refactor the real [`PeerHoodNode`] host is cheap
+//! enough to populate thousand-node cities, so each experiment family gains
+//! a [`StackMode`] knob:
+//!
+//! * [`StackMode::Lightweight`] — the original probe agents, byte-identical
+//!   to the pre-refactor reports (the re-baseline mode),
+//! * [`StackMode::Full`] — every node hosts a full middleware stack (daemon,
+//!   discovery plugins, engine, connection table, handover machinery) plus a
+//!   small [`MetroApp`] that registers a `"metro"` service, attaches to the
+//!   best provider dynamic discovery finds, and keeps the session alive with
+//!   periodic pings.
+//!
+//! [`FullStackHost`] wraps the [`PeerHoodNode`] so experiments can still
+//! classify *why* a session's route broke (crash vs. range — information the
+//! application-level callbacks deliberately do not expose) by observing the
+//! radio-level disconnect reasons under the app's current session link.
+
+use std::any::Any;
+use std::rc::Rc;
+
+use peerhood::application::Application;
+use peerhood::config::{DiscoveryMode, PeerHoodConfig};
+use peerhood::error::PeerHoodError;
+use peerhood::ids::{ConnectionId, DeviceAddress};
+use peerhood::node::{PeerHoodApi, PeerHoodNode};
+use peerhood::service::ServiceInfo;
+use simnet::prelude::*;
+
+/// Which agent populates a scale experiment's nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackMode {
+    /// The original lightweight probe agent (reports byte-identical to the
+    /// pre-refactor baselines).
+    Lightweight,
+    /// The real `PeerHoodNode` middleware stack on every node.
+    Full,
+}
+
+/// Name of the service every metropolis node registers and consumes.
+pub const METRO_SERVICE: &str = "metro";
+
+const PING_TIMER: u64 = 0x3E70;
+
+/// The two shared node configurations of a full-stack city — one for
+/// stationary terminals, one for pedestrians — differing only in the
+/// advertised [`MobilityClass`](peerhood::device::MobilityClass). Truthful
+/// classes matter at scale: the §3.4.3 route ranking prefers static
+/// providers, so sessions anchor on terminals that stay put instead of
+/// churning through passing pedestrians. Build once per world and share the
+/// matching `Rc` with every node via
+/// [`PeerHoodNodeBuilder::config_shared`](peerhood::node::PeerHoodNodeBuilder::config_shared).
+pub fn metro_configs(inquiry_interval: SimDuration) -> (Rc<PeerHoodConfig>, Rc<PeerHoodConfig>) {
+    let static_cfg = metro_config_with(inquiry_interval, peerhood::device::MobilityClass::Static);
+    let mut mobile = (*static_cfg).clone();
+    mobile.mobility = peerhood::device::MobilityClass::Dynamic;
+    (static_cfg, Rc::new(mobile))
+}
+
+/// The shared node configuration of a full-stack city node advertising
+/// [`MobilityClass::Static`](peerhood::device::MobilityClass::Static) (see
+/// [`metro_configs`] for the static/mobile pair).
+pub fn metro_config(inquiry_interval: SimDuration) -> Rc<PeerHoodConfig> {
+    metro_config_with(inquiry_interval, peerhood::device::MobilityClass::Static)
+}
+
+fn metro_config_with(inquiry_interval: SimDuration, mobility: peerhood::device::MobilityClass) -> Rc<PeerHoodConfig> {
+    let mut cfg = PeerHoodConfig::new("metro", mobility);
+    cfg.techs = vec![RadioTech::Wlan];
+    cfg.discovery.mode = DiscoveryMode::TwoHop;
+    cfg.discovery.inquiry_interval = inquiry_interval;
+    cfg.discovery.service_check_interval = SimDuration::from_secs(300);
+    // Pedestrians drift in and out of each other's 50 m disc on a ~minute
+    // timescale; the default 5-loop retention (~50 s) would age a neighbour
+    // out just in time to pay a full information fetch on re-encounter.
+    // Twelve loops (~2 min) keep the storage warm across those excursions,
+    // so re-meeting a known device costs a `mark_responded`, not a fetch.
+    cfg.discovery.max_missed_loops = 12;
+    // Export only the direct neighbourhood (the classic §3.1 fetch): at
+    // metropolis density a node's two-hop vision covers dozens of devices,
+    // and re-shipping the whole storage in every fetch response is what the
+    // original per-node cost drowned in. Zero-jump exports still carry the
+    // responder's ~15 direct neighbours — the requester learns them as
+    // 1-jump routes and handover candidates populate exactly as before —
+    // but responses shrink ~4x.
+    cfg.discovery.max_export_jumps = 0;
+    cfg.monitor.interval = SimDuration::from_secs(10);
+    // The thesis' 230 "signal low" threshold is calibrated to its Bluetooth
+    // quality curve; on the WLAN profile (plateau to 15 m, 180 at the 50 m
+    // edge) 230 already trips at ~35 m and every mid-range session hands
+    // over forever, growing bridge chains. 190 means "approaching the
+    // coverage edge" on this curve (~46 m), which restores the intended
+    // semantics: hand over when the link is about to die.
+    cfg.monitor.quality_threshold = 190;
+    // One routing attempt, then fall back to reconnecting directly to
+    // another provider: in a uniform city a direct re-route to a nearer
+    // peer beats growing a relay chain, and every avoided bridge is one
+    // less pair of links to check, relay through and eventually break.
+    cfg.handover.max_routing_attempts = 1;
+    Rc::new(cfg)
+}
+
+/// The application of a full-stack city node: every device both offers and
+/// consumes the [`METRO_SERVICE`], mirroring the lightweight probes'
+/// attach-to-best-neighbour behaviour through the real middleware API.
+#[derive(Default)]
+pub struct MetroApp {
+    /// The session this node currently drives as a client.
+    current: Option<ConnectionId>,
+    connecting: bool,
+    /// Set when the session is lost; consumed by the next establishment to
+    /// measure reconnection latency. Survives restarts (the app is the
+    /// measurement instrument).
+    down_since: Option<SimTime>,
+    /// Client sessions established (first connects, service reconnections
+    /// and re-attachments after loss).
+    pub sessions_established: u64,
+    /// App-level session losses the middleware could not recover.
+    pub sessions_lost: u64,
+    /// Completed route changes observed on the live session (routing
+    /// handover / re-attachment).
+    pub route_changes: u64,
+    /// Pings sent on the session.
+    pub pings_sent: u64,
+    /// Payloads received (pings served plus echoes).
+    pub payloads_received: u64,
+    /// Total reconnection latency across all samples.
+    pub reconnect_secs_total: f64,
+    /// Number of latency samples in `reconnect_secs_total`.
+    pub reconnects: u64,
+}
+
+impl MetroApp {
+    fn try_attach(&mut self, api: &mut PeerHoodApi<'_, '_>) {
+        if self.current.is_some() || self.connecting {
+            return;
+        }
+        if let Ok(conn) = api.connect_to_service(METRO_SERVICE) {
+            self.current = Some(conn);
+            self.connecting = true;
+        }
+    }
+
+    /// True while the node holds an established client session.
+    pub fn attached(&self) -> bool {
+        self.current.is_some() && !self.connecting
+    }
+
+    /// The client session this app currently drives, if any.
+    pub fn current_conn(&self) -> Option<ConnectionId> {
+        self.current
+    }
+}
+
+impl Application for MetroApp {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn on_start(&mut self, api: &mut PeerHoodApi<'_, '_>) {
+        // A restart reaches here too (the reborn daemon re-runs app
+        // start-up): session state is gone with the old core.
+        self.current = None;
+        self.connecting = false;
+        let _ = api.register_service(ServiceInfo::new(METRO_SERVICE, "v1", 7));
+        api.schedule_timer(SimDuration::from_secs(10), PING_TIMER);
+    }
+
+    fn on_device_discovered(&mut self, api: &mut PeerHoodApi<'_, '_>, _address: DeviceAddress) {
+        self.try_attach(api);
+    }
+
+    fn on_connected(&mut self, api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId) {
+        if self.current == Some(conn) {
+            self.connecting = false;
+            self.sessions_established += 1;
+            if let Some(t0) = self.down_since.take() {
+                self.reconnect_secs_total += api.now().saturating_since(t0).as_secs_f64();
+                self.reconnects += 1;
+            }
+        }
+    }
+
+    fn on_connect_failed(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, _error: PeerHoodError) {
+        if self.current == Some(conn) {
+            self.current = None;
+            self.connecting = false;
+        }
+    }
+
+    fn on_data(&mut self, _api: &mut PeerHoodApi<'_, '_>, _conn: ConnectionId, _payload: Vec<u8>) {
+        self.payloads_received += 1;
+    }
+
+    fn on_disconnected(&mut self, api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, _graceful: bool) {
+        if self.current == Some(conn) {
+            self.current = None;
+            self.connecting = false;
+            self.sessions_lost += 1;
+            self.down_since = Some(api.now());
+        }
+    }
+
+    fn on_connection_changed(&mut self, _api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId) {
+        if self.current == Some(conn) {
+            self.route_changes += 1;
+        }
+    }
+
+    fn on_reconnect_required(
+        &mut self,
+        _api: &mut PeerHoodApi<'_, '_>,
+        _conn: ConnectionId,
+        _candidates: &[DeviceAddress],
+    ) -> bool {
+        // Decline the middleware-driven provider switch: in a uniform city
+        // every node offers the service, so re-attaching lazily on the next
+        // ping tick picks the *best* provider known then (the same lazy
+        // re-attach the lightweight probes use) instead of cascading
+        // connects through the candidate list right now.
+        false
+    }
+
+    fn on_service_reconnected(&mut self, api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, _provider: DeviceAddress) {
+        if self.current == Some(conn) {
+            self.connecting = false;
+            self.sessions_established += 1;
+            if let Some(t0) = self.down_since.take() {
+                self.reconnect_secs_total += api.now().saturating_since(t0).as_secs_f64();
+                self.reconnects += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut PeerHoodApi<'_, '_>, token: u64) {
+        if token != PING_TIMER {
+            return;
+        }
+        match self.current {
+            Some(conn) if !self.connecting => {
+                if api.send(conn, b"metro-ping".to_vec()).is_ok() {
+                    self.pings_sent += 1;
+                }
+            }
+            _ => self.try_attach(api),
+        }
+        api.schedule_timer(SimDuration::from_secs(10), PING_TIMER);
+    }
+}
+
+/// Aggregated per-node counters of a full-stack city node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullStats {
+    /// Client sessions established.
+    pub sessions_established: u64,
+    /// Session routes broken because the peer's stack died.
+    pub broken_by_crash: u64,
+    /// Session routes broken by coverage/radio loss.
+    pub broken_by_range: u64,
+    /// Completed routing handovers (middleware counter).
+    pub handover_completions: u64,
+    /// Route changes observed by the application.
+    pub route_changes: u64,
+    /// Total reconnection latency and sample count.
+    pub reconnect_secs_total: f64,
+    /// Number of latency samples in `reconnect_secs_total`.
+    pub reconnects: u64,
+    /// Pings sent / payloads received by the app.
+    pub pings_sent: u64,
+    /// Payloads the app received.
+    pub payloads_received: u64,
+    /// True if the node currently holds an established session.
+    pub attached: bool,
+}
+
+/// A city node running the full middleware: delegates every radio event to
+/// the inner [`PeerHoodNode`] and, around the delegation, classifies session
+/// route breaks by their radio-level [`DisconnectReason`] — the one piece of
+/// information the application callbacks do not carry.
+pub struct FullStackHost {
+    node: PeerHoodNode,
+    /// Session route breaks: the peer's stack died.
+    pub broken_by_crash: u64,
+    /// Session route breaks: coverage or radio loss.
+    pub broken_by_range: u64,
+}
+
+impl FullStackHost {
+    /// Builds a city node sharing `config` with the rest of the fleet.
+    pub fn new(config: Rc<PeerHoodConfig>) -> Self {
+        FullStackHost {
+            node: PeerHoodNode::builder()
+                .config_shared(config)
+                .app(MetroApp::default())
+                .build(),
+            broken_by_crash: 0,
+            broken_by_range: 0,
+        }
+    }
+
+    /// The wrapped middleware node.
+    pub fn node(&self) -> &PeerHoodNode {
+        &self.node
+    }
+
+    /// The radio link currently carrying the app's session, if any.
+    fn session_link(&self) -> Option<LinkId> {
+        let conn = self.node.with_app(|a: &MetroApp| a.current_conn()).flatten()?;
+        self.node.connection_link(conn)
+    }
+
+    /// Aggregated counters for experiment reports.
+    pub fn stats(&self) -> FullStats {
+        let app = |f: &dyn Fn(&MetroApp) -> u64| self.node.with_app(|a: &MetroApp| f(a)).unwrap_or(0);
+        FullStats {
+            sessions_established: app(&|a| a.sessions_established),
+            broken_by_crash: self.broken_by_crash,
+            broken_by_range: self.broken_by_range,
+            handover_completions: self.node.handover_completions(),
+            route_changes: app(&|a| a.route_changes),
+            reconnect_secs_total: self.node.with_app(|a: &MetroApp| a.reconnect_secs_total).unwrap_or(0.0),
+            reconnects: app(&|a| a.reconnects),
+            pings_sent: app(&|a| a.pings_sent),
+            payloads_received: app(&|a| a.payloads_received),
+            attached: self.node.with_app(|a: &MetroApp| a.attached()).unwrap_or(false),
+        }
+    }
+}
+
+impl NodeAgent for FullStackHost {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.node.on_start(ctx);
+    }
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.node.on_restart(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) {
+        self.node.on_timer(ctx, timer);
+    }
+    fn on_inquiry_complete(&mut self, ctx: &mut NodeCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {
+        self.node.on_inquiry_complete(ctx, tech, hits);
+    }
+    fn on_incoming_connection(&mut self, ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+        self.node.on_incoming_connection(ctx, incoming)
+    }
+    fn on_connected(&mut self, ctx: &mut NodeCtx<'_>, attempt: AttemptId, link: LinkId, peer: NodeId, tech: RadioTech) {
+        self.node.on_connected(ctx, attempt, link, peer, tech);
+    }
+    fn on_connect_failed(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        attempt: AttemptId,
+        peer: NodeId,
+        tech: RadioTech,
+        error: ConnectError,
+    ) {
+        self.node.on_connect_failed(ctx, attempt, peer, tech, error);
+    }
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Payload) {
+        self.node.on_message(ctx, link, from, payload);
+    }
+    fn on_disconnected(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, peer: NodeId, reason: DisconnectReason) {
+        // Classify before delegating: the middleware is about to start its
+        // recovery machinery, after which the session-to-link mapping is
+        // gone. A break counted here may still be healed by a handover —
+        // the counters measure route breaks, exactly like the lightweight
+        // probes' per-link accounting.
+        if self.session_link() == Some(link) {
+            match reason {
+                DisconnectReason::PeerFailed => self.broken_by_crash += 1,
+                DisconnectReason::OutOfRange => self.broken_by_range += 1,
+                DisconnectReason::PeerClosed | DisconnectReason::LocalClosed => {}
+            }
+        }
+        self.node.on_disconnected(ctx, link, peer, reason);
+    }
+}

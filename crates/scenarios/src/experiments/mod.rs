@@ -9,7 +9,9 @@
 pub mod bridge;
 pub mod discovery;
 pub mod faults_exp;
+pub mod full_stack;
 pub mod handover;
+pub mod metropolis;
 pub mod migration_exp;
 pub mod scale;
 
@@ -18,12 +20,14 @@ pub use discovery::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, DiscoverySettings,
 };
-pub use faults_exp::{e13_churn_sweep, e14_blackout_flash_crowd, ChurnSettings};
+pub use faults_exp::{e13_churn_sweep, e14_blackout_flash_crowd, e14_blackout_flash_crowd_with, ChurnSettings};
+pub use full_stack::{FullStackHost, FullStats, MetroApp, StackMode, METRO_SERVICE};
 pub use handover::{
     e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun,
 };
+pub use metropolis::{e15_full_stack_metropolis, metropolis_run, MetropolisSettings};
 pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
-pub use scale::{e12_dense_city, ScaleSettings};
+pub use scale::{e12_dense_city, CityAgent, ScaleSettings};
 
 use crate::report::ExperimentReport;
 
@@ -54,6 +58,10 @@ pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
         Effort::Quick => ChurnSettings::quick(),
         Effort::Full => ChurnSettings::full(),
     };
+    let metropolis_settings = match effort {
+        Effort::Quick => MetropolisSettings::quick(),
+        Effort::Full => MetropolisSettings::full(),
+    };
     vec![
         e01_coverage_exclusion(&discovery_settings),
         e02_gnutella_traffic(seed),
@@ -69,5 +77,6 @@ pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
         e12_dense_city(&scale_settings),
         e13_churn_sweep(&churn_settings),
         e14_blackout_flash_crowd(seed, effort == Effort::Quick),
+        e15_full_stack_metropolis(&metropolis_settings),
     ]
 }

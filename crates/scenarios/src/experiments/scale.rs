@@ -13,13 +13,16 @@
 //! accelerates. Every reported number is deterministic in the seed.
 
 use std::any::Any;
+use std::rc::Rc;
 
 use simnet::prelude::*;
 
+use crate::experiments::full_stack::{metro_configs, FullStackHost, StackMode};
 use crate::report::ExperimentReport;
 
 const SCAN: TimerToken = TimerToken(0xE121);
 const QCHECK: TimerToken = TimerToken(0xE122);
+const PING: TimerToken = TimerToken(0xE123);
 
 /// Settings for the E12 dense-city scale runs.
 #[derive(Debug, Clone)]
@@ -38,6 +41,9 @@ pub struct ScaleSettings {
     pub duration: SimDuration,
     /// How often each device scans its neighbourhood.
     pub inquiry_interval: SimDuration,
+    /// Which agent populates the city: the lightweight probe (byte-identical
+    /// to the historical reports) or the real PeerHood middleware stack.
+    pub stack: StackMode,
 }
 
 impl ScaleSettings {
@@ -50,6 +56,7 @@ impl ScaleSettings {
             mobile_fraction: 0.25,
             duration: SimDuration::from_secs(300),
             inquiry_interval: SimDuration::from_secs(8),
+            stack: StackMode::Lightweight,
         }
     }
 
@@ -62,6 +69,7 @@ impl ScaleSettings {
             mobile_fraction: 0.25,
             duration: SimDuration::from_secs(90),
             inquiry_interval: SimDuration::from_secs(10),
+            stack: StackMode::Lightweight,
         }
     }
 
@@ -75,8 +83,17 @@ impl ScaleSettings {
 /// A city device: scans periodically, attaches to its best-quality
 /// neighbour, and hands over when the monitored quality falls below the
 /// "signal low" threshold of the thesis.
-struct CityAgent {
+///
+/// Public so the `full_stack_scale` bench can measure the exact lightweight
+/// agent E12 runs as the baseline of the full-stack cost budget.
+pub struct CityAgent {
     inquiry_interval: SimDuration,
+    /// When set, the agent also sends a small payload on its attached link
+    /// at this cadence — used by the `full_stack_scale` bench so the
+    /// lightweight baseline carries the same offered data load as the full
+    /// stack's session pings. E12 itself never enables it (the historical
+    /// reports stay byte-identical).
+    ping_interval: Option<SimDuration>,
     attached: Option<(LinkId, NodeId)>,
     handover_from: Option<LinkId>,
     connecting: bool,
@@ -86,15 +103,27 @@ struct CityAgent {
 }
 
 impl CityAgent {
-    fn new(inquiry_interval: SimDuration) -> Self {
+    /// Creates the probe with the given scan cadence.
+    pub fn new(inquiry_interval: SimDuration) -> Self {
         CityAgent {
             inquiry_interval,
+            ping_interval: None,
             attached: None,
             handover_from: None,
             connecting: false,
             last_hits: Vec::new(),
             handovers: 0,
             drops: 0,
+        }
+    }
+
+    /// Like [`CityAgent::new`], but also pinging the attached link at
+    /// `ping_interval` (equal offered load for middleware-vs-probe cost
+    /// comparisons).
+    pub fn with_pings(inquiry_interval: SimDuration, ping_interval: SimDuration) -> Self {
+        CityAgent {
+            ping_interval: Some(ping_interval),
+            ..CityAgent::new(inquiry_interval)
         }
     }
 
@@ -121,6 +150,9 @@ impl NodeAgent for CityAgent {
         let jitter_ms = ctx.rng().range(0..self.inquiry_interval.as_millis().max(1));
         ctx.schedule(SimDuration::from_millis(jitter_ms), SCAN);
         ctx.schedule(SimDuration::from_millis(5_000 + jitter_ms), QCHECK);
+        if let Some(ping) = self.ping_interval {
+            ctx.schedule(ping + SimDuration::from_millis(jitter_ms), PING);
+        }
     }
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: TimerToken) {
         match token {
@@ -140,6 +172,14 @@ impl NodeAgent for CityAgent {
                     }
                 }
                 ctx.schedule(SimDuration::from_secs(5), QCHECK);
+            }
+            PING => {
+                if let Some(ping) = self.ping_interval {
+                    if let Some((link, _)) = self.attached {
+                        let _ = ctx.send(link, b"city-ping".to_vec());
+                    }
+                    ctx.schedule(ping, PING);
+                }
             }
             _ => {}
         }
@@ -182,7 +222,7 @@ impl NodeAgent for CityAgent {
         self.connecting = false;
         self.handover_from = None;
     }
-    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, _from: NodeId, _payload: Vec<u8>) {}
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, _from: NodeId, _payload: Payload) {}
     fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
         if self.handover_from == Some(link) {
             // The old link died before the handover connect resolved: the
@@ -213,6 +253,12 @@ fn city_run(settings: &ScaleSettings, nodes: usize) -> World {
     } else {
         (1.0 / settings.mobile_fraction).round().max(1.0) as usize
     };
+    // Two configuration allocations (static/mobile) for the whole
+    // full-stack city.
+    let shared = match settings.stack {
+        StackMode::Full => Some(metro_configs(settings.inquiry_interval)),
+        StackMode::Lightweight => None,
+    };
     for i in 0..nodes {
         let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
         let mobility = if i % mobile_every == 0 {
@@ -226,12 +272,14 @@ fn city_run(settings: &ScaleSettings, nodes: usize) -> World {
         } else {
             MobilityModel::stationary(start)
         };
-        world.add_node(
-            format!("c{i}"),
-            mobility,
-            &[RadioTech::Wlan],
-            Box::new(CityAgent::new(settings.inquiry_interval)),
-        );
+        let agent: Box<dyn NodeAgent> = match &shared {
+            None => Box::new(CityAgent::new(settings.inquiry_interval)),
+            Some((static_cfg, mobile_cfg)) => {
+                let cfg = if i % mobile_every == 0 { mobile_cfg } else { static_cfg };
+                Box::new(FullStackHost::new(Rc::clone(cfg)))
+            }
+        };
+        world.add_node(format!("c{i}"), mobility, &[RadioTech::Wlan], agent);
     }
     world.run_for(settings.duration);
     world
@@ -268,7 +316,15 @@ pub fn e12_dense_city(settings: &ScaleSettings) -> ExperimentReport {
             / sample.len() as f64;
         let (mut handovers, mut drops) = (0u64, 0u64);
         for id in &ids {
-            if let Some((h, d)) = world.with_agent::<CityAgent, _>(*id, |a, _| (a.handovers, a.drops)) {
+            let counted = match settings.stack {
+                StackMode::Lightweight => world.with_agent::<CityAgent, _>(*id, |a, _| (a.handovers, a.drops)),
+                // Full stack: completed routing handovers from the
+                // middleware counter; drops are session routes lost to
+                // coverage, as classified by the host wrapper.
+                StackMode::Full => world
+                    .with_agent::<FullStackHost, _>(*id, |a, _| (a.node().handover_completions(), a.broken_by_range)),
+            };
+            if let Some((h, d)) = counted {
                 handovers += h;
                 drops += d;
             }
@@ -290,5 +346,12 @@ pub fn e12_dense_city(settings: &ScaleSettings) -> ExperimentReport {
         settings.mobile_fraction * 100.0,
         settings.duration.as_secs_f64()
     ));
+    if settings.stack == StackMode::Full {
+        report.push_note(
+            "full PeerHood stack on every node (StackMode::Full): handovers are completed routing \
+             handovers, drops are session routes lost to coverage"
+                .to_string(),
+        );
+    }
     report
 }

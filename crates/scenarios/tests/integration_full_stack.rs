@@ -1,0 +1,80 @@
+//! Full-stack smoke tests: the real PeerHood middleware populates the scale
+//! and churn cities (StackMode::Full) and the E15 metropolis, on every
+//! `cargo test`. Debug builds use the reduced `smoke` population; CI runs
+//! the 2k-node quick variant through the release `repro` binary.
+
+use scenarios::experiments::{
+    e12_dense_city, e13_churn_sweep, e15_full_stack_metropolis, ChurnSettings, MetropolisSettings, ScaleSettings,
+    StackMode,
+};
+use simnet::SimDuration;
+
+#[test]
+fn e15_smoke_runs_real_middleware_under_churn() {
+    let settings = MetropolisSettings::smoke();
+    let report = e15_full_stack_metropolis(&settings);
+    assert_eq!(report.rows.len(), 1);
+    let cells = &report.rows[0].cells;
+    assert_eq!(cells[0], settings.nodes.to_string());
+    let sessions: u64 = cells[1].parse().unwrap();
+    assert!(sessions > 0, "middleware sessions must form: {cells:?}");
+    let pings: u64 = cells[2].parse().unwrap();
+    assert!(pings > 0, "session payloads must flow end to end: {cells:?}");
+    let crashes: u64 = cells[6].parse().unwrap();
+    let restarts: u64 = cells[7].parse().unwrap();
+    assert!(crashes > 0, "the churn schedule must bite: {cells:?}");
+    assert_eq!(crashes, restarts, "the run quiesces every scheduled restart");
+    let attached: f64 = cells[8].parse().unwrap();
+    assert!(
+        attached > 50.0,
+        "most devices must hold a session after recovery, got {attached}%"
+    );
+}
+
+#[test]
+fn e15_report_is_deterministic() {
+    let settings = MetropolisSettings::smoke();
+    let a = e15_full_stack_metropolis(&settings);
+    let b = e15_full_stack_metropolis(&settings);
+    assert_eq!(a, b, "same settings must reproduce the identical report");
+}
+
+#[test]
+fn e12_full_stack_mode_swaps_in_the_real_middleware() {
+    let settings = ScaleSettings {
+        node_counts: vec![120],
+        duration: SimDuration::from_secs(60),
+        stack: StackMode::Full,
+        ..ScaleSettings::quick()
+    };
+    let report = e12_dense_city(&settings);
+    assert_eq!(report.rows.len(), 1);
+    let cells = &report.rows[0].cells;
+    let links: u64 = cells[4].parse().unwrap();
+    assert!(links > 0, "full-stack devices must attach: {cells:?}");
+    // The full-stack note is appended only in Full mode.
+    assert!(report.notes.iter().any(|n| n.contains("StackMode::Full")));
+    // Lightweight quick mode stays note-free of the stack marker (the
+    // byte-stability contract of the historical reports).
+    let light = e12_dense_city(&ScaleSettings::quick());
+    assert!(!light.notes.iter().any(|n| n.contains("StackMode::Full")));
+}
+
+#[test]
+fn e13_full_stack_mode_reports_middleware_sessions_under_churn() {
+    let settings = ChurnSettings {
+        node_counts: vec![80],
+        churn_per_hour: vec![120.0],
+        duration: SimDuration::from_secs(100),
+        stack: StackMode::Full,
+        ..ChurnSettings::quick()
+    };
+    let report = e13_churn_sweep(&settings);
+    assert_eq!(report.rows.len(), 1);
+    let cells = &report.rows[0].cells;
+    let crashes: u64 = cells[2].parse().unwrap();
+    let sessions: u64 = cells[4].parse().unwrap();
+    assert!(crashes > 0, "churn must crash nodes: {cells:?}");
+    assert!(sessions > 0, "middleware sessions must form under churn: {cells:?}");
+    assert!(report.notes.iter().any(|n| n.contains("StackMode::Full")));
+}

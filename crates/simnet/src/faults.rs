@@ -64,12 +64,22 @@ pub struct LossBurst {
     /// Probability that an affected (non-dropped) payload has random bits
     /// flipped before delivery — exercising the wire codec's error paths.
     pub corrupt_prob: f64,
+    /// When set, the burst targets only the link *pair* between the planned
+    /// node and this peer (one flaky radio path, not the whole node); `None`
+    /// hits every link of the planned node.
+    pub peer: Option<NodeId>,
 }
 
 impl LossBurst {
     /// True if `now` falls inside the window.
     pub fn active_at(&self, now: SimTime) -> bool {
         self.from <= now && now < self.until
+    }
+
+    /// True if the burst applies to a payload whose opposite endpoint is
+    /// `other` (always true for node-wide bursts).
+    pub fn applies_to_peer(&self, other: NodeId) -> bool {
+        self.peer.map(|p| p == other).unwrap_or(true)
     }
 }
 
@@ -150,6 +160,28 @@ impl FaultPlan {
             until,
             drop_prob: drop_prob.clamp(0.0, 1.0),
             corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
+            peer: None,
+        });
+        self
+    }
+
+    /// Adds a loss/corruption window that targets only the link pair between
+    /// the planned node and `peer` — one flaky radio path — leaving the
+    /// node's other links clean. Probabilities are clamped to `[0, 1]`.
+    pub fn link_burst(
+        mut self,
+        peer: NodeId,
+        from: SimTime,
+        until: SimTime,
+        drop_prob: f64,
+        corrupt_prob: f64,
+    ) -> Self {
+        self.bursts.push(LossBurst {
+            from,
+            until,
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+            corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
+            peer: Some(peer),
         });
         self
     }
@@ -286,10 +318,10 @@ impl FaultEngine {
     /// is active, so burst-free instants cost nothing and perturb nothing.
     pub(crate) fn sample_burst(&mut self, from: NodeId, to: NodeId, now: SimTime) -> Option<BurstOutcome> {
         let (mut drop_p, mut corrupt_p) = (0.0f64, 0.0f64);
-        for node in [from, to] {
+        for (node, other) in [(from, to), (to, from)] {
             if let Some(plan) = self.plans.get(&node) {
                 for burst in &plan.bursts {
-                    if burst.active_at(now) {
+                    if burst.active_at(now) && burst.applies_to_peer(other) {
                         drop_p = drop_p.max(burst.drop_prob);
                         corrupt_p = corrupt_p.max(burst.corrupt_prob);
                     }
@@ -432,6 +464,29 @@ mod tests {
             engine.sample_burst(peer, node, SimTime::from_secs(15)),
             Some(BurstOutcome::Drop)
         );
+        assert_eq!(engine.stats.payloads_dropped, 2);
+    }
+
+    #[test]
+    fn link_bursts_target_only_the_planned_pair() {
+        let mut engine = FaultEngine::new(7);
+        let node = NodeId::from_raw(0);
+        let flaky_peer = NodeId::from_raw(1);
+        let clean_peer = NodeId::from_raw(2);
+        engine.install(
+            node,
+            FaultPlan::new().link_burst(flaky_peer, SimTime::from_secs(10), SimTime::from_secs(20), 1.0, 0.0),
+        );
+        assert!(engine.has_bursts());
+        let inside = SimTime::from_secs(15);
+        // The targeted pair drops in both directions...
+        assert_eq!(engine.sample_burst(node, flaky_peer, inside), Some(BurstOutcome::Drop));
+        assert_eq!(engine.sample_burst(flaky_peer, node, inside), Some(BurstOutcome::Drop));
+        // ...while the node's other links stay clean (and draw no randomness).
+        assert_eq!(engine.sample_burst(node, clean_peer, inside), None);
+        assert_eq!(engine.sample_burst(clean_peer, node, inside), None);
+        // Outside the window even the targeted pair is clean.
+        assert_eq!(engine.sample_burst(node, flaky_peer, SimTime::from_secs(25)), None);
         assert_eq!(engine.stats.payloads_dropped, 2);
     }
 

@@ -82,6 +82,7 @@ pub mod link;
 pub mod metrics;
 pub mod mobility;
 pub mod node;
+pub mod payload;
 pub mod radio;
 pub mod rng;
 pub mod time;
@@ -98,6 +99,7 @@ pub mod prelude {
         AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent, NodeId,
         TimerToken,
     };
+    pub use crate::payload::Payload;
     pub use crate::radio::{RadioEnvironment, RadioProfile, RadioTech, QUALITY_LOW_THRESHOLD, QUALITY_MAX};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};

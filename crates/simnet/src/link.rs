@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::node::{AttemptId, LinkId, NodeId};
+use crate::payload::Payload;
 use crate::radio::RadioTech;
 use crate::time::SimTime;
 
@@ -120,13 +121,15 @@ pub(crate) struct PendingAttempt {
     pub epoch: u64,
 }
 
-/// A payload travelling across a link.
+/// A payload travelling across a link. The payload is a shared [`Payload`]
+/// clone, so queueing a frame on many links (or re-delivering it along a
+/// bridge chain) never copies the bytes.
 #[derive(Debug, Clone)]
 pub(crate) struct InFlightMessage {
     pub link: LinkId,
     pub from: NodeId,
     pub to: NodeId,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
     pub deliver_at: SimTime,
 }
 

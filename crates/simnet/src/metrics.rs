@@ -75,10 +75,16 @@ impl Counters {
 }
 
 /// Metrics store for a whole simulation world.
+///
+/// Per-node counters live in a dense vector indexed by the node id's raw
+/// value (world node ids are allocated sequentially), so the record calls on
+/// the event-loop hot path are an index, not a tree walk. `None` marks a
+/// node that never recorded anything, preserving the "only active nodes"
+/// semantics of [`Metrics::iter_nodes`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Metrics {
     global: Counters,
-    per_node: BTreeMap<NodeId, Counters>,
+    per_node: Vec<Option<Counters>>,
     per_tech_messages: BTreeMap<RadioTech, u64>,
     per_tech_bytes: BTreeMap<RadioTech, u64>,
 }
@@ -96,12 +102,19 @@ impl Metrics {
 
     /// Counters for one node (zeroed counters if the node never did anything).
     pub fn node(&self, node: NodeId) -> Counters {
-        self.per_node.get(&node).copied().unwrap_or_default()
+        self.per_node
+            .get(node.as_raw() as usize)
+            .and_then(|c| *c)
+            .unwrap_or_default()
     }
 
-    /// Iterates over all per-node counters.
+    /// Iterates over the counters of every node that recorded anything, in
+    /// ascending node-id order.
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Counters)> {
-        self.per_node.iter().map(|(id, c)| (*id, c))
+        self.per_node
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (NodeId::from_raw(i as u64), c)))
     }
 
     /// Messages sent per radio technology.
@@ -115,7 +128,11 @@ impl Metrics {
     }
 
     fn node_mut(&mut self, node: NodeId) -> &mut Counters {
-        self.per_node.entry(node).or_default()
+        let idx = node.as_raw() as usize;
+        if idx >= self.per_node.len() {
+            self.per_node.resize(idx + 1, None);
+        }
+        self.per_node[idx].get_or_insert_with(Counters::default)
     }
 
     /// Records an inquiry being started by `node`.

@@ -11,6 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::payload::Payload;
 use crate::radio::RadioTech;
 use crate::world::NodeCtx;
 
@@ -204,8 +205,10 @@ pub trait NodeAgent: Any {
         let _ = (ctx, attempt, peer, tech, error);
     }
 
-    /// Called when a payload sent by the peer arrives on an open link.
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Vec<u8>) {
+    /// Called when a payload sent by the peer arrives on an open link. The
+    /// payload is a shared [`Payload`] clone — cheap to keep, copy-on-write
+    /// to mutate.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Payload) {
         let _ = (ctx, link, from, payload);
     }
 

@@ -43,7 +43,15 @@ impl World {
                     self.links.retire_if_drained(in_flight.link);
                     return;
                 }
-                Some(BurstOutcome::Corrupt) => self.faults.corrupt_payload(&mut in_flight.payload),
+                Some(BurstOutcome::Corrupt) => {
+                    // Copy-on-write: the shared payload may still be queued
+                    // on other links (or held by the sender), so the burst
+                    // mutates a private copy and only this delivery sees the
+                    // flipped bits.
+                    let mut bytes = in_flight.payload.to_vec();
+                    self.faults.corrupt_payload(&mut bytes);
+                    in_flight.payload = bytes.into();
+                }
                 None => {}
             }
         }

@@ -63,8 +63,8 @@ impl NodeAgent for FaultProbe {
     ) {
         self.failed.push(error);
     }
-    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, _from: NodeId, payload: Vec<u8>) {
-        self.messages.push(payload);
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, _from: NodeId, payload: Payload) {
+        self.messages.push(payload.to_vec());
     }
     fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, _link: LinkId, peer: NodeId, reason: DisconnectReason) {
         self.disconnects.push((peer, reason));
@@ -304,6 +304,53 @@ fn loss_burst_drops_payloads_only_inside_the_window() {
     .unwrap();
     assert_eq!(w.fault_stats().payloads_dropped, 1);
     assert_eq!(w.metrics().global().messages_lost, 1);
+}
+
+#[test]
+fn link_burst_hits_only_the_targeted_pair() {
+    // Node `a` sits between `b` (the flaky pair) and `c` (a clean one). A
+    // `link_burst(b, ..)` on `a` must drop only the a<->b traffic; a<->c
+    // payloads sent at the very same instants sail through.
+    let mut w = probe_world(19);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    let c = add_probe(&mut w, "c", -5.0);
+    w.run_for(SimDuration::from_secs(1));
+    let link_ab = connect_pair(&mut w, a, b);
+    let link_ac = connect_pair(&mut w, a, c);
+    w.install_fault_plan(
+        a,
+        FaultPlan::new().link_burst(b, SimTime::from_secs(100), SimTime::from_secs(200), 1.0, 0.0),
+    );
+    // Inside the window: both directions of a<->b die, a<->c is untouched.
+    w.run_until(SimTime::from_secs(150));
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| {
+        ctx.send(link_ab, b"to-b".to_vec()).unwrap();
+        ctx.send(link_ac, b"to-c".to_vec()).unwrap();
+    })
+    .unwrap();
+    w.with_agent::<FaultProbe, _>(b, |_, ctx| ctx.send(link_ab, b"from-b".to_vec()).unwrap())
+        .unwrap();
+    w.with_agent::<FaultProbe, _>(c, |_, ctx| ctx.send(link_ac, b"from-c".to_vec()).unwrap())
+        .unwrap();
+    // After the window the pair works again.
+    w.run_until(SimTime::from_secs(250));
+    w.with_agent::<FaultProbe, _>(a, |_, ctx| ctx.send(link_ab, b"late".to_vec()).unwrap())
+        .unwrap();
+    w.run_for(SimDuration::from_secs(5));
+    w.with_agent::<FaultProbe, _>(b, |p, _| {
+        assert_eq!(p.messages, vec![b"late".to_vec()], "in-window a->b must drop");
+    })
+    .unwrap();
+    w.with_agent::<FaultProbe, _>(c, |p, _| {
+        assert_eq!(p.messages, vec![b"to-c".to_vec()], "the clean pair must deliver");
+    })
+    .unwrap();
+    w.with_agent::<FaultProbe, _>(a, |p, _| {
+        assert_eq!(p.messages, vec![b"from-c".to_vec()], "only b's reply is dropped");
+    })
+    .unwrap();
+    assert_eq!(w.fault_stats().payloads_dropped, 2);
 }
 
 #[test]

@@ -40,6 +40,7 @@ use crate::link::{InFlightMessage, LinkInfo, PendingAttempt, QualityOverride};
 use crate::metrics::Metrics;
 use crate::mobility::MobilityModel;
 use crate::node::{AttemptId, LinkId, NodeAgent, NodeId, TimerToken};
+use crate::payload::Payload;
 use crate::radio::{RadioEnvironment, RadioTech};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -714,11 +715,16 @@ impl<'a> NodeCtx<'a> {
     /// link breaks while the payload is in flight the message is silently
     /// lost (the data-loss risk §6.1 points out for the original `Write`).
     ///
+    /// Accepts anything convertible into a shared [`Payload`] — pass a
+    /// `Payload` clone to fan one encoded frame out to many links without
+    /// copying the bytes.
+    ///
     /// # Errors
     ///
     /// Returns an error if the link is unknown, closed, or this node is not
     /// one of its endpoints.
-    pub fn send(&mut self, link: LinkId, payload: Vec<u8>) -> Result<(), SendError> {
+    pub fn send(&mut self, link: LinkId, payload: impl Into<Payload>) -> Result<(), SendError> {
+        let payload = payload.into();
         let node = self.node;
         let (to, tech) = match self.world.links.get(link) {
             Some(state) => {

@@ -75,13 +75,13 @@ impl NodeAgent for Probe {
     ) {
         self.failed.push((attempt, error));
     }
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, payload: Payload) {
         if self.echo {
-            let mut reply = payload.clone();
+            let mut reply = payload.to_vec();
             reply.reverse();
             let _ = ctx.send(link, reply);
         }
-        self.messages.push((link, payload));
+        self.messages.push((link, payload.to_vec()));
     }
     fn on_disconnected(&mut self, _ctx: &mut NodeCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
         self.disconnects.push((link, reason));
