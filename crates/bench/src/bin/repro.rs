@@ -1,60 +1,203 @@
-//! Regenerates every figure-level result of the thesis' evaluation.
+//! Regenerates every figure-level result of the thesis' evaluation, runs
+//! single experiments, and drives multi-seed sweep campaigns.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro                    # full run (EXPERIMENTS.md sizes)
-//! cargo run -p bench --release --bin repro -- --quick         # reduced sizes
-//! cargo run -p bench --release --bin repro -- churn           # only the E13 churn table
-//! cargo run -p bench --release --bin repro -- churn --quick --seed 13
-//! cargo run -p bench --release --bin repro -- metropolis --quick   # only the E15 table
+//! cargo run -p bench --release --bin repro                          # full E1-E15 suite
+//! cargo run -p bench --release --bin repro -- --quick --seed 42     # reduced sizes, explicit seed
+//! cargo run -p bench --release --bin repro -- --list                # experiments & parameters
+//! cargo run -p bench --release --bin repro -- churn --quick         # one experiment (slug or id)
+//! cargo run -p bench --release --bin repro -- e8 --seed 7
+//! cargo run -p bench --release --bin repro -- sweep churn --seeds 8 --threads 8 --quick
+//! cargo run -p bench --release --bin repro -- sweep churn --quick \
+//!     --grid churn=0,60,240 --grid nodes=100 --seeds 4 --json BENCH_sweep.json
 //! ```
 //!
-//! The output is the markdown recorded in `EXPERIMENTS.md`.
+//! Every subcommand accepts `--seed N` and `--quick` uniformly. Suite and
+//! single-experiment output is the markdown recorded in `EXPERIMENTS.md`;
+//! `sweep` prints an aggregated statistics table (mean/stddev/min/max/95%
+//! CI across seeds, grouped by grid point) and writes the same aggregation
+//! as JSON — byte-identical for any `--threads` value.
 
-use scenarios::experiments::{e13_churn_sweep, e15_full_stack_metropolis, ChurnSettings, MetropolisSettings};
+use std::process::ExitCode;
+
+use scenarios::experiments::{find, registry, Params};
 use scenarios::{run_all, Effort};
+use sweep::{aggregate, run_sweep, SweepSpec};
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+/// Default suite seed (kept from the original evaluation scripts).
+const DEFAULT_SUITE_SEED: u64 = 20080815;
+/// Default JSON artifact path of `sweep` (CI uploads it).
+const DEFAULT_SWEEP_JSON: &str = "BENCH_sweep.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `repro --list` for the available experiments and flags");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
     let effort = if quick { Effort::Quick } else { Effort::Full };
-    let seed = std::env::args()
-        .skip_while(|a| a != "--seed")
-        .nth(1)
-        .and_then(|s| s.parse().ok());
-    if std::env::args().any(|a| a == "metropolis") {
-        // Regenerate only the E15 full-stack metropolis table.
-        let mut settings = match effort {
-            Effort::Quick => MetropolisSettings::quick(),
-            Effort::Full => MetropolisSettings::full(),
-        };
-        if let Some(seed) = seed {
-            settings.seed = seed;
+    let seed = flag_value(args, "--seed")?
+        .map(|s| s.parse::<u64>().map_err(|_| format!("--seed: `{s}` is not a u64")))
+        .transpose()?;
+
+    if args.iter().any(|a| a == "--list") {
+        list();
+        return Ok(());
+    }
+    match first_positional(args) {
+        Some("sweep") => {
+            reject_unknown_flags(args, &["--quick", "--seed", "--seeds", "--threads", "--grid", "--json"])?;
+            run_sweep_command(args, seed, quick)
         }
-        eprintln!(
-            "running the E15 full-stack metropolis ({} nodes, seed {}, {effort:?}) ...",
-            settings.nodes, settings.seed
+        Some(name) => {
+            // Reject sweep-only (and mistyped) flags instead of silently
+            // running something other than what was asked for.
+            reject_unknown_flags(args, &["--quick", "--seed"])?;
+            // A single experiment by slug or id, through the uniform trait.
+            let experiment = find(name).ok_or_else(|| format!("unknown experiment `{name}`"))?;
+            let seed = seed.unwrap_or_else(|| experiment.suite_seed(DEFAULT_SUITE_SEED));
+            eprintln!(
+                "running {} ({}) with seed {seed} ({effort:?}) ...",
+                experiment.id(),
+                experiment.slug()
+            );
+            println!("{}", experiment.run(seed, &Params::new(), quick).report);
+            Ok(())
+        }
+        None => {
+            // The full E1-E15 suite.
+            reject_unknown_flags(args, &["--quick", "--seed"])?;
+            let seed = seed.unwrap_or(DEFAULT_SUITE_SEED);
+            eprintln!("running the E1-E15 experiment suite (seed {seed}, {effort:?}) ...");
+            let reports = run_all(seed, effort);
+            for report in &reports {
+                println!("{report}");
+                println!();
+                eprintln!("  finished {}", report.id);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Errors on any `--flag` outside `allowed` — sweep-only flags on other
+/// subcommands and typos alike fail loudly instead of being dropped.
+fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for arg in args {
+        if arg.starts_with("--") && !allowed.contains(&arg.as_str()) {
+            return Err(format!("unknown flag `{arg}` here (allowed: {})", allowed.join(", ")));
+        }
+    }
+    Ok(())
+}
+
+/// First token that is neither a flag nor a flag value — the subcommand,
+/// wherever it sits among the flags.
+fn first_positional(args: &[String]) -> Option<&str> {
+    const VALUE_FLAGS: [&str; 5] = ["--seed", "--seeds", "--threads", "--json", "--grid"];
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip_value = VALUE_FLAGS.contains(&arg.as_str());
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+/// `repro sweep <experiment> [--seeds N] [--seed BASE] [--threads N]
+/// [--grid k=v1,v2,...]... [--quick] [--json PATH]`
+fn run_sweep_command(args: &[String], base_seed: Option<u64>, quick: bool) -> Result<(), String> {
+    let sweep_at = args.iter().position(|a| a == "sweep").expect("dispatched on `sweep`");
+    let experiment =
+        first_positional(&args[sweep_at + 1..]).ok_or("sweep needs an experiment, e.g. `repro sweep churn`")?;
+    let seeds: usize = match flag_value(args, "--seeds")? {
+        Some(s) => s.parse().map_err(|_| format!("--seeds: `{s}` is not a count"))?,
+        None => 8,
+    };
+    let threads: usize = match flag_value(args, "--threads")? {
+        Some(s) => s.parse().map_err(|_| format!("--threads: `{s}` is not a count"))?,
+        None => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+    };
+    let json_path = flag_value(args, "--json")?.unwrap_or_else(|| DEFAULT_SWEEP_JSON.to_string());
+
+    let mut spec = SweepSpec::new(experiment)
+        .seed_range(base_seed.unwrap_or(42), seeds.max(1))
+        .quick(quick);
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--grid" {
+            let kv = args.get(i + 1).ok_or("--grid needs a key=v1,v2,... argument")?;
+            let (key, values) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("--grid: `{kv}` is not key=v1,v2,..."))?;
+            let values: Vec<String> = values.split(',').map(str::to_string).collect();
+            spec = spec.axis(key, values).map_err(|e| e.to_string())?;
+        }
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "sweeping {} over {} seed(s) x {} grid point(s) on {} thread(s) ({}) ...",
+        spec.experiment,
+        spec.seeds.len(),
+        spec.grid_points(),
+        threads,
+        if quick { "quick" } else { "full" },
+    );
+    let run = run_sweep(&spec, threads).map_err(|e| e.to_string())?;
+    let report = aggregate(&run);
+    print!("{}", report.to_markdown());
+    std::fs::write(&json_path, report.to_json()).map_err(|e| format!("writing {json_path}: {e}"))?;
+    eprintln!("  wrote {json_path}");
+    Ok(())
+}
+
+/// Value of `--flag value`, if present.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
+/// `repro --list`: subcommands, experiments and their grid parameters.
+fn list() {
+    println!("usage:");
+    println!("  repro [--quick] [--seed N]                 run the full E1-E15 suite");
+    println!("  repro <experiment> [--quick] [--seed N]    run one experiment (slug or id)");
+    println!("  repro sweep <experiment> [--seeds N] [--seed BASE] [--threads N]");
+    println!("        [--grid k=v1,v2,...]... [--quick] [--json PATH]");
+    println!("                                             multi-seed statistical campaign");
+    println!("  repro --list                               this overview");
+    println!();
+    println!("experiments:");
+    for experiment in registry() {
+        println!(
+            "  {:4} {:18} {}",
+            experiment.id(),
+            experiment.slug(),
+            experiment.title()
         );
-        println!("{}", e15_full_stack_metropolis(&settings));
-        return;
-    }
-    if std::env::args().any(|a| a == "churn") {
-        // Regenerate only the E13 churn table from a seed.
-        let mut settings = match effort {
-            Effort::Quick => ChurnSettings::quick(),
-            Effort::Full => ChurnSettings::full(),
-        };
-        if let Some(seed) = seed {
-            settings.seed = seed;
+        for p in experiment.params() {
+            println!("         --grid {:18} {}", p.key, p.description);
         }
-        eprintln!("running the E13 churn sweep (seed {}, {effort:?}) ...", settings.seed);
-        println!("{}", e13_churn_sweep(&settings));
-        return;
-    }
-    let seed = seed.unwrap_or(20080815u64);
-    eprintln!("running the E1-E14 experiment suite (seed {seed}, {effort:?}) ...");
-    let reports = run_all(seed, effort);
-    for report in &reports {
-        println!("{report}");
-        println!();
-        eprintln!("  finished {}", report.id);
     }
 }

@@ -13,6 +13,7 @@ pub mod full_stack;
 pub mod handover;
 pub mod metropolis;
 pub mod migration_exp;
+pub mod registry;
 pub mod scale;
 
 pub use bridge::{bridge_trial, e06_bridge_performance, e10_coverage_amplification, BridgeTrial};
@@ -27,6 +28,9 @@ pub use handover::{
 };
 pub use metropolis::{e15_full_stack_metropolis, metropolis_run, MetropolisSettings};
 pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
+pub use registry::{
+    find, registry, samples_from_report, Experiment, ParamKind, ParamSpec, Params, RunOutput, SampleRow,
+};
 pub use scale::{e12_dense_city, CityAgent, ScaleSettings};
 
 use crate::report::ExperimentReport;
@@ -40,43 +44,15 @@ pub enum Effort {
     Full,
 }
 
-/// Runs every experiment and returns the reports in order.
+/// Runs every experiment through the [`Experiment`] registry and returns
+/// the reports in E1–E15 order. Settings-driven families keep their
+/// historical pinned seeds (see [`Experiment::suite_seed`]), so the suite
+/// output is byte-identical to the pre-registry per-experiment entry
+/// points.
 pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
-    let discovery_settings = match effort {
-        Effort::Quick => DiscoverySettings::quick(),
-        Effort::Full => DiscoverySettings::default(),
-    };
-    let (bridge_trials, handover_runs, delay_jumps) = match effort {
-        Effort::Quick => (4, 1, 2),
-        Effort::Full => (10, 3, 3),
-    };
-    let scale_settings = match effort {
-        Effort::Quick => ScaleSettings::quick(),
-        Effort::Full => ScaleSettings::full(),
-    };
-    let churn_settings = match effort {
-        Effort::Quick => ChurnSettings::quick(),
-        Effort::Full => ChurnSettings::full(),
-    };
-    let metropolis_settings = match effort {
-        Effort::Quick => MetropolisSettings::quick(),
-        Effort::Full => MetropolisSettings::full(),
-    };
-    vec![
-        e01_coverage_exclusion(&discovery_settings),
-        e02_gnutella_traffic(seed),
-        e03_quality_route_selection(),
-        e04_notification_delay(seed, delay_jumps),
-        e05_static_vs_dynamic_bridge(seed),
-        e06_bridge_performance(seed, bridge_trials),
-        e07_two_server_handover(seed),
-        e08_routing_handover(seed, handover_runs),
-        e09_result_routing(seed),
-        e10_coverage_amplification(seed),
-        e11_monitoring_limitation(seed),
-        e12_dense_city(&scale_settings),
-        e13_churn_sweep(&churn_settings),
-        e14_blackout_flash_crowd(seed, effort == Effort::Quick),
-        e15_full_stack_metropolis(&metropolis_settings),
-    ]
+    let params = Params::new();
+    registry()
+        .iter()
+        .map(|e| e.run(e.suite_seed(seed), &params, effort == Effort::Quick).report)
+        .collect()
 }

@@ -1,0 +1,651 @@
+//! The uniform [`Experiment`] trait and the E1–E15 registry.
+//!
+//! Every experiment of the reproduction is runnable through one interface:
+//! `run(seed, params, quick)` returns both the human-readable markdown
+//! [`ExperimentReport`] and a numeric [`SampleRow`] stream — the raw
+//! material the `sweep` campaign engine aggregates across seeds and grid
+//! points. `run_all` iterates this registry, so a new experiment registered
+//! here is automatically part of the suite, the `repro` CLI and every
+//! sweep.
+//!
+//! Implementations are zero-sized `Send + Sync` structs: a sweep worker
+//! thread looks its experiment up in its own registry copy and builds the
+//! (thread-local, `Rc`-based) world entirely inside the worker.
+
+use std::collections::BTreeMap;
+
+use simnet::prelude::SimDuration;
+
+use crate::experiments::{
+    e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
+    e05_static_vs_dynamic_bridge, e06_bridge_performance, e07_two_server_handover, e08_routing_handover,
+    e09_result_routing, e10_coverage_amplification, e11_monitoring_limitation, e12_dense_city, e13_churn_sweep,
+    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, ChurnSettings, DiscoverySettings, MetropolisSettings,
+    ScaleSettings, StackMode,
+};
+use crate::report::ExperimentReport;
+
+/// One numeric observation row from one experiment run: a stable scenario
+/// key (the row's identity within the report, seed-independent by
+/// construction) plus the metrics measured for it, in column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRow {
+    /// Row identity, e.g. `"nodes=100 churn (/node/h)=60.00"`. Sweep
+    /// aggregation groups samples from different seeds by this key.
+    pub scenario: String,
+    /// `(metric name, value)` pairs in report-column order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Everything one experiment run produces: the markdown table and the
+/// numeric samples derived from it.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The figure-level markdown table (what `repro` prints).
+    pub report: ExperimentReport,
+    /// The numeric samples (what `sweep` aggregates).
+    pub samples: Vec<SampleRow>,
+}
+
+impl RunOutput {
+    /// Builds the output from a report, deriving samples via
+    /// [`samples_from_report`] with the given identity columns.
+    pub fn from_report(report: ExperimentReport, key_columns: &[&str]) -> Self {
+        let samples = samples_from_report(&report, key_columns);
+        RunOutput { report, samples }
+    }
+}
+
+/// Derives [`SampleRow`]s from a report table: the declared `key_columns`
+/// form each row's scenario key (`col=cell`, joined by spaces; `"all"` when
+/// none are declared), every other cell that parses as a finite `f64`
+/// becomes a metric named after its column. Duplicate scenario keys get a
+/// deterministic `#2`, `#3`, … suffix in row order.
+pub fn samples_from_report(report: &ExperimentReport, key_columns: &[&str]) -> Vec<SampleRow> {
+    let key_idx: Vec<usize> = key_columns
+        .iter()
+        .filter_map(|k| report.columns.iter().position(|c| c == k))
+        .collect();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    report
+        .rows
+        .iter()
+        .map(|row| {
+            let mut scenario = key_idx
+                .iter()
+                .filter_map(|&i| row.cells.get(i).map(|cell| format!("{}={cell}", report.columns[i])))
+                .collect::<Vec<_>>()
+                .join(" ");
+            if scenario.is_empty() {
+                scenario = "all".to_string();
+            }
+            let n = seen.entry(scenario.clone()).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                scenario.push_str(&format!("#{n}"));
+            }
+            let metrics = report
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !key_idx.contains(i))
+                .filter_map(|(i, col)| {
+                    let value: f64 = row.cells.get(i)?.parse().ok()?;
+                    value.is_finite().then(|| (col.clone(), value))
+                })
+                .collect();
+            SampleRow { scenario, metrics }
+        })
+        .collect()
+}
+
+/// The value type a grid parameter accepts, used to validate `--grid`
+/// values before any job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Unsigned integer (node counts, trial counts, durations in seconds).
+    USize,
+    /// Floating point (rates, densities, fractions).
+    F64,
+    /// A [`StackMode`]: `lightweight` or `full`.
+    Stack,
+}
+
+impl ParamKind {
+    /// Validates one textual value against the kind.
+    pub fn check(self, value: &str) -> Result<(), String> {
+        match self {
+            ParamKind::USize => value
+                .parse::<usize>()
+                .map(|_| ())
+                .map_err(|_| format!("`{value}` is not an unsigned integer")),
+            ParamKind::F64 => match value.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok(()),
+                _ => Err(format!("`{value}` is not a finite number")),
+            },
+            ParamKind::Stack => parse_stack(value)
+                .map(|_| ())
+                .ok_or_else(|| format!("`{value}` is not a stack mode (lightweight|full)")),
+        }
+    }
+}
+
+/// Parses a [`StackMode`] name.
+pub fn parse_stack(value: &str) -> Option<StackMode> {
+    match value {
+        "lightweight" => Some(StackMode::Lightweight),
+        "full" => Some(StackMode::Full),
+        _ => None,
+    }
+}
+
+/// One grid-able parameter an experiment understands.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// The `--grid key=…` name.
+    pub key: &'static str,
+    /// Accepted value type.
+    pub kind: ParamKind,
+    /// One-line description for `repro --list`.
+    pub description: &'static str,
+}
+
+/// Parameter overrides for one experiment run — the expansion of one sweep
+/// grid point, or empty for the defaults.
+#[derive(Debug, Clone, Default)]
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    /// The empty override set (every experiment runs its defaults).
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Builds the set from `(key, value)` pairs (later pairs win).
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = &'a (String, String)>) -> Self {
+        Params(pairs.into_iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+    }
+
+    /// Sets one override.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.0.insert(key.into(), value.into());
+    }
+
+    /// Raw textual value of `key`, if set.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    /// Parsed `usize` value of `key`. Values are validated against the
+    /// experiment's [`ParamSpec`]s before a run starts, so a set-but-bogus
+    /// value cannot reach this point through the sweep/CLI path.
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Parsed `f64` value of `key` (see [`Params::get_usize`] on validation).
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Parsed [`StackMode`] value of `key`.
+    pub fn get_stack(&self, key: &str) -> Option<StackMode> {
+        self.get(key).and_then(parse_stack)
+    }
+
+    /// Seconds value of `key` as a [`SimDuration`].
+    pub fn get_secs(&self, key: &str) -> Option<SimDuration> {
+        self.get_usize(key).map(|s| SimDuration::from_secs(s as u64))
+    }
+}
+
+/// A uniformly runnable experiment of the reproduction.
+///
+/// `run` must be deterministic in `(seed, params, quick)` and build every
+/// world it needs internally — implementations are called from sweep worker
+/// threads, so nothing thread-local (the `Rc`-based world, agents, RNGs)
+/// may escape the call.
+pub trait Experiment: Send + Sync {
+    /// Figure-level identifier, e.g. `"E13"`.
+    fn id(&self) -> &'static str;
+    /// CLI name, e.g. `"churn"`.
+    fn slug(&self) -> &'static str;
+    /// Human-readable one-liner for `repro --list`.
+    fn title(&self) -> &'static str;
+    /// Grid parameters this experiment understands (may be empty).
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+    /// Report columns forming a row's identity (the rest become metrics).
+    fn key_columns(&self) -> &'static [&'static str] {
+        &[]
+    }
+    /// The seed this experiment historically runs with inside the full
+    /// suite. Most experiments follow the suite seed; the settings-driven
+    /// families (E1, E12, E13, E15) pin their own, which keeps `run_all`
+    /// byte-identical to the pre-registry entry points.
+    fn suite_seed(&self, suite: u64) -> u64 {
+        suite
+    }
+    /// Runs the experiment: builds its worlds, measures, and returns the
+    /// report plus numeric samples.
+    fn run(&self, seed: u64, params: &Params, quick: bool) -> RunOutput;
+}
+
+macro_rules! experiment {
+    ($name:ident, $id:literal, $slug:literal, $title:literal, keys: [$($key:literal),*],
+     params: [$(($pkey:literal, $pkind:expr, $pdesc:literal)),*],
+     $(suite_seed: $suite:expr,)?
+     run: $run:expr) => {
+        /// Registry entry (see the struct's `title()` for what it measures).
+        pub struct $name;
+        impl Experiment for $name {
+            fn id(&self) -> &'static str {
+                $id
+            }
+            fn slug(&self) -> &'static str {
+                $slug
+            }
+            fn title(&self) -> &'static str {
+                $title
+            }
+            fn key_columns(&self) -> &'static [&'static str] {
+                &[$($key),*]
+            }
+            fn params(&self) -> &'static [ParamSpec] {
+                &[$(ParamSpec { key: $pkey, kind: $pkind, description: $pdesc }),*]
+            }
+            $(fn suite_seed(&self, suite: u64) -> u64 {
+                let _ = suite;
+                $suite
+            })?
+            fn run(&self, seed: u64, params: &Params, quick: bool) -> RunOutput {
+                let _ = (&params, quick);
+                #[allow(clippy::redundant_closure_call)]
+                let report: ExperimentReport = $run(seed, params, quick);
+                RunOutput::from_report(report, self.key_columns())
+            }
+        }
+    };
+}
+
+experiment!(
+    E01Coverage,
+    "E1",
+    "coverage",
+    "Coverage exclusion vs. discovery algorithm",
+    keys: ["nodes"],
+    params: [("convergence_s", ParamKind::USize, "simulated seconds the network converges for")],
+    suite_seed: 1,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick {
+            DiscoverySettings::quick()
+        } else {
+            DiscoverySettings::default()
+        };
+        settings.seed = seed;
+        if let Some(c) = params.get_secs("convergence_s") {
+            settings.convergence = c;
+        }
+        e01_coverage_exclusion(&settings)
+    }
+);
+
+experiment!(
+    E02Gnutella,
+    "E2",
+    "gnutella",
+    "Gnutella flooding vs. PeerHood discovery traffic",
+    keys: ["nodes"],
+    params: [],
+    run: |seed, _params, _quick| e02_gnutella_traffic(seed)
+);
+
+experiment!(
+    E03Routes,
+    "E3",
+    "routes",
+    "Link-quality route selection (threshold rule)",
+    keys: ["route"],
+    params: [],
+    run: |_seed, _params, _quick| e03_quality_route_selection()
+);
+
+experiment!(
+    E04Notification,
+    "E4",
+    "notification",
+    "Maximum change-notification delay vs. jump count",
+    keys: ["jumps"],
+    params: [("jumps", ParamKind::USize, "maximum jump count to sweep")],
+    run: |seed, params: &Params, quick| {
+        let jumps = params.get_usize("jumps").unwrap_or(if quick { 2 } else { 3 });
+        e04_notification_delay(seed, jumps)
+    }
+);
+
+experiment!(
+    E05BridgeChoice,
+    "E5",
+    "bridge-choice",
+    "Static vs. dynamic devices as bridge",
+    keys: ["bridge mobility"],
+    params: [],
+    run: |seed, _params, _quick| e05_static_vs_dynamic_bridge(seed)
+);
+
+experiment!(
+    E06BridgePerf,
+    "E6",
+    "bridge-perf",
+    "Bridge connection performance",
+    keys: [],
+    params: [("trials", ParamKind::USize, "connection trials to run")],
+    run: |seed, params: &Params, quick| {
+        let trials = params.get_usize("trials").unwrap_or(if quick { 4 } else { 10 });
+        e06_bridge_performance(seed, trials)
+    }
+);
+
+experiment!(
+    E07TwoServer,
+    "E7",
+    "two-server",
+    "Two-server handover vs. routing handover",
+    keys: ["strategy"],
+    params: [],
+    run: |seed, _params, _quick| e07_two_server_handover(seed)
+);
+
+experiment!(
+    E08RoutingHandover,
+    "E8",
+    "routing-handover",
+    "Routing handover under artificial quality decay",
+    keys: ["decay (quality/s)"],
+    params: [("runs", ParamKind::USize, "runs per decay rate")],
+    run: |seed, params: &Params, quick| {
+        let runs = params.get_usize("runs").unwrap_or(if quick { 1 } else { 3 });
+        e08_routing_handover(seed, runs)
+    }
+);
+
+experiment!(
+    E09ResultRouting,
+    "E9",
+    "result-routing",
+    "Result routing across the three package-count regimes",
+    keys: ["regime"],
+    params: [],
+    run: |seed, _params, _quick| e09_result_routing(seed)
+);
+
+experiment!(
+    E10Amplification,
+    "E10",
+    "amplification",
+    "Coverage amplification through a tunnel",
+    keys: ["bridge chain"],
+    params: [],
+    run: |seed, _params, _quick| e10_coverage_amplification(seed)
+);
+
+experiment!(
+    E11Monitoring,
+    "E11",
+    "monitoring",
+    "Monitoring limitation: chain growth when the client returns",
+    keys: ["handover target"],
+    params: [],
+    run: |seed, _params, _quick| e11_monitoring_limitation(seed)
+);
+
+experiment!(
+    E12Scale,
+    "E12",
+    "scale",
+    "Dense-city discovery and handover at scale",
+    keys: ["nodes"],
+    params: [
+        ("nodes", ParamKind::USize, "city population (replaces the node-count sweep)"),
+        ("density", ParamKind::F64, "devices per square kilometre"),
+        ("mobile_fraction", ParamKind::F64, "fraction of roaming pedestrians"),
+        ("duration_s", ParamKind::USize, "simulated seconds per run"),
+        ("stack", ParamKind::Stack, "lightweight probe or full PeerHood stack")
+    ],
+    suite_seed: 12,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick { ScaleSettings::quick() } else { ScaleSettings::full() };
+        settings.seed = seed;
+        apply_city_params(
+            params,
+            &mut settings.node_counts,
+            &mut settings.density_per_km2,
+            &mut settings.mobile_fraction,
+            &mut settings.duration,
+            Some(&mut settings.stack),
+        );
+        e12_dense_city(&settings)
+    }
+);
+
+experiment!(
+    E13Churn,
+    "E13",
+    "churn",
+    "Churn sweep: session survival under crash/restart schedules",
+    keys: ["nodes", "churn (/node/h)"],
+    params: [
+        ("nodes", ParamKind::USize, "city population (replaces the node-count sweep)"),
+        ("churn", ParamKind::F64, "crashes per node per hour (replaces the rate sweep)"),
+        ("density", ParamKind::F64, "devices per square kilometre"),
+        ("mobile_fraction", ParamKind::F64, "fraction of roaming pedestrians"),
+        ("duration_s", ParamKind::USize, "simulated seconds per cell"),
+        ("downtime_s", ParamKind::USize, "mean downtime of a crashed node"),
+        ("stack", ParamKind::Stack, "lightweight probe or full PeerHood stack")
+    ],
+    suite_seed: 13,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick { ChurnSettings::quick() } else { ChurnSettings::full() };
+        settings.seed = seed;
+        apply_city_params(
+            params,
+            &mut settings.node_counts,
+            &mut settings.density_per_km2,
+            &mut settings.mobile_fraction,
+            &mut settings.duration,
+            Some(&mut settings.stack),
+        );
+        if let Some(rate) = params.get_f64("churn") {
+            settings.churn_per_hour = vec![rate];
+        }
+        if let Some(d) = params.get_secs("downtime_s") {
+            settings.mean_downtime = d;
+        }
+        e13_churn_sweep(&settings)
+    }
+);
+
+experiment!(
+    E14Blackout,
+    "E14",
+    "blackout",
+    "Blackout & flash crowd: mass outage and a restart storm",
+    keys: ["phase", "t (s)"],
+    params: [("stack", ParamKind::Stack, "lightweight probe or full PeerHood stack")],
+    run: |seed, params: &Params, quick| {
+        let stack = params.get_stack("stack").unwrap_or(StackMode::Lightweight);
+        e14_blackout_flash_crowd_with(seed, quick, stack)
+    }
+);
+
+experiment!(
+    E15Metropolis,
+    "E15",
+    "metropolis",
+    "Full-stack metropolis: real middleware on thousands of nodes",
+    keys: ["nodes"],
+    params: [
+        ("nodes", ParamKind::USize, "city population (every node runs the full stack)"),
+        ("density", ParamKind::F64, "devices per square kilometre"),
+        ("churn", ParamKind::F64, "crashes per churning node per hour"),
+        ("mobile_fraction", ParamKind::F64, "fraction of roaming pedestrians"),
+        ("duration_s", ParamKind::USize, "simulated seconds")
+    ],
+    suite_seed: 15,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick {
+            MetropolisSettings::quick()
+        } else {
+            MetropolisSettings::full()
+        };
+        settings.seed = seed;
+        if let Some(n) = params.get_usize("nodes") {
+            settings.nodes = n;
+        }
+        if let Some(d) = params.get_f64("density") {
+            settings.density_per_km2 = d;
+        }
+        if let Some(rate) = params.get_f64("churn") {
+            settings.churn_per_hour = rate;
+        }
+        if let Some(m) = params.get_f64("mobile_fraction") {
+            settings.mobile_fraction = m;
+        }
+        if let Some(d) = params.get_secs("duration_s") {
+            settings.duration = d;
+        }
+        e15_full_stack_metropolis(&settings)
+    }
+);
+
+/// Applies the shared city-family overrides (E12/E13): population, density,
+/// mobile fraction, duration and stack mode.
+fn apply_city_params(
+    params: &Params,
+    node_counts: &mut Vec<usize>,
+    density: &mut f64,
+    mobile_fraction: &mut f64,
+    duration: &mut SimDuration,
+    stack: Option<&mut StackMode>,
+) {
+    if let Some(n) = params.get_usize("nodes") {
+        *node_counts = vec![n];
+    }
+    if let Some(d) = params.get_f64("density") {
+        *density = d;
+    }
+    if let Some(m) = params.get_f64("mobile_fraction") {
+        *mobile_fraction = m;
+    }
+    if let Some(d) = params.get_secs("duration_s") {
+        *duration = d;
+    }
+    if let (Some(slot), Some(mode)) = (stack, params.get_stack("stack")) {
+        *slot = mode;
+    }
+}
+
+/// Every experiment of the reproduction, in E1–E15 order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(E01Coverage),
+        Box::new(E02Gnutella),
+        Box::new(E03Routes),
+        Box::new(E04Notification),
+        Box::new(E05BridgeChoice),
+        Box::new(E06BridgePerf),
+        Box::new(E07TwoServer),
+        Box::new(E08RoutingHandover),
+        Box::new(E09ResultRouting),
+        Box::new(E10Amplification),
+        Box::new(E11Monitoring),
+        Box::new(E12Scale),
+        Box::new(E13Churn),
+        Box::new(E14Blackout),
+        Box::new(E15Metropolis),
+    ]
+}
+
+/// Looks an experiment up by slug or id, case-insensitively.
+pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
+    registry()
+        .into_iter()
+        .find(|e| e.slug().eq_ignore_ascii_case(name) || e.id().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ExperimentReport;
+
+    #[test]
+    fn registry_has_fifteen_unique_experiments() {
+        let reg = registry();
+        assert_eq!(reg.len(), 15);
+        let mut slugs: Vec<&str> = reg.iter().map(|e| e.slug()).collect();
+        let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(slugs.len(), 15, "slugs must be unique");
+        assert_eq!(ids.len(), 15, "ids must be unique");
+        assert_eq!(reg[12].id(), "E13");
+        assert_eq!(reg[12].slug(), "churn");
+    }
+
+    #[test]
+    fn find_resolves_slug_and_id() {
+        assert_eq!(find("churn").unwrap().id(), "E13");
+        assert_eq!(find("e13").unwrap().slug(), "churn");
+        assert_eq!(find("METROPOLIS").unwrap().id(), "E15");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn samples_keep_key_columns_as_identity_and_numbers_as_metrics() {
+        let mut r = ExperimentReport::new("E0", "demo", "claim", &["nodes", "kind", "sessions", "survival %"]);
+        r.push_row(["100", "a", "17", "98.50"]);
+        r.push_row(["100", "b", "abc", "77.00"]);
+        let samples = samples_from_report(&r, &["nodes", "kind"]);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].scenario, "nodes=100 kind=a");
+        assert_eq!(
+            samples[0].metrics,
+            vec![("sessions".to_string(), 17.0), ("survival %".to_string(), 98.5)]
+        );
+        // Non-numeric cells outside the key columns are skipped, not keyed.
+        assert_eq!(samples[1].metrics, vec![("survival %".to_string(), 77.0)]);
+    }
+
+    #[test]
+    fn duplicate_scenarios_get_deterministic_suffixes() {
+        let mut r = ExperimentReport::new("E0", "demo", "claim", &["phase", "v"]);
+        r.push_row(["warm", "1"]);
+        r.push_row(["warm", "2"]);
+        r.push_row(["cool", "3"]);
+        let samples = samples_from_report(&r, &["phase"]);
+        let keys: Vec<&str> = samples.iter().map(|s| s.scenario.as_str()).collect();
+        assert_eq!(keys, vec!["phase=warm", "phase=warm#2", "phase=cool"]);
+    }
+
+    #[test]
+    fn rows_without_key_columns_fall_back_to_all() {
+        let mut r = ExperimentReport::new("E0", "demo", "claim", &["v"]);
+        r.push_row(["4"]);
+        let samples = samples_from_report(&r, &[]);
+        assert_eq!(samples[0].scenario, "all");
+        assert_eq!(samples[0].metrics, vec![("v".to_string(), 4.0)]);
+    }
+
+    #[test]
+    fn param_kind_validation() {
+        assert!(ParamKind::USize.check("42").is_ok());
+        assert!(ParamKind::USize.check("-1").is_err());
+        assert!(ParamKind::F64.check("2.5").is_ok());
+        assert!(ParamKind::F64.check("inf").is_err());
+        assert!(ParamKind::Stack.check("full").is_ok());
+        assert!(ParamKind::Stack.check("Full").is_err());
+    }
+}

@@ -16,5 +16,5 @@ pub mod experiments;
 pub mod report;
 pub mod topology;
 
-pub use experiments::{run_all, Effort};
+pub use experiments::{find, registry, run_all, Effort, Experiment, Params, RunOutput, SampleRow};
 pub use report::ExperimentReport;

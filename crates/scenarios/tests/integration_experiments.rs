@@ -2,7 +2,10 @@
 //! must be produced with the expected shape so `repro` cannot silently skip a
 //! figure.
 
-use scenarios::experiments::{e03_quality_route_selection, e09_result_routing, e10_coverage_amplification};
+use scenarios::experiments::{
+    e02_gnutella_traffic, e03_quality_route_selection, e09_result_routing, e10_coverage_amplification, find, registry,
+    Params,
+};
 
 #[test]
 fn e9_reproduces_the_three_regimes() {
@@ -26,6 +29,40 @@ fn e10_tunnel_is_only_reachable_with_bridges() {
         with_bridges >= 8,
         "nearly all messages must cross the tunnel, got {with_bridges}"
     );
+}
+
+#[test]
+fn registry_covers_e1_to_e15_in_order() {
+    let reg = registry();
+    assert_eq!(reg.len(), 15);
+    for (i, experiment) in reg.iter().enumerate() {
+        assert_eq!(experiment.id(), format!("E{}", i + 1));
+        assert!(!experiment.title().is_empty());
+    }
+}
+
+#[test]
+fn trait_runs_match_the_direct_entry_points_and_yield_samples() {
+    // The uniform trait must be a pure re-routing of the historical entry
+    // points: identical report, plus the numeric sample stream on top.
+    let direct = e02_gnutella_traffic(5);
+    let via_trait = find("gnutella").unwrap().run(5, &Params::new(), true);
+    assert_eq!(via_trait.report, direct);
+    assert_eq!(via_trait.samples.len(), direct.rows.len());
+    // Key columns form the scenario identity; the rest become metrics.
+    assert!(via_trait.samples[0].scenario.starts_with("nodes="));
+    assert!(via_trait.samples[0].metrics.iter().any(|(name, _)| name == "edges"));
+}
+
+#[test]
+fn grid_params_reach_the_experiment_settings() {
+    let mut params = Params::new();
+    params.set("nodes", "40");
+    params.set("churn", "240");
+    params.set("duration_s", "30");
+    let output = find("churn").unwrap().run(7, &params, true);
+    assert_eq!(output.report.rows.len(), 1, "one population x one churn rate");
+    assert_eq!(output.samples[0].scenario, "nodes=40 churn (/node/h)=240.00");
 }
 
 #[test]

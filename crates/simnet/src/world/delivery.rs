@@ -30,7 +30,7 @@ impl World {
             .unwrap_or(false);
         if !deliverable || !self.is_alive(in_flight.to) {
             self.metrics.record_message_lost(in_flight.to);
-            self.links.retire_if_drained(in_flight.link);
+            self.retire_link_if_drained(in_flight.link);
             return;
         }
         // Loss/corruption bursts from installed fault plans. The guard keeps
@@ -40,7 +40,7 @@ impl World {
             match self.faults.sample_burst(in_flight.from, in_flight.to, self.now) {
                 Some(BurstOutcome::Drop) => {
                     self.metrics.record_message_lost(in_flight.to);
-                    self.links.retire_if_drained(in_flight.link);
+                    self.retire_link_if_drained(in_flight.link);
                     return;
                 }
                 Some(BurstOutcome::Corrupt) => {
@@ -63,7 +63,7 @@ impl World {
             payload,
             ..
         } = in_flight;
-        self.links.retire_if_drained(link);
+        self.retire_link_if_drained(link);
         self.agent_call(to, |agent, ctx| agent.on_message(ctx, link, from, payload));
     }
 
@@ -82,7 +82,7 @@ impl World {
         if !open {
             // Already closed: never reschedule the check; the entry retires
             // once its in-flight payloads drain.
-            self.links.retire_if_drained(link);
+            self.retire_link_if_drained(link);
             return;
         }
         let a_alive = self.is_alive(a);
@@ -117,7 +117,7 @@ impl World {
                     agent.on_disconnected(ctx, link, a, reason_for(a_alive));
                 });
             }
-            self.links.retire_if_drained(link);
+            self.retire_link_if_drained(link);
             return;
         }
         let next = self.now + self.config.link_check_interval;
@@ -148,7 +148,7 @@ impl World {
                 agent.on_disconnected(ctx, link, closer, DisconnectReason::PeerClosed);
             });
         }
-        self.links.retire_if_drained(link);
+        self.retire_link_if_drained(link);
     }
 
     /// Powers a node off: every open link it participates in breaks and the
@@ -182,8 +182,12 @@ impl World {
             self.agent_call(peer, |agent, ctx| {
                 agent.on_disconnected(ctx, link, node, DisconnectReason::PeerFailed);
             });
-            self.links.retire_if_drained(link);
+            self.retire_link_if_drained(link);
         }
+        // The crash bumped this node's epoch: tombstones whose other
+        // endpoint has also crashed since retirement are now unreferencable
+        // and can be reclaimed.
+        self.compact_retired_links_of(node);
     }
 
     /// Breaks every open link of `node` that runs over `tech` (the radio
@@ -215,7 +219,7 @@ impl World {
             self.agent_call(peer, |agent, ctx| {
                 agent.on_disconnected(ctx, link, node, DisconnectReason::OutOfRange);
             });
-            self.links.retire_if_drained(link);
+            self.retire_link_if_drained(link);
         }
     }
 }

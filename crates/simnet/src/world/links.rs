@@ -10,6 +10,16 @@
 //! replaced by a compact tombstone, so long runs no longer accumulate dead
 //! state in the hot tables while `links_of`/`link_info`/`send` keep
 //! answering exactly as before.
+//!
+//! Tombstones themselves are reclaimed by a **generation-based compaction**:
+//! every tombstone records the epoch (incarnation counter) each endpoint had
+//! when the link retired, and once *both* endpoints have crashed past those
+//! epochs the tombstone — and its `by_node` index entries — is dropped for
+//! good. The guard is what makes this invisible: a [`LinkId`] only ever
+//! reaches an agent through callbacks within one life, and a crash bumps the
+//! epoch, so by the time both recorded epochs are stale no live agent can
+//! still name the link. Long churn runs therefore hold a bounded working
+//! set instead of an ever-growing graveyard.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,6 +37,11 @@ pub(crate) struct RetiredLink {
     pub(crate) b: NodeId,
     pub(crate) tech: RadioTech,
     pub(crate) established_at: SimTime,
+    /// Epoch of `a` at retirement; the tombstone is compactable on `a`'s
+    /// side once `a` has crashed past this generation.
+    pub(crate) a_epoch: u64,
+    /// Epoch of `b` at retirement.
+    pub(crate) b_epoch: u64,
 }
 
 impl RetiredLink {
@@ -57,6 +72,8 @@ pub(crate) struct LinkTable {
     in_flight: BTreeMap<u64, InFlightMessage>,
     /// Message ids in flight per link.
     in_flight_by_link: BTreeMap<LinkId, BTreeSet<u64>>,
+    /// Lifetime count of tombstones reclaimed by compaction.
+    compacted: u64,
     next_link: u64,
     next_attempt: u64,
     next_msg: u64,
@@ -145,7 +162,7 @@ impl LinkTable {
     }
 
     /// Removes and returns a travelling payload (delivery or loss). The
-    /// caller must follow up with [`LinkTable::retire_if_drained`] on the
+    /// caller must follow up with [`World::retire_link_if_drained`] on the
     /// returned message's link.
     pub(crate) fn take_in_flight(&mut self, msg: u64) -> Option<InFlightMessage> {
         let message = self.in_flight.remove(&msg)?;
@@ -168,19 +185,25 @@ impl LinkTable {
             .max()
     }
 
-    /// Drops a closed link from the active table once nothing can reference
-    /// its mutable state any more: both endpoints have been notified (which
-    /// every close path completes before calling this) and no payload is in
-    /// flight. Open links and still-draining links are left untouched.
-    pub(crate) fn retire_if_drained(&mut self, link: LinkId) {
-        let drained = match self.active.get(&link) {
-            Some(state) => !state.open && !self.in_flight_by_link.contains_key(&link),
-            None => false,
-        };
-        if !drained {
-            return;
+    /// Endpoints of `link` iff it is in the active table, closed, and fully
+    /// drained — i.e. ready to retire. Open links, still-draining links and
+    /// already-retired links return `None`.
+    pub(crate) fn drained_endpoints(&self, link: LinkId) -> Option<(NodeId, NodeId)> {
+        let state = self.active.get(&link)?;
+        if state.open || self.in_flight_by_link.contains_key(&link) {
+            return None;
         }
-        let state = self.active.remove(&link).expect("checked above");
+        Some((state.a, state.b))
+    }
+
+    /// Drops a closed-and-drained link from the active table, leaving a
+    /// compact tombstone stamped with each endpoint's current epoch. The
+    /// caller ([`World::retire_link_if_drained`]) checks drain-readiness via
+    /// [`LinkTable::drained_endpoints`] and supplies the epochs.
+    pub(crate) fn retire(&mut self, link: LinkId, a_epoch: u64, b_epoch: u64) {
+        let Some(state) = self.active.remove(&link) else {
+            return;
+        };
         self.retired.insert(
             link,
             RetiredLink {
@@ -188,8 +211,40 @@ impl LinkTable {
                 b: state.b,
                 tech: state.tech,
                 established_at: state.established_at,
+                a_epoch,
+                b_epoch,
             },
         );
+    }
+
+    /// Tombstones indexed under `node`: `(link, a, a_epoch, b, b_epoch)` per
+    /// retired link, in ascending link-id order.
+    pub(crate) fn retired_links_of(&self, node: NodeId) -> Vec<(LinkId, NodeId, u64, NodeId, u64)> {
+        let Some(ids) = self.by_node.get(&node) else {
+            return Vec::new();
+        };
+        ids.iter()
+            .filter_map(|id| self.retired.get(id).map(|r| (*id, r.a, r.a_epoch, r.b, r.b_epoch)))
+            .collect()
+    }
+
+    /// Compacts one tombstone away entirely: the retired entry and both
+    /// `by_node` index entries are removed and the link id becomes unknown
+    /// to every read API. Only call once no live agent can still name the
+    /// link (both endpoints crashed past their recorded epochs).
+    pub(crate) fn remove_retired(&mut self, link: LinkId) {
+        let Some(r) = self.retired.remove(&link) else {
+            return;
+        };
+        for node in [r.a, r.b] {
+            if let Some(set) = self.by_node.get_mut(&node) {
+                set.remove(&link);
+                if set.is_empty() {
+                    self.by_node.remove(&node);
+                }
+            }
+        }
+        self.compacted += 1;
     }
 
     /// Number of links still in the active table (open or draining).
@@ -202,9 +257,49 @@ impl LinkTable {
     pub(crate) fn retired_count(&self) -> usize {
         self.retired.len()
     }
+
+    /// Total tombstones reclaimed by generation-based compaction over the
+    /// world's lifetime. Diagnostic for tests and benches.
+    pub(crate) fn compacted_count(&self) -> u64 {
+        self.compacted
+    }
 }
 
 impl World {
+    /// Retires a closed link once both endpoints have been notified and its
+    /// last in-flight payload has drained, stamping the tombstone with each
+    /// endpoint's current epoch so generation-based compaction can tell when
+    /// no live agent can still name the link. No-op for open, still-draining
+    /// or already-retired links.
+    pub(super) fn retire_link_if_drained(&mut self, link: LinkId) {
+        let Some((a, b)) = self.links.drained_endpoints(link) else {
+            return;
+        };
+        let epoch = |world: &World, node: NodeId| world.topology.slot(node).map(|s| s.epoch).unwrap_or(0);
+        let (a_epoch, b_epoch) = (epoch(self, a), epoch(self, b));
+        self.links.retire(link, a_epoch, b_epoch);
+    }
+
+    /// Generation-based tombstone compaction, run when `node` crashes (its
+    /// epoch has just been bumped): every tombstone indexed under `node`
+    /// whose *other* endpoint has also crashed past its recorded epoch is
+    /// unreferencable by any live agent and is dropped from the retired
+    /// table and both `by_node` index entries. Pure bookkeeping — no events,
+    /// no RNG draws — so traces are byte-identical with or without it.
+    pub(super) fn compact_retired_links_of(&mut self, node: NodeId) {
+        let epoch = |world: &World, n: NodeId| world.topology.slot(n).map(|s| s.epoch).unwrap_or(u64::MAX);
+        let reclaimable: Vec<LinkId> = self
+            .links
+            .retired_links_of(node)
+            .into_iter()
+            .filter(|&(_, a, a_epoch, b, b_epoch)| epoch(self, a) > a_epoch && epoch(self, b) > b_epoch)
+            .map(|(link, ..)| link)
+            .collect();
+        for link in reclaimable {
+            self.links.remove_retired(link);
+        }
+    }
+
     /// Resolves a pending connection attempt: checks liveness, radio set and
     /// range, samples the technology fault, asks the target's agent, and on
     /// acceptance establishes the link and starts its periodic check cycle.

@@ -319,10 +319,18 @@ impl World {
         self.links.active_count()
     }
 
-    /// Number of retired (fully closed and drained) links. Diagnostic for
-    /// tests/benches.
+    /// Number of retired (fully closed and drained) links currently held as
+    /// tombstones. Bounded on long churn runs: generation-based compaction
+    /// reclaims a tombstone once both endpoints have crashed past the epochs
+    /// recorded at retirement. Diagnostic for tests/benches.
     pub fn retired_link_count(&self) -> usize {
         self.links.retired_count()
+    }
+
+    /// Lifetime count of retired-link tombstones reclaimed by the
+    /// generation-based compaction. Diagnostic for tests/benches.
+    pub fn compacted_link_count(&self) -> u64 {
+        self.links.compacted_count()
     }
 
     /// Snapshot of a link.

@@ -626,6 +626,51 @@ fn closed_links_retire_once_drained_but_stay_visible() {
 }
 
 #[test]
+fn tombstones_compact_once_both_endpoints_crash_past_retirement() {
+    let mut w = ideal_world(17);
+    let a = w.add_node(
+        "a",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(Probe::default()),
+    );
+    let b = w.add_node(
+        "b",
+        MobilityModel::stationary(Point::new(2.0, 0.0)),
+        &bt(),
+        Box::new(Probe::accepting()),
+    );
+    w.run_for(SimDuration::from_millis(1));
+    w.with_agent::<Probe, _>(a, |_, ctx| {
+        ctx.connect(b, RadioTech::Bluetooth);
+    })
+    .unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    let link = w.with_agent::<Probe, _>(a, |p, _| p.connected[0].1).unwrap();
+    w.with_agent::<Probe, _>(a, |_, ctx| ctx.close(link)).unwrap();
+    w.run_for(SimDuration::from_secs(1));
+    assert_eq!(w.retired_link_count(), 1);
+    assert_eq!(w.compacted_link_count(), 0);
+
+    // One endpoint crashing is not enough: the surviving peer's agent could
+    // still hold the LinkId, so the tombstone must keep answering.
+    w.crash_node(a);
+    assert_eq!(w.retired_link_count(), 1, "peer b never crashed; tombstone must stay");
+    assert!(w.link_info(link).is_some());
+    w.restart_node(a);
+
+    // Once the second endpoint crashes past the retirement epochs, no live
+    // agent can name the link any more: the tombstone and its by_node index
+    // entries are reclaimed for good.
+    w.crash_node(b);
+    assert_eq!(w.retired_link_count(), 0);
+    assert_eq!(w.compacted_link_count(), 1);
+    assert!(w.link_info(link).is_none());
+    assert!(w.links_of(a).is_empty());
+    assert!(w.links_of(b).is_empty());
+}
+
+#[test]
 fn physically_broken_links_retire_after_loss() {
     let mut w = ideal_world(16);
     let a = w.add_node(

@@ -436,6 +436,61 @@ fn same_seed_identical_full_peerhood_digest_at_1k_nodes() {
 }
 
 #[test]
+fn retired_tombstones_stay_bounded_under_long_churn() {
+    // The working-set compaction claim: over a long churn run the retired
+    // link tombstones (and their by_node index entries) must not grow
+    // without bound — each crash reclaims the tombstones whose other
+    // endpoint has also crashed past retirement. Every node churns here
+    // (MTBF 20 s over a 400 s horizon ≈ 20 crashes each), so both sides of
+    // nearly every dead link cycle several times.
+    let mut world = build_city(3001, 200);
+    let planner = SimRng::new(0xC0FF_EE00);
+    for (i, node) in world.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+        let mut rng = planner.derive(i as u64);
+        let plan = FaultPlan::churn(
+            SimTime::from_secs(400),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+            &mut rng,
+        );
+        world.install_fault_plan(node, plan);
+    }
+    let mut peak_retired = 0usize;
+    let mut peak_active = 0usize;
+    for _ in 0..40 {
+        world.run_for(SimDuration::from_secs(10));
+        peak_retired = peak_retired.max(world.retired_link_count());
+        peak_active = peak_active.max(world.active_link_count());
+    }
+    let retired_now = world.retired_link_count();
+    let compacted = world.compacted_link_count();
+    let ever_retired = retired_now as u64 + compacted;
+    eprintln!(
+        "active peak={peak_active} now={} | retired peak={peak_retired} now={retired_now} \
+         compacted={compacted} ever={ever_retired}",
+        world.active_link_count()
+    );
+    assert!(compacted > 0, "the long churn run must actually reclaim tombstones");
+    // Without compaction retired == ever_retired; with it, the live
+    // tombstone set must be a small fraction of everything ever retired.
+    assert!(
+        (retired_now as u64) * 2 < ever_retired,
+        "most tombstones must be reclaimed: {retired_now} live of {ever_retired} ever"
+    );
+    // And the peak itself must stay far below the no-compaction total: the
+    // working set is bounded, not merely trimmed at the end.
+    assert!(
+        (peak_retired as u64) * 2 < ever_retired.max(1),
+        "peak retired {peak_retired} must stay well below the {ever_retired} a compaction-free run would hold"
+    );
+    // The active table only ever holds open/draining links.
+    assert!(
+        peak_active < 2 * 200,
+        "active link table must stay proportional to the population, got peak {peak_active}"
+    );
+}
+
+#[test]
 fn same_seed_identical_trace_digest_at_500_nodes() {
     let first = trace_digest(2008, true);
     let second = trace_digest(2008, false);

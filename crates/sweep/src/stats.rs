@@ -1,0 +1,125 @@
+//! Sample statistics: mean, stddev, extrema and 95% confidence intervals.
+
+/// Summary statistics of one metric across the seeds of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 when n < 2).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Half-width of the 95% confidence interval of the mean,
+    /// `t(n−1) · s / √n` (0 when n < 2). The interval is `mean ± ci95`.
+    pub ci95: f64,
+}
+
+/// Two-sided 95% critical values of Student's t distribution for 1–30
+/// degrees of freedom; beyond that the normal approximation is used.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+    2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% t critical value for `df` degrees of freedom.
+pub fn t95(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df <= T95.len() {
+        T95[df - 1]
+    } else {
+        1.960
+    }
+}
+
+/// Summarizes a sample set. Values are folded in slice order, so equal
+/// inputs give bit-equal outputs regardless of how the samples were
+/// produced. An empty slice yields an all-zero summary with `n = 0`.
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        sum += v;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let mean = sum / n as f64;
+    let (stddev, ci95) = if n < 2 {
+        (0.0, 0.0)
+    } else {
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        let s = var.sqrt();
+        (s, t95(n - 1) * s / (n as f64).sqrt())
+    };
+    Summary {
+        n,
+        mean,
+        stddev,
+        min,
+        max,
+        ci95,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn known_answer_mean_stddev_and_ci() {
+        // Classic textbook sample: mean 5, sample variance 32/7.
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = summarize(&values);
+        assert_eq!(s.n, 8);
+        assert!(close(s.mean, 5.0, 1e-12));
+        assert!(close(s.stddev, (32.0f64 / 7.0).sqrt(), 1e-12), "got {}", s.stddev);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+        // t(7) = 2.365: ci = 2.365 * s / sqrt(8).
+        let expected_ci = 2.365 * (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt();
+        assert!(close(s.ci95, expected_ci, 1e-9), "got {} want {expected_ci}", s.ci95);
+    }
+
+    #[test]
+    fn degenerate_sample_sizes() {
+        let one = summarize(&[3.5]);
+        assert_eq!((one.n, one.mean, one.stddev, one.ci95), (1, 3.5, 0.0, 0.0));
+        assert_eq!((one.min, one.max), (3.5, 3.5));
+        let none = summarize(&[]);
+        assert_eq!(none.n, 0);
+        assert_eq!(none.mean, 0.0);
+    }
+
+    #[test]
+    fn t_table_edges() {
+        assert!(close(t95(1), 12.706, 1e-9));
+        assert!(close(t95(30), 2.042, 1e-9));
+        assert!(close(t95(31), 1.960, 1e-9));
+        assert!(t95(0).is_nan());
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let s = summarize(&[4.0; 6]);
+        assert_eq!((s.mean, s.stddev, s.ci95), (4.0, 0.0, 0.0));
+    }
+}
