@@ -2,7 +2,7 @@
 //! single experiments, and drives multi-seed sweep campaigns.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro                          # full E1-E15 suite
+//! cargo run -p bench --release --bin repro                          # full E1-E16 suite
 //! cargo run -p bench --release --bin repro -- --quick --seed 42     # reduced sizes, explicit seed
 //! cargo run -p bench --release --bin repro -- --list                # experiments & parameters
 //! cargo run -p bench --release --bin repro -- churn --quick         # one experiment (slug or id)
@@ -73,10 +73,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         None => {
-            // The full E1-E15 suite.
+            // The full E1-E16 suite.
             reject_unknown_flags(args, &["--quick", "--seed"])?;
             let seed = seed.unwrap_or(DEFAULT_SUITE_SEED);
-            eprintln!("running the E1-E15 experiment suite (seed {seed}, {effort:?}) ...");
+            eprintln!("running the E1-E16 experiment suite (seed {seed}, {effort:?}) ...");
             let reports = run_all(seed, effort);
             for report in &reports {
                 println!("{report}");
@@ -181,7 +181,7 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
 /// `repro --list`: subcommands, experiments and their grid parameters.
 fn list() {
     println!("usage:");
-    println!("  repro [--quick] [--seed N]                 run the full E1-E15 suite");
+    println!("  repro [--quick] [--seed N]                 run the full E1-E16 suite");
     println!("  repro <experiment> [--quick] [--seed N]    run one experiment (slug or id)");
     println!("  repro sweep <experiment> [--seeds N] [--seed BASE] [--threads N]");
     println!("        [--grid k=v1,v2,...]... [--quick] [--json PATH]");

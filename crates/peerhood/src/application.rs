@@ -96,6 +96,14 @@ pub trait Application: Any {
         let _ = (api, conn, provider);
     }
 
+    /// The resilience pipeline shed load belonging to this application: an
+    /// inbound payload was dropped by the rate limit or a queued result by
+    /// the outbox cap. The connection itself stays up; the application can
+    /// slow down, resynchronise or close it.
+    fn on_shed(&mut self, api: &mut PeerHoodApi<'_, '_>, conn: ConnectionId, dropped_bytes: usize) {
+        let _ = (api, conn, dropped_bytes);
+    }
+
     /// An application timer scheduled with [`PeerHoodApi::schedule_timer`]
     /// fired.
     fn on_timer(&mut self, api: &mut PeerHoodApi<'_, '_>, token: u64) {

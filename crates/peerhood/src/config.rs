@@ -131,6 +131,12 @@ pub struct HandoverConfig {
     pub max_reply_attempts: u32,
     /// Delay between those reconnect attempts.
     pub reply_retry_interval: SimDuration,
+    /// How long a closed-but-revivable connection record (kept for result
+    /// routing and reconnection) is retained once fully idle. `None` (the
+    /// default) keeps records forever — the original behaviour; setting a
+    /// retention bounds the working set under long churn via the same
+    /// epoch-compaction recipe the simulator uses for retired links.
+    pub closed_retention: Option<SimDuration>,
 }
 
 impl Default for HandoverConfig {
@@ -142,6 +148,7 @@ impl Default for HandoverConfig {
             target: crate::handover::HandoverTarget::FinalDestination,
             max_reply_attempts: 5,
             reply_retry_interval: SimDuration::from_secs(15),
+            closed_retention: None,
         }
     }
 }
@@ -182,6 +189,9 @@ pub struct PeerHoodConfig {
     pub handover: HandoverConfig,
     /// Bridge service behaviour.
     pub bridge: BridgeConfig,
+    /// Resilience pipeline (circuit breakers, backpressure, admission
+    /// control); every layer disabled by default.
+    pub resilience: crate::resilience::ResilienceConfig,
 }
 
 impl PeerHoodConfig {
@@ -196,6 +206,7 @@ impl PeerHoodConfig {
             monitor: MonitorConfig::default(),
             handover: HandoverConfig::default(),
             bridge: BridgeConfig::default(),
+            resilience: crate::resilience::ResilienceConfig::default(),
         }
     }
 
@@ -234,6 +245,12 @@ impl PeerHoodConfig {
     /// Enables or disables handover (builder-style).
     pub fn with_handover_enabled(mut self, enabled: bool) -> Self {
         self.handover.enabled = enabled;
+        self
+    }
+
+    /// Replaces the resilience-pipeline configuration (builder-style).
+    pub fn with_resilience(mut self, resilience: crate::resilience::ResilienceConfig) -> Self {
+        self.resilience = resilience;
         self
     }
 }

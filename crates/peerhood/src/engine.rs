@@ -101,6 +101,16 @@ impl Engine {
         self.roles.is_empty()
     }
 
+    /// Number of accepted incoming links whose first command has not arrived
+    /// yet. Counted by the admission layer towards the concurrent-session
+    /// cap, so a flood of half-open connections cannot sneak past it.
+    pub fn incoming_unidentified(&self) -> usize {
+        self.roles
+            .values()
+            .filter(|role| matches!(role, LinkRole::IncomingUnidentified))
+            .count()
+    }
+
     /// All links currently serving the given connection (at most one app
     /// link plus possibly one pending handover link).
     pub fn links_for_connection(&self, conn: ConnectionId) -> Vec<LinkId> {

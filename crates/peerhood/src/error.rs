@@ -32,6 +32,12 @@ pub enum PeerHoodError {
     /// on the same node, and the node was built without the
     /// `trusted_apps(true)` escape hatch.
     NotOwner(ConnectionId),
+    /// The resilience pipeline shed the operation: the per-app rate limit or
+    /// a queue cap refused to take more work for this connection.
+    Overloaded(ConnectionId),
+    /// The per-peer circuit breaker towards the first physical hop is open;
+    /// the dial was refused locally without touching the radio.
+    CircuitOpen(DeviceAddress),
 }
 
 impl fmt::Display for PeerHoodError {
@@ -51,6 +57,12 @@ impl fmt::Display for PeerHoodError {
             PeerHoodError::Remote(reason) => write!(f, "remote error: {reason}"),
             PeerHoodError::NotOwner(id) => {
                 write!(f, "connection {id} is owned by a different application")
+            }
+            PeerHoodError::Overloaded(id) => {
+                write!(f, "connection {id} shed by the resilience pipeline")
+            }
+            PeerHoodError::CircuitOpen(addr) => {
+                write!(f, "circuit breaker open towards {addr}")
             }
         }
     }

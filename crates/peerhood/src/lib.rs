@@ -78,6 +78,7 @@ pub mod node;
 pub mod plugin;
 pub mod proto;
 pub mod quality;
+pub mod resilience;
 pub mod route;
 pub mod service;
 pub mod storage;
@@ -93,6 +94,7 @@ pub mod prelude {
     pub use crate::handover::HandoverTarget;
     pub use crate::ids::{ConnectionId, DeviceAddress};
     pub use crate::node::{AppId, PeerHoodApi, PeerHoodEvent, PeerHoodNode, PeerHoodNodeBuilder};
+    pub use crate::resilience::{BreakerState, ResilienceConfig, ResilienceStats};
     pub use crate::service::ServiceInfo;
     pub use crate::storage::{StorageStats, StoredDevice};
 }

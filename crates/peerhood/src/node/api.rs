@@ -246,6 +246,13 @@ impl Core {
             let bridge = route.bridge.ok_or(PeerHoodError::NoRoute(target))?;
             ConnKind::OutgoingBridged { bridge }
         };
+        // The circuit breaker gates the dial towards the first physical hop
+        // before any connection state is allocated: a refused dial costs
+        // nothing — no id, no table entry, no radio attempt.
+        let gate_hop = kind.first_hop(target).unwrap_or(target);
+        if !self.resilience.allow_dial(gate_hop, ctx.now()) {
+            return Err(PeerHoodError::CircuitOpen(gate_hop));
+        }
         let conn = self.connections.allocate_id(self.my_address());
         let mut connection = AppConnection::outgoing(conn, target, service, kind.clone(), ctx.now());
         if self.config.handover.enabled {
@@ -296,6 +303,12 @@ impl Core {
             Some(c) => (c.is_established(), c.is_outgoing(), c.link),
             None => return Err(PeerHoodError::UnknownConnection(conn)),
         };
+        // Backpressure: the per-app outbound bucket sheds sends that exceed
+        // the rate, with an explicit error the caller can react to.
+        let owner = self.owner_of(conn);
+        if !self.resilience.allow_outbound(owner, ctx.now()) {
+            return Err(PeerHoodError::Overloaded(conn));
+        }
         if established {
             if let Some(link) = link {
                 self.send_frame(ctx, link, &Message::Data { conn_id: conn, payload });
@@ -304,7 +317,21 @@ impl Core {
         }
         if !outgoing {
             // Server side with a broken connection: queue the result and
-            // start result routing (§5.3 / Fig. 5.10).
+            // start result routing (§5.3 / Fig. 5.10). The outbox cap bounds
+            // how much a dead client's results may occupy; shed results are
+            // reported to the owning application instead of queued silently.
+            if let Some(cap) = self.resilience.outbox_cap() {
+                let len = self.connections.get(conn).map(|c| c.outbox.len()).unwrap_or(0);
+                if len >= cap {
+                    self.resilience.note_queue_shed();
+                    self.events.push_back(super::PeerHoodEvent::Shed {
+                        app: owner,
+                        conn,
+                        dropped_bytes: payload.len(),
+                    });
+                    return Err(PeerHoodError::Overloaded(conn));
+                }
+            }
             if let Some(c) = self.connections.get_mut(conn) {
                 c.outbox.push(payload);
             }

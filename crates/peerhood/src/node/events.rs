@@ -122,6 +122,17 @@ pub enum PeerHoodEvent {
         /// Alternative providers of the same service.
         candidates: Vec<DeviceAddress>,
     },
+    /// The resilience pipeline shed load on a connection (an inbound payload
+    /// dropped by the rate limit or a queued result dropped by the outbox
+    /// cap). Surfaced so overload is always explicit, never silent.
+    Shed {
+        /// The connection-owning application.
+        app: Option<AppId>,
+        /// The connection the shed work belonged to.
+        conn: ConnectionId,
+        /// Size of the dropped payload.
+        dropped_bytes: usize,
+    },
     /// An application timer fired.
     Timer {
         /// The application that scheduled the timer.
@@ -155,7 +166,8 @@ impl PeerHoodEvent {
             | PeerHoodEvent::Disconnected { conn, .. }
             | PeerHoodEvent::ConnectionChanged { conn, .. }
             | PeerHoodEvent::ServiceReconnected { conn, .. }
-            | PeerHoodEvent::ReconnectRequired { conn, .. } => Some(*conn),
+            | PeerHoodEvent::ReconnectRequired { conn, .. }
+            | PeerHoodEvent::Shed { conn, .. } => Some(*conn),
             _ => None,
         }
     }
@@ -172,6 +184,7 @@ impl PeerHoodEvent {
             | PeerHoodEvent::ConnectionChanged { app, .. }
             | PeerHoodEvent::ServiceReconnected { app, .. }
             | PeerHoodEvent::ReconnectRequired { app, .. }
+            | PeerHoodEvent::Shed { app, .. }
             | PeerHoodEvent::Timer { app, .. } => *app,
             PeerHoodEvent::DeviceDiscovered { .. } | PeerHoodEvent::DeviceLost { .. } => None,
         }

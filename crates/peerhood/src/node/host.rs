@@ -68,6 +68,7 @@ pub struct PeerHoodNodeBuilder {
     config: Rc<PeerHoodConfig>,
     apps: Vec<Box<dyn Application>>,
     relay: Option<bool>,
+    resilience: Option<crate::resilience::ResilienceConfig>,
     trusted_apps: bool,
     trace: bool,
 }
@@ -110,6 +111,15 @@ impl PeerHoodNodeBuilder {
         self
     }
 
+    /// Replaces the node's resilience-pipeline configuration (circuit
+    /// breakers, backpressure, admission control). When not called, the
+    /// configuration's `resilience` value — every layer off by default — is
+    /// left untouched.
+    pub fn resilience(mut self, resilience: crate::resilience::ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
     /// Controls whether co-hosted applications trust each other with every
     /// connection on the node.
     ///
@@ -142,6 +152,11 @@ impl PeerHoodNodeBuilder {
                 Rc::make_mut(&mut config).bridge.enabled = relay;
             }
         }
+        if let Some(resilience) = self.resilience {
+            if config.resilience != resilience {
+                Rc::make_mut(&mut config).resilience = resilience;
+            }
+        }
         let apps = self
             .apps
             .into_iter()
@@ -165,6 +180,7 @@ impl PeerHoodNode {
             config: Rc::new(PeerHoodConfig::default()),
             apps: Vec::new(),
             relay: None,
+            resilience: None,
             trusted_apps: true,
             trace: false,
         }
@@ -244,6 +260,12 @@ impl PeerHoodNode {
                 )
             })
             .unwrap_or((0, 0, 0))
+    }
+
+    /// Snapshot of the resilience pipeline's per-layer counters and breaker
+    /// population.
+    pub fn resilience_stats(&self) -> crate::resilience::ResilienceStats {
+        self.core.as_ref().map(|c| c.resilience.stats()).unwrap_or_default()
     }
 
     /// Number of routing handovers successfully completed by this node.
@@ -435,6 +457,13 @@ impl PeerHoodNode {
                         core.abandon_connection(conn);
                     }
                 }
+                PeerHoodEvent::Shed {
+                    app,
+                    conn,
+                    dropped_bytes,
+                } => {
+                    Self::deliver(apps, core, ctx, app, |a, api| a.on_shed(api, conn, dropped_bytes));
+                }
                 PeerHoodEvent::Timer { app, token } => {
                     Self::deliver(apps, core, ctx, app, |a, api| a.on_timer(api, token));
                 }
@@ -515,9 +544,23 @@ impl NodeAgent for PeerHoodNode {
         self.drain_events(ctx);
     }
 
-    fn on_incoming_connection(&mut self, _ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
+    fn on_incoming_connection(&mut self, ctx: &mut NodeCtx<'_>, incoming: IncomingConnection) -> bool {
         match self.core.as_mut() {
             Some(core) => {
+                // Admission control runs before any middleware state is
+                // allocated: a rejected dialer sees `ConnectError::Rejected`
+                // straight from the radio layer — the cheapest possible
+                // answer, no protocol exchange, no engine entry.
+                let peer = DeviceAddress::from_node(incoming.from);
+                let active = core.engine.incoming_unidentified()
+                    + core
+                        .connections
+                        .iter()
+                        .filter(|c| !c.is_outgoing() && c.is_established())
+                        .count();
+                if !core.resilience.admit(peer, ctx.now(), active) {
+                    return false;
+                }
                 core.engine.set_role(incoming.link, LinkRole::IncomingUnidentified);
                 true
             }

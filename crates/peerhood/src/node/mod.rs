@@ -107,6 +107,10 @@ pub(crate) struct Core {
     /// reuses the same allocation instead of re-exporting and re-encoding
     /// the whole neighbourhood per neighbour.
     pub(crate) inquiry_frame: Option<((u64, u64, u8), crate::wire::Frame)>,
+    /// The resilience pipeline: circuit breakers, backpressure and admission
+    /// control interposed on the data path (no-op when every layer is
+    /// disabled, the default).
+    pub(crate) resilience: crate::resilience::Resilience,
 }
 
 impl Core {
@@ -129,6 +133,7 @@ impl Core {
             trusted_apps,
             scratch: Vec::with_capacity(256),
             inquiry_frame: None,
+            resilience: crate::resilience::Resilience::new(config.resilience.clone()),
             config,
         }
     }

@@ -64,6 +64,9 @@ impl Core {
             Some(p) => p,
             None => return,
         };
+        // The radio link came up: the circuit breaker towards that physical
+        // hop records the success (closing a half-open breaker).
+        self.resilience.record_dial_success(DeviceAddress::from_node(_peer));
         match purpose {
             PendingPurpose::DaemonFetch { peer, tech, quality } => {
                 self.engine
@@ -217,6 +220,10 @@ impl Core {
             Some(p) => p,
             None => return,
         };
+        // Dial failures towards a physical hop feed its circuit breaker,
+        // whatever protocol flow the attempt belonged to.
+        self.resilience
+            .record_dial_failure(DeviceAddress::from_node(_peer), ctx.now());
         match purpose {
             PendingPurpose::DaemonFetch { .. } => {
                 self.note_fetch_finished(ctx, tech);
@@ -297,6 +304,12 @@ impl Core {
                 None => remote,
             }
         };
+        // An open breaker towards the hop turns the dial into a scheduled
+        // retry: the bounded retry budget is not burned on a hop known bad.
+        if !self.resilience.allow_dial(first_hop, ctx.now()) {
+            self.schedule_reply_retry(ctx, conn);
+            return;
+        }
         let tech = self.tech_for(self.daemon.storage().get(first_hop).map(|e| &e.info));
         if let Some(c) = self.connections.get_mut(conn) {
             c.state = ConnState::Connecting;

@@ -43,6 +43,7 @@ impl Core {
         );
         if let Some((cached_key, frame)) = &self.inquiry_frame {
             if *cached_key == key {
+                self.resilience.note_inquiry_served(true);
                 return frame.clone();
             }
         }
@@ -51,6 +52,7 @@ impl Core {
             .build_inquiry_response(self.config.discovery.max_export_jumps, key.2);
         let frame = wire::encode_frame(&response, &mut self.scratch);
         self.inquiry_frame = Some((key, frame.clone()));
+        self.resilience.note_inquiry_served(false);
         frame
     }
 
@@ -84,6 +86,7 @@ impl Core {
                 ctx.start_inquiry(tech);
             }
             KIND_MONITOR => {
+                self.compact_closed_connections(ctx);
                 self.monitor_pass(ctx);
                 ctx.schedule(self.config.monitor.interval, token(KIND_MONITOR, 0));
             }
@@ -134,6 +137,13 @@ impl Core {
             }
         }
         for (node, addr, quality) in fetches {
+            // A flapping or dead neighbour trips its breaker; while the
+            // breaker holds, the daemon stops burning multi-second connect
+            // attempts on it — the hit stays in the storage and the fetch
+            // resumes once a half-open probe succeeds.
+            if !self.resilience.allow_dial(addr, now) {
+                continue;
+            }
             if let Some(plugin) = self.daemon.plugins_mut().get_mut(tech) {
                 plugin.note_fetch_started();
             }
@@ -509,11 +519,19 @@ impl Core {
                 }
             }
             Message::Data { payload, .. } => {
-                self.events.push_back(PeerHoodEvent::Data {
-                    app: self.owner_of(conn),
-                    conn,
-                    payload,
-                });
+                // Backpressure: payloads beyond the owning app's inbound rate
+                // are shed here, before the event queue — the overloaded app
+                // sees an explicit Shed event instead of a silent drop.
+                let app = self.owner_of(conn);
+                if !self.resilience.allow_inbound(app, ctx.now()) {
+                    self.events.push_back(PeerHoodEvent::Shed {
+                        app,
+                        conn,
+                        dropped_bytes: payload.len(),
+                    });
+                    return;
+                }
+                self.events.push_back(PeerHoodEvent::Data { app, conn, payload });
             }
             Message::Disconnect { .. } => {
                 if let Some(c) = self.connections.get_mut(conn) {
@@ -704,6 +722,15 @@ impl Core {
             self.daemon
                 .storage_mut()
                 .mark_suspect(DeviceAddress::from_node(peer), self.config.discovery.max_missed_loops);
+            // A crashed peer counts as a dial failure towards it.
+            self.resilience
+                .record_dial_failure(DeviceAddress::from_node(peer), ctx.now());
+        } else if reason == DisconnectReason::OutOfRange {
+            // A physically broken link feeds the flap detector: a neighbour
+            // whose links keep breaking trips its breaker even though every
+            // individual dial succeeds.
+            self.resilience
+                .record_link_break(DeviceAddress::from_node(peer), ctx.now());
         }
         let role = match self.engine.remove(link) {
             Some(r) => r,
@@ -845,6 +872,15 @@ impl Core {
             Some(c) => c,
             None => return false,
         };
+        // A candidate behind an open breaker is treated like a failed switch
+        // attempt, so recovery falls through to the next candidate or to
+        // service reconnection instead of dialling a hop known bad.
+        if !self.resilience.allow_dial(candidate.bridge, ctx.now()) {
+            if let Some(m) = self.connections.get_mut(conn).and_then(|c| c.monitor.as_mut()) {
+                m.switch_failed();
+            }
+            return false;
+        }
         let tech = self.tech_for(self.daemon.storage().get(candidate.bridge).map(|e| &e.info));
         let attempt = ctx.connect(candidate.bridge.node_id(), tech);
         self.pending.insert(
@@ -944,6 +980,10 @@ impl Core {
         let monitor_cfg = self.config.monitor.clone();
         let handover_target = self.config.handover.target;
         let first_hop = kind.first_hop(provider).unwrap_or(provider);
+        if !self.resilience.allow_dial(first_hop, ctx.now()) {
+            self.abandon_connection(conn);
+            return;
+        }
         let tech = self.tech_for(self.daemon.storage().get(first_hop).map(|e| &e.info));
         if let Some(c) = self.connections.get_mut(conn) {
             c.remote = provider;
@@ -972,6 +1012,45 @@ impl Core {
             conn,
             graceful: false,
         });
+    }
+
+    /// Epoch-compaction of closed-but-revivable connection records — the
+    /// simulator's retired-link recipe applied to the connection table.
+    /// `Closed`/`Failed` entries are deliberately kept so result routing or
+    /// reconnection can revive them, which under long churn grows the table
+    /// without bound. When `handover.closed_retention` is set, each monitor
+    /// tick counts an *idle epoch* for entries that are down, link-less and
+    /// outbox-empty; any sign of life resets the counter, and entries idle
+    /// past the retention are dropped. The default (`None`) keeps the
+    /// original keep-forever behaviour byte for byte.
+    fn compact_closed_connections(&mut self, _ctx: &mut NodeCtx<'_>) {
+        let retention = match self.config.handover.closed_retention {
+            Some(r) => r,
+            None => return,
+        };
+        let interval = self.config.monitor.interval.as_micros().max(1);
+        let max_epochs = (retention.as_micros() / interval).max(1) as u32;
+        for conn in self.connections.ids() {
+            let remove = match self.connections.get_mut(conn) {
+                Some(c) => {
+                    let idle = matches!(c.state, ConnState::Closed | ConnState::Failed)
+                        && c.link.is_none()
+                        && c.outbox.is_empty();
+                    if idle {
+                        c.idle_epochs += 1;
+                        c.idle_epochs > max_epochs
+                    } else {
+                        c.idle_epochs = 0;
+                        false
+                    }
+                }
+                None => false,
+            };
+            if remove {
+                self.connections.remove(conn);
+                self.conn_owner.remove(&conn);
+            }
+        }
     }
 
     fn monitor_pass(&mut self, ctx: &mut NodeCtx<'_>) {
@@ -1005,6 +1084,14 @@ impl Core {
                         .and_then(|m| m.begin_switch())
                 });
                 if let Some(candidate) = candidate {
+                    if !self.resilience.allow_dial(candidate.bridge, ctx.now()) {
+                        // The candidate's breaker is open: abort this switch
+                        // (the old route is still up) and keep monitoring.
+                        if let Some(m) = self.connections.get_mut(conn).and_then(|c| c.monitor.as_mut()) {
+                            m.switch_failed();
+                        }
+                        continue;
+                    }
                     let tech = self.tech_for(self.daemon.storage().get(candidate.bridge).map(|e| &e.info));
                     let attempt = ctx.connect(candidate.bridge.node_id(), tech);
                     self.pending.insert(

@@ -885,3 +885,130 @@ fn crashed_peer_expires_and_reborn_daemon_readvertises() {
         })
         .unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Resilience pipeline
+// ---------------------------------------------------------------------
+
+/// Drives `sessions` connect→talk→close rounds from a fresh client world
+/// against a server built with the given `closed_retention`, returning the
+/// server's final connection-table size. The server keeps every closed
+/// session revivable by default; the retention bounds that working set.
+fn churn_sessions(closed_retention: Option<SimDuration>, sessions: usize) -> usize {
+    let mut world = World::new(WorldConfig::ideal(77));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        peerhood("client", MobilityClass::Dynamic, TestApp::default()),
+    );
+    let mut server_cfg = PeerHoodConfig::new("server", MobilityClass::Static);
+    server_cfg.handover.closed_retention = closed_retention;
+    let server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(server_cfg)
+                .app(TestApp::server("echo", true))
+                .build(),
+        ),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    for _ in 0..sessions {
+        let conn = world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                n.with_api(ctx, |api| api.connect_to_service("echo")).unwrap()
+            })
+            .unwrap()
+            .expect("echo service reachable");
+        world.run_for(SimDuration::from_secs(5));
+        world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                n.with_api(ctx, |api| api.close(conn)).unwrap().unwrap();
+            })
+            .unwrap();
+        world.run_for(SimDuration::from_secs(5));
+    }
+    // Let the retention window elapse fully after the last session.
+    world.run_for(SimDuration::from_secs(30));
+    world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| n.connections().len())
+        .unwrap()
+}
+
+/// Satellite of the resilience PR: the epoch-compaction recipe applied to
+/// closed-but-revivable connections. Without a retention the server-side
+/// table grows one `Closed` entry per churned session, forever; with
+/// `closed_retention` set the long-churn working set stays bounded.
+#[test]
+fn closed_retention_bounds_the_connection_table_under_churn() {
+    let unbounded = churn_sessions(None, 8);
+    assert_eq!(
+        unbounded, 8,
+        "without retention every churned session leaves a revivable Closed entry"
+    );
+    let bounded = churn_sessions(Some(SimDuration::from_secs(10)), 8);
+    assert!(
+        bounded <= 2,
+        "with a 10 s retention the working set must stay bounded, got {bounded}"
+    );
+}
+
+/// The per-peer circuit breaker on the client refuses dials towards a
+/// crashed server once consecutive failures trip it, surfacing
+/// `CircuitOpen` synchronously instead of burning radio attempts.
+#[test]
+fn circuit_breaker_blocks_dials_to_a_dead_peer() {
+    let mut resilience = crate::resilience::ResilienceConfig::default();
+    resilience.breaker.enabled = true;
+    let mut world = World::new(WorldConfig::ideal(53));
+    let client = world.add_node(
+        "client",
+        MobilityModel::stationary(Point::new(0.0, 0.0)),
+        &bt(),
+        Box::new(
+            PeerHoodNode::builder()
+                .config(PeerHoodConfig::new("client", MobilityClass::Dynamic).with_resilience(resilience))
+                .app(TestApp::default())
+                .build(),
+        ),
+    );
+    let server = world.add_node(
+        "server",
+        MobilityModel::stationary(Point::new(4.0, 0.0)),
+        &bt(),
+        peerhood("server", MobilityClass::Static, TestApp::server("echo", false)),
+    );
+    world.run_for(SimDuration::from_secs(40));
+    let server_addr = world
+        .with_agent::<PeerHoodNode, _>(server, |n, _| n.device_address().unwrap())
+        .unwrap();
+    world.crash_node(server);
+
+    let mut circuit_open = false;
+    for _ in 0..8 {
+        let result = world
+            .with_agent::<PeerHoodNode, _>(client, |n, ctx| {
+                n.with_api(ctx, |api| api.connect_to(server_addr, "echo")).unwrap()
+            })
+            .unwrap();
+        match result {
+            Err(PeerHoodError::CircuitOpen(hop)) => {
+                assert_eq!(hop, server_addr);
+                circuit_open = true;
+                break;
+            }
+            Err(PeerHoodError::UnknownDevice(_)) => break, // aged out first
+            _ => {}
+        }
+        world.run_for(SimDuration::from_secs(8));
+    }
+    assert!(circuit_open, "repeated dial failures must trip the breaker");
+    let stats = world
+        .with_agent::<PeerHoodNode, _>(client, |n, _| n.resilience_stats())
+        .unwrap();
+    assert!(stats.breaker_trips >= 1, "the trip must be counted, got {stats:?}");
+    assert!(stats.breaker_blocked >= 1, "the refused dial must be counted");
+}

@@ -1,6 +1,7 @@
-//! The experiment runners E1–E14 (see `DESIGN.md` for the per-figure index;
-//! E12 is the dense-city scale family and E13/E14 are the fault & churn
-//! family added on top of the thesis).
+//! The experiment runners E1–E16 (see `DESIGN.md` for the per-figure index;
+//! E12 is the dense-city scale family, E13/E14 are the fault & churn
+//! family and E16 is the resilience-pipeline overload city, all added on
+//! top of the thesis).
 //!
 //! Each function builds the scenario it needs, runs the simulation and
 //! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
@@ -13,6 +14,7 @@ pub mod full_stack;
 pub mod handover;
 pub mod metropolis;
 pub mod migration_exp;
+pub mod overload;
 pub mod registry;
 pub mod scale;
 
@@ -28,6 +30,10 @@ pub use handover::{
 };
 pub use metropolis::{e15_full_stack_metropolis, metropolis_run, MetropolisSettings};
 pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
+pub use overload::{
+    e16_overload, overload_outcome, overload_run, CrowdApp, HotspotApp, OverloadOutcome, OverloadSettings,
+    HOTSPOT_SERVICE,
+};
 pub use registry::{
     find, registry, samples_from_report, Experiment, ParamKind, ParamSpec, Params, RunOutput, SampleRow,
 };
@@ -45,10 +51,10 @@ pub enum Effort {
 }
 
 /// Runs every experiment through the [`Experiment`] registry and returns
-/// the reports in E1–E15 order. Settings-driven families keep their
+/// the reports in E1–E16 order. Settings-driven families keep their
 /// historical pinned seeds (see [`Experiment::suite_seed`]), so the suite
 /// output is byte-identical to the pre-registry per-experiment entry
-/// points.
+/// points (E16 appends after the historical E1–E15 blocks).
 pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
     let params = Params::new();
     registry()

@@ -1,4 +1,4 @@
-//! The uniform [`Experiment`] trait and the E1–E15 registry.
+//! The uniform [`Experiment`] trait and the E1–E16 registry.
 //!
 //! Every experiment of the reproduction is runnable through one interface:
 //! `run(seed, params, quick)` returns both the human-readable markdown
@@ -20,8 +20,8 @@ use crate::experiments::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, e06_bridge_performance, e07_two_server_handover, e08_routing_handover,
     e09_result_routing, e10_coverage_amplification, e11_monitoring_limitation, e12_dense_city, e13_churn_sweep,
-    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, ChurnSettings, DiscoverySettings, MetropolisSettings,
-    ScaleSettings, StackMode,
+    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, e16_overload, ChurnSettings, DiscoverySettings,
+    MetropolisSettings, OverloadSettings, ScaleSettings, StackMode,
 };
 use crate::report::ExperimentReport;
 
@@ -109,6 +109,8 @@ pub enum ParamKind {
     F64,
     /// A [`StackMode`]: `lightweight` or `full`.
     Stack,
+    /// A binary toggle: `on` or `off`.
+    OnOff,
 }
 
 impl ParamKind {
@@ -126,7 +128,19 @@ impl ParamKind {
             ParamKind::Stack => parse_stack(value)
                 .map(|_| ())
                 .ok_or_else(|| format!("`{value}` is not a stack mode (lightweight|full)")),
+            ParamKind::OnOff => parse_on_off(value)
+                .map(|_| ())
+                .ok_or_else(|| format!("`{value}` is not a toggle (on|off)")),
         }
+    }
+}
+
+/// Parses an on/off toggle.
+pub fn parse_on_off(value: &str) -> Option<bool> {
+    match value {
+        "on" => Some(true),
+        "off" => Some(false),
+        _ => None,
     }
 }
 
@@ -191,6 +205,11 @@ impl Params {
     /// Parsed [`StackMode`] value of `key`.
     pub fn get_stack(&self, key: &str) -> Option<StackMode> {
         self.get(key).and_then(parse_stack)
+    }
+
+    /// Parsed on/off toggle value of `key`.
+    pub fn get_on_off(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(parse_on_off)
     }
 
     /// Seconds value of `key` as a [`SimDuration`].
@@ -519,6 +538,39 @@ experiment!(
     }
 );
 
+experiment!(
+    E16Overload,
+    "E16",
+    "overload",
+    "Overload city: flash crowd with/without the resilience pipeline",
+    keys: ["resilience"],
+    params: [
+        ("resilience", ParamKind::OnOff, "run only one pipeline mode (default: an off row and an on row)"),
+        ("clients", ParamKind::USize, "crowd size (half near each hotspot)"),
+        ("duration_s", ParamKind::USize, "simulated seconds per mode")
+    ],
+    suite_seed: 16,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick {
+            OverloadSettings::quick()
+        } else {
+            OverloadSettings::full()
+        };
+        settings.seed = seed;
+        if let Some(n) = params.get_usize("clients") {
+            settings.clients = n;
+        }
+        if let Some(d) = params.get_secs("duration_s") {
+            settings.duration = d;
+        }
+        let modes: Vec<bool> = match params.get_on_off("resilience") {
+            Some(mode) => vec![mode],
+            None => vec![false, true],
+        };
+        e16_overload(&settings, &modes)
+    }
+);
+
 /// Applies the shared city-family overrides (E12/E13): population, density,
 /// mobile fraction, duration and stack mode.
 fn apply_city_params(
@@ -564,6 +616,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(E13Churn),
         Box::new(E14Blackout),
         Box::new(E15Metropolis),
+        Box::new(E16Overload),
     ]
 }
 
@@ -580,19 +633,21 @@ mod tests {
     use crate::report::ExperimentReport;
 
     #[test]
-    fn registry_has_fifteen_unique_experiments() {
+    fn registry_has_sixteen_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 16);
         let mut slugs: Vec<&str> = reg.iter().map(|e| e.slug()).collect();
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         slugs.sort_unstable();
         slugs.dedup();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(slugs.len(), 15, "slugs must be unique");
-        assert_eq!(ids.len(), 15, "ids must be unique");
+        assert_eq!(slugs.len(), 16, "slugs must be unique");
+        assert_eq!(ids.len(), 16, "ids must be unique");
         assert_eq!(reg[12].id(), "E13");
         assert_eq!(reg[12].slug(), "churn");
+        assert_eq!(reg[15].id(), "E16");
+        assert_eq!(reg[15].slug(), "overload");
     }
 
     #[test]
@@ -647,5 +702,8 @@ mod tests {
         assert!(ParamKind::F64.check("inf").is_err());
         assert!(ParamKind::Stack.check("full").is_ok());
         assert!(ParamKind::Stack.check("Full").is_err());
+        assert!(ParamKind::OnOff.check("on").is_ok());
+        assert!(ParamKind::OnOff.check("off").is_ok());
+        assert!(ParamKind::OnOff.check("true").is_err());
     }
 }

@@ -83,6 +83,20 @@ impl LossBurst {
     }
 }
 
+/// A periodic up/down square wave on the link pair between the planned node
+/// and one peer: a link that works for `duty` of every `period` and is dead
+/// for the rest — the classic flapping neighbour that keeps tearing down and
+/// re-admitting sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlappingLink {
+    /// The other endpoint of the flapping pair.
+    pub peer: NodeId,
+    /// Length of one full up+down cycle.
+    pub period: SimDuration,
+    /// Fraction of each period the link is *up* (clamped to `[0, 1]`).
+    pub duty: f64,
+}
+
 /// A deterministic per-node fault schedule.
 ///
 /// Built fluently by scenarios, or derived from a seed with
@@ -104,6 +118,7 @@ impl LossBurst {
 pub struct FaultPlan {
     actions: Vec<(SimTime, FaultAction)>,
     bursts: Vec<LossBurst>,
+    flaps: Vec<FlappingLink>,
 }
 
 impl FaultPlan {
@@ -114,7 +129,7 @@ impl FaultPlan {
 
     /// True if the plan schedules nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.actions.is_empty() && self.bursts.is_empty()
+        self.actions.is_empty() && self.bursts.is_empty() && self.flaps.is_empty()
     }
 
     /// The scheduled actions, in insertion order.
@@ -125,6 +140,11 @@ impl FaultPlan {
     /// The loss/corruption windows.
     pub fn bursts(&self) -> &[LossBurst] {
         &self.bursts
+    }
+
+    /// The flapping link pairs.
+    pub fn flaps(&self) -> &[FlappingLink] {
+        &self.flaps
     }
 
     /// Schedules a permanent crash at `at`.
@@ -182,6 +202,28 @@ impl FaultPlan {
             drop_prob: drop_prob.clamp(0.0, 1.0),
             corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
             peer: Some(peer),
+        });
+        self
+    }
+
+    /// Declares the link pair between the planned node and `peer` as
+    /// flapping: up for `duty` of every `period`, dead for the rest. While
+    /// the pair is down, connection attempts between the two nodes fail,
+    /// payloads in flight between them are lost and open links break at the
+    /// next link check — all with
+    /// [`ConnectError::OutOfRange`](crate::node::ConnectError::OutOfRange) /
+    /// [`DisconnectReason::OutOfRange`](crate::node::DisconnectReason::OutOfRange)
+    /// semantics, so recovery machinery sees an ordinary range loss.
+    ///
+    /// The square wave's phase offset is drawn from the world's dedicated
+    /// fault stream at install time, so a population of flapping links
+    /// desynchronises deterministically under the world seed. `duty` is
+    /// clamped to `[0, 1]`; a zero `period` or a duty of `1.0` never flaps.
+    pub fn flapping_link(mut self, peer: NodeId, period: SimDuration, duty: f64) -> Self {
+        self.flaps.push(FlappingLink {
+            peer,
+            period,
+            duty: duty.clamp(0.0, 1.0),
         });
         self
     }
@@ -267,9 +309,35 @@ pub(crate) struct FaultEngine {
     /// True once any installed plan carries a loss burst; lets the delivery
     /// hot path skip all burst bookkeeping in burst-free worlds.
     any_bursts: bool,
+    /// Flapping pairs from installed plans, phase-shifted at install time.
+    flaps: Vec<ActiveFlap>,
     rng: SimRng,
     pub(crate) stats: FaultStats,
     pub(crate) lifecycle: Vec<LifecycleEvent>,
+}
+
+/// One installed flapping pair with its seeded phase offset resolved.
+#[derive(Debug, Clone, Copy)]
+struct ActiveFlap {
+    a: NodeId,
+    b: NodeId,
+    period: SimDuration,
+    /// Length of the up phase at the start of each (shifted) period.
+    up_for: SimDuration,
+    /// Seeded phase offset in `[0, period)`.
+    phase: SimDuration,
+}
+
+impl ActiveFlap {
+    /// True while the square wave is in its down phase at `now`.
+    fn down_at(&self, now: SimTime) -> bool {
+        let period = self.period.as_micros();
+        if period == 0 {
+            return false;
+        }
+        let pos = (now.as_micros().wrapping_add(self.phase.as_micros())) % period;
+        pos >= self.up_for.as_micros()
+    }
 }
 
 const FAULT_RNG_LABEL: u64 = 0xFA17_5EED_0000_0001;
@@ -279,6 +347,7 @@ impl FaultEngine {
         FaultEngine {
             plans: BTreeMap::new(),
             any_bursts: false,
+            flaps: Vec::new(),
             rng: SimRng::new(world_seed ^ FAULT_RNG_LABEL),
             stats: FaultStats::default(),
             lifecycle: Vec::new(),
@@ -286,9 +355,22 @@ impl FaultEngine {
     }
 
     /// Registers a plan and returns the actions to schedule. Installing a
-    /// second plan for the same node extends the first.
+    /// second plan for the same node extends the first. Flapping pairs get
+    /// their phase offset drawn from the fault stream here — flap-free plans
+    /// draw nothing, keeping burst/churn-only worlds byte-identical.
     pub(crate) fn install(&mut self, node: NodeId, plan: FaultPlan) -> Vec<(SimTime, usize)> {
         self.any_bursts |= !plan.bursts.is_empty();
+        for flap in &plan.flaps {
+            let period = flap.period.as_micros();
+            let phase = if period == 0 { 0 } else { self.rng.range(0..period) };
+            self.flaps.push(ActiveFlap {
+                a: node,
+                b: flap.peer,
+                period: flap.period,
+                up_for: flap.period.mul_f64(flap.duty),
+                phase: SimDuration::from_micros(phase),
+            });
+        }
         let entry = self.plans.entry(node).or_default();
         let base = entry.actions.len();
         let schedule: Vec<(SimTime, usize)> = plan
@@ -299,6 +381,7 @@ impl FaultEngine {
             .collect();
         entry.actions.extend(plan.actions);
         entry.bursts.extend(plan.bursts);
+        entry.flaps.extend(plan.flaps);
         schedule
     }
 
@@ -311,6 +394,21 @@ impl FaultEngine {
     /// delivery hot path).
     pub(crate) fn has_bursts(&self) -> bool {
         self.any_bursts
+    }
+
+    /// True if any installed plan has flapping pairs (cheap guard for the
+    /// connect/delivery/link-check hot paths).
+    pub(crate) fn has_flaps(&self) -> bool {
+        !self.flaps.is_empty()
+    }
+
+    /// True while some flapping pair covering the `x`/`y` link is in its
+    /// down phase at `now`. Pure arithmetic — no randomness is drawn, so the
+    /// predicate can sit on hot paths without perturbing traces.
+    pub(crate) fn link_flapped_down(&self, x: NodeId, y: NodeId, now: SimTime) -> bool {
+        self.flaps
+            .iter()
+            .any(|f| ((f.a == x && f.b == y) || (f.a == y && f.b == x)) && f.down_at(now))
     }
 
     /// Samples the fate of a payload travelling between `from` and `to` at
@@ -488,6 +586,83 @@ mod tests {
         // Outside the window even the targeted pair is clean.
         assert_eq!(engine.sample_burst(node, flaky_peer, SimTime::from_secs(25)), None);
         assert_eq!(engine.stats.payloads_dropped, 2);
+    }
+
+    #[test]
+    fn flapping_link_square_wave_is_periodic_and_pairwise() {
+        let mut engine = FaultEngine::new(42);
+        let node = NodeId::from_raw(0);
+        let flaky = NodeId::from_raw(1);
+        let clean = NodeId::from_raw(2);
+        let period = SimDuration::from_secs(10);
+        let plan = FaultPlan::new().flapping_link(flaky, period, 0.6);
+        assert!(!plan.is_empty(), "a flap-only plan must install");
+        assert_eq!(plan.flaps().len(), 1);
+        engine.install(node, plan);
+        assert!(engine.has_flaps());
+        // The wave must be down for 40% of every period, in both directions,
+        // and strictly periodic.
+        let micros_down: u64 = (0..10_000)
+            .filter(|i| engine.link_flapped_down(node, flaky, SimTime::from_millis(i * 10)))
+            .count() as u64;
+        assert!(
+            (3_500..=4_500).contains(&micros_down),
+            "~40% of samples should be down, got {micros_down}/10000"
+        );
+        for i in 0..2_000u64 {
+            let t = SimTime::from_millis(i * 10);
+            let wrapped = SimTime::from_micros(t.as_micros() + period.as_micros());
+            assert_eq!(
+                engine.link_flapped_down(node, flaky, t),
+                engine.link_flapped_down(node, flaky, wrapped),
+                "square wave must repeat with its period"
+            );
+            assert_eq!(
+                engine.link_flapped_down(node, flaky, t),
+                engine.link_flapped_down(flaky, node, t),
+                "flap is symmetric in the pair"
+            );
+            assert!(!engine.link_flapped_down(node, clean, t), "other pairs never flap");
+        }
+    }
+
+    #[test]
+    fn flapping_phase_is_seeded_and_deterministic() {
+        let node = NodeId::from_raw(0);
+        let peer = NodeId::from_raw(1);
+        let period = SimDuration::from_secs(8);
+        let wave = |seed: u64| {
+            let mut engine = FaultEngine::new(seed);
+            engine.install(node, FaultPlan::new().flapping_link(peer, period, 0.5));
+            (0..1_000u64)
+                .map(|i| engine.link_flapped_down(node, peer, SimTime::from_millis(i * 20)))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(wave(7), wave(7), "same seed, same phase");
+        assert_ne!(wave(7), wave(8), "different seeds shift the phase");
+    }
+
+    #[test]
+    fn degenerate_duty_cycles_never_flap_or_always_flap() {
+        let mut engine = FaultEngine::new(3);
+        let node = NodeId::from_raw(0);
+        let up_peer = NodeId::from_raw(1);
+        let down_peer = NodeId::from_raw(2);
+        engine.install(
+            node,
+            FaultPlan::new()
+                .flapping_link(up_peer, SimDuration::from_secs(5), 1.0)
+                .flapping_link(down_peer, SimDuration::from_secs(5), 0.0),
+        );
+        for i in 0..500u64 {
+            let t = SimTime::from_millis(i * 37);
+            assert!(!engine.link_flapped_down(node, up_peer, t), "duty 1.0 is always up");
+            assert!(engine.link_flapped_down(node, down_peer, t), "duty 0.0 is always down");
+        }
+        // Zero period cannot flap (and must not divide by zero).
+        let mut zero = FaultEngine::new(4);
+        zero.install(node, FaultPlan::new().flapping_link(up_peer, SimDuration::ZERO, 0.5));
+        assert!(!zero.link_flapped_down(node, up_peer, SimTime::from_secs(1)));
     }
 
     #[test]

@@ -90,7 +90,9 @@ pub mod world;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::faults::{FaultAction, FaultPlan, FaultStats, LifecycleEvent, LifecycleKind, LossBurst};
+    pub use crate::faults::{
+        FaultAction, FaultPlan, FaultStats, FlappingLink, LifecycleEvent, LifecycleKind, LossBurst,
+    };
     pub use crate::geometry::{Point, Rect};
     pub use crate::link::LinkInfo;
     pub use crate::metrics::{Counters, Metrics};

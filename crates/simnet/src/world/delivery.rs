@@ -33,6 +33,15 @@ impl World {
             self.retire_link_if_drained(in_flight.link);
             return;
         }
+        // Payloads travelling a flapping pair during its down phase are lost
+        // like any physical break. Checked before bursts: the predicate is
+        // pure arithmetic, so no burst randomness is drawn for a payload the
+        // flap already killed.
+        if self.faults.has_flaps() && self.faults.link_flapped_down(in_flight.from, in_flight.to, self.now) {
+            self.metrics.record_message_lost(in_flight.to);
+            self.retire_link_if_drained(in_flight.link);
+            return;
+        }
         // Loss/corruption bursts from installed fault plans. The guard keeps
         // burst-free worlds off this path entirely, so they draw no fault
         // randomness and behave byte-identically to a build without it.
@@ -88,7 +97,9 @@ impl World {
         let a_alive = self.is_alive(a);
         let b_alive = self.is_alive(b);
         let radio_dark = !self.radio_enabled(a, tech) || !self.radio_enabled(b, tech);
+        let flapped_down = self.faults.has_flaps() && self.faults.link_flapped_down(a, b, self.now);
         let physically_broken = radio_dark
+            || flapped_down
             || if has_override {
                 exhausted
             } else {

@@ -419,3 +419,61 @@ fn same_seed_and_plan_reproduce_the_same_fault_run() {
     let other = run(78);
     assert_ne!(first, other, "different seeds should diverge");
 }
+
+#[test]
+fn flapping_link_breaks_and_blocks_the_pair_periodically() {
+    let mut w = probe_world(21);
+    let a = add_probe(&mut w, "a", 0.0);
+    let b = add_probe(&mut w, "b", 5.0);
+    let c = add_probe(&mut w, "c", 9.0);
+    w.run_for(SimDuration::from_secs(1));
+    let flaky = connect_pair(&mut w, a, b);
+    let clean = connect_pair(&mut w, a, c);
+    // 10 s period, up only 40% of it: over two minutes the a-b link must
+    // break repeatedly while a-c stays up throughout.
+    w.install_fault_plan(a, FaultPlan::new().flapping_link(b, SimDuration::from_secs(10), 0.4));
+    w.run_for(SimDuration::from_secs(120));
+    assert!(!w.link_info(flaky).unwrap().open, "a 40% duty link cannot stay up");
+    assert!(w.link_info(clean).unwrap().open, "the untouched pair must survive");
+    let (breaks, reasons_ok) = w
+        .with_agent::<FaultProbe, _>(a, |p, _| {
+            let from_b: Vec<_> = p.disconnects.iter().filter(|(peer, _)| *peer == b).collect();
+            (
+                from_b.len(),
+                from_b.iter().all(|(_, r)| *r == DisconnectReason::OutOfRange),
+            )
+        })
+        .unwrap();
+    assert_eq!(breaks, 1, "only the first break: nobody re-dialed");
+    assert!(reasons_ok, "flap breaks must look like range losses");
+
+    // Redialing during a down phase fails with OutOfRange; over enough
+    // retries both outcomes appear and successes reconnect the pair.
+    let mut successes = 0usize;
+    let mut failures = 0usize;
+    for _ in 0..24 {
+        let already = w
+            .with_agent::<FaultProbe, _>(a, |p, _| (p.connected.len(), p.failed.len()))
+            .unwrap();
+        w.with_agent::<FaultProbe, _>(a, |_, ctx| {
+            ctx.connect(b, RadioTech::Bluetooth);
+        })
+        .unwrap();
+        w.run_for(SimDuration::from_secs(5));
+        let now = w
+            .with_agent::<FaultProbe, _>(a, |p, _| (p.connected.len(), p.failed.len()))
+            .unwrap();
+        successes += now.0 - already.0;
+        failures += now.1 - already.1;
+    }
+    assert!(successes > 0, "up phases must admit reconnects");
+    assert!(failures > 0, "down phases must refuse connects");
+    w.with_agent::<FaultProbe, _>(a, |p, _| {
+        assert!(
+            p.failed.iter().all(|e| *e == ConnectError::OutOfRange),
+            "flap refusals use range-loss semantics: {:?}",
+            p.failed
+        );
+    })
+    .unwrap();
+}

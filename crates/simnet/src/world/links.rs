@@ -353,6 +353,12 @@ impl World {
             fail(self, ConnectError::OutOfRange);
             return;
         }
+        // A flapping pair in its down phase refuses connections exactly like
+        // a range loss. Guarded so flap-free worlds skip the scan entirely.
+        if self.faults.has_flaps() && self.faults.link_flapped_down(from, to, self.now) {
+            fail(self, ConnectError::OutOfRange);
+            return;
+        }
         let profile = self.config.radio.profile(tech).clone();
         let faulted = {
             let slot = match self.topology.slot_mut(from) {
