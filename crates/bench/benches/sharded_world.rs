@@ -1,0 +1,124 @@
+//! Wall-clock scaling of the sharded world across shard counts — and proof
+//! that the shards change nothing but the wall clock.
+//!
+//! This is the measurement behind E17: one sharded-metropolis city, run to
+//! completion at 1, 2, 4 and 8 shards. Every run must produce the **same
+//! digest** (all counters, per-node tallies, lifecycle events — the digest
+//! E17 prints in its report); the digest check always runs, on any machine.
+//! The speedup column is only meaningful on multi-core hardware, so the
+//! monotone-speedup assert (1 → 4 shards strictly faster) arms itself only
+//! when the runner reports at least 4 CPUs, and `BENCH_NO_ASSERT=1`
+//! disarms it for noisy environments.
+//!
+//! Output: a markdown table on stdout and `BENCH_sharded_world.json`
+//! (override the path with `BENCH_SHARDED_WORLD_OUT`), uploaded by CI as
+//! the scaling artifact.
+
+use std::time::Instant;
+
+use scenarios::experiments::{sharded_metropolis_run, sharded_world_digest, ShardedSettings};
+use simnet::prelude::*;
+
+/// One full run at the given shard count: wall-clock seconds plus the run
+/// digest and headline counters for the invariance check.
+fn run_once(base: &ShardedSettings, shards: usize) -> (f64, u64, Counters) {
+    let mut settings = base.clone();
+    settings.shards = shards;
+    let start = Instant::now();
+    let world = sharded_metropolis_run(&settings);
+    let wall = start.elapsed().as_secs_f64();
+    (wall, sharded_world_digest(&world), *world.metrics().global())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var_os("BENCH_QUICK").is_some();
+    let mut base = if quick {
+        ShardedSettings::quick()
+    } else {
+        ShardedSettings::full()
+    };
+    if quick {
+        // The invariance claim does not need the full 100k city four times
+        // over; a fifth of it keeps CI fast while still exercising every
+        // cross-shard path (migration, handshakes, data, churn).
+        base.nodes = 20_000;
+        base.duration = SimDuration::from_secs(40);
+    }
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let shard_counts: &[usize] = &[1, 2, 4, 8];
+
+    println!("### bench group `sharded_world`");
+    println!();
+    println!(
+        "{} nodes, {}s simulated, {} cores available",
+        base.nodes,
+        base.duration.as_secs(),
+        cores
+    );
+    println!();
+    println!("| shards | wall (s) | speedup vs 1 | digest |");
+    println!("|---|---|---|---|");
+    let mut rows: Vec<(usize, f64, u64)> = Vec::new();
+    for &shards in shard_counts {
+        let (wall, digest, global) = run_once(&base, shards);
+        eprintln!(
+            "  sharded_world/{shards}: {wall:.2}s, digest {digest:016x}, {} links, {} msgs",
+            global.connects_established, global.messages_delivered
+        );
+        rows.push((shards, wall, digest));
+    }
+    let base_wall = rows[0].1;
+    for &(shards, wall, digest) in &rows {
+        println!(
+            "| {shards} | {wall:.2} | {:.2} | {digest:016x} |",
+            base_wall / wall.max(f64::MIN_POSITIVE)
+        );
+    }
+    println!();
+
+    // The determinism claim holds on any machine, loaded or not: shard
+    // count is pure load partitioning. This assert is never disarmed.
+    let reference = rows[0].2;
+    for &(shards, _, digest) in &rows {
+        assert_eq!(
+            digest, reference,
+            "digest at {shards} shards diverged from the 1-shard reference — shard count leaked into results"
+        );
+    }
+
+    // Emit the JSON artifact (hand-rolled: serde is stubbed offline).
+    let path = std::env::var("BENCH_SHARDED_WORLD_OUT").unwrap_or_else(|_| "BENCH_sharded_world.json".to_string());
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"nodes\": {},\n  \"sim_seconds\": {},\n  \"cores\": {cores},\n  \"digest\": \"{reference:016x}\",\n  \"rows\": [\n",
+        base.nodes,
+        base.duration.as_secs()
+    ));
+    for (i, (shards, wall, _)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"wall_seconds\": {wall:.3}, \"speedup\": {:.3}}}{}\n",
+            base_wall / wall.max(f64::MIN_POSITIVE),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&path, &json).expect("write BENCH_sharded_world.json");
+    eprintln!("  wrote {path}");
+
+    // The scaling claim needs cores to scale onto. On a multi-core runner
+    // the 1 → 2 → 4 shard curve must be strictly faster at every step;
+    // single-core machines still verify determinism above but skip this.
+    if std::env::var_os("BENCH_NO_ASSERT").is_none() && cores >= 4 {
+        let wall_at = |s: usize| rows.iter().find(|(n, ..)| *n == s).expect("row").1;
+        assert!(
+            wall_at(2) < wall_at(1) && wall_at(4) < wall_at(2),
+            "speedup must increase strictly from 1 to 4 shards on a {cores}-core machine: \
+             1={:.2}s 2={:.2}s 4={:.2}s",
+            wall_at(1),
+            wall_at(2),
+            wall_at(4)
+        );
+    } else if cores < 4 {
+        eprintln!("  ({cores} cores: speedup assert skipped, digest invariance verified)");
+    }
+}

@@ -2,7 +2,7 @@
 //! single experiments, and drives multi-seed sweep campaigns.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro                          # full E1-E16 suite
+//! cargo run -p bench --release --bin repro                          # full E1-E17 suite
 //! cargo run -p bench --release --bin repro -- --quick --seed 42     # reduced sizes, explicit seed
 //! cargo run -p bench --release --bin repro -- --list                # experiments & parameters
 //! cargo run -p bench --release --bin repro -- churn --quick         # one experiment (slug or id)
@@ -60,23 +60,44 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(name) => {
             // Reject sweep-only (and mistyped) flags instead of silently
             // running something other than what was asked for.
-            reject_unknown_flags(args, &["--quick", "--seed"])?;
+            reject_unknown_flags(args, &["--quick", "--seed", "--shards"])?;
+            let shards = flag_value(args, "--shards")?
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| format!("--shards: `{s}` is not a count"))
+                })
+                .transpose()?;
+            // `--shards` means the parallel engine: E15's sequential city has
+            // no shard knob, so reroute the request to the sharded metropolis.
+            let name = if shards.is_some() && find(name).map(|e| e.id() == "E15").unwrap_or(false) {
+                eprintln!("note: --shards selects the sharded engine; running E17 (sharded-metropolis) instead of E15");
+                "sharded-metropolis"
+            } else {
+                name
+            };
             // A single experiment by slug or id, through the uniform trait.
             let experiment = find(name).ok_or_else(|| format!("unknown experiment `{name}`"))?;
+            let mut params = Params::new();
+            if let Some(shards) = shards {
+                if !experiment.params().iter().any(|p| p.key == "shards") {
+                    return Err(format!("{} does not take --shards", experiment.id()));
+                }
+                params.set("shards", shards.to_string());
+            }
             let seed = seed.unwrap_or_else(|| experiment.suite_seed(DEFAULT_SUITE_SEED));
             eprintln!(
                 "running {} ({}) with seed {seed} ({effort:?}) ...",
                 experiment.id(),
                 experiment.slug()
             );
-            println!("{}", experiment.run(seed, &Params::new(), quick).report);
+            println!("{}", experiment.run(seed, &params, quick).report);
             Ok(())
         }
         None => {
-            // The full E1-E16 suite.
+            // The full E1-E17 suite.
             reject_unknown_flags(args, &["--quick", "--seed"])?;
             let seed = seed.unwrap_or(DEFAULT_SUITE_SEED);
-            eprintln!("running the E1-E16 experiment suite (seed {seed}, {effort:?}) ...");
+            eprintln!("running the E1-E17 experiment suite (seed {seed}, {effort:?}) ...");
             let reports = run_all(seed, effort);
             for report in &reports {
                 println!("{report}");
@@ -102,7 +123,7 @@ fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String>
 /// First token that is neither a flag nor a flag value — the subcommand,
 /// wherever it sits among the flags.
 fn first_positional(args: &[String]) -> Option<&str> {
-    const VALUE_FLAGS: [&str; 5] = ["--seed", "--seeds", "--threads", "--json", "--grid"];
+    const VALUE_FLAGS: [&str; 6] = ["--seed", "--seeds", "--threads", "--json", "--grid", "--shards"];
     let mut skip_value = false;
     for arg in args {
         if skip_value {
@@ -181,8 +202,10 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
 /// `repro --list`: subcommands, experiments and their grid parameters.
 fn list() {
     println!("usage:");
-    println!("  repro [--quick] [--seed N]                 run the full E1-E16 suite");
-    println!("  repro <experiment> [--quick] [--seed N]    run one experiment (slug or id)");
+    println!("  repro [--quick] [--seed N]                 run the full E1-E17 suite");
+    println!("  repro <experiment> [--quick] [--seed N] [--shards N]");
+    println!("                                             run one experiment (slug or id);");
+    println!("                                             --shards selects the parallel engine (E17)");
     println!("  repro sweep <experiment> [--seeds N] [--seed BASE] [--threads N]");
     println!("        [--grid k=v1,v2,...]... [--quick] [--json PATH]");
     println!("                                             multi-seed statistical campaign");

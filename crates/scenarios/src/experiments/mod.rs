@@ -1,7 +1,7 @@
-//! The experiment runners E1–E16 (see `DESIGN.md` for the per-figure index;
+//! The experiment runners E1–E17 (see `DESIGN.md` for the per-figure index;
 //! E12 is the dense-city scale family, E13/E14 are the fault & churn
-//! family and E16 is the resilience-pipeline overload city, all added on
-//! top of the thesis).
+//! family, E16 is the resilience-pipeline overload city and E17 is the
+//! sharded metropolis, all added on top of the thesis).
 //!
 //! Each function builds the scenario it needs, runs the simulation and
 //! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
@@ -17,6 +17,7 @@ pub mod migration_exp;
 pub mod overload;
 pub mod registry;
 pub mod scale;
+pub mod sharded;
 
 pub use bridge::{bridge_trial, e06_bridge_performance, e10_coverage_amplification, BridgeTrial};
 pub use discovery::{
@@ -38,6 +39,9 @@ pub use registry::{
     find, registry, samples_from_report, Experiment, ParamKind, ParamSpec, Params, RunOutput, SampleRow,
 };
 pub use scale::{e12_dense_city, CityAgent, ScaleSettings};
+pub use sharded::{
+    e17_sharded_metropolis, sharded_metropolis_run, sharded_world_digest, ShardCityAgent, ShardedSettings,
+};
 
 use crate::report::ExperimentReport;
 
@@ -51,10 +55,10 @@ pub enum Effort {
 }
 
 /// Runs every experiment through the [`Experiment`] registry and returns
-/// the reports in E1–E16 order. Settings-driven families keep their
+/// the reports in E1–E17 order. Settings-driven families keep their
 /// historical pinned seeds (see [`Experiment::suite_seed`]), so the suite
 /// output is byte-identical to the pre-registry per-experiment entry
-/// points (E16 appends after the historical E1–E15 blocks).
+/// points (E16 and E17 append after the historical E1–E15 blocks).
 pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
     let params = Params::new();
     registry()

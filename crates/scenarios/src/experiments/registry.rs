@@ -1,4 +1,4 @@
-//! The uniform [`Experiment`] trait and the E1–E16 registry.
+//! The uniform [`Experiment`] trait and the E1–E17 registry.
 //!
 //! Every experiment of the reproduction is runnable through one interface:
 //! `run(seed, params, quick)` returns both the human-readable markdown
@@ -20,8 +20,8 @@ use crate::experiments::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, e06_bridge_performance, e07_two_server_handover, e08_routing_handover,
     e09_result_routing, e10_coverage_amplification, e11_monitoring_limitation, e12_dense_city, e13_churn_sweep,
-    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, e16_overload, ChurnSettings, DiscoverySettings,
-    MetropolisSettings, OverloadSettings, ScaleSettings, StackMode,
+    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, e16_overload, e17_sharded_metropolis, ChurnSettings,
+    DiscoverySettings, MetropolisSettings, OverloadSettings, ScaleSettings, ShardedSettings, StackMode,
 };
 use crate::report::ExperimentReport;
 
@@ -571,6 +571,50 @@ experiment!(
     }
 );
 
+experiment!(
+    E17ShardedMetropolis,
+    "E17",
+    "sharded-metropolis",
+    "Sharded metropolis: deterministic intra-run parallelism at 100k+ nodes",
+    keys: ["nodes"],
+    params: [
+        ("shards", ParamKind::USize, "worker threads (wall-clock only; results are shard-invariant)"),
+        ("nodes", ParamKind::USize, "city population"),
+        ("density", ParamKind::F64, "devices per square kilometre"),
+        ("churn", ParamKind::F64, "crashes per churning node per hour"),
+        ("mobile_fraction", ParamKind::F64, "fraction of roaming pedestrians"),
+        ("duration_s", ParamKind::USize, "simulated seconds")
+    ],
+    suite_seed: 17,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick {
+            ShardedSettings::quick()
+        } else {
+            ShardedSettings::full()
+        };
+        settings.seed = seed;
+        if let Some(s) = params.get_usize("shards") {
+            settings.shards = s.max(1);
+        }
+        if let Some(n) = params.get_usize("nodes") {
+            settings.nodes = n;
+        }
+        if let Some(d) = params.get_f64("density") {
+            settings.density_per_km2 = d;
+        }
+        if let Some(rate) = params.get_f64("churn") {
+            settings.churn_per_hour = rate;
+        }
+        if let Some(m) = params.get_f64("mobile_fraction") {
+            settings.mobile_fraction = m;
+        }
+        if let Some(d) = params.get_secs("duration_s") {
+            settings.duration = d;
+        }
+        e17_sharded_metropolis(&settings)
+    }
+);
+
 /// Applies the shared city-family overrides (E12/E13): population, density,
 /// mobile fraction, duration and stack mode.
 fn apply_city_params(
@@ -598,7 +642,7 @@ fn apply_city_params(
     }
 }
 
-/// Every experiment of the reproduction, in E1–E15 order.
+/// Every experiment of the reproduction, in E1–E17 order.
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(E01Coverage),
@@ -617,6 +661,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(E14Blackout),
         Box::new(E15Metropolis),
         Box::new(E16Overload),
+        Box::new(E17ShardedMetropolis),
     ]
 }
 
@@ -633,21 +678,23 @@ mod tests {
     use crate::report::ExperimentReport;
 
     #[test]
-    fn registry_has_sixteen_unique_experiments() {
+    fn registry_has_seventeen_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         let mut slugs: Vec<&str> = reg.iter().map(|e| e.slug()).collect();
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         slugs.sort_unstable();
         slugs.dedup();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(slugs.len(), 16, "slugs must be unique");
-        assert_eq!(ids.len(), 16, "ids must be unique");
+        assert_eq!(slugs.len(), 17, "slugs must be unique");
+        assert_eq!(ids.len(), 17, "ids must be unique");
         assert_eq!(reg[12].id(), "E13");
         assert_eq!(reg[12].slug(), "churn");
         assert_eq!(reg[15].id(), "E16");
         assert_eq!(reg[15].slug(), "overload");
+        assert_eq!(reg[16].id(), "E17");
+        assert_eq!(reg[16].slug(), "sharded-metropolis");
     }
 
     #[test]

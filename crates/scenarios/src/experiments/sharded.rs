@@ -1,0 +1,444 @@
+//! E17: the sharded metropolis — one run, 100k+ nodes, many cores.
+//!
+//! E12–E16 scale the *population*; E17 scales the *machine*. The city runs
+//! on [`ShardedWorld`]: the area is split into vertical stripes, each owned
+//! by one worker thread, advancing in conservative lookahead windows with
+//! cross-shard effects merged canonically at every barrier. The headline
+//! property — and the thing this experiment's report is built to prove — is
+//! that the shard count is **pure load partitioning**: the same seed
+//! produces byte-identical results on 1, 2, 4 or 8 shards, so the report
+//! carries a digest of every counter, per-node tally and lifecycle event,
+//! and deliberately never mentions the shard count itself. Run it twice with
+//! different `--shards` values and `diff` the output: it must be empty.
+//!
+//! The workload is the E12 city probe ported to the windowed API: every
+//! device periodically scans its WLAN neighbourhood, attaches to the
+//! best-quality peer, pings it, and hands over when the monitored quality
+//! drops below the thesis' "signal low" threshold — under light seeded
+//! churn, at metropolitan population (100k nodes quick, 250k full).
+
+use std::any::Any;
+
+use simnet::prelude::*;
+
+use crate::report::ExperimentReport;
+
+const SCAN: TimerToken = TimerToken(0xE171);
+const QCHECK: TimerToken = TimerToken(0xE172);
+const PING: TimerToken = TimerToken(0xE173);
+
+/// Settings for the E17 sharded-metropolis run.
+#[derive(Debug, Clone)]
+pub struct ShardedSettings {
+    /// Base random seed (world, placement and churn plans derive from it).
+    pub seed: u64,
+    /// City population.
+    pub nodes: usize,
+    /// Device density in nodes per square kilometre.
+    pub density_per_km2: f64,
+    /// Fraction of nodes roaming as random-waypoint pedestrians.
+    pub mobile_fraction: f64,
+    /// Expected crashes per churning node per hour (every tenth node
+    /// churns). Zero disables the fault engine.
+    pub churn_per_hour: f64,
+    /// Mean downtime of a crashed node.
+    pub mean_downtime: SimDuration,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// How often each device scans its neighbourhood.
+    pub inquiry_interval: SimDuration,
+    /// How often an attached device pings its peer.
+    pub ping_interval: SimDuration,
+    /// Worker threads to run the world on. Changes wall-clock time only,
+    /// never results.
+    pub shards: usize,
+}
+
+impl ShardedSettings {
+    /// The full-size run used to produce `EXPERIMENTS.md` (a quarter-million
+    /// nodes).
+    pub fn full() -> Self {
+        ShardedSettings {
+            seed: 17,
+            nodes: 250_000,
+            density_per_km2: 1_000.0,
+            mobile_fraction: 0.2,
+            churn_per_hour: 20.0,
+            mean_downtime: SimDuration::from_secs(25),
+            duration: SimDuration::from_secs(120),
+            inquiry_interval: SimDuration::from_secs(20),
+            ping_interval: SimDuration::from_secs(10),
+            shards: 2,
+        }
+    }
+
+    /// The CI variant: a 100k-node city over a shorter horizon.
+    pub fn quick() -> Self {
+        ShardedSettings {
+            nodes: 100_000,
+            duration: SimDuration::from_secs(45),
+            ..ShardedSettings::full()
+        }
+    }
+
+    /// A small population for debug-build smoke tests (`cargo test`).
+    pub fn smoke() -> Self {
+        ShardedSettings {
+            nodes: 600,
+            duration: SimDuration::from_secs(60),
+            ..ShardedSettings::full()
+        }
+    }
+
+    /// Side length in metres of the square area at the configured density.
+    pub fn side_m(&self) -> f64 {
+        (self.nodes as f64 / self.density_per_km2 * 1_000_000.0).sqrt()
+    }
+}
+
+/// The E12 city probe ported to the sharded world's windowed API: scan,
+/// attach to the best-quality neighbour, ping it, hand over on low quality.
+pub struct ShardCityAgent {
+    inquiry_interval: SimDuration,
+    ping_interval: SimDuration,
+    attached: Option<(LinkId, NodeId)>,
+    handover_from: Option<LinkId>,
+    connecting: bool,
+    last_hits: Vec<InquiryHit>,
+    /// Completed quality-driven handovers.
+    pub handovers: u64,
+    /// Attached links lost to anything but a graceful peer close.
+    pub drops: u64,
+    /// Pings received (the echo side of the data path).
+    pub pings_received: u64,
+}
+
+impl ShardCityAgent {
+    /// Creates the probe with the given scan and ping cadence.
+    pub fn new(inquiry_interval: SimDuration, ping_interval: SimDuration) -> Self {
+        ShardCityAgent {
+            inquiry_interval,
+            ping_interval,
+            attached: None,
+            handover_from: None,
+            connecting: false,
+            last_hits: Vec::new(),
+            handovers: 0,
+            drops: 0,
+            pings_received: 0,
+        }
+    }
+
+    /// Best candidate by quality (ties towards the lower id), excluding
+    /// `except` — the same deterministic rule as the E12 probe.
+    fn best_candidate(&self, except: Option<NodeId>) -> Option<InquiryHit> {
+        self.last_hits
+            .iter()
+            .filter(|h| Some(h.node) != except)
+            .max_by_key(|h| (h.quality, std::cmp::Reverse(h.node)))
+            .copied()
+    }
+}
+
+impl ShardAgent for ShardCityAgent {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {
+        // Stagger scans so the city is not phase-locked on one instant.
+        let jitter_ms = ctx.rng().range(0..self.inquiry_interval.as_millis().max(1));
+        ctx.schedule(SimDuration::from_millis(jitter_ms), SCAN);
+        ctx.schedule(SimDuration::from_millis(5_000 + jitter_ms), QCHECK);
+        ctx.schedule(self.ping_interval + SimDuration::from_millis(jitter_ms), PING);
+    }
+    fn on_restart(&mut self, ctx: &mut ShardCtx<'_>) {
+        // A reboot loses the link table and the scan cache with it.
+        self.attached = None;
+        self.handover_from = None;
+        self.connecting = false;
+        self.last_hits.clear();
+        self.on_start(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut ShardCtx<'_>, token: TimerToken) {
+        match token {
+            SCAN => {
+                ctx.start_inquiry(RadioTech::Wlan);
+                ctx.schedule(self.inquiry_interval, SCAN);
+            }
+            QCHECK => {
+                if let Some((link, peer)) = self.attached {
+                    let quality = ctx.link_quality(link);
+                    if quality.map(|q| q < QUALITY_LOW_THRESHOLD).unwrap_or(true) && !self.connecting {
+                        if let Some(target) = self.best_candidate(Some(peer)) {
+                            self.handover_from = Some(link);
+                            self.connecting = true;
+                            ctx.connect(target.node, RadioTech::Wlan);
+                        }
+                    }
+                }
+                ctx.schedule(SimDuration::from_secs(5), QCHECK);
+            }
+            PING => {
+                if let Some((link, _)) = self.attached {
+                    let _ = ctx.send(link, b"city-ping".to_vec());
+                }
+                ctx.schedule(self.ping_interval, PING);
+            }
+            _ => {}
+        }
+    }
+    fn on_inquiry_complete(&mut self, ctx: &mut ShardCtx<'_>, _tech: RadioTech, hits: Vec<InquiryHit>) {
+        self.last_hits = hits;
+        if self.attached.is_none() && !self.connecting {
+            if let Some(best) = self.best_candidate(None) {
+                self.connecting = true;
+                ctx.connect(best.node, RadioTech::Wlan);
+            }
+        }
+    }
+    fn on_incoming_connection(&mut self, _ctx: &mut ShardCtx<'_>, _incoming: IncomingConnection) -> bool {
+        true
+    }
+    fn on_connected(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        _attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        _tech: RadioTech,
+    ) {
+        self.connecting = false;
+        if let Some(old) = self.handover_from.take() {
+            ctx.close(old);
+            self.handovers += 1;
+        }
+        self.attached = Some((link, peer));
+    }
+    fn on_connect_failed(
+        &mut self,
+        _ctx: &mut ShardCtx<'_>,
+        _attempt: AttemptId,
+        _peer: NodeId,
+        _tech: RadioTech,
+        _error: ConnectError,
+    ) {
+        self.connecting = false;
+        self.handover_from = None;
+    }
+    fn on_message(&mut self, _ctx: &mut ShardCtx<'_>, _link: LinkId, _from: NodeId, payload: SharedPayload) {
+        if payload.as_slice() == b"city-ping" {
+            self.pings_received += 1;
+        }
+    }
+    fn on_disconnected(&mut self, _ctx: &mut ShardCtx<'_>, link: LinkId, _peer: NodeId, reason: DisconnectReason) {
+        if self.handover_from == Some(link) {
+            // The old link died before the handover connect resolved: the
+            // in-flight attempt becomes a plain re-attach, not a handover.
+            self.handover_from = None;
+        }
+        if self.attached.map(|(l, _)| l) == Some(link) {
+            self.attached = None;
+            if reason != DisconnectReason::PeerClosed {
+                self.drops += 1;
+            }
+        }
+    }
+}
+
+/// Builds and runs the sharded metropolis, returning the world for
+/// inspection. Identical `(settings minus shards)` produce identical worlds
+/// at any shard count.
+pub fn sharded_metropolis_run(settings: &ShardedSettings) -> ShardedWorld {
+    let side = settings.side_m();
+    let area = Rect::new(0.0, 0.0, side, side);
+    let mut config = ShardedConfig::new(settings.seed ^ (settings.nodes as u64), area);
+    config.shards = settings.shards;
+    config.grid_cell_m = config.radio.wlan.range_m;
+    config.link_check_interval = SimDuration::from_secs(1);
+    config.window = Some(SimDuration::from_secs(1));
+    config.max_speed_mps = 2.0;
+    config.mobility_horizon = SimTime::ZERO + settings.duration + SimDuration::from_secs(600);
+    let mut world = ShardedWorld::new(config);
+    let mut placer = SimRng::new(settings.seed ^ 0x5AD0 ^ (settings.nodes as u64));
+    let mobile_every = if settings.mobile_fraction <= 0.0 {
+        usize::MAX
+    } else {
+        (1.0 / settings.mobile_fraction).round().max(1.0) as usize
+    };
+    for i in 0..settings.nodes {
+        let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        let mobility = if i % mobile_every == 0 {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.7,
+                max_speed_mps: 2.0,
+                pause: SimDuration::from_secs(20),
+            }
+        } else {
+            MobilityModel::stationary(start)
+        };
+        world.add_node(
+            format!("s{i}"),
+            mobility,
+            &[RadioTech::Wlan],
+            Box::new(ShardCityAgent::new(settings.inquiry_interval, settings.ping_interval)),
+        );
+    }
+    if settings.churn_per_hour > 0.0 {
+        let mtbf = SimDuration::from_secs_f64(3_600.0 / settings.churn_per_hour);
+        let horizon = SimTime::ZERO + settings.duration;
+        let planner = SimRng::new(settings.seed ^ 0xFA17_5A4D);
+        for (i, node) in world.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            if i % 10 != 0 {
+                continue;
+            }
+            let mut rng = planner.derive(i as u64);
+            let plan = FaultPlan::churn(horizon, mtbf, settings.mean_downtime, &mut rng);
+            world.install_fault_plan(node, &plan);
+        }
+    }
+    world.run_for(settings.duration);
+    world
+}
+
+/// FNV-1a digest of everything the run produced: global counters, the
+/// per-node counter stream, the per-technology traffic split, fault stats
+/// and the canonical lifecycle stream. Two runs agree on this digest only if
+/// they agree on every number the world can report — the single cell CI
+/// diffs across shard counts.
+pub fn sharded_world_digest(world: &ShardedWorld) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = BASIS;
+    let mut fold = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let fold_counters = |fold: &mut dyn FnMut(u64), c: &Counters| {
+        fold(c.inquiries_started);
+        fold(c.inquiry_hits);
+        fold(c.connect_attempts);
+        fold(c.connect_failures);
+        fold(c.connects_established);
+        fold(c.messages_sent);
+        fold(c.bytes_sent);
+        fold(c.messages_delivered);
+        fold(c.messages_lost);
+        fold(c.links_broken);
+        fold(c.quality_samples);
+    };
+    fold_counters(&mut fold, world.metrics().global());
+    for (id, counters) in world.metrics().iter_nodes() {
+        fold(id.as_raw());
+        fold_counters(&mut fold, counters);
+    }
+    for tech in [RadioTech::Bluetooth, RadioTech::Wlan, RadioTech::Gprs] {
+        fold(world.metrics().messages_for_tech(tech));
+        fold(world.metrics().bytes_for_tech(tech));
+    }
+    let stats = world.fault_stats();
+    fold(stats.crashes);
+    fold(stats.restarts);
+    fold(stats.radio_outages);
+    fold(stats.radio_restores);
+    for event in world.lifecycle_events() {
+        fold(event.at.as_micros());
+        fold(event.node.as_raw());
+        fold(match event.kind {
+            LifecycleKind::NodeDown => 1,
+            LifecycleKind::NodeUp => 2,
+            LifecycleKind::RadioDown(t) => 0x10 + t as u64,
+            LifecycleKind::RadioUp(t) => 0x20 + t as u64,
+        });
+    }
+    h
+}
+
+/// E17 (beyond the thesis): the sharded metropolis.
+///
+/// The report is identical for every shard count by construction — it
+/// includes the run digest and omits the shard count, so `diff`-ing two
+/// runs at different `--shards` values is the invariance check itself.
+pub fn e17_sharded_metropolis(settings: &ShardedSettings) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E17",
+        "Sharded metropolis: deterministic intra-run parallelism at 100k+ nodes",
+        "Beyond the thesis: the world itself parallelises. Spatial shards advance in conservative \
+         lookahead windows with cross-shard events merged in canonical order, so one run spreads \
+         across every core while staying byte-identical at any shard count. This table contains a \
+         digest of every counter and lifecycle event and no shard-dependent cell: rerun with a \
+         different --shards value and diff — the output must not change.",
+        &[
+            "nodes",
+            "side (m)",
+            "inquiries",
+            "links established",
+            "handovers",
+            "coverage drops",
+            "pings delivered",
+            "crashes",
+            "restarts",
+            "digest",
+        ],
+    );
+    let mut world = sharded_metropolis_run(settings);
+    let (mut handovers, mut drops) = (0u64, 0u64);
+    for id in world.node_ids().collect::<Vec<_>>() {
+        if let Some((h, d)) = world.with_agent::<ShardCityAgent, _>(id, |a| (a.handovers, a.drops)) {
+            handovers += h;
+            drops += d;
+        }
+    }
+    let digest = sharded_world_digest(&world);
+    let g = world.metrics().global();
+    let fault = world.fault_stats();
+    report.push_row([
+        settings.nodes.to_string(),
+        format!("{:.0}", settings.side_m()),
+        g.inquiries_started.to_string(),
+        g.connects_established.to_string(),
+        handovers.to_string(),
+        drops.to_string(),
+        g.messages_delivered.to_string(),
+        fault.crashes.to_string(),
+        fault.restarts.to_string(),
+        format!("{digest:016x}"),
+    ]);
+    report.push_note(format!(
+        "density {} nodes/km^2, {:.0}% mobile, every 10th node churning at {}/h (mean downtime \
+         {}s), {}s simulated; windowed execution (1s lookahead), digest covers all counters, \
+         per-node tallies and the lifecycle stream",
+        settings.density_per_km2,
+        settings.mobile_fraction * 100.0,
+        settings.churn_per_hour,
+        settings.mean_downtime.as_secs(),
+        settings.duration.as_secs_f64(),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_city_runs_and_report_is_shard_invariant() {
+        let mut one = ShardedSettings::smoke();
+        one.shards = 1;
+        let mut four = ShardedSettings::smoke();
+        four.shards = 4;
+        let a = e17_sharded_metropolis(&one);
+        let b = e17_sharded_metropolis(&four);
+        assert_eq!(a.to_string(), b.to_string(), "report must not depend on shard count");
+        // The city actually did something.
+        let world = sharded_metropolis_run(&one);
+        assert!(world.metrics().global().connects_established > 0);
+        assert!(world.metrics().global().messages_delivered > 0);
+    }
+}

@@ -101,10 +101,11 @@ pub mod prelude {
         AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeAgent, NodeId,
         TimerToken,
     };
-    pub use crate::payload::Payload;
+    pub use crate::payload::{Payload, SharedPayload};
     pub use crate::radio::{RadioEnvironment, RadioProfile, RadioTech, QUALITY_LOW_THRESHOLD, QUALITY_MAX};
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::world::shard::{ShardAgent, ShardCtx, ShardedConfig, ShardedWorld};
     pub use crate::world::{NodeCtx, SendError, World, WorldConfig};
 }
 

@@ -200,6 +200,29 @@ impl Metrics {
         self.node_mut(node).quality_samples += 1;
     }
 
+    /// Merges counters recorded outside this store — a world shard tallies
+    /// per-node counters locally and folds them in at the end of a run — into
+    /// the node's slot and the global aggregate. All-zero counters are
+    /// skipped so [`Metrics::iter_nodes`] keeps its "only active nodes"
+    /// semantics.
+    pub fn absorb_node(&mut self, node: NodeId, counters: &Counters) {
+        if *counters == Counters::default() {
+            return;
+        }
+        self.global.merge(counters);
+        self.node_mut(node).merge(counters);
+    }
+
+    /// Merges externally recorded per-technology traffic totals (the
+    /// per-tech companion of [`Metrics::absorb_node`]).
+    pub fn absorb_tech(&mut self, tech: RadioTech, messages: u64, bytes: u64) {
+        if messages == 0 && bytes == 0 {
+            return;
+        }
+        *self.per_tech_messages.entry(tech).or_insert(0) += messages;
+        *self.per_tech_bytes.entry(tech).or_insert(0) += bytes;
+    }
+
     /// Resets every counter to zero, keeping the store allocated.
     pub fn reset(&mut self) {
         *self = Metrics::default();

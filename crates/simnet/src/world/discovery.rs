@@ -46,9 +46,11 @@ impl World {
             Some(r) => r,
             None => return self.neighbors_in_range_reference(node, tech),
         };
-        self.topology
-            .candidates_within(pos, range, self.now)
-            .into_iter()
+        let mut scratch = self.candidate_scratch.borrow_mut();
+        self.topology.candidates_within_into(pos, range, self.now, &mut scratch);
+        scratch
+            .iter()
+            .copied()
             .filter(|id| *id != node)
             .filter(|id| {
                 self.topology
@@ -162,7 +164,9 @@ impl World {
                     .unwrap_or(false))
     }
 
-    /// Inquiry candidates for a range-bounded technology, via the grid.
+    /// Inquiry candidates for a range-bounded technology, via the grid. The
+    /// candidate superset lands in the world's reusable scratch buffer; only
+    /// the surviving (id, distance) pairs are materialised.
     fn inquiry_candidates_grid(
         &self,
         node: NodeId,
@@ -172,9 +176,11 @@ impl World {
         profile: &RadioProfile,
         now: SimTime,
     ) -> Vec<(NodeId, f64)> {
-        self.topology
-            .candidates_within(pos, range, now)
-            .into_iter()
+        let mut scratch = self.candidate_scratch.borrow_mut();
+        self.topology.candidates_within_into(pos, range, now, &mut scratch);
+        scratch
+            .iter()
+            .copied()
             .filter(|id| *id != node)
             .filter_map(|id| {
                 let other = self.topology.slot(id)?;

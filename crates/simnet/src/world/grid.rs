@@ -187,13 +187,26 @@ impl SpatialGrid {
     /// All tracked nodes in cells intersecting the disk of `radius` metres
     /// around `center`, sorted by node id. A superset of the nodes truly
     /// within the radius; callers must still apply the exact range test.
+    /// Production paths go through [`SpatialGrid::query_into`]; this
+    /// allocating convenience form remains for the unit tests.
+    #[cfg(test)]
     pub(crate) fn query(&self, center: Point, radius: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.query_into(center, radius, &mut out);
+        out
+    }
+
+    /// Like [`SpatialGrid::query`], but appends into a caller-owned scratch
+    /// buffer (cleared first) so hot paths — every inquiry and neighbour
+    /// lookup at 100k nodes — reuse one allocation instead of building a
+    /// fresh candidate `Vec` per query. Contents are identical to `query`.
+    pub(crate) fn query_into(&self, center: Point, radius: f64, out: &mut Vec<NodeId>) {
+        out.clear();
         let r = radius + QUERY_PAD_M;
         let ix_min = ((center.x - r) / self.cell_m).floor() as i64;
         let ix_max = ((center.x + r) / self.cell_m).floor() as i64;
         let iy_min = ((center.y - r) / self.cell_m).floor() as i64;
         let iy_max = ((center.y + r) / self.cell_m).floor() as i64;
-        let mut out = Vec::new();
         for i in ix_min..=ix_max {
             for j in iy_min..=iy_max {
                 if let Some(bucket) = self.cells.get(&(i, j)) {
@@ -204,7 +217,6 @@ impl SpatialGrid {
         // Each node lives in exactly one bucket, so sorting suffices for a
         // deterministic, duplicate-free result.
         out.sort_unstable();
-        out
     }
 }
 

@@ -22,6 +22,7 @@ mod delivery;
 mod discovery;
 mod grid;
 mod links;
+pub mod shard;
 mod topology;
 
 #[cfg(test)]
@@ -184,6 +185,11 @@ pub struct World {
     metrics: Metrics,
     faults: FaultEngine,
     rng: SimRng,
+    /// Reusable scratch buffer for grid candidate queries (behind a
+    /// `RefCell` so read-only APIs keep `&self`). Every inquiry and
+    /// neighbour lookup fills this one allocation instead of building a
+    /// fresh candidate `Vec` — hot at 100k nodes.
+    candidate_scratch: std::cell::RefCell<Vec<NodeId>>,
 }
 
 impl World {
@@ -201,6 +207,7 @@ impl World {
             metrics: Metrics::new(),
             faults,
             rng,
+            candidate_scratch: std::cell::RefCell::new(Vec::new()),
         }
     }
 

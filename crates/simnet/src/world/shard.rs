@@ -1,0 +1,1668 @@
+//! The sharded world: conservative-lookahead intra-run parallelism.
+//!
+//! [`World`](super::World) is a single-threaded event loop; one run tops out
+//! around 10k nodes no matter how many cores the machine has. This module
+//! adds [`ShardedWorld`]: the same radio/mobility/fault substrate, spatially
+//! partitioned into per-thread **shards** that each own the nodes, links and
+//! event queue of one contiguous stripe of the simulated area and run their
+//! event loops independently inside a conservative lookahead **window**.
+//!
+//! ## The windowed execution model
+//!
+//! Time advances in fixed windows of width `W` (default: the link-check
+//! interval). Within a window every node processes only its *own* events —
+//! timers, inquiry completions, link checks, fault actions and messages that
+//! arrived at earlier barriers. Anything one node does that another node
+//! could observe is expressed as a message and becomes visible at
+//! `max(natural_time, start of the next window)`; at each window barrier the
+//! coordinator collects every emitted message, sorts the batch into the
+//! canonical `(effective time, origin node, per-origin sequence)` order and
+//! delivers it into the owning shards. Reads of *other* nodes' dynamic state
+//! (is it alive? discoverable? mid-scan?) go through a per-window
+//! **snapshot** taken at the window start, paired with a per-window bucket
+//! grid over window-start positions; exact positions are always available
+//! because compiled [`MotionPlan`]s are pure data shared by every shard.
+//!
+//! Crucially these windowed semantics apply **at every shard count,
+//! including one**: the partition decides which thread executes a node,
+//! never what the node observes. That is what makes same-seed runs
+//! byte-identical at any shard count — every RNG draw comes from the
+//! per-node stream (derived exactly as [`World::add_node`] derives it),
+//! every queue insertion happens at a deterministic point of the node's own
+//! timeline, and every identifier (links, attempts) is packed from
+//! `(initiator, per-node counter)` instead of a global counter whose value
+//! would depend on thread interleaving.
+//!
+//! Differences from the sequential `World`, all bounded by one window
+//! (500 ms by default): cross-node effects (connection handshakes, message
+//! delivery, link-break notifications, discovery visibility of state
+//! changes) can be observed up to `W` later than the sequential world would
+//! deliver them, link quality is sampled from the *querying* node's RNG
+//! stream, and fault support covers node crash/restart and radio outages
+//! (loss bursts and flapping links draw from a globally ordered fault RNG
+//! and are rejected). The sequential `World` is untouched: existing
+//! experiments reproduce byte-identically.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+use crate::event::Scheduler;
+use crate::faults::{FaultAction, FaultPlan, FaultStats, LifecycleEvent, LifecycleKind};
+use crate::geometry::{Point, Rect};
+use crate::metrics::{Counters, Metrics};
+use crate::mobility::{MobilityModel, MotionPlan};
+use crate::node::{
+    AttemptId, ConnectError, DisconnectReason, IncomingConnection, InquiryHit, LinkId, NodeId, TimerToken,
+};
+use crate::payload::SharedPayload;
+use crate::radio::{RadioEnvironment, RadioTech};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::world::SendError;
+
+/// Same per-node RNG label scheme as `World::add_node`, so a node's stream
+/// depends only on the world seed and its id — never on shard layout.
+const NODE_RNG_LABEL: u64 = 0x4E4F_4445_0000_0000;
+
+/// Matches the sequential grid's query slack (`grid::QUERY_PAD_M`).
+const QUERY_PAD_M: f64 = 1e-3;
+
+/// Link/attempt identifiers pack the initiating node into the high bits and
+/// a per-node counter into the low bits, so ids are unique and
+/// shard-count-independent without any shared counter.
+const ID_NODE_SHIFT: u32 = 32;
+
+/// Configuration for a [`ShardedWorld`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Master seed; per-node streams are derived from it exactly as the
+    /// sequential world derives them.
+    pub seed: u64,
+    /// Radio technology profiles.
+    pub radio: RadioEnvironment,
+    /// The simulated area. Shards are vertical stripes of this rectangle;
+    /// node ownership follows the stripe containing the node's position at
+    /// each window barrier.
+    pub area: Rect,
+    /// Number of shards (worker threads). Results are byte-identical at any
+    /// value; zero is treated as one.
+    pub shards: usize,
+    /// The conservative lookahead window. Defaults to
+    /// `link_check_interval` when `None`.
+    pub window: Option<SimDuration>,
+    /// How often the initiator of each link re-validates it.
+    pub link_check_interval: SimDuration,
+    /// Horizon up to which mobility models are compiled into motion plans.
+    pub mobility_horizon: SimTime,
+    /// Upper bound on any node's speed in metres per second. Used to pad
+    /// per-window grid queries so a window-start index still yields a
+    /// superset of the nodes in range at any instant inside the window.
+    pub max_speed_mps: f64,
+    /// Spatial-grid cell size override in metres; defaults to the smallest
+    /// finite radio range (the same rule as `WorldConfig`).
+    pub grid_cell_m: Option<f64>,
+}
+
+impl ShardedConfig {
+    /// A sharded-world configuration with library defaults.
+    pub fn new(seed: u64, area: Rect) -> Self {
+        ShardedConfig {
+            seed,
+            radio: RadioEnvironment::default(),
+            area,
+            shards: 1,
+            window: None,
+            link_check_interval: SimDuration::from_millis(500),
+            mobility_horizon: SimTime::from_secs(4 * 3600),
+            max_speed_mps: 3.0,
+            grid_cell_m: None,
+        }
+    }
+
+    /// The effective lookahead window.
+    pub fn resolved_window(&self) -> SimDuration {
+        let w = self.window.unwrap_or(self.link_check_interval);
+        if w.is_zero() {
+            SimDuration::from_micros(1)
+        } else {
+            w
+        }
+    }
+
+    fn resolved_grid_cell_m(&self) -> f64 {
+        if let Some(cell) = self.grid_cell_m {
+            return cell;
+        }
+        let min_range = [
+            self.radio.bluetooth.range_m,
+            self.radio.wlan.range_m,
+            self.radio.gprs.range_m,
+        ]
+        .into_iter()
+        .flatten()
+        .filter(|r| r.is_finite() && *r > 0.0)
+        .fold(f64::INFINITY, f64::min);
+        if min_range.is_finite() {
+            min_range
+        } else {
+            50.0
+        }
+    }
+}
+
+/// Behaviour attached to a node of the sharded world.
+///
+/// The mirror of [`NodeAgent`](crate::node::NodeAgent) with two deliberate
+/// differences: the context is a [`ShardCtx`] (the windowed API), and the
+/// trait requires `Send` because agents execute on worker threads. Payloads
+/// arrive as [`SharedPayload`] — the `Arc`-backed buffer that crosses shard
+/// boundaries without copying.
+#[allow(unused_variables)]
+pub trait ShardAgent: Any + Send {
+    /// Upcast for dynamic inspection (post-run assertions).
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast for dynamic inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// The node has powered on.
+    fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {}
+    /// The node restarted after a crash. Defaults to [`ShardAgent::on_start`].
+    fn on_restart(&mut self, ctx: &mut ShardCtx<'_>) {
+        self.on_start(ctx);
+    }
+    /// A timer scheduled through [`ShardCtx::schedule`] fired.
+    fn on_timer(&mut self, ctx: &mut ShardCtx<'_>, token: TimerToken) {}
+    /// A device inquiry finished.
+    fn on_inquiry_complete(&mut self, ctx: &mut ShardCtx<'_>, tech: RadioTech, hits: Vec<InquiryHit>) {}
+    /// A peer asks to connect; return `true` to accept.
+    fn on_incoming_connection(&mut self, ctx: &mut ShardCtx<'_>, incoming: IncomingConnection) -> bool {
+        false
+    }
+    /// A connection attempt initiated by this node succeeded.
+    fn on_connected(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        attempt: AttemptId,
+        link: LinkId,
+        peer: NodeId,
+        tech: RadioTech,
+    ) {
+    }
+    /// A connection attempt initiated by this node failed.
+    fn on_connect_failed(
+        &mut self,
+        ctx: &mut ShardCtx<'_>,
+        attempt: AttemptId,
+        peer: NodeId,
+        tech: RadioTech,
+        error: ConnectError,
+    ) {
+    }
+    /// A message arrived on an established link.
+    fn on_message(&mut self, ctx: &mut ShardCtx<'_>, link: LinkId, from: NodeId, payload: SharedPayload) {}
+    /// An established link went away.
+    fn on_disconnected(&mut self, ctx: &mut ShardCtx<'_>, link: LinkId, peer: NodeId, reason: DisconnectReason) {}
+}
+
+fn tech_bit(tech: RadioTech) -> u8 {
+    match tech {
+        RadioTech::Bluetooth => 1,
+        RadioTech::Wlan => 2,
+        RadioTech::Gprs => 4,
+    }
+}
+
+fn tech_index(tech: RadioTech) -> usize {
+    match tech {
+        RadioTech::Bluetooth => 0,
+        RadioTech::Wlan => 1,
+        RadioTech::Gprs => 2,
+    }
+}
+
+/// Per-node dynamic state published at each window barrier. Shards read
+/// *other* nodes' state only through this snapshot, so what a node observes
+/// never depends on which shard executes its neighbours.
+#[derive(Clone, Copy)]
+struct NodeSnapshot {
+    alive: bool,
+    techs: u8,
+    discoverable: u8,
+    radio_off: u8,
+    inquiring_until: [SimTime; 3],
+}
+
+impl Default for NodeSnapshot {
+    fn default() -> Self {
+        NodeSnapshot {
+            alive: false,
+            techs: 0,
+            discoverable: 0,
+            radio_off: 0,
+            inquiring_until: [SimTime::ZERO; 3],
+        }
+    }
+}
+
+/// One endpoint's view of an established link.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LinkStatus {
+    Open,
+    /// We closed gracefully; in-flight data from the peer still delivers.
+    ClosedLocal,
+}
+
+#[derive(Clone, Copy)]
+struct LinkHalf {
+    peer: NodeId,
+    tech: RadioTech,
+    /// The initiating endpoint owns the periodic link checks.
+    initiator: bool,
+    status: LinkStatus,
+}
+
+/// A cross-node effect, exchanged at window barriers and merged in the
+/// canonical `(at, origin, seq)` order.
+struct ShardMsg {
+    at: SimTime,
+    origin: NodeId,
+    seq: u64,
+    to: NodeId,
+    body: MsgBody,
+}
+
+enum MsgBody {
+    ConnectRequest {
+        attempt: AttemptId,
+        link: LinkId,
+        tech: RadioTech,
+    },
+    ConnectReply {
+        attempt: AttemptId,
+        link: LinkId,
+        tech: RadioTech,
+        accepted: bool,
+        error: ConnectError,
+    },
+    Data {
+        link: LinkId,
+        payload: SharedPayload,
+    },
+    /// Graceful close by the peer; ordered after all of its in-flight data.
+    Closed {
+        link: LinkId,
+    },
+    /// Non-graceful break (peer crash, radio outage, range drift).
+    Broken {
+        link: LinkId,
+        reason: DisconnectReason,
+    },
+}
+
+/// A node-local event. Everything here is scheduled either by the node's own
+/// execution or by the canonical barrier dispatch, so per-queue insertion
+/// order — the tie-breaker for equal times — is shard-count-independent.
+enum NodeEvent {
+    Start,
+    Timer {
+        token: TimerToken,
+        epoch: u64,
+    },
+    InquiryComplete {
+        tech: RadioTech,
+        epoch: u64,
+    },
+    ConnectResolve {
+        attempt: AttemptId,
+        peer: NodeId,
+        tech: RadioTech,
+        epoch: u64,
+    },
+    LinkCheck {
+        link: LinkId,
+    },
+    /// Deferred local agent notification (e.g. the `LocalClosed` callback
+    /// after `ShardCtx::close`), delivered once the current callback returns.
+    Disconnected {
+        link: LinkId,
+        peer: NodeId,
+        reason: DisconnectReason,
+        epoch: u64,
+    },
+    Fault {
+        idx: usize,
+    },
+    Inbox {
+        origin: NodeId,
+        body: MsgBody,
+    },
+}
+
+/// Everything one shard owns about one node.
+struct ShardNode {
+    id: NodeId,
+    techs: u8,
+    discoverable: u8,
+    radio_off: u8,
+    inquiring_until: [SimTime; 3],
+    alive: bool,
+    epoch: u64,
+    rng: SimRng,
+    agent: Option<Box<dyn ShardAgent>>,
+    queue: Scheduler<NodeEvent>,
+    links: BTreeMap<LinkId, LinkHalf>,
+    /// Initiator-side attempts that sent a `ConnectRequest` and await the
+    /// reply: attempt -> (peer, tech, link id reserved for the connection).
+    pending: BTreeMap<AttemptId, (NodeId, RadioTech, LinkId)>,
+    fault_actions: Vec<(SimTime, FaultAction)>,
+    counters: Counters,
+    stats: FaultStats,
+    lifecycle: Vec<LifecycleEvent>,
+    next_attempt: u64,
+    next_link: u64,
+    next_msg_seq: u64,
+}
+
+impl ShardNode {
+    fn radio_enabled(&self, tech: RadioTech) -> bool {
+        self.alive && self.techs & tech_bit(tech) != 0 && self.radio_off & tech_bit(tech) == 0
+    }
+
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            alive: self.alive,
+            techs: self.techs,
+            discoverable: self.discoverable,
+            radio_off: self.radio_off,
+            inquiring_until: self.inquiring_until,
+        }
+    }
+}
+
+/// Per-window bucket grid over window-start positions of live nodes.
+/// Queries pad the radius by `max_speed * window` so the window-start index
+/// still covers every node actually in range at any instant of the window;
+/// callers apply the exact predicate on exact positions.
+struct WindowGrid {
+    cell_m: f64,
+    cells: HashMap<(i64, i64), Vec<NodeId>>,
+}
+
+impl WindowGrid {
+    fn new(cell_m: f64) -> Self {
+        assert!(cell_m > 0.0 && cell_m.is_finite(), "invalid grid cell size: {cell_m}");
+        WindowGrid {
+            cell_m,
+            cells: HashMap::new(),
+        }
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        ((p.x / self.cell_m).floor() as i64, (p.y / self.cell_m).floor() as i64)
+    }
+
+    /// Rebuilds the index for the window starting at `t0`. Buckets keep
+    /// their allocations across windows; nodes are inserted in id order so
+    /// every bucket stays id-sorted.
+    fn rebuild(&mut self, t0: SimTime, plans: &[MotionPlan], snapshot: &[NodeSnapshot]) {
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+        for (raw, snap) in snapshot.iter().enumerate() {
+            if !snap.alive {
+                continue;
+            }
+            let cell = self.cell_of(plans[raw].position_at(t0));
+            self.cells.entry(cell).or_default().push(NodeId::from_raw(raw as u64));
+        }
+    }
+
+    /// Ids of every node bucketed in a cell intersecting the disk, sorted
+    /// ascending, appended into a caller-owned scratch buffer (cleared
+    /// first) — the per-shard reuse of the sequential grid's `query_into`.
+    fn query_into(&self, center: Point, radius: f64, out: &mut Vec<NodeId>) {
+        out.clear();
+        let r = radius + QUERY_PAD_M;
+        let ix_min = ((center.x - r) / self.cell_m).floor() as i64;
+        let ix_max = ((center.x + r) / self.cell_m).floor() as i64;
+        let iy_min = ((center.y - r) / self.cell_m).floor() as i64;
+        let iy_max = ((center.y + r) / self.cell_m).floor() as i64;
+        for i in ix_min..=ix_max {
+            for j in iy_min..=iy_max {
+                if let Some(bucket) = self.cells.get(&(i, j)) {
+                    out.extend_from_slice(bucket);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+/// Immutable state shared by every shard during one window.
+struct GlobalView<'a> {
+    radio: &'a RadioEnvironment,
+    plans: &'a [MotionPlan],
+    snapshot: &'a [NodeSnapshot],
+    grid: &'a WindowGrid,
+    /// End of the current window; cross-node effects emitted during the
+    /// window become visible no earlier than this.
+    window_end: SimTime,
+    link_check_interval: SimDuration,
+    /// `max_speed * window + slack`: how far a candidate can drift from its
+    /// window-start position.
+    query_pad_m: f64,
+}
+
+/// One shard: the nodes it currently owns, their event queues, and the
+/// outbox of cross-node messages emitted this window.
+struct Shard {
+    /// Dense by raw node id; `None` for nodes owned by other shards.
+    nodes: Vec<Option<Box<ShardNode>>>,
+    /// Lazy index over the owned nodes' earliest pending events:
+    /// `(time, raw id)` entries, corrected on pop when stale.
+    index: BinaryHeap<Reverse<(SimTime, u64)>>,
+    outbox: Vec<ShardMsg>,
+    /// Per-technology (messages, bytes) sent by nodes while owned here;
+    /// commutative, merged into the final [`Metrics`] at assembly.
+    tech_msgs: BTreeMap<RadioTech, (u64, u64)>,
+    /// Reusable grid-query scratch buffer (one per shard, not per query).
+    scratch: Vec<NodeId>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            nodes: Vec::new(),
+            index: BinaryHeap::new(),
+            outbox: Vec::new(),
+            tech_msgs: BTreeMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Runs every owned event strictly before `view.window_end`.
+    fn run_window(&mut self, view: &GlobalView<'_>) {
+        let t1 = view.window_end;
+        let Shard {
+            nodes,
+            index,
+            outbox,
+            tech_msgs,
+            scratch,
+        } = self;
+        let mut exec = Executor {
+            view,
+            outbox,
+            tech_msgs,
+            scratch,
+        };
+        while let Some(&Reverse((t, raw))) = index.peek() {
+            if t >= t1 {
+                break;
+            }
+            index.pop();
+            let Some(node) = nodes[raw as usize].as_deref_mut() else {
+                continue; // stale entry: the node migrated away
+            };
+            match node.queue.peek_time() {
+                None => {}
+                Some(head) if head != t => index.push(Reverse((head, raw))),
+                Some(_) => {
+                    let (at, event) = node.queue.pop().expect("peeked");
+                    exec.process(node, at, event);
+                    if let Some(next) = node.queue.peek_time() {
+                        index.push(Reverse((next, raw)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The per-window execution context of one shard's event loop.
+struct Executor<'a> {
+    view: &'a GlobalView<'a>,
+    outbox: &'a mut Vec<ShardMsg>,
+    tech_msgs: &'a mut BTreeMap<RadioTech, (u64, u64)>,
+    scratch: &'a mut Vec<NodeId>,
+}
+
+impl Executor<'_> {
+    fn call_agent(
+        &mut self,
+        node: &mut ShardNode,
+        now: SimTime,
+        f: impl FnOnce(&mut dyn ShardAgent, &mut ShardCtx<'_>),
+    ) {
+        let Some(mut agent) = node.agent.take() else {
+            return;
+        };
+        {
+            let mut ctx = ShardCtx {
+                now,
+                node,
+                view: self.view,
+                outbox: self.outbox,
+                tech_msgs: self.tech_msgs,
+            };
+            f(agent.as_mut(), &mut ctx);
+        }
+        node.agent = Some(agent);
+    }
+
+    fn emit(outbox: &mut Vec<ShardMsg>, node: &mut ShardNode, at: SimTime, to: NodeId, body: MsgBody) {
+        let seq = node.next_msg_seq;
+        node.next_msg_seq += 1;
+        outbox.push(ShardMsg {
+            at,
+            origin: node.id,
+            seq,
+            to,
+            body,
+        });
+    }
+
+    fn process(&mut self, node: &mut ShardNode, now: SimTime, event: NodeEvent) {
+        match event {
+            NodeEvent::Start => {
+                if node.alive {
+                    self.call_agent(node, now, |agent, ctx| agent.on_start(ctx));
+                }
+            }
+            NodeEvent::Timer { token, epoch } => {
+                if node.alive && node.epoch == epoch {
+                    self.call_agent(node, now, |agent, ctx| agent.on_timer(ctx, token));
+                }
+            }
+            NodeEvent::InquiryComplete { tech, epoch } => {
+                if node.alive && node.epoch == epoch {
+                    self.complete_inquiry(node, now, tech);
+                }
+            }
+            NodeEvent::ConnectResolve {
+                attempt,
+                peer,
+                tech,
+                epoch,
+            } => {
+                if node.alive && node.epoch == epoch {
+                    self.resolve_connect(node, now, attempt, peer, tech);
+                }
+            }
+            NodeEvent::LinkCheck { link } => self.check_link(node, now, link),
+            NodeEvent::Disconnected {
+                link,
+                peer,
+                reason,
+                epoch,
+            } => {
+                if node.alive && node.epoch == epoch {
+                    self.call_agent(node, now, |agent, ctx| agent.on_disconnected(ctx, link, peer, reason));
+                }
+            }
+            NodeEvent::Fault { idx } => self.apply_fault(node, now, idx),
+            NodeEvent::Inbox { origin, body } => self.process_msg(node, now, origin, body),
+        }
+    }
+
+    fn complete_inquiry(&mut self, node: &mut ShardNode, now: SimTime, tech: RadioTech) {
+        let profile = self.view.radio.profile(tech).clone();
+        let idx = tech_index(tech);
+        let mut hits = Vec::new();
+        if node.radio_enabled(tech) {
+            let range = profile
+                .range_m
+                .expect("sharded world supports range-bounded technologies only");
+            let pos = self.view.plans[node.id.as_raw() as usize].position_at(now);
+            self.view
+                .grid
+                .query_into(pos, range + self.view.query_pad_m, self.scratch);
+            let bit = tech_bit(tech);
+            for &candidate in self.scratch.iter() {
+                if candidate == node.id {
+                    continue;
+                }
+                let snap = &self.view.snapshot[candidate.as_raw() as usize];
+                if !snap.alive
+                    || snap.techs & bit == 0
+                    || snap.radio_off & bit != 0
+                    || snap.discoverable & bit == 0
+                    || (profile.inquiry_asymmetric && snap.inquiring_until[idx] > now)
+                {
+                    continue;
+                }
+                let distance = pos.distance(self.view.plans[candidate.as_raw() as usize].position_at(now));
+                if !profile.in_range(distance) {
+                    continue;
+                }
+                if node.rng.chance(profile.inquiry_miss_prob) {
+                    continue;
+                }
+                if let Some(quality) = profile.sample_quality(distance, &mut node.rng) {
+                    hits.push(InquiryHit {
+                        node: candidate,
+                        tech,
+                        quality,
+                    });
+                }
+            }
+        }
+        if node.inquiring_until[idx] <= now {
+            node.inquiring_until[idx] = SimTime::ZERO;
+        }
+        node.counters.inquiry_hits += hits.len() as u64;
+        self.call_agent(node, now, |agent, ctx| agent.on_inquiry_complete(ctx, tech, hits));
+    }
+
+    fn resolve_connect(
+        &mut self,
+        node: &mut ShardNode,
+        now: SimTime,
+        attempt: AttemptId,
+        peer: NodeId,
+        tech: RadioTech,
+    ) {
+        let profile = self.view.radio.profile(tech);
+        // The fault draw mirrors the sequential world: sampled from the
+        // initiator's stream at resolve time, before any peer checks.
+        let fault = profile.sample_setup_fault(&mut node.rng);
+        let error = if fault {
+            Some(ConnectError::Fault)
+        } else {
+            let snap = &self.view.snapshot[peer.as_raw() as usize];
+            let bit = tech_bit(tech);
+            if !snap.alive || snap.techs & bit == 0 || snap.radio_off & bit != 0 {
+                Some(ConnectError::Unreachable)
+            } else {
+                let own = self.view.plans[node.id.as_raw() as usize].position_at(now);
+                let theirs = self.view.plans[peer.as_raw() as usize].position_at(now);
+                if !profile.in_range(own.distance(theirs)) {
+                    Some(ConnectError::OutOfRange)
+                } else {
+                    None
+                }
+            }
+        };
+        match error {
+            Some(error) => {
+                node.counters.connect_failures += 1;
+                self.call_agent(node, now, |agent, ctx| {
+                    agent.on_connect_failed(ctx, attempt, peer, tech, error)
+                });
+            }
+            None => {
+                let link = LinkId((node.id.as_raw() << ID_NODE_SHIFT) | node.next_link);
+                node.next_link += 1;
+                node.pending.insert(attempt, (peer, tech, link));
+                let at = now.max(self.view.window_end);
+                Self::emit(
+                    self.outbox,
+                    node,
+                    at,
+                    peer,
+                    MsgBody::ConnectRequest { attempt, link, tech },
+                );
+            }
+        }
+    }
+
+    fn check_link(&mut self, node: &mut ShardNode, now: SimTime, link: LinkId) {
+        if !node.alive {
+            return; // the crash already tore the table down
+        }
+        let Some(half) = node.links.get(&link).copied() else {
+            return;
+        };
+        if half.status != LinkStatus::Open || !half.initiator {
+            return;
+        }
+        let snap = &self.view.snapshot[half.peer.as_raw() as usize];
+        let bit = tech_bit(half.tech);
+        let peer_dead = !snap.alive;
+        let peer_dark = snap.radio_off & bit != 0;
+        let own = self.view.plans[node.id.as_raw() as usize].position_at(now);
+        let theirs = self.view.plans[half.peer.as_raw() as usize].position_at(now);
+        let in_range = self.view.radio.profile(half.tech).in_range(own.distance(theirs)) && node.radio_off & bit == 0;
+        if !peer_dead && !peer_dark && in_range {
+            node.queue
+                .schedule(now + self.view.link_check_interval, NodeEvent::LinkCheck { link });
+            return;
+        }
+        let reason = if peer_dead {
+            DisconnectReason::PeerFailed
+        } else {
+            DisconnectReason::OutOfRange
+        };
+        node.links.remove(&link);
+        node.counters.links_broken += 1;
+        let at = now.max(self.view.window_end);
+        Self::emit(self.outbox, node, at, half.peer, MsgBody::Broken { link, reason });
+        self.call_agent(node, now, |agent, ctx| {
+            agent.on_disconnected(ctx, link, half.peer, reason)
+        });
+    }
+
+    fn apply_fault(&mut self, node: &mut ShardNode, now: SimTime, idx: usize) {
+        let action = node.fault_actions[idx].1;
+        match action {
+            FaultAction::NodeDown => {
+                if !node.alive {
+                    return;
+                }
+                node.alive = false;
+                node.epoch += 1;
+                node.discoverable = 0;
+                node.inquiring_until = [SimTime::ZERO; 3];
+                node.pending.clear();
+                node.stats.crashes += 1;
+                node.lifecycle.push(LifecycleEvent {
+                    at: now,
+                    node: node.id,
+                    kind: LifecycleKind::NodeDown,
+                });
+                let links = std::mem::take(&mut node.links);
+                let at = now.max(self.view.window_end);
+                for (link, half) in links {
+                    node.counters.links_broken += 1;
+                    Self::emit(
+                        self.outbox,
+                        node,
+                        at,
+                        half.peer,
+                        MsgBody::Broken {
+                            link,
+                            reason: DisconnectReason::PeerFailed,
+                        },
+                    );
+                }
+            }
+            FaultAction::NodeUp => {
+                if node.alive {
+                    return;
+                }
+                node.alive = true;
+                node.discoverable = node.techs;
+                node.stats.restarts += 1;
+                node.lifecycle.push(LifecycleEvent {
+                    at: now,
+                    node: node.id,
+                    kind: LifecycleKind::NodeUp,
+                });
+                self.call_agent(node, now, |agent, ctx| agent.on_restart(ctx));
+            }
+            FaultAction::RadioDown(tech) => {
+                let bit = tech_bit(tech);
+                if node.radio_off & bit != 0 {
+                    return;
+                }
+                node.radio_off |= bit;
+                node.stats.radio_outages += 1;
+                node.lifecycle.push(LifecycleEvent {
+                    at: now,
+                    node: node.id,
+                    kind: LifecycleKind::RadioDown(tech),
+                });
+                // Links on the dark technology break for both endpoints.
+                let broken: Vec<(LinkId, LinkHalf)> = node
+                    .links
+                    .iter()
+                    .filter(|(_, h)| h.tech == tech)
+                    .map(|(l, h)| (*l, *h))
+                    .collect();
+                let at = now.max(self.view.window_end);
+                for (link, half) in broken {
+                    node.links.remove(&link);
+                    if half.status == LinkStatus::Open {
+                        node.counters.links_broken += 1;
+                    }
+                    Self::emit(
+                        self.outbox,
+                        node,
+                        at,
+                        half.peer,
+                        MsgBody::Broken {
+                            link,
+                            reason: DisconnectReason::OutOfRange,
+                        },
+                    );
+                    if node.alive && half.status == LinkStatus::Open {
+                        let epoch = node.epoch;
+                        node.queue.schedule(
+                            now,
+                            NodeEvent::Disconnected {
+                                link,
+                                peer: half.peer,
+                                reason: DisconnectReason::OutOfRange,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            FaultAction::RadioUp(tech) => {
+                let bit = tech_bit(tech);
+                if node.radio_off & bit == 0 {
+                    return;
+                }
+                node.radio_off &= !bit;
+                node.stats.radio_restores += 1;
+                node.lifecycle.push(LifecycleEvent {
+                    at: now,
+                    node: node.id,
+                    kind: LifecycleKind::RadioUp(tech),
+                });
+            }
+        }
+    }
+
+    fn process_msg(&mut self, node: &mut ShardNode, now: SimTime, origin: NodeId, body: MsgBody) {
+        match body {
+            MsgBody::ConnectRequest { attempt, link, tech } => {
+                let bit = tech_bit(tech);
+                let reachable = node.alive && node.techs & bit != 0 && node.radio_off & bit == 0;
+                let at = now.max(self.view.window_end);
+                if !reachable {
+                    Self::emit(
+                        self.outbox,
+                        node,
+                        at,
+                        origin,
+                        MsgBody::ConnectReply {
+                            attempt,
+                            link,
+                            tech,
+                            accepted: false,
+                            error: ConnectError::Unreachable,
+                        },
+                    );
+                    return;
+                }
+                let mut accepted = false;
+                self.call_agent(node, now, |agent, ctx| {
+                    accepted = agent.on_incoming_connection(
+                        ctx,
+                        IncomingConnection {
+                            from: origin,
+                            tech,
+                            link,
+                        },
+                    );
+                });
+                if accepted {
+                    node.links.insert(
+                        link,
+                        LinkHalf {
+                            peer: origin,
+                            tech,
+                            initiator: false,
+                            status: LinkStatus::Open,
+                        },
+                    );
+                }
+                Self::emit(
+                    self.outbox,
+                    node,
+                    at,
+                    origin,
+                    MsgBody::ConnectReply {
+                        attempt,
+                        link,
+                        tech,
+                        accepted,
+                        error: ConnectError::Rejected,
+                    },
+                );
+            }
+            MsgBody::ConnectReply {
+                attempt,
+                link,
+                tech,
+                accepted,
+                error,
+            } => {
+                let valid = node.alive && node.pending.remove(&attempt).is_some();
+                if !valid {
+                    if accepted {
+                        // We died (or restarted) while the handshake was in
+                        // flight; tear the accepted half back down.
+                        let at = now.max(self.view.window_end);
+                        Self::emit(
+                            self.outbox,
+                            node,
+                            at,
+                            origin,
+                            MsgBody::Broken {
+                                link,
+                                reason: DisconnectReason::PeerFailed,
+                            },
+                        );
+                    }
+                    return;
+                }
+                if accepted {
+                    node.links.insert(
+                        link,
+                        LinkHalf {
+                            peer: origin,
+                            tech,
+                            initiator: true,
+                            status: LinkStatus::Open,
+                        },
+                    );
+                    node.counters.connects_established += 1;
+                    node.queue
+                        .schedule(now + self.view.link_check_interval, NodeEvent::LinkCheck { link });
+                    self.call_agent(node, now, |agent, ctx| {
+                        agent.on_connected(ctx, attempt, link, origin, tech)
+                    });
+                } else {
+                    node.counters.connect_failures += 1;
+                    self.call_agent(node, now, |agent, ctx| {
+                        agent.on_connect_failed(ctx, attempt, origin, tech, error)
+                    });
+                }
+            }
+            MsgBody::Data { link, payload } => {
+                let deliverable = node.alive
+                    && node
+                        .links
+                        .get(&link)
+                        .map(|h| matches!(h.status, LinkStatus::Open | LinkStatus::ClosedLocal))
+                        .unwrap_or(false);
+                if deliverable {
+                    node.counters.messages_delivered += 1;
+                    self.call_agent(node, now, |agent, ctx| agent.on_message(ctx, link, origin, payload));
+                } else {
+                    node.counters.messages_lost += 1;
+                }
+            }
+            MsgBody::Closed { link } => {
+                let Some(half) = node.links.remove(&link) else {
+                    return;
+                };
+                if half.status == LinkStatus::Open && node.alive {
+                    self.call_agent(node, now, |agent, ctx| {
+                        agent.on_disconnected(ctx, link, half.peer, DisconnectReason::PeerClosed)
+                    });
+                }
+            }
+            MsgBody::Broken { link, reason } => {
+                let Some(half) = node.links.remove(&link) else {
+                    return;
+                };
+                if half.status == LinkStatus::Open {
+                    node.counters.links_broken += 1;
+                    if node.alive {
+                        self.call_agent(node, now, |agent, ctx| {
+                            agent.on_disconnected(ctx, link, half.peer, reason)
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The windowed node-side API handed to [`ShardAgent`] callbacks — the
+/// sharded mirror of [`NodeCtx`](crate::world::NodeCtx).
+pub struct ShardCtx<'a> {
+    now: SimTime,
+    node: &'a mut ShardNode,
+    view: &'a GlobalView<'a>,
+    outbox: &'a mut Vec<ShardMsg>,
+    tech_msgs: &'a mut BTreeMap<RadioTech, (u64, u64)>,
+}
+
+impl ShardCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this context belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node.id
+    }
+
+    /// The node's exact current position.
+    pub fn position(&self) -> Point {
+        self.view.plans[self.node.id.as_raw() as usize].position_at(self.now)
+    }
+
+    /// The node's deterministic random stream (identical to the stream the
+    /// sequential world would derive for the same seed and node id).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.node.rng
+    }
+
+    /// Schedules [`ShardAgent::on_timer`] with `token` after `after`.
+    pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
+        let epoch = self.node.epoch;
+        self.node
+            .queue
+            .schedule(self.now + after, NodeEvent::Timer { token, epoch });
+    }
+
+    /// Starts a device inquiry; [`ShardAgent::on_inquiry_complete`] fires
+    /// after the technology's inquiry duration. Hits reflect the window
+    /// snapshot (at most one window stale) plus exact positions. GPRS has no
+    /// radius to bound discovery with and is not supported in the sharded
+    /// world.
+    pub fn start_inquiry(&mut self, tech: RadioTech) {
+        assert!(
+            tech != RadioTech::Gprs,
+            "sharded world supports range-bounded technologies only (Bluetooth/WLAN)"
+        );
+        let profile = self.view.radio.profile(tech);
+        let duration = profile.inquiry_duration;
+        let done = self.now + duration;
+        let idx = tech_index(tech);
+        self.node.inquiring_until[idx] = self.node.inquiring_until[idx].max(done);
+        self.node.counters.inquiries_started += 1;
+        let epoch = self.node.epoch;
+        self.node
+            .queue
+            .schedule(done, NodeEvent::InquiryComplete { tech, epoch });
+    }
+
+    /// Changes whether this node answers inquiries on `tech`.
+    pub fn set_discoverable(&mut self, tech: RadioTech, on: bool) {
+        if on {
+            self.node.discoverable |= tech_bit(tech);
+        } else {
+            self.node.discoverable &= !tech_bit(tech);
+        }
+    }
+
+    /// Initiates a connection to `peer` over `tech`. Setup latency is
+    /// sampled from this node's stream now; the outcome arrives through
+    /// [`ShardAgent::on_connected`] / [`ShardAgent::on_connect_failed`]
+    /// after the handshake crosses up to two window barriers.
+    pub fn connect(&mut self, peer: NodeId, tech: RadioTech) -> AttemptId {
+        let attempt = AttemptId((self.node.id.as_raw() << ID_NODE_SHIFT) | self.node.next_attempt);
+        self.node.next_attempt += 1;
+        self.node.counters.connect_attempts += 1;
+        let latency = self.view.radio.profile(tech).sample_setup_latency(&mut self.node.rng);
+        let epoch = self.node.epoch;
+        self.node.queue.schedule(
+            self.now + latency,
+            NodeEvent::ConnectResolve {
+                attempt,
+                peer,
+                tech,
+                epoch,
+            },
+        );
+        attempt
+    }
+
+    /// Sends `payload` on an established link. Delivery happens at
+    /// `max(now + transmission delay, next window barrier)`.
+    pub fn send(&mut self, link: LinkId, payload: impl Into<SharedPayload>) -> Result<(), SendError> {
+        let Some(half) = self.node.links.get(&link).copied() else {
+            return Err(SendError::UnknownLink);
+        };
+        if half.status != LinkStatus::Open {
+            return Err(SendError::Closed);
+        }
+        let payload = payload.into();
+        let profile = self.view.radio.profile(half.tech);
+        let delay = profile.transmission_delay(payload.len());
+        self.node.counters.messages_sent += 1;
+        self.node.counters.bytes_sent += payload.len() as u64;
+        let entry = self.tech_msgs.entry(half.tech).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += payload.len() as u64;
+        let at = (self.now + delay).max(self.view.window_end);
+        Executor::emit(self.outbox, self.node, at, half.peer, MsgBody::Data { link, payload });
+        Ok(())
+    }
+
+    /// Gracefully closes a link. This node sees
+    /// [`ShardAgent::on_disconnected`] with `LocalClosed` once the current
+    /// callback returns; the peer sees `PeerClosed` after the barrier,
+    /// ordered after all data this node sent before closing.
+    pub fn close(&mut self, link: LinkId) {
+        let Some(half) = self.node.links.get_mut(&link) else {
+            return;
+        };
+        if half.status != LinkStatus::Open {
+            return;
+        }
+        half.status = LinkStatus::ClosedLocal;
+        let peer = half.peer;
+        let epoch = self.node.epoch;
+        self.node.queue.schedule(
+            self.now,
+            NodeEvent::Disconnected {
+                link,
+                peer,
+                reason: DisconnectReason::LocalClosed,
+                epoch,
+            },
+        );
+        let at = self.now.max(self.view.window_end);
+        Executor::emit(self.outbox, self.node, at, peer, MsgBody::Closed { link });
+    }
+
+    /// Samples the current quality of an open link (0–255) from the exact
+    /// inter-node distance. Unlike the sequential world, the draw comes from
+    /// the *querying* node's stream — the only way the sample can be
+    /// independent of shard layout.
+    pub fn link_quality(&mut self, link: LinkId) -> Option<u8> {
+        let half = self.node.links.get(&link).copied()?;
+        if half.status != LinkStatus::Open {
+            return None;
+        }
+        self.node.counters.quality_samples += 1;
+        let own = self.view.plans[self.node.id.as_raw() as usize].position_at(self.now);
+        let theirs = self.view.plans[half.peer.as_raw() as usize].position_at(self.now);
+        self.view
+            .radio
+            .profile(half.tech)
+            .sample_quality(own.distance(theirs), &mut self.node.rng)
+    }
+
+    /// The peer on the other end of an established link.
+    pub fn link_peer(&self, link: LinkId) -> Option<NodeId> {
+        self.node.links.get(&link).map(|h| h.peer)
+    }
+}
+
+/// A spatially sharded, deterministically parallel world.
+///
+/// See the [module docs](self) for the execution model. The public surface
+/// mirrors the sequential [`World`](super::World) where the semantics carry
+/// over: nodes are added with a mobility model, radios and a boxed agent;
+/// fault plans (crash/restart/radio outages) install per node; metrics,
+/// fault stats and the lifecycle stream are available after a run.
+pub struct ShardedWorld {
+    config: ShardedConfig,
+    window: SimDuration,
+    now: SimTime,
+    master_rng: SimRng,
+    names: Vec<String>,
+    plans: Vec<MotionPlan>,
+    shards: Vec<Shard>,
+    owner: Vec<u32>,
+    snapshot: Vec<NodeSnapshot>,
+    grid: WindowGrid,
+    metrics: Metrics,
+    stats: FaultStats,
+    lifecycle: Vec<LifecycleEvent>,
+}
+
+impl ShardedWorld {
+    /// Creates a sharded world from a configuration.
+    pub fn new(config: ShardedConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let window = config.resolved_window();
+        let cell_m = config.resolved_grid_cell_m();
+        let master_rng = SimRng::new(config.seed);
+        ShardedWorld {
+            window,
+            master_rng,
+            names: Vec::new(),
+            plans: Vec::new(),
+            shards: (0..shard_count).map(|_| Shard::new()).collect(),
+            owner: Vec::new(),
+            snapshot: Vec::new(),
+            grid: WindowGrid::new(cell_m),
+            metrics: Metrics::new(),
+            stats: FaultStats::default(),
+            lifecycle: Vec::new(),
+            now: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Current simulation time (always a window boundary between runs).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration this world was built from.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// The effective lookahead window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Number of shards executing this world.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// All node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.plans.len() as u64).map(NodeId::from_raw)
+    }
+
+    /// The display name of a node.
+    pub fn node_name(&self, node: NodeId) -> Option<&str> {
+        self.names.get(node.as_raw() as usize).map(|s| s.as_str())
+    }
+
+    /// A node's exact position at the current time.
+    pub fn position_of(&self, node: NodeId) -> Option<Point> {
+        self.plans.get(node.as_raw() as usize).map(|p| p.position_at(self.now))
+    }
+
+    /// Whether the node is currently powered on.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.slot(node).map(|n| n.alive).unwrap_or(false)
+    }
+
+    /// Aggregated metrics, assembled at the end of the last run.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Aggregated fault-injection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The merged lifecycle stream, in canonical `(time, node)` order.
+    pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+        &self.lifecycle
+    }
+
+    fn stripe_of(&self, p: Point) -> u32 {
+        let shards = self.shards.len() as f64;
+        let width = self.config.area.width().max(f64::MIN_POSITIVE);
+        let rel = (p.x - self.config.area.min_x) / width * shards;
+        (rel.floor().max(0.0) as u32).min(self.shards.len() as u32 - 1)
+    }
+
+    fn slot(&self, node: NodeId) -> Option<&ShardNode> {
+        let raw = node.as_raw() as usize;
+        let shard = *self.owner.get(raw)? as usize;
+        self.shards[shard].nodes[raw].as_deref()
+    }
+
+    /// Adds a node with the given behaviour; ids are dense and assigned in
+    /// insertion order. The node's RNG stream and compiled motion plan are
+    /// derived exactly as the sequential world derives them.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        mobility: MobilityModel,
+        techs: &[RadioTech],
+        agent: Box<dyn ShardAgent>,
+    ) -> NodeId {
+        let raw = self.plans.len() as u64;
+        let id = NodeId::from_raw(raw);
+        let mut rng = self.master_rng.derive(NODE_RNG_LABEL | raw);
+        let plan = mobility.compile(self.config.mobility_horizon, &mut rng);
+        let mut tech_mask = 0u8;
+        for t in techs {
+            tech_mask |= tech_bit(*t);
+        }
+        let mut node = ShardNode {
+            id,
+            techs: tech_mask,
+            discoverable: tech_mask,
+            radio_off: 0,
+            inquiring_until: [SimTime::ZERO; 3],
+            alive: true,
+            epoch: 0,
+            rng,
+            agent: Some(agent),
+            queue: Scheduler::new(),
+            links: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            fault_actions: Vec::new(),
+            counters: Counters::default(),
+            stats: FaultStats::default(),
+            lifecycle: Vec::new(),
+            next_attempt: 0,
+            next_link: 0,
+            next_msg_seq: 0,
+        };
+        node.queue.schedule(self.now, NodeEvent::Start);
+        let owner = self.stripe_of(plan.position_at(self.now));
+        for shard in &mut self.shards {
+            shard.nodes.push(None);
+        }
+        self.shards[owner as usize].index.push(Reverse((self.now, raw)));
+        self.shards[owner as usize].nodes[raw as usize] = Some(Box::new(node));
+        self.owner.push(owner);
+        self.names.push(name.into());
+        self.plans.push(plan);
+        self.snapshot.push(NodeSnapshot::default());
+        id
+    }
+
+    /// Installs a fault plan on a node. The sharded world supports node
+    /// crash/restart and radio outages; loss bursts and flapping links draw
+    /// from a globally ordered fault RNG and are rejected.
+    pub fn install_fault_plan(&mut self, node: NodeId, plan: &FaultPlan) {
+        assert!(
+            plan.bursts().is_empty() && plan.flaps().is_empty(),
+            "sharded world supports crash/restart/radio-outage faults only"
+        );
+        let raw = node.as_raw() as usize;
+        let shard = &mut self.shards[self.owner[raw] as usize];
+        let now = self.now;
+        let slot = shard.nodes[raw].as_deref_mut().expect("node exists");
+        for &(at, action) in plan.actions() {
+            let idx = slot.fault_actions.len();
+            let when = at.max(now);
+            slot.fault_actions.push((when, action));
+            slot.queue.schedule(when, NodeEvent::Fault { idx });
+            shard.index.push(Reverse((when, node.as_raw())));
+        }
+    }
+
+    /// Runs until `deadline` (inclusive of every event strictly before it),
+    /// advancing in lookahead windows and executing shards on parallel
+    /// threads. Repeated calls continue deterministically; results depend
+    /// only on the seed and the sequence of run calls, never on shard count.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.now < deadline {
+            let t1 = (self.now + self.window).min(deadline);
+            let min_pending = self
+                .shards
+                .iter()
+                .filter_map(|s| s.index.peek().map(|&Reverse((t, _))| t))
+                .min();
+            let idle = match min_pending {
+                None => true,
+                Some(t) => t >= t1,
+            };
+            if !idle {
+                self.rebuild_snapshot();
+                self.grid.rebuild(self.now, &self.plans, &self.snapshot);
+                let view = GlobalView {
+                    radio: &self.config.radio,
+                    plans: &self.plans,
+                    snapshot: &self.snapshot,
+                    grid: &self.grid,
+                    window_end: t1,
+                    link_check_interval: self.config.link_check_interval,
+                    query_pad_m: self.config.max_speed_mps * self.window.as_secs_f64() + QUERY_PAD_M,
+                };
+                if self.shards.len() == 1 {
+                    self.shards[0].run_window(&view);
+                } else {
+                    std::thread::scope(|scope| {
+                        for shard in self.shards.iter_mut() {
+                            let view = &view;
+                            scope.spawn(move || shard.run_window(view));
+                        }
+                    });
+                }
+                self.barrier(t1);
+            }
+            self.now = t1;
+        }
+        self.assemble();
+    }
+
+    /// Runs for `duration` from the current time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.run_until(self.now + duration);
+    }
+
+    fn rebuild_snapshot(&mut self) {
+        let ShardedWorld { shards, snapshot, .. } = self;
+        for shard in shards.iter() {
+            for (raw, slot) in shard.nodes.iter().enumerate() {
+                if let Some(node) = slot.as_deref() {
+                    snapshot[raw] = node.snapshot();
+                }
+            }
+        }
+    }
+
+    /// The window barrier: migrate ownership to the stripe containing each
+    /// node's position at `t1`, then merge every outbox into the canonical
+    /// `(time, origin, sequence)` order and deliver into the owning queues.
+    fn barrier(&mut self, t1: SimTime) {
+        let mut messages: Vec<ShardMsg> = Vec::new();
+        for shard in &mut self.shards {
+            messages.append(&mut shard.outbox);
+        }
+        if self.shards.len() > 1 {
+            for raw in 0..self.plans.len() {
+                let current = self.owner[raw];
+                let target = self.stripe_of(self.plans[raw].position_at(t1));
+                if target != current {
+                    let node = self.shards[current as usize].nodes[raw].take().expect("owned");
+                    if let Some(head) = node.queue.peek_time() {
+                        self.shards[target as usize].index.push(Reverse((head, raw as u64)));
+                    }
+                    self.shards[target as usize].nodes[raw] = Some(node);
+                    self.owner[raw] = target;
+                }
+            }
+        }
+        messages.sort_unstable_by_key(|m| (m.at, m.origin.as_raw(), m.seq));
+        for msg in messages {
+            let raw = msg.to.as_raw() as usize;
+            let shard = self.owner[raw] as usize;
+            let node = self.shards[shard].nodes[raw].as_deref_mut().expect("owned");
+            node.queue.schedule(
+                msg.at,
+                NodeEvent::Inbox {
+                    origin: msg.origin,
+                    body: msg.body,
+                },
+            );
+            self.shards[shard].index.push(Reverse((msg.at, msg.to.as_raw())));
+        }
+    }
+
+    /// Rebuilds the aggregated metrics, fault stats and lifecycle stream
+    /// from the per-node tallies. Sums are commutative and the lifecycle is
+    /// sorted canonically, so the result is independent of shard layout.
+    fn assemble(&mut self) {
+        self.metrics.reset();
+        self.stats = FaultStats::default();
+        self.lifecycle.clear();
+        for shard in &self.shards {
+            for node in shard.nodes.iter().filter_map(|n| n.as_deref()) {
+                self.metrics.absorb_node(node.id, &node.counters);
+                self.stats.crashes += node.stats.crashes;
+                self.stats.restarts += node.stats.restarts;
+                self.stats.radio_outages += node.stats.radio_outages;
+                self.stats.radio_restores += node.stats.radio_restores;
+                self.lifecycle.extend(node.lifecycle.iter().copied());
+            }
+            for (&tech, &(messages, bytes)) in &shard.tech_msgs {
+                self.metrics.absorb_tech(tech, messages, bytes);
+            }
+        }
+        // Stable sort: each node's events are already time-ordered, so
+        // (time, node) yields the canonical merged stream.
+        self.lifecycle.sort_by_key(|e| (e.at, e.node.as_raw()));
+    }
+
+    /// Runs `f` against the node's agent downcast to `A`. Returns `None` if
+    /// the node does not exist or its agent is not an `A`.
+    pub fn with_agent<A: ShardAgent, R>(&mut self, node: NodeId, f: impl FnOnce(&mut A) -> R) -> Option<R> {
+        let raw = node.as_raw() as usize;
+        let shard = *self.owner.get(raw)? as usize;
+        let slot = self.shards[shard].nodes[raw].as_deref_mut()?;
+        let agent = slot.agent.as_mut()?;
+        agent.as_any_mut().downcast_mut::<A>().map(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HELLO: TimerToken = TimerToken(0x5EED);
+
+    /// A minimal exercise agent: scans once, connects to the first hit,
+    /// pings, echoes, closes after the echo.
+    #[derive(Default)]
+    struct Chatter {
+        hits: usize,
+        got: Vec<Vec<u8>>,
+        connected: u32,
+        disconnects: Vec<DisconnectReason>,
+    }
+
+    impl ShardAgent for Chatter {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn on_start(&mut self, ctx: &mut ShardCtx<'_>) {
+            if ctx.node_id().as_raw() == 0 {
+                ctx.schedule(SimDuration::from_millis(100), HELLO);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut ShardCtx<'_>, _token: TimerToken) {
+            ctx.start_inquiry(RadioTech::Wlan);
+        }
+        fn on_inquiry_complete(&mut self, ctx: &mut ShardCtx<'_>, _tech: RadioTech, hits: Vec<InquiryHit>) {
+            self.hits = hits.len();
+            if let Some(hit) = hits.first() {
+                ctx.connect(hit.node, RadioTech::Wlan);
+            }
+        }
+        fn on_incoming_connection(&mut self, _ctx: &mut ShardCtx<'_>, _incoming: IncomingConnection) -> bool {
+            true
+        }
+        fn on_connected(
+            &mut self,
+            ctx: &mut ShardCtx<'_>,
+            _attempt: AttemptId,
+            link: LinkId,
+            _peer: NodeId,
+            _tech: RadioTech,
+        ) {
+            self.connected += 1;
+            ctx.send(link, b"ping".to_vec()).unwrap();
+        }
+        fn on_message(&mut self, ctx: &mut ShardCtx<'_>, link: LinkId, _from: NodeId, payload: SharedPayload) {
+            self.got.push(payload.to_vec());
+            if payload.as_slice() == b"ping" {
+                ctx.send(link, b"pong".to_vec()).unwrap();
+            } else {
+                ctx.close(link);
+            }
+        }
+        fn on_disconnected(&mut self, _ctx: &mut ShardCtx<'_>, _link: LinkId, _peer: NodeId, reason: DisconnectReason) {
+            self.disconnects.push(reason);
+        }
+    }
+
+    fn two_node_world(shards: usize) -> ShardedWorld {
+        let mut config = ShardedConfig::new(42, Rect::square(100.0));
+        config.shards = shards;
+        // The exercise asserts an exact event sequence; keep the WLAN
+        // handshake free of random setup faults.
+        config.radio.wlan.setup_fault_prob = 0.0;
+        config.radio.wlan.inquiry_miss_prob = 0.0;
+        let mut world = ShardedWorld::new(config);
+        world.add_node(
+            "a",
+            MobilityModel::stationary(Point::new(10.0, 50.0)),
+            &[RadioTech::Wlan],
+            Box::new(Chatter::default()),
+        );
+        world.add_node(
+            "b",
+            MobilityModel::stationary(Point::new(20.0, 50.0)),
+            &[RadioTech::Wlan],
+            Box::new(Chatter::default()),
+        );
+        world
+    }
+
+    #[test]
+    fn connect_message_close_roundtrip() {
+        let mut world = two_node_world(1);
+        world.run_for(SimDuration::from_secs(30));
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        assert_eq!(world.with_agent::<Chatter, _>(a, |c| c.hits).unwrap(), 1);
+        assert_eq!(world.with_agent::<Chatter, _>(a, |c| c.connected).unwrap(), 1);
+        // b echoed the ping, a closed after the pong.
+        assert_eq!(
+            world.with_agent::<Chatter, _>(b, |c| c.got.clone()).unwrap(),
+            vec![b"ping".to_vec()]
+        );
+        assert_eq!(
+            world.with_agent::<Chatter, _>(a, |c| c.got.clone()).unwrap(),
+            vec![b"pong".to_vec()]
+        );
+        assert_eq!(
+            world.with_agent::<Chatter, _>(a, |c| c.disconnects.clone()).unwrap(),
+            vec![DisconnectReason::LocalClosed]
+        );
+        assert_eq!(
+            world.with_agent::<Chatter, _>(b, |c| c.disconnects.clone()).unwrap(),
+            vec![DisconnectReason::PeerClosed]
+        );
+        let g = world.metrics().global();
+        assert_eq!(g.connects_established, 1);
+        assert_eq!(g.messages_sent, 2);
+        assert_eq!(g.messages_delivered, 2);
+        assert_eq!(g.messages_lost, 0);
+        assert_eq!(world.metrics().messages_for_tech(RadioTech::Wlan), 2);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_outcomes() {
+        let summarise = |shards: usize| {
+            let mut world = two_node_world(shards);
+            world.run_for(SimDuration::from_secs(30));
+            let g = *world.metrics().global();
+            let a = world
+                .with_agent::<Chatter, _>(NodeId::from_raw(0), |c| (c.hits, c.got.clone()))
+                .unwrap();
+            (g, a)
+        };
+        let one = summarise(1);
+        assert_eq!(one, summarise(2));
+        assert_eq!(one, summarise(8));
+    }
+
+    #[test]
+    fn crash_breaks_links_and_restart_reboots_the_agent() {
+        let mut world = two_node_world(2);
+        let b = NodeId::from_raw(1);
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(10))
+            .restart_at(SimTime::from_secs(20));
+        world.install_fault_plan(b, &plan);
+        world.run_for(SimDuration::from_secs(30));
+        assert_eq!(world.fault_stats().crashes, 1);
+        assert_eq!(world.fault_stats().restarts, 1);
+        assert!(world.is_alive(b));
+        let kinds: Vec<LifecycleKind> = world.lifecycle_events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![LifecycleKind::NodeDown, LifecycleKind::NodeUp]);
+        // a held the link when b crashed: it must observe PeerFailed.
+        let a_reasons = world
+            .with_agent::<Chatter, _>(NodeId::from_raw(0), |c| c.disconnects.clone())
+            .unwrap();
+        assert!(
+            a_reasons.contains(&DisconnectReason::PeerFailed) || a_reasons.contains(&DisconnectReason::LocalClosed),
+            "a must have lost its link: {a_reasons:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "crash/restart/radio-outage")]
+    fn loss_bursts_are_rejected() {
+        let mut world = two_node_world(1);
+        let plan = FaultPlan::new().loss_burst(SimTime::from_secs(1), SimTime::from_secs(2), 0.5, 0.0);
+        world.install_fault_plan(NodeId::from_raw(0), &plan);
+    }
+}

@@ -103,12 +103,15 @@ impl Topology {
     }
 
     /// Node ids in every grid cell intersecting the disk of `radius` metres
-    /// around `center`, sorted ascending. A superset of the nodes truly in
-    /// range (callers apply the exact predicate); byte-identical to a full
-    /// scan once filtered, because candidate order matches node-id order.
-    pub(crate) fn candidates_within(&self, center: Point, radius: f64, now: SimTime) -> Vec<NodeId> {
+    /// around `center`, cleared into and returned through a caller-owned
+    /// scratch `Vec` so the per-query candidate allocation disappears from
+    /// the inquiry/neighbour hot paths. Results are sorted ascending: a
+    /// superset of the nodes truly in range (callers apply the exact
+    /// predicate), byte-identical to a full scan once filtered, because
+    /// candidate order matches node-id order.
+    pub(crate) fn candidates_within_into(&self, center: Point, radius: f64, now: SimTime, out: &mut Vec<NodeId>) {
         let mut grid = self.grid.borrow_mut();
         grid.refresh(now, |id| &self.nodes[id.as_raw() as usize].plan);
-        grid.query(center, radius)
+        grid.query_into(center, radius, out);
     }
 }
