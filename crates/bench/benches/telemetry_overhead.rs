@@ -1,0 +1,136 @@
+//! Cost of the live telemetry plane.
+//!
+//! Three measurements over the same E12-style dense city:
+//!
+//! * `off` — the experiment exactly as the suite runs it;
+//! * `record` — the recorder sampling every simulated second;
+//! * `record+profile` — recording plus per-phase wall-clock profiling
+//!   (reported for reference only: the profiler's two clock reads per event
+//!   are the price of asking "where did the microseconds go", not part of
+//!   the always-affordable recording plane).
+//!
+//! The plane's contract is "off by default, cheap when on": the report must
+//! stay **byte-identical** with the recorder attached (asserted always, on
+//! any machine), and the `record` wall time must stay within 10% of the
+//! uninstrumented one (asserted unless `BENCH_NO_ASSERT=1`, using the best
+//! of the samples so scheduler noise doesn't fail CI).
+//!
+//! Output: a markdown table on stdout and `BENCH_telemetry.json` (override
+//! the path with `BENCH_TELEMETRY_OUT`), uploaded by CI as an artifact.
+
+use std::time::Instant;
+
+use scenarios::experiments::{e12_dense_city, ScaleSettings};
+use scenarios::telemetry::{configure, take_captures, TelemetryMode, TelemetrySettings};
+use simnet::SimDuration;
+
+fn settings(quick: bool) -> ScaleSettings {
+    let mut s = ScaleSettings::quick();
+    if quick {
+        s.node_counts = vec![400];
+        s.duration = SimDuration::from_secs(60);
+    } else {
+        s.node_counts = vec![1_000];
+        s.duration = SimDuration::from_secs(120);
+    }
+    s
+}
+
+/// One run in the given mode; returns (wall seconds, report markdown).
+fn run_once(scale: &ScaleSettings, record: bool, profile: bool) -> (f64, String) {
+    configure(TelemetrySettings {
+        mode: if record {
+            TelemetryMode::Record
+        } else {
+            TelemetryMode::Off
+        },
+        profile,
+        ..TelemetrySettings::default()
+    });
+    let start = Instant::now();
+    let report = e12_dense_city(scale);
+    let wall = start.elapsed().as_secs_f64();
+    let captures = take_captures();
+    configure(TelemetrySettings::default());
+    if record {
+        assert!(!captures.is_empty(), "instrumented run must leave a capture");
+        assert!(captures[0].frames > 0, "instrumented run must sample frames");
+    } else if !profile {
+        assert!(captures.is_empty(), "uninstrumented run must record nothing");
+    }
+    (wall, report.to_string())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var_os("BENCH_QUICK").is_some();
+    let scale = settings(quick);
+    let samples = if quick { 3 } else { 5 };
+
+    let mut walls_off: Vec<f64> = Vec::new();
+    let mut walls_on: Vec<f64> = Vec::new();
+    let mut walls_prof: Vec<f64> = Vec::new();
+    let mut report_off = String::new();
+    let mut report_on = String::new();
+    for i in 0..samples {
+        let (off, r_off) = run_once(&scale, false, false);
+        let (on, r_on) = run_once(&scale, true, false);
+        let (prof, r_prof) = run_once(&scale, true, true);
+        eprintln!("  telemetry_overhead sample {i}: off {off:.3}s, record {on:.3}s, record+profile {prof:.3}s");
+        assert_eq!(r_on, r_prof, "profiling changed the report");
+        walls_off.push(off);
+        walls_on.push(on);
+        walls_prof.push(prof);
+        report_off = r_off;
+        report_on = r_on;
+    }
+
+    // Passivity is the non-negotiable half of the contract: recording must
+    // not change a single report byte. This assert is never disarmed.
+    assert_eq!(
+        report_off, report_on,
+        "telemetry-on report diverged from the uninstrumented run"
+    );
+
+    let best = |w: &[f64]| w.iter().copied().fold(f64::INFINITY, f64::min);
+    let (best_off, best_on, best_prof) = (best(&walls_off), best(&walls_on), best(&walls_prof));
+    let overhead = best_on / best_off.max(f64::MIN_POSITIVE) - 1.0;
+    let overhead_prof = best_prof / best_off.max(f64::MIN_POSITIVE) - 1.0;
+
+    println!("### bench group `telemetry_overhead`");
+    println!();
+    println!(
+        "{} nodes, {}s simulated, {} sample(s), 1s sample interval + profiling",
+        scale.node_counts[0],
+        scale.duration.as_secs(),
+        samples
+    );
+    println!();
+    println!("| mode | best wall (s) | overhead |");
+    println!("|---|---|---|");
+    println!("| off | {best_off:.3} | - |");
+    println!("| record | {best_on:.3} | {:.1}% |", overhead * 100.0);
+    println!("| record+profile | {best_prof:.3} | {:.1}% |", overhead_prof * 100.0);
+    println!();
+
+    // Emit the JSON artifact (hand-rolled: serde is stubbed offline).
+    let path = std::env::var("BENCH_TELEMETRY_OUT").unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    let json = format!(
+        "{{\n  \"nodes\": {},\n  \"sim_seconds\": {},\n  \"samples\": {samples},\n  \
+         \"wall_off_seconds\": {best_off:.3},\n  \"wall_on_seconds\": {best_on:.3},\n  \
+         \"wall_profile_seconds\": {best_prof:.3},\n  \
+         \"overhead_fraction\": {overhead:.4},\n  \"overhead_profile_fraction\": {overhead_prof:.4},\n  \
+         \"report_identical\": true\n}}\n",
+        scale.node_counts[0],
+        scale.duration.as_secs()
+    );
+    std::fs::write(&path, &json).expect("write BENCH_telemetry.json");
+    eprintln!("  wrote {path}");
+
+    if std::env::var_os("BENCH_NO_ASSERT").is_none() {
+        assert!(
+            overhead <= 0.10,
+            "recording wall overhead {:.1}% exceeds the 10% budget (off {best_off:.3}s, record {best_on:.3}s)",
+            overhead * 100.0
+        );
+    }
+}

@@ -7,6 +7,8 @@
 //! cargo run -p bench --release --bin repro -- --list                # experiments & parameters
 //! cargo run -p bench --release --bin repro -- churn --quick         # one experiment (slug or id)
 //! cargo run -p bench --release --bin repro -- e8 --seed 7
+//! cargo run -p bench --release --bin repro -- metropolis --quick --telemetry --profile
+//! cargo run -p bench --release --bin repro -- watch overload --quick
 //! cargo run -p bench --release --bin repro -- sweep churn --seeds 8 --threads 8 --quick
 //! cargo run -p bench --release --bin repro -- sweep churn --quick \
 //!     --grid churn=0,60,240 --grid nodes=100 --seeds 4 --json BENCH_sweep.json
@@ -17,11 +19,17 @@
 //! `sweep` prints an aggregated statistics table (mean/stddev/min/max/95%
 //! CI across seeds, grouped by grid point) and writes the same aggregation
 //! as JSON — byte-identical for any `--threads` value.
+//!
+//! The telemetry plane (`--telemetry`, `--profile`, `watch`) writes to
+//! **stderr** and side files only: the stdout report stays byte-identical
+//! with the plane on or off, which CI diffs directly.
 
 use std::process::ExitCode;
 
 use scenarios::experiments::{find, registry, Params};
+use scenarios::telemetry::{TelemetryMode, TelemetrySettings};
 use scenarios::{run_all, Effort};
+use simnet::SimDuration;
 use sweep::{aggregate, run_sweep, SweepSpec};
 
 /// Default suite seed (kept from the original evaluation scripts).
@@ -57,41 +65,40 @@ fn run(args: &[String]) -> Result<(), String> {
             reject_unknown_flags(args, &["--quick", "--seed", "--seeds", "--threads", "--grid", "--json"])?;
             run_sweep_command(args, seed, quick)
         }
+        Some("watch") => {
+            // Live mode: one experiment with frame streaming forced on.
+            reject_unknown_flags(
+                args,
+                &[
+                    "--quick",
+                    "--seed",
+                    "--shards",
+                    "--interval",
+                    "--telemetry-jsonl",
+                    "--profile",
+                ],
+            )?;
+            let watch_at = args.iter().position(|a| a == "watch").expect("dispatched on `watch`");
+            let name = first_positional(&args[watch_at + 1..])
+                .ok_or("watch needs an experiment, e.g. `repro watch overload`")?;
+            run_one(name, args, seed, quick, effort, true)
+        }
         Some(name) => {
             // Reject sweep-only (and mistyped) flags instead of silently
             // running something other than what was asked for.
-            reject_unknown_flags(args, &["--quick", "--seed", "--shards"])?;
-            let shards = flag_value(args, "--shards")?
-                .map(|s| {
-                    s.parse::<usize>()
-                        .map_err(|_| format!("--shards: `{s}` is not a count"))
-                })
-                .transpose()?;
-            // `--shards` means the parallel engine: E15's sequential city has
-            // no shard knob, so reroute the request to the sharded metropolis.
-            let name = if shards.is_some() && find(name).map(|e| e.id() == "E15").unwrap_or(false) {
-                eprintln!("note: --shards selects the sharded engine; running E17 (sharded-metropolis) instead of E15");
-                "sharded-metropolis"
-            } else {
-                name
-            };
-            // A single experiment by slug or id, through the uniform trait.
-            let experiment = find(name).ok_or_else(|| format!("unknown experiment `{name}`"))?;
-            let mut params = Params::new();
-            if let Some(shards) = shards {
-                if !experiment.params().iter().any(|p| p.key == "shards") {
-                    return Err(format!("{} does not take --shards", experiment.id()));
-                }
-                params.set("shards", shards.to_string());
-            }
-            let seed = seed.unwrap_or_else(|| experiment.suite_seed(DEFAULT_SUITE_SEED));
-            eprintln!(
-                "running {} ({}) with seed {seed} ({effort:?}) ...",
-                experiment.id(),
-                experiment.slug()
-            );
-            println!("{}", experiment.run(seed, &params, quick).report);
-            Ok(())
+            reject_unknown_flags(
+                args,
+                &[
+                    "--quick",
+                    "--seed",
+                    "--shards",
+                    "--telemetry",
+                    "--interval",
+                    "--telemetry-jsonl",
+                    "--profile",
+                ],
+            )?;
+            run_one(name, args, seed, quick, effort, false)
         }
         None => {
             // The full E1-E17 suite.
@@ -109,6 +116,105 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Runs a single experiment (`repro <exp>` or `repro watch <exp>`): resolves
+/// the slug, applies `--shards`, engages the telemetry plane per the flags
+/// and prints the report to stdout and every telemetry artefact to stderr.
+fn run_one(
+    name: &str,
+    args: &[String],
+    seed: Option<u64>,
+    quick: bool,
+    effort: Effort,
+    watch: bool,
+) -> Result<(), String> {
+    let shards = flag_value(args, "--shards")?
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--shards: `{s}` is not a count"))
+        })
+        .transpose()?;
+    // `--shards` means the parallel engine: E15's sequential city has
+    // no shard knob, so reroute the request to the sharded metropolis.
+    let name = if shards.is_some() && find(name).map(|e| e.id() == "E15").unwrap_or(false) {
+        eprintln!("note: --shards selects the sharded engine; running E17 (sharded-metropolis) instead of E15");
+        "sharded-metropolis"
+    } else {
+        name
+    };
+    // A single experiment by slug or id, through the uniform trait.
+    let experiment = find(name).ok_or_else(|| format!("unknown experiment `{name}`"))?;
+    let mut params = Params::new();
+    if let Some(shards) = shards {
+        if !experiment.params().iter().any(|p| p.key == "shards") {
+            return Err(format!("{} does not take --shards", experiment.id()));
+        }
+        params.set("shards", shards.to_string());
+    }
+
+    let jsonl_path = flag_value(args, "--telemetry-jsonl")?;
+    let profile = args.iter().any(|a| a == "--profile");
+    let record = args.iter().any(|a| a == "--telemetry") || jsonl_path.is_some();
+    let interval = match flag_value(args, "--interval")? {
+        Some(s) => {
+            let secs: f64 = s
+                .parse()
+                .ok()
+                .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("--interval: `{s}` is not a positive number of seconds"))?;
+            SimDuration::from_secs_f64(secs)
+        }
+        None => TelemetrySettings::default().sample_interval,
+    };
+    let mode = if watch {
+        TelemetryMode::Watch
+    } else if record {
+        TelemetryMode::Record
+    } else {
+        TelemetryMode::Off
+    };
+    scenarios::telemetry::configure(TelemetrySettings {
+        mode,
+        sample_interval: interval,
+        profile,
+    });
+
+    let seed = seed.unwrap_or_else(|| experiment.suite_seed(DEFAULT_SUITE_SEED));
+    eprintln!(
+        "running {} ({}) with seed {seed} ({effort:?}) ...",
+        experiment.id(),
+        experiment.slug()
+    );
+    println!("{}", experiment.run(seed, &params, quick).report);
+
+    let captures = scenarios::telemetry::take_captures();
+    scenarios::telemetry::configure(TelemetrySettings::default());
+    if (mode != TelemetryMode::Off || profile) && captures.is_empty() {
+        eprintln!(
+            "note: {} does not carry telemetry hooks (instrumented: E12, E13, E15, E16, E17)",
+            experiment.id()
+        );
+    }
+    let mut jsonl = String::new();
+    for capture in &captures {
+        if let Some(rollup) = &capture.rollup {
+            eprintln!("--- telemetry {} (digest {:016x}) ---", capture.scope, capture.digest);
+            eprint!("{rollup}");
+            eprintln!();
+        }
+        if let Some(profile) = &capture.profile {
+            eprintln!("--- profile {} ---", capture.scope);
+            eprint!("{profile}");
+            eprintln!();
+        }
+        jsonl.push_str(&capture.jsonl);
+    }
+    if let Some(path) = jsonl_path {
+        std::fs::write(&path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("  wrote {path}");
+    }
+    Ok(())
+}
+
 /// Errors on any `--flag` outside `allowed` — sweep-only flags on other
 /// subcommands and typos alike fail loudly instead of being dropped.
 fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
@@ -123,7 +229,16 @@ fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String>
 /// First token that is neither a flag nor a flag value — the subcommand,
 /// wherever it sits among the flags.
 fn first_positional(args: &[String]) -> Option<&str> {
-    const VALUE_FLAGS: [&str; 6] = ["--seed", "--seeds", "--threads", "--json", "--grid", "--shards"];
+    const VALUE_FLAGS: [&str; 8] = [
+        "--seed",
+        "--seeds",
+        "--threads",
+        "--json",
+        "--grid",
+        "--shards",
+        "--interval",
+        "--telemetry-jsonl",
+    ];
     let mut skip_value = false;
     for arg in args {
         if skip_value {
@@ -204,8 +319,13 @@ fn list() {
     println!("usage:");
     println!("  repro [--quick] [--seed N]                 run the full E1-E17 suite");
     println!("  repro <experiment> [--quick] [--seed N] [--shards N]");
+    println!("        [--telemetry] [--interval SECS] [--telemetry-jsonl PATH] [--profile]");
     println!("                                             run one experiment (slug or id);");
-    println!("                                             --shards selects the parallel engine (E17)");
+    println!("                                             --shards selects the parallel engine (E17);");
+    println!("                                             --telemetry records virtual-time series (stderr roll-up,");
+    println!("                                             JSONL side file), --profile prints the per-phase breakdown");
+    println!("  repro watch <experiment> [--quick] [--seed N] [--shards N] [--interval SECS]");
+    println!("                                             live mode: stream sampled frames to stderr while running");
     println!("  repro sweep <experiment> [--seeds N] [--seed BASE] [--threads N]");
     println!("        [--grid k=v1,v2,...]... [--quick] [--json PATH]");
     println!("                                             multi-seed statistical campaign");

@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
-use simnet::{SimDuration, SimTime};
+use simnet::{SimDuration, SimTime, Telemetry};
 
 use crate::ids::DeviceAddress;
 use crate::node::AppId;
@@ -370,6 +370,51 @@ pub struct ResilienceStats {
     pub inquiries_cached: u64,
     /// Inquiry responses that required a fresh encode.
     pub inquiries_encoded: u64,
+}
+
+impl ResilienceStats {
+    /// Adds another snapshot into this one; breaker populations and counters
+    /// all sum, so a fleet-wide roll-up is a plain fold.
+    pub fn absorb(&mut self, other: &ResilienceStats) {
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_blocked += other.breaker_blocked;
+        self.breaker_probes += other.breaker_probes;
+        self.breakers_open += other.breakers_open;
+        self.breakers_half_open += other.breakers_half_open;
+        self.inbound_shed += other.inbound_shed;
+        self.outbound_shed += other.outbound_shed;
+        self.queue_shed += other.queue_shed;
+        self.admitted += other.admitted;
+        self.rejected_sessions += other.rejected_sessions;
+        self.rejected_rate += other.rejected_rate;
+        self.inquiries_cached += other.inquiries_cached;
+        self.inquiries_encoded += other.inquiries_encoded;
+    }
+
+    /// Mirrors the snapshot into the telemetry plane under the `resilience`
+    /// subsystem: monotonic tallies as counters, the live breaker population
+    /// as gauges. `label` distinguishes scopes (a node name, or `None` for a
+    /// fleet-wide roll-up).
+    pub fn export_gauges(&self, tel: &mut Telemetry, label: Option<&str>) {
+        tel.set_counter("resilience", "breaker_trips", label, self.breaker_trips);
+        tel.set_counter("resilience", "breaker_blocked", label, self.breaker_blocked);
+        tel.set_counter("resilience", "breaker_probes", label, self.breaker_probes);
+        tel.set_gauge("resilience", "breakers_open", label, self.breakers_open as f64);
+        tel.set_gauge(
+            "resilience",
+            "breakers_half_open",
+            label,
+            self.breakers_half_open as f64,
+        );
+        tel.set_counter("resilience", "inbound_shed", label, self.inbound_shed);
+        tel.set_counter("resilience", "outbound_shed", label, self.outbound_shed);
+        tel.set_counter("resilience", "queue_shed", label, self.queue_shed);
+        tel.set_counter("resilience", "admitted", label, self.admitted);
+        tel.set_counter("resilience", "rejected_sessions", label, self.rejected_sessions);
+        tel.set_counter("resilience", "rejected_rate", label, self.rejected_rate);
+        tel.set_counter("resilience", "inquiries_cached", label, self.inquiries_cached);
+        tel.set_counter("resilience", "inquiries_encoded", label, self.inquiries_encoded);
+    }
 }
 
 /// Runtime state of one node's resilience pipeline. Owned by the middleware

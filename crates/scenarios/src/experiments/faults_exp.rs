@@ -268,7 +268,9 @@ fn churn_city(settings: &ChurnSettings, nodes: usize, churn_per_hour: f64) -> Wo
             world.install_fault_plan(node, plan);
         }
     }
-    world.run_for(settings.duration);
+    let scope = format!("E13 nodes={nodes} churn={churn_per_hour:.0}");
+    crate::telemetry::instrument_world(&mut world, &scope);
+    crate::telemetry::run_world(&mut world, settings.duration, |_| {});
     // Quiesce: every churn crash has a paired restart, but its exponential
     // downtime can land past the horizon — and a dead node's counters are
     // unreadable (`with_agent` returns `None` while down). Run on until the
@@ -278,6 +280,7 @@ fn churn_city(settings: &ChurnSettings, nodes: usize, churn_per_hour: f64) -> Wo
     while world.fault_stats().restarts < world.fault_stats().crashes {
         world.run_for(SimDuration::from_secs(5));
     }
+    crate::telemetry::finish_world(&mut world, &scope);
     world
 }
 

@@ -132,13 +132,50 @@ pub fn metropolis_run(settings: &MetropolisSettings) -> World {
             world.install_fault_plan(node, plan);
         }
     }
-    world.run_for(settings.duration);
+    let scope = format!("E15 nodes={}", settings.nodes);
+    crate::telemetry::instrument_world(&mut world, &scope);
+    let ids: Vec<NodeId> = world.node_ids().collect();
+    crate::telemetry::run_world(&mut world, settings.duration, |world| {
+        refresh_stack_gauges(world, &ids);
+    });
     // Quiesce like E13: finish every scheduled restart so each probe's
     // counters are readable.
     while world.fault_stats().restarts < world.fault_stats().crashes {
         world.run_for(SimDuration::from_secs(5));
     }
+    crate::telemetry::finish_world(&mut world, &scope);
     world
+}
+
+/// Mirrors the middleware-level state the substrate cannot see — session,
+/// handover and resilience-pipeline tallies summed over every stack — into
+/// the telemetry plane. Only called between sample frames when telemetry is
+/// on; reads agent state without mutating it.
+fn refresh_stack_gauges(world: &mut World, ids: &[NodeId]) {
+    let mut resilience = peerhood::resilience::ResilienceStats::default();
+    let mut sessions = 0u64;
+    let mut handovers = 0u64;
+    let mut route_changes = 0u64;
+    let mut attached = 0u64;
+    for id in ids {
+        if let Some((s, r)) = world.with_agent::<FullStackHost, _>(*id, |a, _| (a.stats(), a.node().resilience_stats()))
+        {
+            sessions += s.sessions_established;
+            handovers += s.handover_completions;
+            route_changes += s.route_changes;
+            if s.attached {
+                attached += 1;
+            }
+            resilience.absorb(&r);
+        }
+    }
+    if let Some(tel) = world.telemetry_mut() {
+        tel.set_counter("sessions", "established", None, sessions);
+        tel.set_gauge("sessions", "attached", None, attached as f64);
+        tel.set_counter("handover", "completions", None, handovers);
+        tel.set_counter("handover", "route_changes", None, route_changes);
+        resilience.export_gauges(tel, None);
+    }
 }
 
 /// Sums every node's [`FullStats`] and counts attached nodes.

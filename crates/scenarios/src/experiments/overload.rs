@@ -396,7 +396,23 @@ pub fn overload_run(settings: &OverloadSettings, resilience_on: bool) -> (World,
     }
     world.install_fault_plan(flapping, plan);
 
-    world.run_for(settings.duration);
+    let scope = format!("E16 resilience={}", if resilience_on { "on" } else { "off" });
+    crate::telemetry::instrument_world(&mut world, &scope);
+    let ids: Vec<NodeId> = world.node_ids().collect();
+    crate::telemetry::run_world(&mut world, settings.duration, |world| {
+        // Mirror the pipeline's per-layer state (summed over every node)
+        // into the `resilience` gauges between frames.
+        let mut total = ResilienceStats::default();
+        for id in &ids {
+            if let Some(stats) = world.with_agent::<PeerHoodNode, _>(*id, |node, _| node.resilience_stats()) {
+                total.absorb(&stats);
+            }
+        }
+        if let Some(tel) = world.telemetry_mut() {
+            total.export_gauges(tel, None);
+        }
+    });
+    crate::telemetry::finish_world(&mut world, &scope);
     (world, clients, vec![flapping, healthy])
 }
 
@@ -456,11 +472,11 @@ pub fn overload_outcome(settings: &OverloadSettings, resilience_on: bool) -> Ove
         outcome.diverted += diverted;
         reconnect_secs += rec_secs;
         reconnects += recs;
-        add_stats(&mut outcome.stats, &stats);
+        outcome.stats.absorb(&stats);
     }
     for &id in &hotspots {
         if let Some(stats) = world.with_agent::<PeerHoodNode, _>(id, |node, _| node.resilience_stats()) {
-            add_stats(&mut outcome.stats, &stats);
+            outcome.stats.absorb(&stats);
         }
     }
     let min = outcome.per_client.iter().copied().min().unwrap_or(0);
@@ -472,24 +488,6 @@ pub fn overload_outcome(settings: &OverloadSettings, resilience_on: bool) -> Ove
         outcome.mean_reconnect_s = reconnect_secs / reconnects as f64;
     }
     outcome
-}
-
-/// Sums the counter fields of `other` into `total` (the breaker gauges are
-/// summed too: across a fleet they read as "breakers currently open").
-fn add_stats(total: &mut ResilienceStats, other: &ResilienceStats) {
-    total.breaker_trips += other.breaker_trips;
-    total.breaker_blocked += other.breaker_blocked;
-    total.breaker_probes += other.breaker_probes;
-    total.breakers_open += other.breakers_open;
-    total.breakers_half_open += other.breakers_half_open;
-    total.inbound_shed += other.inbound_shed;
-    total.outbound_shed += other.outbound_shed;
-    total.queue_shed += other.queue_shed;
-    total.admitted += other.admitted;
-    total.rejected_sessions += other.rejected_sessions;
-    total.rejected_rate += other.rejected_rate;
-    total.inquiries_cached += other.inquiries_cached;
-    total.inquiries_encoded += other.inquiries_encoded;
 }
 
 /// E16 (beyond the thesis): the overload city, with and without the

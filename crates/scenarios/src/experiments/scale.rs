@@ -239,6 +239,7 @@ impl NodeAgent for CityAgent {
 }
 
 /// One dense-city run; returns the populated world after `duration`.
+/// Honours the thread's [`telemetry`](crate::telemetry) settings.
 fn city_run(settings: &ScaleSettings, nodes: usize) -> World {
     let side = settings.side_m(nodes);
     let mut config = WorldConfig::with_seed(settings.seed ^ (nodes as u64));
@@ -281,7 +282,10 @@ fn city_run(settings: &ScaleSettings, nodes: usize) -> World {
         };
         world.add_node(format!("c{i}"), mobility, &[RadioTech::Wlan], agent);
     }
-    world.run_for(settings.duration);
+    let scope = format!("E12 nodes={nodes}");
+    crate::telemetry::instrument_world(&mut world, &scope);
+    crate::telemetry::run_world(&mut world, settings.duration, |_| {});
+    crate::telemetry::finish_world(&mut world, &scope);
     world
 }
 

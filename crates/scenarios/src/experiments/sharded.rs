@@ -301,7 +301,10 @@ pub fn sharded_metropolis_run(settings: &ShardedSettings) -> ShardedWorld {
             world.install_fault_plan(node, &plan);
         }
     }
+    let scope = format!("E17 nodes={} shards={}", settings.nodes, settings.shards);
+    crate::telemetry::instrument_sharded(&mut world, &scope);
     world.run_for(settings.duration);
+    crate::telemetry::finish_sharded(&mut world, &scope);
     world
 }
 

@@ -14,7 +14,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod telemetry;
 pub mod topology;
 
 pub use experiments::{find, registry, run_all, Effort, Experiment, Params, RunOutput, SampleRow};
 pub use report::ExperimentReport;
+pub use telemetry::{TelemetryCapture, TelemetryMode, TelemetrySettings};

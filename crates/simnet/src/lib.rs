@@ -85,6 +85,7 @@ pub mod node;
 pub mod payload;
 pub mod radio;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 pub mod world;
 
@@ -104,6 +105,7 @@ pub mod prelude {
     pub use crate::payload::{Payload, SharedPayload};
     pub use crate::radio::{RadioEnvironment, RadioProfile, RadioTech, QUALITY_LOW_THRESHOLD, QUALITY_MAX};
     pub use crate::rng::SimRng;
+    pub use crate::telemetry::{Frame, FrameSink, Phase, Profiler, Telemetry, TelemetryConfig};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::world::shard::{ShardAgent, ShardCtx, ShardedConfig, ShardedWorld};
     pub use crate::world::{NodeCtx, SendError, World, WorldConfig};

@@ -223,9 +223,23 @@ impl Metrics {
         *self.per_tech_bytes.entry(tech).or_insert(0) += bytes;
     }
 
-    /// Resets every counter to zero, keeping the store allocated.
+    /// Resets every counter to zero, keeping the store allocated: the
+    /// per-node vector retains its capacity (slots revert to `None`, so
+    /// [`Metrics::iter_nodes`] stays empty until a node records again) and
+    /// the per-tech maps are cleared in place.
     pub fn reset(&mut self) {
-        *self = Metrics::default();
+        self.global = Counters::default();
+        for slot in &mut self.per_node {
+            *slot = None;
+        }
+        self.per_tech_messages.clear();
+        self.per_tech_bytes.clear();
+    }
+
+    /// Capacity of the per-node counter vector — diagnostic for the
+    /// allocation-retention guarantee of [`Metrics::reset`].
+    pub fn per_node_capacity(&self) -> usize {
+        self.per_node.capacity()
     }
 }
 
@@ -303,6 +317,29 @@ mod tests {
         m.reset();
         assert_eq!(m.global().inquiries_started, 0);
         assert_eq!(m.node(node(1)).inquiry_hits, 0);
+    }
+
+    #[test]
+    fn reset_keeps_the_store_allocated() {
+        let mut m = Metrics::new();
+        for n in 0..256 {
+            m.record_message_sent(node(n), RadioTech::Wlan, 10);
+        }
+        let capacity = m.per_node_capacity();
+        assert!(capacity >= 256, "recording must have grown the per-node store");
+        m.reset();
+        assert_eq!(
+            m.per_node_capacity(),
+            capacity,
+            "reset must keep the per-node vector allocated, not rebuild it"
+        );
+        assert_eq!(m.global(), &Counters::default());
+        assert_eq!(m.iter_nodes().count(), 0, "reset slots must read as never-recorded");
+        assert_eq!(m.messages_for_tech(RadioTech::Wlan), 0);
+        // The store still works after an in-place reset.
+        m.record_message_sent(node(3), RadioTech::Gprs, 7);
+        assert_eq!(m.node(node(3)).bytes_sent, 7);
+        assert_eq!(m.iter_nodes().count(), 1);
     }
 
     #[test]

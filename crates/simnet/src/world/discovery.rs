@@ -177,7 +177,9 @@ impl World {
         now: SimTime,
     ) -> Vec<(NodeId, f64)> {
         let mut scratch = self.candidate_scratch.borrow_mut();
+        let span = self.profiler().begin();
         self.topology.candidates_within_into(pos, range, now, &mut scratch);
+        self.profiler().end(crate::telemetry::Phase::GridRefresh, span);
         scratch
             .iter()
             .copied()

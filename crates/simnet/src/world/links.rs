@@ -253,6 +253,11 @@ impl LinkTable {
         self.active.len()
     }
 
+    /// Number of currently open links (the telemetry `links_open` gauge).
+    pub(crate) fn open_count(&self) -> usize {
+        self.active.values().filter(|l| l.open).count()
+    }
+
     /// Number of retired tombstones. Diagnostic for tests and benches.
     pub(crate) fn retired_count(&self) -> usize {
         self.retired.len()

@@ -44,6 +44,7 @@ use crate::node::{AttemptId, LinkId, NodeAgent, NodeId, TimerToken};
 use crate::payload::Payload;
 use crate::radio::{RadioEnvironment, RadioTech};
 use crate::rng::SimRng;
+use crate::telemetry::{Phase, Profiler, Telemetry, TelemetryConfig, PAYLOAD_SIZE_BOUNDS};
 use crate::time::{SimDuration, SimTime};
 
 /// Static configuration of a simulation world.
@@ -190,6 +191,12 @@ pub struct World {
     /// neighbour lookup fills this one allocation instead of building a
     /// fresh candidate `Vec` — hot at 100k nodes.
     candidate_scratch: std::cell::RefCell<Vec<NodeId>>,
+    /// Live telemetry recorder; `None` (the default) keeps the event loop
+    /// free of sampling work. Behind a `Box` so the disabled case costs one
+    /// pointer.
+    telemetry: Option<Box<Telemetry>>,
+    /// Per-phase wall-clock profiler; disabled (inert) by default.
+    profiler: Profiler,
 }
 
 impl World {
@@ -208,6 +215,8 @@ impl World {
             faults,
             rng,
             candidate_scratch: std::cell::RefCell::new(Vec::new()),
+            telemetry: None,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -507,9 +516,12 @@ impl World {
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some((time, event)) = self.scheduler.pop_due(deadline) {
             self.now = self.now.max(time);
-            self.handle(event);
+            self.dispatch(event);
         }
         self.now = self.now.max(deadline);
+        if self.telemetry.is_some() {
+            self.sample_telemetry();
+        }
     }
 
     /// Runs for a further span of simulated time.
@@ -523,13 +535,31 @@ impl World {
     pub fn run_until_idle(&mut self, limit: SimTime) -> SimTime {
         while let Some((time, event)) = self.scheduler.pop_due(limit) {
             self.now = self.now.max(time);
-            self.handle(event);
+            self.dispatch(event);
         }
         if self.scheduler.peek_time().is_none() {
             self.now
         } else {
             self.now = self.now.max(limit);
             self.now
+        }
+    }
+
+    /// One event through the instrumentation shell: profile the handling
+    /// wall time by phase, then check the telemetry sample boundary. With
+    /// both tools off (the default) this adds two predictable branches and
+    /// nothing else; the event semantics are untouched either way.
+    fn dispatch(&mut self, event: Event) {
+        if self.profiler.is_enabled() {
+            let phase = phase_of(&event);
+            let span = self.profiler.begin();
+            self.handle(event);
+            self.profiler.end(phase, span);
+        } else {
+            self.handle(event);
+        }
+        if self.telemetry.is_some() {
+            self.sample_telemetry();
         }
     }
 
@@ -605,6 +635,114 @@ impl World {
             Event::Disconnect { link, closer } => self.graceful_disconnect(link, closer),
             Event::Fault { node, idx } => self.apply_fault(node, idx),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry and profiling (see the `telemetry` module)
+    // ------------------------------------------------------------------
+
+    /// Turns on the live telemetry plane: from now on the event loop
+    /// snapshots the world's aggregate series every
+    /// [`TelemetryConfig::sample_interval`] of virtual time. Telemetry draws
+    /// no randomness and changes no event — a run records identically with
+    /// it on or off.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Some(Box::new(Telemetry::new(config)));
+    }
+
+    /// The telemetry recorder, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable access to the recorder — scenario drivers use this to export
+    /// their own gauges (resilience breaker state, handover counts) and to
+    /// install the live-watch frame callback.
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Detaches and returns the recorder (turning telemetry off).
+    pub fn take_telemetry(&mut self) -> Option<Box<Telemetry>> {
+        self.telemetry.take()
+    }
+
+    /// Turns on per-phase wall-clock profiling of the event loop.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Profiler::enabled();
+    }
+
+    /// The per-phase profiler (inert unless [`World::enable_profiling`] ran).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Number of nodes currently powered on (telemetry gauge / diagnostic).
+    pub fn alive_count(&self) -> usize {
+        self.topology.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Number of currently open links (telemetry gauge / diagnostic).
+    pub fn open_link_count(&self) -> usize {
+        self.links.open_count()
+    }
+
+    /// Mirrors the engine's aggregate state into the recorder and emits a
+    /// frame when virtual time has crossed a sample boundary. Counters are
+    /// copied from the already-maintained [`Metrics`] store, so sampling
+    /// reads state instead of instrumenting every hot-path record call.
+    fn sample_telemetry(&mut self) {
+        let due = self.telemetry.as_ref().map(|t| t.due(self.now)).unwrap_or(false);
+        if !due {
+            return;
+        }
+        let alive = self.alive_count() as f64;
+        let open_links = self.links.open_count() as f64;
+        let global = *self.metrics.global();
+        let fault_stats = self.faults.stats;
+        let per_tech: Vec<(RadioTech, u64, u64)> = RadioTech::ALL
+            .iter()
+            .map(|&t| (t, self.metrics.messages_for_tech(t), self.metrics.bytes_for_tech(t)))
+            .filter(|&(_, msgs, bytes)| msgs > 0 || bytes > 0)
+            .collect();
+        let now = self.now;
+        let tel = self.telemetry.as_mut().expect("checked above");
+        tel.set_gauge("world", "nodes_alive", None, alive);
+        tel.set_gauge("world", "links_open", None, open_links);
+        tel.set_counter("world", "inquiries_started", None, global.inquiries_started);
+        tel.set_counter("world", "inquiry_hits", None, global.inquiry_hits);
+        tel.set_counter("world", "connect_attempts", None, global.connect_attempts);
+        tel.set_counter("world", "connects_established", None, global.connects_established);
+        tel.set_counter("world", "connect_failures", None, global.connect_failures);
+        tel.set_counter("world", "messages_sent", None, global.messages_sent);
+        tel.set_counter("world", "messages_delivered", None, global.messages_delivered);
+        tel.set_counter("world", "messages_lost", None, global.messages_lost);
+        tel.set_counter("world", "bytes_sent", None, global.bytes_sent);
+        tel.set_counter("world", "links_broken", None, global.links_broken);
+        tel.set_gauge("world", "delivery_rate", None, global.delivery_rate());
+        tel.set_counter("faults", "node_crashes", None, fault_stats.crashes);
+        tel.set_counter("faults", "node_restarts", None, fault_stats.restarts);
+        tel.set_counter("faults", "radio_outages", None, fault_stats.radio_outages);
+        for (tech, msgs, bytes) in per_tech {
+            let label = tech.short_name();
+            tel.set_counter("world", "messages_sent_tech", Some(label), msgs);
+            tel.set_counter("world", "bytes_sent_tech", Some(label), bytes);
+        }
+        tel.sample(now);
+    }
+}
+
+/// The profiling phase an event's handling is attributed to.
+fn phase_of(event: &Event) -> Phase {
+    match event {
+        Event::NodeStart(_) => Phase::AgentStart,
+        Event::Timer { .. } => Phase::Timers,
+        Event::InquiryComplete { .. } => Phase::Discovery,
+        Event::ConnectResolve { .. } => Phase::Connect,
+        Event::Deliver { .. } => Phase::Delivery,
+        Event::LinkCheck { .. } => Phase::LinkCheck,
+        Event::Disconnect { .. } => Phase::Disconnect,
+        Event::Fault { .. } => Phase::Faults,
     }
 }
 
@@ -755,6 +893,15 @@ impl<'a> NodeCtx<'a> {
         let profile = self.world.config.radio.profile(tech);
         let delay = profile.transmission_delay(payload.len());
         self.world.metrics.record_message_sent(node, tech, payload.len() as u64);
+        if let Some(tel) = self.world.telemetry.as_deref_mut() {
+            tel.observe(
+                "world",
+                "payload_bytes",
+                None,
+                PAYLOAD_SIZE_BOUNDS,
+                payload.len() as u64,
+            );
+        }
         let msg = self.world.links.next_msg_id();
         let deliver_at = self.world.now + delay;
         self.world.links.send_in_flight(

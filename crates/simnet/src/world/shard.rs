@@ -58,6 +58,7 @@ use crate::node::{
 use crate::payload::SharedPayload;
 use crate::radio::{RadioEnvironment, RadioTech};
 use crate::rng::SimRng;
+use crate::telemetry::{Histogram, Phase, Profiler, Telemetry, TelemetryConfig, PAYLOAD_SIZE_BOUNDS};
 use crate::time::{SimDuration, SimTime};
 use crate::world::SendError;
 
@@ -467,6 +468,13 @@ struct Shard {
     tech_msgs: BTreeMap<RadioTech, (u64, u64)>,
     /// Reusable grid-query scratch buffer (one per shard, not per query).
     scratch: Vec<NodeId>,
+    /// Shard-local payload-size histogram, allocated only when telemetry is
+    /// on. Commutative, so the coordinator's barrier-time fold across shards
+    /// is independent of the shard layout.
+    payload_hist: Option<Histogram>,
+    /// Shard-local per-phase profiler (inert unless profiling is enabled);
+    /// folded into the coordinator's view on demand.
+    profiler: Profiler,
 }
 
 impl Shard {
@@ -477,6 +485,8 @@ impl Shard {
             outbox: Vec::new(),
             tech_msgs: BTreeMap::new(),
             scratch: Vec::new(),
+            payload_hist: None,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -489,12 +499,15 @@ impl Shard {
             outbox,
             tech_msgs,
             scratch,
+            payload_hist,
+            profiler,
         } = self;
         let mut exec = Executor {
             view,
             outbox,
             tech_msgs,
             scratch,
+            payload_hist,
         };
         while let Some(&Reverse((t, raw))) = index.peek() {
             if t >= t1 {
@@ -509,7 +522,14 @@ impl Shard {
                 Some(head) if head != t => index.push(Reverse((head, raw))),
                 Some(_) => {
                     let (at, event) = node.queue.pop().expect("peeked");
-                    exec.process(node, at, event);
+                    if profiler.is_enabled() {
+                        let phase = phase_of_node_event(&event);
+                        let span = profiler.begin();
+                        exec.process(node, at, event);
+                        profiler.end(phase, span);
+                    } else {
+                        exec.process(node, at, event);
+                    }
                     if let Some(next) = node.queue.peek_time() {
                         index.push(Reverse((next, raw)));
                     }
@@ -519,12 +539,32 @@ impl Shard {
     }
 }
 
+/// The profiling phase a node-local event's handling is attributed to.
+/// Inbox bodies split between connection handshakes and data-path work.
+fn phase_of_node_event(event: &NodeEvent) -> Phase {
+    match event {
+        NodeEvent::Start => Phase::AgentStart,
+        NodeEvent::Timer { .. } => Phase::Timers,
+        NodeEvent::InquiryComplete { .. } => Phase::Discovery,
+        NodeEvent::ConnectResolve { .. } => Phase::Connect,
+        NodeEvent::LinkCheck { .. } => Phase::LinkCheck,
+        NodeEvent::Disconnected { .. } => Phase::Disconnect,
+        NodeEvent::Fault { .. } => Phase::Faults,
+        NodeEvent::Inbox { body, .. } => match body {
+            MsgBody::ConnectRequest { .. } | MsgBody::ConnectReply { .. } => Phase::Connect,
+            MsgBody::Data { .. } => Phase::Delivery,
+            MsgBody::Closed { .. } | MsgBody::Broken { .. } => Phase::Disconnect,
+        },
+    }
+}
+
 /// The per-window execution context of one shard's event loop.
 struct Executor<'a> {
     view: &'a GlobalView<'a>,
     outbox: &'a mut Vec<ShardMsg>,
     tech_msgs: &'a mut BTreeMap<RadioTech, (u64, u64)>,
     scratch: &'a mut Vec<NodeId>,
+    payload_hist: &'a mut Option<Histogram>,
 }
 
 impl Executor<'_> {
@@ -544,6 +584,7 @@ impl Executor<'_> {
                 view: self.view,
                 outbox: self.outbox,
                 tech_msgs: self.tech_msgs,
+                payload_hist: self.payload_hist,
             };
             f(agent.as_mut(), &mut ctx);
         }
@@ -1011,6 +1052,7 @@ pub struct ShardCtx<'a> {
     view: &'a GlobalView<'a>,
     outbox: &'a mut Vec<ShardMsg>,
     tech_msgs: &'a mut BTreeMap<RadioTech, (u64, u64)>,
+    payload_hist: &'a mut Option<Histogram>,
 }
 
 impl ShardCtx<'_> {
@@ -1113,6 +1155,9 @@ impl ShardCtx<'_> {
         let entry = self.tech_msgs.entry(half.tech).or_insert((0, 0));
         entry.0 += 1;
         entry.1 += payload.len() as u64;
+        if let Some(hist) = self.payload_hist.as_mut() {
+            hist.observe(payload.len() as u64);
+        }
         let at = (self.now + delay).max(self.view.window_end);
         Executor::emit(self.outbox, self.node, at, half.peer, MsgBody::Data { link, payload });
         Ok(())
@@ -1190,6 +1235,13 @@ pub struct ShardedWorld {
     metrics: Metrics,
     stats: FaultStats,
     lifecycle: Vec<LifecycleEvent>,
+    /// Coordinator-owned telemetry recorder, sampled at window barriers in
+    /// canonical node order; `None` (the default) keeps the barrier free of
+    /// sampling work.
+    telemetry: Option<Box<Telemetry>>,
+    /// Coordinator-side profiler (snapshot, grid rebuild, window wall,
+    /// barrier merge); per-event phases live in the shard-local profilers.
+    profiler: Profiler,
 }
 
 impl ShardedWorld {
@@ -1211,9 +1263,59 @@ impl ShardedWorld {
             metrics: Metrics::new(),
             stats: FaultStats::default(),
             lifecycle: Vec::new(),
+            telemetry: None,
+            profiler: Profiler::disabled(),
             now: SimTime::ZERO,
             config,
         }
+    }
+
+    /// Turns on the live telemetry plane. Shard-local recorders (the
+    /// payload histograms) start recording and the coordinator samples the
+    /// aggregate series at every window barrier that crosses a sample
+    /// boundary. All folded quantities are commutative sums over per-node
+    /// state, so the recorded series are byte-identical at any shard count.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Some(Box::new(Telemetry::new(config)));
+        for shard in &mut self.shards {
+            shard.payload_hist = Some(Histogram::new(PAYLOAD_SIZE_BOUNDS));
+        }
+    }
+
+    /// The telemetry recorder, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Mutable access to the recorder (external gauges, the watch callback).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Detaches and returns the recorder (turning telemetry off).
+    pub fn take_telemetry(&mut self) -> Option<Box<Telemetry>> {
+        self.telemetry.take()
+    }
+
+    /// Turns on per-phase wall-clock profiling: the coordinator times
+    /// snapshot/grid/window/barrier work and every shard times its own event
+    /// handling (so per-phase nanoseconds sum CPU time across shard threads).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Profiler::enabled();
+        for shard in &mut self.shards {
+            shard.profiler = Profiler::enabled();
+        }
+    }
+
+    /// The merged per-phase profile: coordinator phases plus every
+    /// shard-local profiler folded together.
+    pub fn profile(&self) -> Profiler {
+        let merged = Profiler::disabled();
+        merged.merge(&self.profiler);
+        for shard in &self.shards {
+            merged.merge(&shard.profiler);
+        }
+        merged
     }
 
     /// Current simulation time (always a window boundary between runs).
@@ -1380,8 +1482,12 @@ impl ShardedWorld {
                 Some(t) => t >= t1,
             };
             if !idle {
+                let span = self.profiler.begin();
                 self.rebuild_snapshot();
+                self.profiler.end(Phase::Snapshot, span);
+                let span = self.profiler.begin();
                 self.grid.rebuild(self.now, &self.plans, &self.snapshot);
+                self.profiler.end(Phase::GridRefresh, span);
                 let view = GlobalView {
                     radio: &self.config.radio,
                     plans: &self.plans,
@@ -1391,6 +1497,7 @@ impl ShardedWorld {
                     link_check_interval: self.config.link_check_interval,
                     query_pad_m: self.config.max_speed_mps * self.window.as_secs_f64() + QUERY_PAD_M,
                 };
+                let span = self.profiler.begin();
                 if self.shards.len() == 1 {
                     self.shards[0].run_window(&view);
                 } else {
@@ -1401,9 +1508,15 @@ impl ShardedWorld {
                         }
                     });
                 }
+                self.profiler.end(Phase::ShardWindows, span);
+                let span = self.profiler.begin();
                 self.barrier(t1);
+                self.profiler.end(Phase::BarrierMerge, span);
             }
             self.now = t1;
+            if self.telemetry.is_some() {
+                self.sample_telemetry();
+            }
         }
         self.assemble();
     }
@@ -1411,6 +1524,75 @@ impl ShardedWorld {
     /// Runs for `duration` from the current time.
     pub fn run_for(&mut self, duration: SimDuration) {
         self.run_until(self.now + duration);
+    }
+
+    /// Folds per-node state into the aggregate series and emits a frame if a
+    /// sample boundary was crossed. Every folded quantity is a commutative
+    /// sum (or histogram merge) over node state at the barrier, and node
+    /// state at a barrier does not depend on the shard layout, so the
+    /// recorded series are identical at any shard count.
+    fn sample_telemetry(&mut self) {
+        let due = self.telemetry.as_ref().map(|t| t.due(self.now)).unwrap_or(false);
+        if !due {
+            return;
+        }
+        let mut alive = 0u64;
+        let mut open_halves = 0u64;
+        let mut global = Counters::default();
+        let mut stats = FaultStats::default();
+        let mut tech_msgs: BTreeMap<RadioTech, (u64, u64)> = BTreeMap::new();
+        let mut payload = Histogram::new(PAYLOAD_SIZE_BOUNDS);
+        for shard in &self.shards {
+            for node in shard.nodes.iter().filter_map(|n| n.as_deref()) {
+                if node.alive {
+                    alive += 1;
+                }
+                open_halves += node
+                    .links
+                    .values()
+                    .filter(|half| matches!(half.status, LinkStatus::Open))
+                    .count() as u64;
+                global.merge(&node.counters);
+                stats.crashes += node.stats.crashes;
+                stats.restarts += node.stats.restarts;
+                stats.radio_outages += node.stats.radio_outages;
+            }
+            for (&tech, &(messages, bytes)) in &shard.tech_msgs {
+                let entry = tech_msgs.entry(tech).or_insert((0, 0));
+                entry.0 += messages;
+                entry.1 += bytes;
+            }
+            if let Some(hist) = shard.payload_hist.as_ref() {
+                payload.merge(hist);
+            }
+        }
+        let now = self.now;
+        let tel = self.telemetry.as_mut().expect("checked above");
+        tel.set_gauge("world", "nodes_alive", None, alive as f64);
+        tel.set_gauge("world", "links_open", None, open_halves as f64 / 2.0);
+        tel.set_counter("world", "inquiries_started", None, global.inquiries_started);
+        tel.set_counter("world", "inquiry_hits", None, global.inquiry_hits);
+        tel.set_counter("world", "connect_attempts", None, global.connect_attempts);
+        tel.set_counter("world", "connects_established", None, global.connects_established);
+        tel.set_counter("world", "connect_failures", None, global.connect_failures);
+        tel.set_counter("world", "messages_sent", None, global.messages_sent);
+        tel.set_counter("world", "messages_delivered", None, global.messages_delivered);
+        tel.set_counter("world", "messages_lost", None, global.messages_lost);
+        tel.set_counter("world", "bytes_sent", None, global.bytes_sent);
+        tel.set_counter("world", "links_broken", None, global.links_broken);
+        tel.set_gauge("world", "delivery_rate", None, global.delivery_rate());
+        tel.set_counter("faults", "node_crashes", None, stats.crashes);
+        tel.set_counter("faults", "node_restarts", None, stats.restarts);
+        tel.set_counter("faults", "radio_outages", None, stats.radio_outages);
+        for (tech, (msgs, bytes)) in tech_msgs {
+            let label = tech.short_name();
+            tel.set_counter("world", "messages_sent_tech", Some(label), msgs);
+            tel.set_counter("world", "bytes_sent_tech", Some(label), bytes);
+        }
+        if payload.count() > 0 {
+            tel.set_histogram("world", "payload_bytes", None, payload);
+        }
+        tel.sample(now);
     }
 
     fn rebuild_snapshot(&mut self) {
