@@ -2,12 +2,13 @@
 //! single experiments, and drives multi-seed sweep campaigns.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro                          # full E1-E17 suite
+//! cargo run -p bench --release --bin repro                          # full E1-E18 suite
 //! cargo run -p bench --release --bin repro -- --quick --seed 42     # reduced sizes, explicit seed
 //! cargo run -p bench --release --bin repro -- --list                # experiments & parameters
 //! cargo run -p bench --release --bin repro -- churn --quick         # one experiment (slug or id)
 //! cargo run -p bench --release --bin repro -- e8 --seed 7
 //! cargo run -p bench --release --bin repro -- metropolis --quick --telemetry --profile
+//! cargo run -p bench --release --bin repro -- hotspot --quick --shards 4 --adaptive-shards
 //! cargo run -p bench --release --bin repro -- watch overload --quick
 //! cargo run -p bench --release --bin repro -- sweep churn --seeds 8 --threads 8 --quick
 //! cargo run -p bench --release --bin repro -- sweep churn --quick \
@@ -73,6 +74,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--quick",
                     "--seed",
                     "--shards",
+                    "--adaptive-shards",
+                    "--imbalance",
+                    "--patience",
+                    "--shard-series",
                     "--interval",
                     "--telemetry-jsonl",
                     "--profile",
@@ -92,6 +97,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--quick",
                     "--seed",
                     "--shards",
+                    "--adaptive-shards",
+                    "--imbalance",
+                    "--patience",
+                    "--shard-series",
                     "--telemetry",
                     "--interval",
                     "--telemetry-jsonl",
@@ -101,10 +110,10 @@ fn run(args: &[String]) -> Result<(), String> {
             run_one(name, args, seed, quick, effort, false)
         }
         None => {
-            // The full E1-E17 suite.
+            // The full E1-E18 suite.
             reject_unknown_flags(args, &["--quick", "--seed"])?;
             let seed = seed.unwrap_or(DEFAULT_SUITE_SEED);
-            eprintln!("running the E1-E17 experiment suite (seed {seed}, {effort:?}) ...");
+            eprintln!("running the E1-E18 experiment suite (seed {seed}, {effort:?}) ...");
             let reports = run_all(seed, effort);
             for report in &reports {
                 println!("{report}");
@@ -150,6 +159,22 @@ fn run_one(
         }
         params.set("shards", shards.to_string());
     }
+    // The load-balancing knobs map onto grid parameters of the same name
+    // (E18 carries them); like --shards they change wall-clock time only.
+    if args.iter().any(|a| a == "--adaptive-shards") {
+        if !experiment.params().iter().any(|p| p.key == "adaptive") {
+            return Err(format!("{} does not take --adaptive-shards", experiment.id()));
+        }
+        params.set("adaptive", "on");
+    }
+    for (flag, key) in [("--imbalance", "imbalance"), ("--patience", "patience")] {
+        if let Some(value) = flag_value(args, flag)? {
+            if !experiment.params().iter().any(|p| p.key == key) {
+                return Err(format!("{} does not take {flag}", experiment.id()));
+            }
+            params.set(key, value);
+        }
+    }
 
     let jsonl_path = flag_value(args, "--telemetry-jsonl")?;
     let profile = args.iter().any(|a| a == "--profile");
@@ -176,6 +201,9 @@ fn run_one(
         mode,
         sample_interval: interval,
         profile,
+        // Per-shard series are layout-dependent, so they are a deliberate
+        // opt-in: the default captures diff clean across --shards values.
+        shard_series: args.iter().any(|a| a == "--shard-series"),
     });
 
     let seed = seed.unwrap_or_else(|| experiment.suite_seed(DEFAULT_SUITE_SEED));
@@ -190,7 +218,7 @@ fn run_one(
     scenarios::telemetry::configure(TelemetrySettings::default());
     if (mode != TelemetryMode::Off || profile) && captures.is_empty() {
         eprintln!(
-            "note: {} does not carry telemetry hooks (instrumented: E12, E13, E15, E16, E17)",
+            "note: {} does not carry telemetry hooks (instrumented: E12-E18)",
             experiment.id()
         );
     }
@@ -229,13 +257,15 @@ fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String>
 /// First token that is neither a flag nor a flag value — the subcommand,
 /// wherever it sits among the flags.
 fn first_positional(args: &[String]) -> Option<&str> {
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--seed",
         "--seeds",
         "--threads",
         "--json",
         "--grid",
         "--shards",
+        "--imbalance",
+        "--patience",
         "--interval",
         "--telemetry-jsonl",
     ];
@@ -317,13 +347,19 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
 /// `repro --list`: subcommands, experiments and their grid parameters.
 fn list() {
     println!("usage:");
-    println!("  repro [--quick] [--seed N]                 run the full E1-E17 suite");
+    println!("  repro [--quick] [--seed N]                 run the full E1-E18 suite");
     println!("  repro <experiment> [--quick] [--seed N] [--shards N]");
-    println!("        [--telemetry] [--interval SECS] [--telemetry-jsonl PATH] [--profile]");
+    println!("        [--adaptive-shards] [--imbalance RATIO] [--patience WINDOWS]");
+    println!("        [--telemetry] [--shard-series] [--interval SECS] [--telemetry-jsonl PATH] [--profile]");
     println!("                                             run one experiment (slug or id);");
-    println!("                                             --shards selects the parallel engine (E17);");
+    println!("                                             --shards selects the parallel engine (E17/E18);");
+    println!("                                             --adaptive-shards enables density-adaptive partitions");
+    println!("                                             (E18; --imbalance / --patience tune the rebalance gate);");
     println!("                                             --telemetry records virtual-time series (stderr roll-up,");
-    println!("                                             JSONL side file), --profile prints the per-phase breakdown");
+    println!(
+        "                                             JSONL side file; --shard-series adds per-shard load gauges),"
+    );
+    println!("                                             --profile prints the per-phase breakdown");
     println!("  repro watch <experiment> [--quick] [--seed N] [--shards N] [--interval SECS]");
     println!("                                             live mode: stream sampled frames to stderr while running");
     println!("  repro sweep <experiment> [--seeds N] [--seed BASE] [--threads N]");

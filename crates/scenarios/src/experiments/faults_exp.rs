@@ -492,12 +492,15 @@ pub fn e14_blackout_flash_crowd_with(seed: u64, quick: bool, stack: StackMode) -
             open_links.to_string(),
         ]);
     };
+    let scope = format!("E14 nodes={nodes} stack={stack:?}");
+    crate::telemetry::instrument_world(&mut world, &scope);
     world.run_until(SimTime::from_secs(115));
     sample(&mut world, "before");
     world.run_until(SimTime::from_secs(150));
     sample(&mut world, "blackout");
     world.run_until(SimTime::from_secs(300));
     sample(&mut world, "recovered");
+    crate::telemetry::finish_world(&mut world, &scope);
     let stats = world.fault_stats();
     report.push_note(format!(
         "{} nodes; {} crashes, {} restarts, {} radio outages injected; every transition is in the \

@@ -1,0 +1,284 @@
+//! E18: the hotspot metropolis — a flash crowd on the sharded engine.
+//!
+//! E17 proves the sharded world is deterministic at any shard count; this
+//! experiment builds its worst case for *speed*. Most of the city's devices
+//! — and almost all of its radio traffic — pile into one district: a dense
+//! milling crowd inside the district plus a stream of pedestrians walking in
+//! from across the city, over a sparse stationary background. Under the
+//! fixed equal-width stripes of PR 7, the stripe containing the district
+//! does nearly all the work each window while the others wait at the
+//! barrier; with `adaptive` sharding on, the density-adaptive partition
+//! narrows the hot stripes until every worker carries ~equal load.
+//!
+//! Like E17, the report is built to prove an invariance: it carries the full
+//! run digest and deliberately no shard- or adaptivity-dependent cell.
+//! Rerun it at a different `--shards` value — or flip `adaptive` — and diff
+//! the output: it must be empty, because the partition only ever decides
+//! which thread executes a node, never what the node observes. What *does*
+//! change is the wall clock, which the `adaptive_shards` bench measures.
+
+use simnet::prelude::*;
+
+use crate::experiments::sharded::{sharded_world_digest, ShardCityAgent};
+use crate::report::ExperimentReport;
+
+/// Settings for the E18 hotspot-metropolis run.
+#[derive(Debug, Clone)]
+pub struct HotspotSettings {
+    /// Base random seed (world and placement derive from it).
+    pub seed: u64,
+    /// City population.
+    pub nodes: usize,
+    /// Overall device density in nodes per square kilometre (fixes the city
+    /// side length; the district is far denser).
+    pub density_per_km2: f64,
+    /// Fraction of nodes milling inside the hotspot district.
+    pub crowd_fraction: f64,
+    /// Fraction of nodes walking in from across the city ("converging").
+    pub inbound_fraction: f64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// How often each device scans its neighbourhood.
+    pub inquiry_interval: SimDuration,
+    /// How often an attached device pings its peer.
+    pub ping_interval: SimDuration,
+    /// Worker threads. Changes wall-clock time only, never results.
+    pub shards: usize,
+    /// Density-adaptive stripe rebalancing. Changes wall-clock time only,
+    /// never results.
+    pub adaptive: bool,
+    /// Rebalance gate: `max(shard load) / mean(shard load)` ratio that must
+    /// be exceeded before a re-cut is considered.
+    pub imbalance_threshold: f64,
+    /// Consecutive over-threshold windows required before a re-cut.
+    pub patience: u32,
+}
+
+impl HotspotSettings {
+    /// The full-size run used to produce `EXPERIMENTS.md`.
+    pub fn full() -> Self {
+        HotspotSettings {
+            seed: 18,
+            nodes: 100_000,
+            density_per_km2: 1_000.0,
+            crowd_fraction: 0.55,
+            inbound_fraction: 0.15,
+            duration: SimDuration::from_secs(90),
+            inquiry_interval: SimDuration::from_secs(20),
+            ping_interval: SimDuration::from_secs(10),
+            shards: 2,
+            adaptive: true,
+            imbalance_threshold: AdaptiveShards::default().imbalance_threshold,
+            patience: AdaptiveShards::default().patience,
+        }
+    }
+
+    /// The CI variant: a smaller crowd over a shorter horizon.
+    pub fn quick() -> Self {
+        HotspotSettings {
+            nodes: 30_000,
+            duration: SimDuration::from_secs(45),
+            ..HotspotSettings::full()
+        }
+    }
+
+    /// A small population for debug-build smoke tests (`cargo test`).
+    pub fn smoke() -> Self {
+        HotspotSettings {
+            nodes: 600,
+            duration: SimDuration::from_secs(60),
+            ..HotspotSettings::full()
+        }
+    }
+
+    /// Side length in metres of the square city at the configured density.
+    pub fn side_m(&self) -> f64 {
+        (self.nodes as f64 / self.density_per_km2 * 1_000_000.0).sqrt()
+    }
+
+    /// The hotspot district: a square of a quarter of the city's side,
+    /// centred right-of-centre so it sits inside the last stripes of an
+    /// equal-width partition — the worst case for static load balance.
+    pub fn district(&self) -> Rect {
+        let side = self.side_m();
+        let d = 0.25 * side;
+        let (cx, cy) = (0.78 * side, 0.5 * side);
+        Rect::new(cx - d / 2.0, cy - d / 2.0, cx + d / 2.0, cy + d / 2.0)
+    }
+}
+
+/// Builds and runs the hotspot metropolis, returning the world for
+/// inspection. Identical `(settings minus shards/adaptive)` produce
+/// identical results at any shard count, adaptivity on or off.
+pub fn hotspot_metropolis_run(settings: &HotspotSettings) -> ShardedWorld {
+    let side = settings.side_m();
+    let area = Rect::new(0.0, 0.0, side, side);
+    let district = settings.district();
+    let mut config = ShardedConfig::new(settings.seed ^ (settings.nodes as u64), area);
+    config.shards = settings.shards;
+    config.adaptive = AdaptiveShards {
+        enabled: settings.adaptive,
+        imbalance_threshold: settings.imbalance_threshold,
+        patience: settings.patience,
+        ..AdaptiveShards::default()
+    };
+    config.grid_cell_m = config.radio.wlan.range_m;
+    config.link_check_interval = SimDuration::from_secs(1);
+    config.window = Some(SimDuration::from_secs(1));
+    config.max_speed_mps = 2.5;
+    config.mobility_horizon = SimTime::ZERO + settings.duration + SimDuration::from_secs(600);
+    let mut world = ShardedWorld::new(config);
+    let mut placer = SimRng::new(settings.seed ^ 0x407_5907 ^ (settings.nodes as u64));
+    let crowd = (settings.nodes as f64 * settings.crowd_fraction).round() as usize;
+    let inbound = (settings.nodes as f64 * settings.inbound_fraction).round() as usize;
+    for i in 0..settings.nodes {
+        let mobility = if i < crowd {
+            // The flash crowd: milling pedestrians inside the district.
+            let start = Point::new(
+                placer.uniform_f64(district.min_x, district.max_x),
+                placer.uniform_f64(district.min_y, district.max_y),
+            );
+            MobilityModel::RandomWaypoint {
+                area: district,
+                start,
+                min_speed_mps: 0.5,
+                max_speed_mps: 1.5,
+                pause: SimDuration::from_secs(15),
+            }
+        } else if i < crowd + inbound {
+            // Converging pedestrians: a straight walk from anywhere in the
+            // city towards a point inside the district.
+            let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+            let target = Point::new(
+                placer.uniform_f64(district.min_x, district.max_x),
+                placer.uniform_f64(district.min_y, district.max_y),
+            );
+            MobilityModel::walk(start, target, 2.0)
+        } else {
+            // Sparse stationary background across the rest of the city.
+            let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+            MobilityModel::stationary(start)
+        };
+        world.add_node(
+            format!("h{i}"),
+            mobility,
+            &[RadioTech::Wlan],
+            Box::new(ShardCityAgent::new(settings.inquiry_interval, settings.ping_interval)),
+        );
+    }
+    let scope = format!(
+        "E18 nodes={} shards={} adaptive={}",
+        settings.nodes,
+        settings.shards,
+        if settings.adaptive { "on" } else { "off" }
+    );
+    crate::telemetry::instrument_sharded(&mut world, &scope);
+    world.run_for(settings.duration);
+    crate::telemetry::finish_sharded(&mut world, &scope);
+    world
+}
+
+/// E18 (beyond the thesis): the hotspot metropolis.
+///
+/// The report is identical for every shard count and adaptivity setting by
+/// construction — it includes the run digest and omits both knobs, so
+/// `diff`-ing two runs that differ only in `--shards` or `adaptive` is the
+/// invariance check itself.
+pub fn e18_hotspot_metropolis(settings: &HotspotSettings) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E18",
+        "Hotspot metropolis: a flash crowd against the load-balanced sharded world",
+        "Beyond the thesis: a flash crowd piles most of the city's devices and traffic into one \
+         district — the worst case for equal-width spatial stripes, whose hottest shard then does \
+         nearly all the work each window. Density-adaptive sharding re-cuts stripe boundaries \
+         along the load histogram at window barriers (hysteresis-gated, from pure simulation \
+         state), which changes wall-clock time only: this table carries a digest of every counter \
+         and no shard- or adaptivity-dependent cell. Rerun with different --shards or adaptive \
+         settings and diff — the output must not change.",
+        &[
+            "nodes",
+            "side (m)",
+            "crowd %",
+            "inquiries",
+            "links established",
+            "handovers",
+            "coverage drops",
+            "pings delivered",
+            "digest",
+        ],
+    );
+    let mut world = hotspot_metropolis_run(settings);
+    let (mut handovers, mut drops) = (0u64, 0u64);
+    for id in world.node_ids().collect::<Vec<_>>() {
+        if let Some((h, d)) = world.with_agent::<ShardCityAgent, _>(id, |a| (a.handovers, a.drops)) {
+            handovers += h;
+            drops += d;
+        }
+    }
+    let digest = sharded_world_digest(&world);
+    let g = world.metrics().global();
+    report.push_row([
+        settings.nodes.to_string(),
+        format!("{:.0}", settings.side_m()),
+        format!("{:.0}", settings.crowd_fraction * 100.0),
+        g.inquiries_started.to_string(),
+        g.connects_established.to_string(),
+        handovers.to_string(),
+        drops.to_string(),
+        g.messages_delivered.to_string(),
+        format!("{digest:016x}"),
+    ]);
+    report.push_note(format!(
+        "{:.0}% of nodes mill inside a district of a quarter of the city's side (right of \
+         centre), {:.0}% walk in from across the city, the rest are stationary background; \
+         windowed execution (1s lookahead), digest covers all counters, per-node tallies and the \
+         lifecycle stream",
+        settings.crowd_fraction * 100.0,
+        settings.inbound_fraction * 100.0,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_city_report_is_shard_and_adaptivity_invariant() {
+        let mut static_one = HotspotSettings::smoke();
+        static_one.shards = 1;
+        static_one.adaptive = false;
+        let mut adaptive_four = HotspotSettings::smoke();
+        adaptive_four.shards = 4;
+        adaptive_four.adaptive = true;
+        let a = e18_hotspot_metropolis(&static_one);
+        let b = e18_hotspot_metropolis(&adaptive_four);
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "report must not depend on shard count or adaptivity"
+        );
+        let world = hotspot_metropolis_run(&static_one);
+        assert!(world.metrics().global().connects_established > 0);
+        assert!(world.metrics().global().messages_delivered > 0);
+    }
+
+    #[test]
+    fn adaptive_smoke_city_actually_rebalances() {
+        let mut settings = HotspotSettings::smoke();
+        settings.shards = 4;
+        settings.adaptive = true;
+        let world = hotspot_metropolis_run(&settings);
+        let stats = world.partition_stats();
+        assert!(stats.windows > 0, "barriers must fold the load model");
+        assert!(
+            stats.rebalances > 0,
+            "the flash crowd must trip the hysteresis gate (imbalance {:.2})",
+            stats.last_imbalance
+        );
+        assert!(
+            world.stripe_cuts().windows(2).all(|w| w[0] <= w[1]),
+            "cuts must stay monotone"
+        );
+    }
+}

@@ -1,7 +1,8 @@
-//! The experiment runners E1–E17 (see `DESIGN.md` for the per-figure index;
+//! The experiment runners E1–E18 (see `DESIGN.md` for the per-figure index;
 //! E12 is the dense-city scale family, E13/E14 are the fault & churn
-//! family, E16 is the resilience-pipeline overload city and E17 is the
-//! sharded metropolis, all added on top of the thesis).
+//! family, E16 is the resilience-pipeline overload city, E17 is the
+//! sharded metropolis and E18 is the hotspot metropolis on the
+//! load-balanced sharded engine, all added on top of the thesis).
 //!
 //! Each function builds the scenario it needs, runs the simulation and
 //! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
@@ -12,6 +13,7 @@ pub mod discovery;
 pub mod faults_exp;
 pub mod full_stack;
 pub mod handover;
+pub mod hotspot;
 pub mod metropolis;
 pub mod migration_exp;
 pub mod overload;
@@ -29,6 +31,7 @@ pub use full_stack::{FullStackHost, FullStats, MetroApp, StackMode, METRO_SERVIC
 pub use handover::{
     e07_two_server_handover, e08_routing_handover, e11_monitoring_limitation, routing_handover_run, HandoverRun,
 };
+pub use hotspot::{e18_hotspot_metropolis, hotspot_metropolis_run, HotspotSettings};
 pub use metropolis::{e15_full_stack_metropolis, metropolis_run, MetropolisSettings};
 pub use migration_exp::{e09_result_routing, migration_run, MigrationRun};
 pub use overload::{
@@ -55,10 +58,10 @@ pub enum Effort {
 }
 
 /// Runs every experiment through the [`Experiment`] registry and returns
-/// the reports in E1–E17 order. Settings-driven families keep their
+/// the reports in E1–E18 order. Settings-driven families keep their
 /// historical pinned seeds (see [`Experiment::suite_seed`]), so the suite
 /// output is byte-identical to the pre-registry per-experiment entry
-/// points (E16 and E17 append after the historical E1–E15 blocks).
+/// points (E16–E18 append after the historical E1–E15 blocks).
 pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
     let params = Params::new();
     registry()

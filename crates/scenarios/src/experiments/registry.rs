@@ -1,4 +1,4 @@
-//! The uniform [`Experiment`] trait and the E1–E17 registry.
+//! The uniform [`Experiment`] trait and the E1–E18 registry.
 //!
 //! Every experiment of the reproduction is runnable through one interface:
 //! `run(seed, params, quick)` returns both the human-readable markdown
@@ -20,8 +20,9 @@ use crate::experiments::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, e06_bridge_performance, e07_two_server_handover, e08_routing_handover,
     e09_result_routing, e10_coverage_amplification, e11_monitoring_limitation, e12_dense_city, e13_churn_sweep,
-    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, e16_overload, e17_sharded_metropolis, ChurnSettings,
-    DiscoverySettings, MetropolisSettings, OverloadSettings, ScaleSettings, ShardedSettings, StackMode,
+    e14_blackout_flash_crowd_with, e15_full_stack_metropolis, e16_overload, e17_sharded_metropolis,
+    e18_hotspot_metropolis, ChurnSettings, DiscoverySettings, HotspotSettings, MetropolisSettings, OverloadSettings,
+    ScaleSettings, ShardedSettings, StackMode,
 };
 use crate::report::ExperimentReport;
 
@@ -615,6 +616,58 @@ experiment!(
     }
 );
 
+experiment!(
+    E18HotspotMetropolis,
+    "E18",
+    "hotspot",
+    "Hotspot metropolis: a flash crowd against the load-balanced sharded world",
+    keys: ["nodes"],
+    params: [
+        ("shards", ParamKind::USize, "worker threads (wall-clock only; results are shard-invariant)"),
+        ("adaptive", ParamKind::OnOff, "density-adaptive stripe rebalancing (wall-clock only)"),
+        ("imbalance", ParamKind::F64, "max/mean load ratio that arms a re-cut (wall-clock only)"),
+        ("patience", ParamKind::USize, "over-threshold windows before a re-cut fires (wall-clock only)"),
+        ("nodes", ParamKind::USize, "city population"),
+        ("density", ParamKind::F64, "overall devices per square kilometre"),
+        ("crowd_fraction", ParamKind::F64, "fraction of nodes milling inside the hotspot district"),
+        ("duration_s", ParamKind::USize, "simulated seconds")
+    ],
+    suite_seed: 18,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick {
+            HotspotSettings::quick()
+        } else {
+            HotspotSettings::full()
+        };
+        settings.seed = seed;
+        if let Some(s) = params.get_usize("shards") {
+            settings.shards = s.max(1);
+        }
+        if let Some(a) = params.get_on_off("adaptive") {
+            settings.adaptive = a;
+        }
+        if let Some(r) = params.get_f64("imbalance") {
+            settings.imbalance_threshold = r.max(1.0);
+        }
+        if let Some(p) = params.get_usize("patience") {
+            settings.patience = p.max(1) as u32;
+        }
+        if let Some(n) = params.get_usize("nodes") {
+            settings.nodes = n;
+        }
+        if let Some(d) = params.get_f64("density") {
+            settings.density_per_km2 = d;
+        }
+        if let Some(c) = params.get_f64("crowd_fraction") {
+            settings.crowd_fraction = c.clamp(0.0, 1.0);
+        }
+        if let Some(d) = params.get_secs("duration_s") {
+            settings.duration = d;
+        }
+        e18_hotspot_metropolis(&settings)
+    }
+);
+
 /// Applies the shared city-family overrides (E12/E13): population, density,
 /// mobile fraction, duration and stack mode.
 fn apply_city_params(
@@ -642,7 +695,7 @@ fn apply_city_params(
     }
 }
 
-/// Every experiment of the reproduction, in E1–E17 order.
+/// Every experiment of the reproduction, in E1–E18 order.
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(E01Coverage),
@@ -662,6 +715,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(E15Metropolis),
         Box::new(E16Overload),
         Box::new(E17ShardedMetropolis),
+        Box::new(E18HotspotMetropolis),
     ]
 }
 
@@ -678,23 +732,25 @@ mod tests {
     use crate::report::ExperimentReport;
 
     #[test]
-    fn registry_has_seventeen_unique_experiments() {
+    fn registry_has_eighteen_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         let mut slugs: Vec<&str> = reg.iter().map(|e| e.slug()).collect();
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         slugs.sort_unstable();
         slugs.dedup();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(slugs.len(), 17, "slugs must be unique");
-        assert_eq!(ids.len(), 17, "ids must be unique");
+        assert_eq!(slugs.len(), 18, "slugs must be unique");
+        assert_eq!(ids.len(), 18, "ids must be unique");
         assert_eq!(reg[12].id(), "E13");
         assert_eq!(reg[12].slug(), "churn");
         assert_eq!(reg[15].id(), "E16");
         assert_eq!(reg[15].slug(), "overload");
         assert_eq!(reg[16].id(), "E17");
         assert_eq!(reg[16].slug(), "sharded-metropolis");
+        assert_eq!(reg[17].id(), "E18");
+        assert_eq!(reg[17].slug(), "hotspot");
     }
 
     #[test]

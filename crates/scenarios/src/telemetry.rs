@@ -40,6 +40,10 @@ pub struct TelemetrySettings {
     pub sample_interval: SimDuration,
     /// Also enable per-phase wall-clock profiling (independent of `mode`).
     pub profile: bool,
+    /// Also record per-shard `shard/*` series in sharded runs. Off by
+    /// default: these series depend on the shard layout, so the default
+    /// captures stay byte-identical at any `--shards` count.
+    pub shard_series: bool,
 }
 
 impl Default for TelemetrySettings {
@@ -48,6 +52,7 @@ impl Default for TelemetrySettings {
             mode: TelemetryMode::Off,
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
             profile: false,
+            shard_series: false,
         }
     }
 }
@@ -118,7 +123,9 @@ pub fn instrument_world(world: &mut World, scope: &str) {
 pub fn instrument_sharded(world: &mut ShardedWorld, scope: &str) {
     let s = settings();
     if s.mode != TelemetryMode::Off {
-        world.enable_telemetry(TelemetryConfig::every(s.sample_interval));
+        let mut config = TelemetryConfig::every(s.sample_interval);
+        config.shard_series = s.shard_series;
+        world.enable_telemetry(config);
         if s.mode == TelemetryMode::Watch {
             if let Some(tel) = world.telemetry_mut() {
                 tel.set_on_frame(watch_printer(scope.to_string()));

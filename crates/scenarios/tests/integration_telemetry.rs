@@ -118,6 +118,41 @@ fn sharded_series_are_shard_invariant() {
 }
 
 #[test]
+fn shard_series_are_opt_in_and_report_per_shard_load() {
+    use scenarios::experiments::{hotspot_metropolis_run, HotspotSettings};
+
+    let mut settings = HotspotSettings::smoke();
+    settings.shards = 4;
+    settings.adaptive = true;
+    // Default capture: no layout-dependent shard/* series, so the JSONL
+    // stays byte-identical across --shards counts (the test above).
+    configure(record());
+    let _ = hotspot_metropolis_run(&settings);
+    let plain = take_captures();
+    // Opt in: per-shard load/occupancy gauges and the rebalance counter
+    // appear, and the rebalancer demonstrably ran.
+    configure(TelemetrySettings {
+        shard_series: true,
+        ..record()
+    });
+    let world = hotspot_metropolis_run(&settings);
+    let with_shards = take_captures();
+    configure(TelemetrySettings::default());
+    assert_eq!(plain.len(), 1);
+    assert_eq!(with_shards.len(), 1);
+    assert!(
+        !plain[0].jsonl.contains("\"subsystem\":\"shard\""),
+        "shard/* series must stay off by default"
+    );
+    for series in ["shard/load", "shard/occupancy", "shard/imbalance", "shard/rebalances"] {
+        let rollup = with_shards[0].rollup.as_deref().unwrap();
+        assert!(rollup.contains(series), "missing {series} in the roll-up:\n{rollup}");
+    }
+    assert!(with_shards[0].jsonl.contains("\"subsystem\":\"shard\""));
+    assert!(world.partition_stats().rebalances > 0);
+}
+
+#[test]
 fn sharded_run_with_telemetry_matches_uninstrumented_world() {
     configure(TelemetrySettings::default());
     let plain = sharded_metropolis_run(&churny_sharded(2));

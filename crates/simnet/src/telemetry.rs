@@ -49,6 +49,11 @@ pub struct TelemetryConfig {
     /// Maximum frames retained; the oldest frame is dropped (and counted in
     /// [`Telemetry::dropped_frames`]) when the ring is full.
     pub ring_capacity: usize,
+    /// Record per-shard `shard/*` series (load, occupancy, imbalance,
+    /// rebalances) in the sharded world. Off by default because these series
+    /// are inherently shard-layout-dependent: leaving them out keeps every
+    /// recorded capture byte-identical at any `--shards` count.
+    pub shard_series: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -56,6 +61,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            shard_series: false,
         }
     }
 }
@@ -67,6 +73,12 @@ impl TelemetryConfig {
             sample_interval: interval.max(SimDuration::from_micros(1)),
             ..TelemetryConfig::default()
         }
+    }
+
+    /// The same configuration with per-shard `shard/*` series switched on.
+    pub fn with_shard_series(mut self) -> Self {
+        self.shard_series = true;
+        self
     }
 }
 
@@ -717,6 +729,7 @@ mod tests {
         let mut tel = Telemetry::new(TelemetryConfig {
             sample_interval: SimDuration::from_secs(1),
             ring_capacity: 3,
+            ..TelemetryConfig::default()
         });
         for s in 1..=10u64 {
             tel.set_counter("world", "ticks", None, s);

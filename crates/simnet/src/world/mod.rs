@@ -22,6 +22,7 @@ mod delivery;
 mod discovery;
 mod grid;
 mod links;
+pub mod partition;
 pub mod shard;
 mod topology;
 

@@ -45,7 +45,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::event::Scheduler;
 use crate::faults::{FaultAction, FaultPlan, FaultStats, LifecycleEvent, LifecycleKind};
@@ -60,6 +60,9 @@ use crate::radio::{RadioEnvironment, RadioTech};
 use crate::rng::SimRng;
 use crate::telemetry::{Histogram, Phase, Profiler, Telemetry, TelemetryConfig, PAYLOAD_SIZE_BOUNDS};
 use crate::time::{SimDuration, SimTime};
+use crate::world::partition::{
+    imbalance, AdaptiveShards, DensityHistogram, HysteresisController, PartitionMap, PartitionStats,
+};
 use crate::world::SendError;
 
 /// Same per-node RNG label scheme as `World::add_node`, so a node's stream
@@ -103,6 +106,11 @@ pub struct ShardedConfig {
     /// Spatial-grid cell size override in metres; defaults to the smallest
     /// finite radio range (the same rule as `WorldConfig`).
     pub grid_cell_m: Option<f64>,
+    /// Density-adaptive stripe rebalancing (see
+    /// [`partition`](crate::world::partition)). Off by default; switching it
+    /// on changes only which thread executes a node — never what the node
+    /// observes — so traces stay byte-identical either way.
+    pub adaptive: AdaptiveShards,
 }
 
 impl ShardedConfig {
@@ -118,6 +126,7 @@ impl ShardedConfig {
             mobility_horizon: SimTime::from_secs(4 * 3600),
             max_speed_mps: 3.0,
             grid_cell_m: None,
+            adaptive: AdaptiveShards::default(),
         }
     }
 
@@ -220,6 +229,10 @@ fn tech_index(tech: RadioTech) -> usize {
         RadioTech::Gprs => 2,
     }
 }
+
+/// Inverse of [`tech_index`]; the order also matches `RadioTech`'s `Ord`, so
+/// array-indexed folds replay the old `BTreeMap` iteration order exactly.
+const TECH_BY_INDEX: [RadioTech; 3] = [RadioTech::Bluetooth, RadioTech::Wlan, RadioTech::Gprs];
 
 /// Per-node dynamic state published at each window barrier. Shards read
 /// *other* nodes' state only through this snapshot, so what a node observes
@@ -351,10 +364,14 @@ struct ShardNode {
     rng: SimRng,
     agent: Option<Box<dyn ShardAgent>>,
     queue: Scheduler<NodeEvent>,
-    links: BTreeMap<LinkId, LinkHalf>,
+    /// Hash tables, not ordered maps: the hot path only probes by key, and
+    /// every place that *iterates* (crash/outage teardown, barrier folds)
+    /// either sorts into canonical id order first or folds commutatively, so
+    /// hash order never leaks into message sequencing or digests.
+    links: HashMap<LinkId, LinkHalf>,
     /// Initiator-side attempts that sent a `ConnectRequest` and await the
     /// reply: attempt -> (peer, tech, link id reserved for the connection).
-    pending: BTreeMap<AttemptId, (NodeId, RadioTech, LinkId)>,
+    pending: HashMap<AttemptId, (NodeId, RadioTech, LinkId)>,
     fault_actions: Vec<(SimTime, FaultAction)>,
     counters: Counters,
     stats: FaultStats,
@@ -362,6 +379,10 @@ struct ShardNode {
     next_attempt: u64,
     next_link: u64,
     next_msg_seq: u64,
+    /// Events this node processed since the last barrier load fold — the
+    /// per-node contribution to the shard load model. Layout-invariant: a
+    /// node processes the same events whatever shard executes it.
+    window_events: u64,
 }
 
 impl ShardNode {
@@ -386,7 +407,17 @@ impl ShardNode {
 /// callers apply the exact predicate on exact positions.
 struct WindowGrid {
     cell_m: f64,
-    cells: HashMap<(i64, i64), Vec<NodeId>>,
+    /// Rebuild generation. Buckets stamped with an older generation are
+    /// logically empty; they are lazily reset on first touch instead of
+    /// walking every bucket the grid has ever populated at each window.
+    stamp: u64,
+    cells: HashMap<(i64, i64), GridBucket>,
+}
+
+#[derive(Default)]
+struct GridBucket {
+    stamp: u64,
+    ids: Vec<NodeId>,
 }
 
 impl WindowGrid {
@@ -394,6 +425,7 @@ impl WindowGrid {
         assert!(cell_m > 0.0 && cell_m.is_finite(), "invalid grid cell size: {cell_m}");
         WindowGrid {
             cell_m,
+            stamp: 0,
             cells: HashMap::new(),
         }
     }
@@ -403,18 +435,22 @@ impl WindowGrid {
     }
 
     /// Rebuilds the index for the window starting at `t0`. Buckets keep
-    /// their allocations across windows; nodes are inserted in id order so
-    /// every bucket stays id-sorted.
+    /// their allocations across windows (stale ones are invalidated by the
+    /// generation stamp, so the rebuild touches only occupied cells); nodes
+    /// are inserted in id order so every bucket stays id-sorted.
     fn rebuild(&mut self, t0: SimTime, plans: &[MotionPlan], snapshot: &[NodeSnapshot]) {
-        for bucket in self.cells.values_mut() {
-            bucket.clear();
-        }
+        self.stamp += 1;
         for (raw, snap) in snapshot.iter().enumerate() {
             if !snap.alive {
                 continue;
             }
             let cell = self.cell_of(plans[raw].position_at(t0));
-            self.cells.entry(cell).or_default().push(NodeId::from_raw(raw as u64));
+            let bucket = self.cells.entry(cell).or_default();
+            if bucket.stamp != self.stamp {
+                bucket.stamp = self.stamp;
+                bucket.ids.clear();
+            }
+            bucket.ids.push(NodeId::from_raw(raw as u64));
         }
     }
 
@@ -431,7 +467,9 @@ impl WindowGrid {
         for i in ix_min..=ix_max {
             for j in iy_min..=iy_max {
                 if let Some(bucket) = self.cells.get(&(i, j)) {
-                    out.extend_from_slice(bucket);
+                    if bucket.stamp == self.stamp {
+                        out.extend_from_slice(&bucket.ids);
+                    }
                 }
             }
         }
@@ -463,9 +501,11 @@ struct Shard {
     /// `(time, raw id)` entries, corrected on pop when stale.
     index: BinaryHeap<Reverse<(SimTime, u64)>>,
     outbox: Vec<ShardMsg>,
-    /// Per-technology (messages, bytes) sent by nodes while owned here;
-    /// commutative, merged into the final [`Metrics`] at assembly.
-    tech_msgs: BTreeMap<RadioTech, (u64, u64)>,
+    /// Per-technology (messages, bytes) sent by nodes while owned here,
+    /// indexed by [`tech_index`]; commutative, merged into the final
+    /// [`Metrics`] at assembly (zero entries skipped, matching the sparse
+    /// map this used to be).
+    tech_msgs: [(u64, u64); 3],
     /// Reusable grid-query scratch buffer (one per shard, not per query).
     scratch: Vec<NodeId>,
     /// Shard-local payload-size histogram, allocated only when telemetry is
@@ -483,7 +523,7 @@ impl Shard {
             nodes: Vec::new(),
             index: BinaryHeap::new(),
             outbox: Vec::new(),
-            tech_msgs: BTreeMap::new(),
+            tech_msgs: [(0, 0); 3],
             scratch: Vec::new(),
             payload_hist: None,
             profiler: Profiler::disabled(),
@@ -522,6 +562,7 @@ impl Shard {
                 Some(head) if head != t => index.push(Reverse((head, raw))),
                 Some(_) => {
                     let (at, event) = node.queue.pop().expect("peeked");
+                    node.window_events += 1;
                     if profiler.is_enabled() {
                         let phase = phase_of_node_event(&event);
                         let span = profiler.begin();
@@ -562,7 +603,7 @@ fn phase_of_node_event(event: &NodeEvent) -> Phase {
 struct Executor<'a> {
     view: &'a GlobalView<'a>,
     outbox: &'a mut Vec<ShardMsg>,
-    tech_msgs: &'a mut BTreeMap<RadioTech, (u64, u64)>,
+    tech_msgs: &'a mut [(u64, u64); 3],
     scratch: &'a mut Vec<NodeId>,
     payload_hist: &'a mut Option<Histogram>,
 }
@@ -801,7 +842,11 @@ impl Executor<'_> {
                     node: node.id,
                     kind: LifecycleKind::NodeDown,
                 });
-                let links = std::mem::take(&mut node.links);
+                // Hash order must not pick the Broken emission order (it
+                // assigns per-origin sequence numbers): sort into the
+                // ascending link-id order the old ordered map produced.
+                let mut links: Vec<(LinkId, LinkHalf)> = node.links.drain().collect();
+                links.sort_unstable_by_key(|(link, _)| link.0);
                 let at = now.max(self.view.window_end);
                 for (link, half) in links {
                     node.counters.links_broken += 1;
@@ -844,12 +889,15 @@ impl Executor<'_> {
                     kind: LifecycleKind::RadioDown(tech),
                 });
                 // Links on the dark technology break for both endpoints.
-                let broken: Vec<(LinkId, LinkHalf)> = node
+                // Sorted by link id for the same reason as the crash path:
+                // emission order assigns message sequence numbers.
+                let mut broken: Vec<(LinkId, LinkHalf)> = node
                     .links
                     .iter()
                     .filter(|(_, h)| h.tech == tech)
                     .map(|(l, h)| (*l, *h))
                     .collect();
+                broken.sort_unstable_by_key(|(link, _)| link.0);
                 let at = now.max(self.view.window_end);
                 for (link, half) in broken {
                     node.links.remove(&link);
@@ -1051,7 +1099,7 @@ pub struct ShardCtx<'a> {
     node: &'a mut ShardNode,
     view: &'a GlobalView<'a>,
     outbox: &'a mut Vec<ShardMsg>,
-    tech_msgs: &'a mut BTreeMap<RadioTech, (u64, u64)>,
+    tech_msgs: &'a mut [(u64, u64); 3],
     payload_hist: &'a mut Option<Histogram>,
 }
 
@@ -1152,7 +1200,7 @@ impl ShardCtx<'_> {
         let delay = profile.transmission_delay(payload.len());
         self.node.counters.messages_sent += 1;
         self.node.counters.bytes_sent += payload.len() as u64;
-        let entry = self.tech_msgs.entry(half.tech).or_insert((0, 0));
+        let entry = &mut self.tech_msgs[tech_index(half.tech)];
         entry.0 += 1;
         entry.1 += payload.len() as u64;
         if let Some(hist) = self.payload_hist.as_mut() {
@@ -1232,6 +1280,22 @@ pub struct ShardedWorld {
     owner: Vec<u32>,
     snapshot: Vec<NodeSnapshot>,
     grid: WindowGrid,
+    /// The stripe boundaries. Uniform until the hysteresis gate fires a
+    /// density-adaptive re-cut; either way ownership only decides which
+    /// thread runs a node, never what the node observes.
+    partition: PartitionMap,
+    density: DensityHistogram,
+    gate: HysteresisController,
+    pstats: PartitionStats,
+    /// Whether barriers fold the per-shard load model (adaptivity on, or
+    /// per-shard telemetry requested). Off, barriers skip the fold entirely.
+    track_loads: bool,
+    /// Whether the telemetry recorder wants `shard/*` series.
+    shard_series: bool,
+    /// Reusable scratch for adaptive re-cuts.
+    cuts_scratch: Vec<f64>,
+    /// Reusable barrier merge buffer (outboxes drain into it each window).
+    merge_scratch: Vec<ShardMsg>,
     metrics: Metrics,
     stats: FaultStats,
     lifecycle: Vec<LifecycleEvent>,
@@ -1260,6 +1324,14 @@ impl ShardedWorld {
             owner: Vec::new(),
             snapshot: Vec::new(),
             grid: WindowGrid::new(cell_m),
+            partition: PartitionMap::uniform(config.area.min_x, config.area.max_x, shard_count),
+            density: DensityHistogram::new(config.area.min_x, config.area.max_x, config.adaptive.bins),
+            gate: HysteresisController::new(config.adaptive.imbalance_threshold, config.adaptive.patience),
+            pstats: PartitionStats::default(),
+            track_loads: config.adaptive.enabled,
+            shard_series: false,
+            cuts_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
             metrics: Metrics::new(),
             stats: FaultStats::default(),
             lifecycle: Vec::new(),
@@ -1276,6 +1348,8 @@ impl ShardedWorld {
     /// boundary. All folded quantities are commutative sums over per-node
     /// state, so the recorded series are byte-identical at any shard count.
     pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.shard_series = config.shard_series;
+        self.track_loads = self.track_loads || config.shard_series;
         self.telemetry = Some(Box::new(Telemetry::new(config)));
         for shard in &mut self.shards {
             shard.payload_hist = Some(Histogram::new(PAYLOAD_SIZE_BOUNDS));
@@ -1378,11 +1452,20 @@ impl ShardedWorld {
         &self.lifecycle
     }
 
+    /// Live partition diagnostics: per-shard loads, imbalance, re-cut count.
+    /// Populated only while load tracking is on (adaptivity enabled or
+    /// `shard/*` telemetry requested); otherwise all zeros.
+    pub fn partition_stats(&self) -> &PartitionStats {
+        &self.pstats
+    }
+
+    /// The current interior stripe boundaries (empty for one shard).
+    pub fn stripe_cuts(&self) -> &[f64] {
+        self.partition.cuts()
+    }
+
     fn stripe_of(&self, p: Point) -> u32 {
-        let shards = self.shards.len() as f64;
-        let width = self.config.area.width().max(f64::MIN_POSITIVE);
-        let rel = (p.x - self.config.area.min_x) / width * shards;
-        (rel.floor().max(0.0) as u32).min(self.shards.len() as u32 - 1)
+        self.partition.stripe_of(p.x)
     }
 
     fn slot(&self, node: NodeId) -> Option<&ShardNode> {
@@ -1420,8 +1503,8 @@ impl ShardedWorld {
             rng,
             agent: Some(agent),
             queue: Scheduler::new(),
-            links: BTreeMap::new(),
-            pending: BTreeMap::new(),
+            links: HashMap::new(),
+            pending: HashMap::new(),
             fault_actions: Vec::new(),
             counters: Counters::default(),
             stats: FaultStats::default(),
@@ -1429,6 +1512,7 @@ impl ShardedWorld {
             next_attempt: 0,
             next_link: 0,
             next_msg_seq: 0,
+            window_events: 0,
         };
         node.queue.schedule(self.now, NodeEvent::Start);
         let owner = self.stripe_of(plan.position_at(self.now));
@@ -1540,7 +1624,7 @@ impl ShardedWorld {
         let mut open_halves = 0u64;
         let mut global = Counters::default();
         let mut stats = FaultStats::default();
-        let mut tech_msgs: BTreeMap<RadioTech, (u64, u64)> = BTreeMap::new();
+        let mut tech_msgs = [(0u64, 0u64); 3];
         let mut payload = Histogram::new(PAYLOAD_SIZE_BOUNDS);
         for shard in &self.shards {
             for node in shard.nodes.iter().filter_map(|n| n.as_deref()) {
@@ -1557,10 +1641,9 @@ impl ShardedWorld {
                 stats.restarts += node.stats.restarts;
                 stats.radio_outages += node.stats.radio_outages;
             }
-            for (&tech, &(messages, bytes)) in &shard.tech_msgs {
-                let entry = tech_msgs.entry(tech).or_insert((0, 0));
-                entry.0 += messages;
-                entry.1 += bytes;
+            for (idx, &(messages, bytes)) in shard.tech_msgs.iter().enumerate() {
+                tech_msgs[idx].0 += messages;
+                tech_msgs[idx].1 += bytes;
             }
             if let Some(hist) = shard.payload_hist.as_ref() {
                 payload.merge(hist);
@@ -1584,13 +1667,25 @@ impl ShardedWorld {
         tel.set_counter("faults", "node_crashes", None, stats.crashes);
         tel.set_counter("faults", "node_restarts", None, stats.restarts);
         tel.set_counter("faults", "radio_outages", None, stats.radio_outages);
-        for (tech, (msgs, bytes)) in tech_msgs {
-            let label = tech.short_name();
+        for (idx, &(msgs, bytes)) in tech_msgs.iter().enumerate() {
+            if msgs == 0 && bytes == 0 {
+                continue; // the old sparse map only carried touched techs
+            }
+            let label = TECH_BY_INDEX[idx].short_name();
             tel.set_counter("world", "messages_sent_tech", Some(label), msgs);
             tel.set_counter("world", "bytes_sent_tech", Some(label), bytes);
         }
         if payload.count() > 0 {
             tel.set_histogram("world", "payload_bytes", None, payload);
+        }
+        if self.shard_series {
+            for (s, (&load, &occ)) in self.pstats.loads.iter().zip(&self.pstats.occupancy).enumerate() {
+                let label = format!("s{s}");
+                tel.set_gauge("shard", "load", Some(&label), load as f64);
+                tel.set_gauge("shard", "occupancy", Some(&label), occ as f64);
+            }
+            tel.set_gauge("shard", "imbalance", None, self.pstats.last_imbalance);
+            tel.set_counter("shard", "rebalances", None, self.pstats.rebalances);
         }
         tel.sample(now);
     }
@@ -1606,13 +1701,18 @@ impl ShardedWorld {
         }
     }
 
-    /// The window barrier: migrate ownership to the stripe containing each
-    /// node's position at `t1`, then merge every outbox into the canonical
+    /// The window barrier: fold the load model (and maybe re-cut the
+    /// stripes), migrate ownership to the stripe containing each node's
+    /// position at `t1`, then merge every outbox into the canonical
     /// `(time, origin, sequence)` order and deliver into the owning queues.
     fn barrier(&mut self, t1: SimTime) {
-        let mut messages: Vec<ShardMsg> = Vec::new();
+        let mut messages = std::mem::take(&mut self.merge_scratch);
+        debug_assert!(messages.is_empty());
         for shard in &mut self.shards {
             messages.append(&mut shard.outbox);
+        }
+        if self.track_loads {
+            self.fold_loads(t1);
         }
         if self.shards.len() > 1 {
             for raw in 0..self.plans.len() {
@@ -1629,7 +1729,7 @@ impl ShardedWorld {
             }
         }
         messages.sort_unstable_by_key(|m| (m.at, m.origin.as_raw(), m.seq));
-        for msg in messages {
+        for msg in messages.drain(..) {
             let raw = msg.to.as_raw() as usize;
             let shard = self.owner[raw] as usize;
             let node = self.shards[shard].nodes[raw].as_deref_mut().expect("owned");
@@ -1641,6 +1741,48 @@ impl ShardedWorld {
                 },
             );
             self.shards[shard].index.push(Reverse((msg.at, msg.to.as_raw())));
+        }
+        self.merge_scratch = messages;
+    }
+
+    /// Folds the per-shard load model for the window that just ended and,
+    /// when adaptivity is on and the hysteresis gate fires, re-cuts the
+    /// stripe boundaries along the weighted prefix sum of the density
+    /// histogram. Every input is pure simulation state — per-node event
+    /// counts (layout-invariant), node counts and motion-plan positions at
+    /// `t1`, folded in canonical shard/node order — so the cut sequence is a
+    /// deterministic function of seed + state: never wall clock, thread
+    /// identity, or iteration order of any hash table.
+    fn fold_loads(&mut self, t1: SimTime) {
+        let ShardedWorld {
+            shards,
+            plans,
+            pstats,
+            density,
+            ..
+        } = self;
+        let shard_count = shards.len();
+        pstats.loads.clear();
+        pstats.loads.resize(shard_count, 0);
+        pstats.occupancy.clear();
+        pstats.occupancy.resize(shard_count, 0);
+        density.clear();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for (raw, slot) in shard.nodes.iter_mut().enumerate() {
+                let Some(node) = slot.as_deref_mut() else { continue };
+                let weight = 1 + node.window_events;
+                node.window_events = 0;
+                pstats.loads[s] += weight;
+                pstats.occupancy[s] += 1;
+                density.record(plans[raw].position_at(t1).x, weight);
+            }
+        }
+        pstats.windows += 1;
+        pstats.last_imbalance = imbalance(&pstats.loads);
+        if self.config.adaptive.enabled && shard_count > 1 && self.gate.observe(pstats.last_imbalance) {
+            density.cut_into(shard_count, &mut self.cuts_scratch);
+            self.partition.set_cuts(&self.cuts_scratch);
+            pstats.rebalances += 1;
         }
     }
 
@@ -1660,8 +1802,10 @@ impl ShardedWorld {
                 self.stats.radio_restores += node.stats.radio_restores;
                 self.lifecycle.extend(node.lifecycle.iter().copied());
             }
-            for (&tech, &(messages, bytes)) in &shard.tech_msgs {
-                self.metrics.absorb_tech(tech, messages, bytes);
+            for (idx, &(messages, bytes)) in shard.tech_msgs.iter().enumerate() {
+                if messages != 0 || bytes != 0 {
+                    self.metrics.absorb_tech(TECH_BY_INDEX[idx], messages, bytes);
+                }
             }
         }
         // Stable sort: each node's events are already time-ordered, so

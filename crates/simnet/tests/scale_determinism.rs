@@ -682,13 +682,94 @@ mod sharded {
         world
     }
 
+    /// The hotspot twin of `build_city`: the same churn and radio-outage
+    /// plans, but 70% of the nodes mill inside a district on the right of
+    /// the city — the load skew the density-adaptive partition exists for.
+    pub fn build_hotspot_city(seed: u64, shards: usize, adaptive: bool) -> ShardedWorld {
+        let side = 300.0;
+        let area = Rect::square(side);
+        let district = Rect::new(0.65 * side, 0.25 * side, 0.95 * side, 0.75 * side);
+        let mut config = ShardedConfig::new(seed, area);
+        config.shards = shards;
+        config.max_speed_mps = 2.0;
+        config.window = Some(SimDuration::from_secs(1));
+        config.adaptive = AdaptiveShards {
+            enabled: adaptive,
+            ..AdaptiveShards::default()
+        };
+        let mut world = ShardedWorld::new(config);
+        let mut placer = SimRng::new(seed ^ 0x5EED);
+        for i in 0..480 {
+            let mobility = if i % 10 < 7 {
+                // The crowd: milling pedestrians inside the district.
+                let start = Point::new(
+                    placer.uniform_f64(district.min_x, district.max_x),
+                    placer.uniform_f64(district.min_y, district.max_y),
+                );
+                MobilityModel::RandomWaypoint {
+                    area: district,
+                    start,
+                    min_speed_mps: 0.5,
+                    max_speed_mps: 2.0,
+                    pause: SimDuration::from_secs(10),
+                }
+            } else {
+                // Sparse stationary background across the whole city.
+                let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+                MobilityModel::stationary(start)
+            };
+            world.add_node(
+                format!("n{i}"),
+                mobility,
+                &[RadioTech::Bluetooth],
+                Box::new(ShardPulse::new(SimDuration::from_secs(15))),
+            );
+        }
+        let planner = SimRng::new(seed ^ 0xFA17_CAFE);
+        for (i, node) in world.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            if i % 10 != 0 {
+                continue;
+            }
+            let mut rng = planner.derive(i as u64);
+            let mut plan = FaultPlan::churn(
+                SimTime::from_secs(60),
+                SimDuration::from_secs(25),
+                SimDuration::from_secs(8),
+                &mut rng,
+            );
+            if i % 20 == 0 {
+                plan = plan.radio_outage(
+                    RadioTech::Bluetooth,
+                    SimTime::from_secs(10 + (i as u64 % 30)),
+                    SimDuration::from_secs(5),
+                );
+            }
+            world.install_fault_plan(node, &plan);
+        }
+        world
+    }
+
     /// Runs the city for 60 s and folds every observable — per-agent
     /// digests, global counters, fault statistics and the lifecycle
     /// stream — into one trace digest.
     pub fn trace_digest(seed: u64, shards: usize) -> u64 {
-        let fnv = super::fnv;
         let mut world = build_city(seed, shards);
         world.run_for(SimDuration::from_secs(60));
+        world_digest(&mut world)
+    }
+
+    /// `trace_digest` over the hotspot city, also reporting how many
+    /// barrier-time rebalances fired.
+    pub fn hotspot_trace_digest(seed: u64, shards: usize, adaptive: bool) -> (u64, u64) {
+        let mut world = build_hotspot_city(seed, shards, adaptive);
+        world.run_for(SimDuration::from_secs(60));
+        let rebalances = world.partition_stats().rebalances;
+        (world_digest(&mut world), rebalances)
+    }
+
+    /// Folds every observable of a finished run into one trace digest.
+    pub fn world_digest(world: &mut ShardedWorld) -> u64 {
+        let fnv = super::fnv;
         let mut digest = 0xcbf29ce484222325u64;
         for node in world.node_ids().collect::<Vec<_>>() {
             let d = world.with_agent::<ShardPulse, _>(node, |p| p.digest).unwrap_or(0);
@@ -743,6 +824,38 @@ fn sharded_world_trace_is_identical_at_1_2_and_8_shards() {
     // And the digest must actually be seed-sensitive, not a constant.
     let other = sharded::trace_digest(4218, 2);
     assert_ne!(one, other, "different seeds should not collide");
+}
+
+#[test]
+fn hotspot_city_trace_is_invariant_to_shards_and_adaptivity() {
+    // The load-balancing determinism claim: the density-adaptive partition
+    // may move stripe boundaries at any barrier, but boundaries only decide
+    // which worker executes a node — never what the node observes. A
+    // hotspot city (70% of nodes in one district) under churn and radio
+    // outages must produce the byte-identical trace at 1, 2 and 8 shards,
+    // with adaptivity on or off, even though the adaptive runs execute on a
+    // genuinely different partition.
+    let (reference, _) = sharded::hotspot_trace_digest(9021, 1, false);
+    let mut adaptive_rebalances = 0;
+    for (shards, adaptive) in [(2, false), (8, false), (1, true), (2, true), (8, true)] {
+        let (digest, rebalances) = sharded::hotspot_trace_digest(9021, shards, adaptive);
+        assert_eq!(
+            digest, reference,
+            "trace diverged at shards={shards} adaptive={adaptive}"
+        );
+        if adaptive && shards > 1 {
+            adaptive_rebalances += rebalances;
+        }
+    }
+    // The invariance must not be vacuous: the skewed city has to actually
+    // trip the hysteresis gate and re-cut the partition.
+    assert!(
+        adaptive_rebalances > 0,
+        "the hotspot must trigger at least one rebalance"
+    );
+    // And the digest must be seed-sensitive, not a constant.
+    let (other, _) = sharded::hotspot_trace_digest(9022, 2, true);
+    assert_ne!(reference, other, "different seeds should not collide");
 }
 
 #[test]
