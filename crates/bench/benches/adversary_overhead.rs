@@ -1,0 +1,152 @@
+//! Wall-clock cost of the frame-authentication defence tier.
+//!
+//! The E19 hostile-city scorecard shows `defenses=auth` shutting route
+//! poisoning down completely; this bench answers the follow-up question
+//! Trusted-HB poses for resource-constrained devices — what does that
+//! immunity *cost* on a peaceful network? Two full-stack metropolis cities
+//! run side by side, identical except for `SecurityConfig`: one with every
+//! defence off (the thesis' stack) and one with the keyed seq+MAC trailer
+//! plus replay windows on every frame.
+//!
+//! Method mirrors `full_stack_scale`: warm both worlds past the first
+//! discovery wave, then time steady-state slices **interleaved**, reporting
+//! the per-world minimum and the minimum per-pair ratio (back-to-back pairs
+//! see machine noise roughly equally, so it cancels in the ratio).
+//!
+//! Output: a markdown table on stdout and `BENCH_adversary.json` (override
+//! the path with `BENCH_ADVERSARY_OUT`), uploaded by CI as an artifact.
+//! The budget assert: frame auth must stay within **10%** of the undefended
+//! wall clock at 2k nodes (disarm with `BENCH_NO_ASSERT=1`).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use peerhood::config::SecurityConfig;
+use scenarios::experiments::full_stack::{metro_configs, FullStackHost};
+use simnet::prelude::*;
+
+fn build_city(nodes: usize, seed: u64, security: SecurityConfig) -> World {
+    let side = (nodes as f64 / 2_000.0 * 1_000_000.0).sqrt();
+    let mut config = WorldConfig::with_seed(seed ^ (nodes as u64));
+    config.grid_cell_m = config.radio.wlan.range_m;
+    let mut world = World::new(config);
+    let area = Rect::square(side);
+    let (static_base, mobile_base) = metro_configs(SimDuration::from_secs(10));
+    let mut static_cfg = (*static_base).clone();
+    static_cfg.security = security.clone();
+    let static_cfg = Rc::new(static_cfg);
+    let mut mobile_cfg = (*mobile_base).clone();
+    mobile_cfg.security = security;
+    let mobile_cfg = Rc::new(mobile_cfg);
+    let mut placer = SimRng::new(seed ^ 0xF57A7E ^ (nodes as u64));
+    for i in 0..nodes {
+        let start = Point::new(placer.uniform_f64(0.0, side), placer.uniform_f64(0.0, side));
+        let mobility = if i % 4 == 0 {
+            MobilityModel::RandomWaypoint {
+                area,
+                start,
+                min_speed_mps: 0.7,
+                max_speed_mps: 2.0,
+                pause: SimDuration::from_secs(20),
+            }
+        } else {
+            MobilityModel::stationary(start)
+        };
+        let cfg = if i % 4 == 0 { &mobile_cfg } else { &static_cfg };
+        world.add_node(
+            format!("n{i}"),
+            mobility,
+            &[RadioTech::Wlan],
+            Box::new(FullStackHost::new(Rc::clone(cfg))),
+        );
+    }
+    world
+}
+
+fn time_slice(world: &mut World, slice_s: u64) -> f64 {
+    let start = Instant::now();
+    world.run_for(SimDuration::from_secs(slice_s));
+    start.elapsed().as_secs_f64()
+}
+
+/// Warm + interleave-time the undefended and frame-auth cities; returns
+/// (best plain wall, best auth wall, best per-pair ratio) for the slices.
+fn measure_pair(nodes: usize, warmup_s: u64, slice_s: u64, slices: u32) -> (f64, f64, f64) {
+    let mut plain = build_city(nodes, 20080815, SecurityConfig::off());
+    let mut auth = build_city(nodes, 20080815, SecurityConfig::auth());
+    plain.run_for(SimDuration::from_secs(warmup_s));
+    auth.run_for(SimDuration::from_secs(warmup_s));
+    let (mut best_plain, mut best_auth, mut best_ratio) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..slices.max(1) {
+        let p = time_slice(&mut plain, slice_s);
+        let a = time_slice(&mut auth, slice_s);
+        best_plain = best_plain.min(p);
+        best_auth = best_auth.min(a);
+        best_ratio = best_ratio.min(a / p.max(f64::MIN_POSITIVE));
+    }
+    // The comparison is only meaningful if the auth city actually pays the
+    // MAC on its traffic: every node must have authenticated frames, and
+    // none may be rejecting them (same key everywhere, no adversary).
+    let (mut authenticated, mut rejected) = (0u64, 0u64);
+    for node in auth.node_ids().collect::<Vec<_>>() {
+        let stats = auth
+            .with_agent::<FullStackHost, _>(node, |host, _| host.node().security_stats())
+            .unwrap_or_default();
+        authenticated += stats.frames_authenticated;
+        rejected += stats.auth_rejected;
+    }
+    assert!(
+        authenticated > nodes as u64,
+        "auth city at {nodes} nodes authenticated only {authenticated} frames — the defence is not on the data path"
+    );
+    assert_eq!(rejected, 0, "peaceful auth city rejected {rejected} frames");
+    (best_plain, best_auth, best_ratio)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var_os("BENCH_QUICK").is_some();
+    let (warmup_s, slice_s, slices) = if quick { (40, 10, 4) } else { (40, 15, 4) };
+    let populations: &[usize] = if quick { &[2_000] } else { &[1_000, 2_000, 4_000] };
+
+    println!("### bench group `adversary_overhead`");
+    println!();
+    println!("| nodes | defenses off (wall s/slice) | frame auth (wall s/slice) | ratio |");
+    println!("|---|---|---|---|");
+    let mut rows = Vec::new();
+    for &nodes in populations {
+        let (plain, auth, ratio) = measure_pair(nodes, warmup_s, slice_s, slices);
+        eprintln!("  adversary_overhead/{nodes}: off {plain:.3}s, auth {auth:.3}s, ratio {ratio:.3}");
+        println!("| {nodes} | {plain:.3} | {auth:.3} | {ratio:.3} |");
+        rows.push((nodes, plain, auth, ratio));
+    }
+    println!();
+
+    // Emit the JSON artifact (hand-rolled: serde is stubbed offline).
+    let path = std::env::var("BENCH_ADVERSARY_OUT").unwrap_or_else(|_| "BENCH_adversary.json".to_string());
+    let mut json = String::from("{\n  \"unit\": \"wall seconds per steady-state slice\",\n");
+    json.push_str(&format!(
+        "  \"warmup_sim_seconds\": {warmup_s},\n  \"measured_sim_seconds\": {slice_s},\n  \"rows\": [\n"
+    ));
+    for (i, (nodes, plain, auth, ratio)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"nodes\": {nodes}, \"off_wall_seconds\": {plain:.4}, \
+             \"auth_wall_seconds\": {auth:.4}, \"ratio\": {ratio:.4}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&path, &json).expect("write BENCH_adversary.json");
+    eprintln!("  wrote {path}");
+
+    // The immunity budget: the seq+MAC trailer must stay within 10% of the
+    // undefended wall clock at 2k nodes. Overridable for noisy environments
+    // with BENCH_NO_ASSERT=1.
+    if std::env::var_os("BENCH_NO_ASSERT").is_none() {
+        let at_2k = rows.iter().find(|(n, ..)| *n == 2_000).expect("2k row");
+        assert!(
+            at_2k.3 <= 1.10,
+            "frame-auth wall-clock overhead at 2000 nodes exceeded the 10% budget: ratio {:.3}",
+            at_2k.3
+        );
+    }
+}

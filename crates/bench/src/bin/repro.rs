@@ -2,7 +2,7 @@
 //! single experiments, and drives multi-seed sweep campaigns.
 //!
 //! ```text
-//! cargo run -p bench --release --bin repro                          # full E1-E18 suite
+//! cargo run -p bench --release --bin repro                          # full E1-E19 suite
 //! cargo run -p bench --release --bin repro -- --quick --seed 42     # reduced sizes, explicit seed
 //! cargo run -p bench --release --bin repro -- --list                # experiments & parameters
 //! cargo run -p bench --release --bin repro -- churn --quick         # one experiment (slug or id)
@@ -81,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--interval",
                     "--telemetry-jsonl",
                     "--profile",
+                    "--defenses",
                 ],
             )?;
             let watch_at = args.iter().position(|a| a == "watch").expect("dispatched on `watch`");
@@ -105,15 +106,16 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--interval",
                     "--telemetry-jsonl",
                     "--profile",
+                    "--defenses",
                 ],
             )?;
             run_one(name, args, seed, quick, effort, false)
         }
         None => {
-            // The full E1-E18 suite.
+            // The full E1-E19 suite.
             reject_unknown_flags(args, &["--quick", "--seed"])?;
             let seed = seed.unwrap_or(DEFAULT_SUITE_SEED);
-            eprintln!("running the E1-E18 experiment suite (seed {seed}, {effort:?}) ...");
+            eprintln!("running the E1-E19 experiment suite (seed {seed}, {effort:?}) ...");
             let reports = run_all(seed, effort);
             for report in &reports {
                 println!("{report}");
@@ -167,7 +169,11 @@ fn run_one(
         }
         params.set("adaptive", "on");
     }
-    for (flag, key) in [("--imbalance", "imbalance"), ("--patience", "patience")] {
+    for (flag, key) in [
+        ("--imbalance", "imbalance"),
+        ("--patience", "patience"),
+        ("--defenses", "defenses"),
+    ] {
         if let Some(value) = flag_value(args, flag)? {
             if !experiment.params().iter().any(|p| p.key == key) {
                 return Err(format!("{} does not take {flag}", experiment.id()));
@@ -218,7 +224,8 @@ fn run_one(
     scenarios::telemetry::configure(TelemetrySettings::default());
     if (mode != TelemetryMode::Off || profile) && captures.is_empty() {
         eprintln!(
-            "note: {} does not carry telemetry hooks (instrumented: E12-E18)",
+            "note: {} left no telemetry frames (every world-based runner E1-E19 is instrumented; \
+             E2/E3 are closed-form)",
             experiment.id()
         );
     }
@@ -257,7 +264,7 @@ fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String>
 /// First token that is neither a flag nor a flag value — the subcommand,
 /// wherever it sits among the flags.
 fn first_positional(args: &[String]) -> Option<&str> {
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 11] = [
         "--seed",
         "--seeds",
         "--threads",
@@ -268,6 +275,7 @@ fn first_positional(args: &[String]) -> Option<&str> {
         "--patience",
         "--interval",
         "--telemetry-jsonl",
+        "--defenses",
     ];
     let mut skip_value = false;
     for arg in args {
@@ -347,14 +355,15 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
 /// `repro --list`: subcommands, experiments and their grid parameters.
 fn list() {
     println!("usage:");
-    println!("  repro [--quick] [--seed N]                 run the full E1-E18 suite");
+    println!("  repro [--quick] [--seed N]                 run the full E1-E19 suite");
     println!("  repro <experiment> [--quick] [--seed N] [--shards N]");
-    println!("        [--adaptive-shards] [--imbalance RATIO] [--patience WINDOWS]");
+    println!("        [--adaptive-shards] [--imbalance RATIO] [--patience WINDOWS] [--defenses TIER]");
     println!("        [--telemetry] [--shard-series] [--interval SECS] [--telemetry-jsonl PATH] [--profile]");
     println!("                                             run one experiment (slug or id);");
     println!("                                             --shards selects the parallel engine (E17/E18);");
     println!("                                             --adaptive-shards enables density-adaptive partitions");
     println!("                                             (E18; --imbalance / --patience tune the rebalance gate);");
+    println!("                                             --defenses off|sanity|auth pins E19's security tier;");
     println!("                                             --telemetry records virtual-time series (stderr roll-up,");
     println!(
         "                                             JSONL side file; --shard-series adds per-shard load gauges),"

@@ -172,6 +172,76 @@ impl Default for BridgeConfig {
     }
 }
 
+/// Protocol-hardening behaviour (the defences exercised by the
+/// `simnet::adversary` hostile-city experiments). Every defence is
+/// individually toggleable and **off by default** — the default stack is
+/// byte-identical to a build without this module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityConfig {
+    /// Protocol sanity checks: reject connection requests whose connection
+    /// id was allocated by a different device, reply contexts that do not
+    /// refer back to us, duplicate session Accepts and frames whose
+    /// connection id does not match the link they arrive on.
+    pub sanity_checks: bool,
+    /// Reporter-reputation weighting: neighbour reports from devices that
+    /// have produced security rejections (or dead bridge routes) are
+    /// discounted and eventually ignored.
+    pub reputation: bool,
+    /// Security rejections a reporter may accrue before its neighbour
+    /// reports are ignored entirely (only meaningful with `reputation`).
+    pub reputation_limit: u32,
+    /// Keyed frame authentication: every frame carries a 16-byte
+    /// seq+MAC trailer; frames failing verification (forged, replayed or
+    /// tampered) are dropped before decoding.
+    pub frame_auth: bool,
+    /// Shared authentication key (a deployment would provision real key
+    /// material; the simulation models the cost and the rejection
+    /// behaviour, not the cryptography).
+    pub auth_key: u64,
+}
+
+impl SecurityConfig {
+    /// Every defence off (the default; the thesis' stack).
+    pub fn off() -> Self {
+        SecurityConfig {
+            sanity_checks: false,
+            reputation: false,
+            reputation_limit: 3,
+            frame_auth: false,
+            auth_key: 0x5EC0_4EED_0000_0001,
+        }
+    }
+
+    /// Stateless/stateful protocol checks plus reporter reputation, but no
+    /// per-frame authentication cost.
+    pub fn sanity() -> Self {
+        SecurityConfig {
+            sanity_checks: true,
+            reputation: true,
+            ..SecurityConfig::off()
+        }
+    }
+
+    /// All defences on, including the keyed frame-auth trailer.
+    pub fn auth() -> Self {
+        SecurityConfig {
+            frame_auth: true,
+            ..SecurityConfig::sanity()
+        }
+    }
+
+    /// Whether any defence that keeps per-node state is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.sanity_checks || self.reputation || self.frame_auth
+    }
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        SecurityConfig::off()
+    }
+}
+
 /// Full configuration of a PeerHood node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PeerHoodConfig {
@@ -192,6 +262,9 @@ pub struct PeerHoodConfig {
     /// Resilience pipeline (circuit breakers, backpressure, admission
     /// control); every layer disabled by default.
     pub resilience: crate::resilience::ResilienceConfig,
+    /// Protocol hardening (sanity checks, reporter reputation, frame
+    /// authentication); every defence disabled by default.
+    pub security: SecurityConfig,
 }
 
 impl PeerHoodConfig {
@@ -207,6 +280,7 @@ impl PeerHoodConfig {
             handover: HandoverConfig::default(),
             bridge: BridgeConfig::default(),
             resilience: crate::resilience::ResilienceConfig::default(),
+            security: SecurityConfig::default(),
         }
     }
 
@@ -251,6 +325,12 @@ impl PeerHoodConfig {
     /// Replaces the resilience-pipeline configuration (builder-style).
     pub fn with_resilience(mut self, resilience: crate::resilience::ResilienceConfig) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Replaces the protocol-hardening configuration (builder-style).
+    pub fn with_security(mut self, security: SecurityConfig) -> Self {
+        self.security = security;
         self
     }
 }
@@ -303,6 +383,18 @@ mod tests {
         let fixed = PeerHoodConfig::static_device("pc");
         assert!(mobile.bridge.max_connections < fixed.bridge.max_connections);
         assert_eq!(mobile.mobility, MobilityClass::Dynamic);
+    }
+
+    #[test]
+    fn security_tiers_nest() {
+        let off = SecurityConfig::off();
+        assert!(!off.any_enabled(), "the default stack runs no defence");
+        assert_eq!(SecurityConfig::default(), off);
+        let sanity = SecurityConfig::sanity();
+        assert!(sanity.sanity_checks && sanity.reputation && !sanity.frame_auth);
+        let auth = SecurityConfig::auth();
+        assert!(auth.sanity_checks && auth.reputation && auth.frame_auth);
+        assert_eq!(PeerHoodConfig::default().with_security(auth.clone()).security, auth);
     }
 
     #[test]

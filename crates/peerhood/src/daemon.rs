@@ -45,8 +45,13 @@ impl Daemon {
                 .register(ServiceInfo::new(BRIDGE_SERVICE_NAME, "hidden", 1))
                 .expect("bridge service registers into an empty registry");
         }
+        let mut storage = DeviceStorage::new(info.address, config.monitor.quality_threshold);
+        // Arm reporter reputation when the security tier asks for it: the
+        // limit lives in the storage (next to the penalty counts it gates)
+        // so route integration can consult it without a config reference.
+        storage.set_reputation_limit(config.security.reputation.then_some(config.security.reputation_limit));
         Daemon {
-            storage: DeviceStorage::new(info.address, config.monitor.quality_threshold),
+            storage,
             registry,
             plugins: PluginSet::new(&config.techs),
             info,

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod error;
 pub mod gnutella;
 pub mod handover;
+pub mod hostile;
 pub mod ids;
 pub mod node;
 pub mod plugin;
@@ -80,6 +81,7 @@ pub mod proto;
 pub mod quality;
 pub mod resilience;
 pub mod route;
+pub mod security;
 pub mod service;
 pub mod storage;
 pub mod wire;
@@ -87,14 +89,16 @@ pub mod wire;
 /// Re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::application::{Application, IdleApplication};
-    pub use crate::config::{DiscoveryMode, PeerHoodConfig};
+    pub use crate::config::{DiscoveryMode, PeerHoodConfig, SecurityConfig};
     pub use crate::connection::{ConnState, ConnectionSnapshot};
     pub use crate::device::{DeviceInfo, MobilityClass};
     pub use crate::error::PeerHoodError;
     pub use crate::handover::HandoverTarget;
+    pub use crate::hostile::{ProtocolForge, HOSTILE_BASE};
     pub use crate::ids::{ConnectionId, DeviceAddress};
     pub use crate::node::{AppId, PeerHoodApi, PeerHoodEvent, PeerHoodNode, PeerHoodNodeBuilder};
-    pub use crate::resilience::{BreakerState, ResilienceConfig, ResilienceStats};
+    pub use crate::resilience::{AdaptiveRate, BreakerState, ResilienceConfig, ResilienceStats};
+    pub use crate::security::{SecurityStats, AUTH_TRAILER_LEN};
     pub use crate::service::ServiceInfo;
     pub use crate::storage::{StorageStats, StoredDevice};
 }

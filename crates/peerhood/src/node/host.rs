@@ -268,6 +268,12 @@ impl PeerHoodNode {
         self.core.as_ref().map(|c| c.resilience.stats()).unwrap_or_default()
     }
 
+    /// Snapshot of the protocol-hardening counters (frame auth, replay
+    /// windows, sanity checks and reporter reputation).
+    pub fn security_stats(&self) -> crate::security::SecurityStats {
+        self.core.as_ref().map(|c| c.security.stats()).unwrap_or_default()
+    }
+
     /// Number of routing handovers successfully completed by this node.
     pub fn handover_completions(&self) -> u64 {
         self.core.as_ref().map(|c| c.handover_completions).unwrap_or(0)

@@ -46,6 +46,8 @@ pub mod pending;
 pub mod protocol;
 
 #[cfg(test)]
+mod fuzz_tests;
+#[cfg(test)]
 mod tests;
 
 pub use api::PeerHoodApi;
@@ -111,6 +113,10 @@ pub(crate) struct Core {
     /// control interposed on the data path (no-op when every layer is
     /// disabled, the default).
     pub(crate) resilience: crate::resilience::Resilience,
+    /// The protocol-hardening layer: frame authentication, replay windows
+    /// and the sanity-check counters (no-op when every defence is disabled,
+    /// the default).
+    pub(crate) security: crate::security::Security,
 }
 
 impl Core {
@@ -134,6 +140,7 @@ impl Core {
             scratch: Vec::with_capacity(256),
             inquiry_frame: None,
             resilience: crate::resilience::Resilience::new(config.resilience.clone()),
+            security: crate::security::Security::new(config.security.clone()),
             config,
         }
     }

@@ -240,6 +240,11 @@ impl Core {
                 });
             }
             PendingPurpose::BridgeLeg { conn } => {
+                // A next hop that was advertised as a route but cannot be
+                // dialled is how forged neighbour reports manifest at the
+                // bridge: the reputation layer charges the hop so repeated
+                // phantom routes eventually stop being followed.
+                self.note_peer_misbehaved(DeviceAddress::from_node(_peer));
                 self.fail_bridge_pair(ctx, conn, ErrorCode::DownstreamFailed);
             }
             PendingPurpose::Handover { conn, .. } => {

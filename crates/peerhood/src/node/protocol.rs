@@ -25,9 +25,40 @@ impl Core {
     pub(crate) fn send_frame(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, message: &Message) {
         // Encode into the node's reusable scratch buffer; the frame handed
         // to the world is a shared allocation the delivery pipeline carries
-        // end to end without further copies.
-        let frame = wire::encode_frame(message, &mut self.scratch);
+        // end to end without further copies. The auth trailer (when enabled)
+        // is appended to the scratch bytes before the single share-copy.
+        self.scratch.clear();
+        wire::encode_into(message, &mut self.scratch);
+        if self.security.frame_auth() {
+            let sender = self.daemon.info().address;
+            self.security.append_trailer(sender, &mut self.scratch);
+        }
+        let frame = wire::Frame::copy_from_slice(&self.scratch);
         let _ = ctx.send(link, frame);
+    }
+
+    /// Sends an already-encoded frame. With frame authentication on, the
+    /// trailer is per-send and per-hop: cached frames (the inquiry response)
+    /// and relayed frames (the bridge fast path) get a fresh sequence number
+    /// and MAC here instead of carrying a stale one.
+    pub(crate) fn transmit_frame(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, frame: wire::Frame) {
+        if self.security.frame_auth() {
+            let sender = self.daemon.info().address;
+            let mut bytes = frame.to_vec();
+            self.security.append_trailer(sender, &mut bytes);
+            let _ = ctx.send(link, wire::Frame::from(bytes));
+        } else {
+            let _ = ctx.send(link, frame);
+        }
+    }
+
+    /// Records a reputation penalty against a peer one of the defences
+    /// caught misbehaving (no-op unless reporter reputation is enabled).
+    pub(crate) fn note_peer_misbehaved(&mut self, peer: DeviceAddress) {
+        if self.security.reputation() {
+            self.daemon.storage_mut().penalize_reporter(peer);
+            self.security.stats.penalties_recorded += 1;
+        }
     }
 
     /// The encoded response to an inquiry request. Encoded once and then
@@ -191,6 +222,22 @@ impl Core {
     }
 
     pub(crate) fn handle_message(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, payload: Payload) {
+        // Frame authentication happens before the codec ever sees the bytes:
+        // the trailer is verified against the radio the frame physically
+        // arrived from and stripped, so the rest of the stack (including the
+        // bridge relay fast path) always works on bare wire frames.
+        let payload = if self.security.frame_auth() {
+            let sender = DeviceAddress::from_node(from);
+            match self.security.verify_and_strip(sender, payload.as_slice()) {
+                Ok(body) => Payload::copy_from_slice(body),
+                Err(_) => {
+                    self.note_peer_misbehaved(sender);
+                    return;
+                }
+            }
+        } else {
+            payload
+        };
         let message = match wire::decode(&payload) {
             Ok(m) => m,
             Err(_) => return,
@@ -215,12 +262,12 @@ impl Core {
         }
     }
 
-    fn identify_incoming(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, _from: NodeId, message: Message) {
+    fn identify_incoming(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, from: NodeId, message: Message) {
         match message {
             Message::InquiryRequest { requester: _ } => {
                 let frame = self.inquiry_response_frame();
                 self.engine.set_role(link, LinkRole::DaemonServe);
-                let _ = ctx.send(link, frame);
+                self.transmit_frame(ctx, link, frame);
             }
             Message::ConnectRequest {
                 conn_id,
@@ -234,7 +281,7 @@ impl Core {
                 service,
                 client,
                 reply_context,
-            } => self.handle_bridge_request(ctx, link, conn_id, destination, service, client, reply_context),
+            } => self.handle_bridge_request(ctx, link, from, conn_id, destination, service, client, reply_context),
             _ => {
                 // Anything else on an unidentified link is a protocol error.
                 ctx.close(link);
@@ -254,6 +301,33 @@ impl Core {
         reply_context: Option<ConnectionId>,
     ) {
         let now = ctx.now();
+        if self.security.sanity_checks() {
+            if let Some(orig) = reply_context {
+                // A §5.3 reply connection refers back to a session *this*
+                // device initiated (the connection id packs its allocator);
+                // anything else is a forged or replayed reply context.
+                if orig.initiator() != self.my_address() {
+                    self.security.stats.bad_reply_context += 1;
+                    self.note_peer_misbehaved(client.address);
+                    ctx.close(link);
+                    self.engine.remove(link);
+                    return;
+                }
+            } else if self.connections.get(conn_id).is_none()
+                && self.bridge.get(conn_id).is_none()
+                && conn_id.initiator() != client.address
+            {
+                // A brand-new session's connection id is allocated by its
+                // client: a fresh request whose id claims a different
+                // allocator is a replayed or forged frame trying to hijack
+                // or pre-poison someone else's session.
+                self.security.stats.foreign_conn_rejected += 1;
+                self.note_peer_misbehaved(client.address);
+                ctx.close(link);
+                self.engine.remove(link);
+                return;
+            }
+        }
         // Case 1: the server is calling back with the result of a migrated
         // task — attach the link to the waiting session (§5.3).
         if let Some(orig) = reply_context {
@@ -352,6 +426,7 @@ impl Core {
         &mut self,
         ctx: &mut NodeCtx<'_>,
         link: LinkId,
+        from: NodeId,
         conn_id: ConnectionId,
         destination: DeviceAddress,
         service: String,
@@ -393,6 +468,17 @@ impl Core {
                 }
             }
             None => None,
+        };
+        // Routing-loop sanity check (§3.4.3 hardening): if the best route to
+        // the destination goes back through the very node that sent us this
+        // request, relaying would only bounce the frame between the two of us
+        // until bridge capacity runs out. Forged neighbour reports manufacture
+        // exactly such cycles (the "provider" a hostile advertises resolves
+        // back to the hostile itself), so treat the reflection as no route and
+        // let the originator's reputation layer charge its bridge.
+        let next_hop = match next_hop {
+            Some((hop, _)) if self.security.sanity_checks() && hop.node_id() == from => None,
+            other => other,
         };
         let (hop, tech) = match next_hop {
             Some(h) => h,
@@ -436,10 +522,23 @@ impl Core {
         } = message
         {
             let now = ctx.now();
+            // Reporter reputation (§3.4.3 hardening): a responder whose
+            // penalty count crossed the configured limit keeps its *direct*
+            // storage entry — we did just talk to it — but its neighbour
+            // report is gossip and is no longer integrated into the routing
+            // table, so a compromised node cannot keep poisoning route
+            // candidates after being caught.
+            let neighbors: &[_] =
+                if self.security.reputation() && self.daemon.storage().reporter_blocked(device.address) {
+                    self.security.stats.reports_skipped += 1;
+                    &[]
+                } else {
+                    &neighbors
+                };
             let discovered = self.daemon.process_inquiry_response(
                 device,
                 services,
-                &neighbors,
+                neighbors,
                 bridge_load_percent,
                 quality,
                 &self.config,
@@ -469,6 +568,13 @@ impl Core {
             }
             return;
         }
+        if self.security.sanity_checks() && message.connection_id().is_some_and(|id| id != conn) {
+            // The frame decodes but names a different session than the one
+            // classified on this link: a spliced or tampered frame. Drop it
+            // before it can touch the session state.
+            self.security.stats.conn_mismatch_dropped += 1;
+            return;
+        }
         match message {
             Message::Accept { .. } => {
                 let now = ctx.now();
@@ -484,6 +590,12 @@ impl Core {
                     }
                     _ => (false, None),
                 };
+                if !fire && self.security.sanity_checks() {
+                    // An Accept for a session that is not awaiting one is a
+                    // replay; the state machine already ignores it, and the
+                    // counter feeds the scorecard.
+                    self.security.stats.duplicate_accepts += 1;
+                }
                 if fire {
                     let is_incoming = self.connections.get(conn).map(|c| !c.is_outgoing()).unwrap_or(false);
                     let app = self.owner_of(conn);
@@ -502,6 +614,26 @@ impl Core {
             }
             Message::Error { code, detail, .. } => {
                 let outgoing = self.connections.get(conn).map(|c| c.is_outgoing()).unwrap_or(true);
+                // Reputation (§3.4.3 hardening): a failed outgoing attempt
+                // points back at whoever vouched for it. A bridged attempt
+                // dying downstream means the bridge advertised a next hop it
+                // cannot actually reach (a poisoned route manifesting at the
+                // client); a provider refusing a service it advertised means
+                // the device we physically dialed spoofed its service list
+                // (or, for a bridged dial, routed us to a spoofer).
+                if outgoing {
+                    let blame = match (&code, self.connections.get(conn)) {
+                        (ErrorCode::DownstreamFailed | ErrorCode::NoRouteToDestination, Some(c)) => match &c.kind {
+                            ConnKind::OutgoingBridged { bridge } => Some(*bridge),
+                            _ => None,
+                        },
+                        (ErrorCode::ServiceUnavailable, Some(c)) => c.kind.first_hop(c.remote),
+                        _ => None,
+                    };
+                    if let Some(peer) = blame {
+                        self.note_peer_misbehaved(peer);
+                    }
+                }
                 if let Some(c) = self.connections.get_mut(conn) {
                     c.link = None;
                     c.state = if outgoing { ConnState::Failed } else { ConnState::Closed };
@@ -657,8 +789,10 @@ impl Core {
                         // The relayed frame would re-encode to exactly the
                         // received bytes, so forward the original shared
                         // frame: a bridge chain of any length carries one
-                        // allocation end to end.
-                        let _ = ctx.send(other, raw.clone());
+                        // allocation end to end. (With frame auth on, `raw`
+                        // arrives already stripped and the relay re-MACs it
+                        // for the next hop inside `transmit_frame`.)
+                        self.transmit_frame(ctx, other, raw.clone());
                     } else {
                         // Defensive path (e.g. a corrupted-but-decodable
                         // frame whose conn id no longer matches the pair):

@@ -92,6 +92,46 @@ pub struct BackpressureConfig {
     /// Cap on the §5.3 result-routing outbox of one connection; further
     /// queued results are shed with an explicit error.
     pub outbox_cap: usize,
+    /// Master switch of rate adaptation: when set, each bucket learns its
+    /// app's typical demand via a windowed EWMA and tightens the admitted
+    /// rate to `demand × headroom`, clamped to `[adapt_min_rate, the static
+    /// rate]`. The static rate stays a hard ceiling — adaptation only ever
+    /// tightens — so a peer or app that suddenly blasts traffic far beyond
+    /// its learned envelope is shed early instead of riding the full static
+    /// budget. Off by default, and off ⇒ byte-identical to the fixed bucket.
+    #[serde(default)]
+    pub adaptive: bool,
+    /// Observation window of the adaptation law; boundaries are derived from
+    /// the virtual clock, so adaptation is fully deterministic.
+    #[serde(default = "default_adapt_window")]
+    pub adapt_window: SimDuration,
+    /// EWMA weight (percent) of the newest window's observed demand.
+    #[serde(default = "default_adapt_alpha")]
+    pub adapt_alpha_percent: u32,
+    /// Slack (percent) granted above the learned demand: the adapted rate is
+    /// `ewma_demand × adapt_headroom_percent / 100`.
+    #[serde(default = "default_adapt_headroom")]
+    pub adapt_headroom_percent: u32,
+    /// Floor of the adapted rate, so a freshly idle app is never throttled
+    /// to zero and can always ramp back up.
+    #[serde(default = "default_adapt_min_rate")]
+    pub adapt_min_rate: u32,
+}
+
+fn default_adapt_window() -> SimDuration {
+    SimDuration::from_secs(5)
+}
+
+fn default_adapt_alpha() -> u32 {
+    30
+}
+
+fn default_adapt_headroom() -> u32 {
+    150
+}
+
+fn default_adapt_min_rate() -> u32 {
+    5
 }
 
 impl Default for BackpressureConfig {
@@ -103,6 +143,11 @@ impl Default for BackpressureConfig {
             outbound_rate: 50,
             outbound_burst: 100,
             outbox_cap: 64,
+            adaptive: false,
+            adapt_window: default_adapt_window(),
+            adapt_alpha_percent: default_adapt_alpha(),
+            adapt_headroom_percent: default_adapt_headroom(),
+            adapt_min_rate: default_adapt_min_rate(),
         }
     }
 }
@@ -304,14 +349,116 @@ impl CircuitBreaker {
 
 const MICRO_TOKEN: u64 = 1_000_000;
 
+/// After this many consecutive empty windows the EWMA demand is treated as
+/// fully decayed (it is below any representable rate long before that),
+/// which bounds the catch-up work after an arbitrarily long idle.
+const EWMA_DECAY_CAP: u32 = 64;
+
+/// The EWMA adaptation law of the backpressure layer, separated from the
+/// bucket so it can be driven window-by-window in tests: feed it one
+/// observation (attempted takes) per elapsed window and read back the rate
+/// the bucket should refill at. All arithmetic is integer micro-units off
+/// the deterministic virtual clock — the law draws no randomness.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveRate {
+    /// EWMA of per-window demand, in micro-attempts per window.
+    ewma_micro: u64,
+    /// Static configured rate (tokens/second) — the hard ceiling.
+    ceiling: u32,
+    /// Floor of the adapted rate (tokens/second).
+    floor: u32,
+    /// EWMA weight (percent) of the newest observation.
+    alpha_percent: u32,
+    /// Slack (percent) granted above the learned demand.
+    headroom_percent: u32,
+    /// Window length in seconds (micro-precision kept by the caller).
+    window_secs_micro: u64,
+}
+
+impl AdaptiveRate {
+    /// A law that has seen no traffic yet. Until the first window closes the
+    /// effective rate is the static ceiling, so adaptation never penalises
+    /// startup.
+    pub fn new(cfg: &BackpressureConfig, ceiling: u32) -> Self {
+        AdaptiveRate {
+            // Seed the EWMA at the ceiling's own per-window demand so the
+            // learned envelope starts wide open and tightens only from
+            // observed behaviour.
+            ewma_micro: (ceiling as u64)
+                .saturating_mul(cfg.adapt_window.as_micros())
+                .max(MICRO_TOKEN),
+            ceiling,
+            floor: cfg.adapt_min_rate.min(ceiling),
+            alpha_percent: cfg.adapt_alpha_percent.min(100),
+            headroom_percent: cfg.adapt_headroom_percent,
+            window_secs_micro: cfg.adapt_window.as_micros().max(1),
+        }
+    }
+
+    /// Folds one closed window's observed demand (attempted takes, admitted
+    /// or shed) into the EWMA.
+    pub fn observe_window(&mut self, attempts: u64) {
+        let alpha = self.alpha_percent as u64;
+        self.ewma_micro = attempts
+            .saturating_mul(MICRO_TOKEN)
+            .saturating_mul(alpha)
+            .saturating_add(self.ewma_micro.saturating_mul(100 - alpha))
+            / 100;
+    }
+
+    /// Folds `windows` consecutive empty windows at once (bounded decay, so
+    /// a long idle costs constant work).
+    pub fn observe_idle(&mut self, windows: u32) {
+        for _ in 0..windows.min(EWMA_DECAY_CAP) {
+            self.observe_window(0);
+        }
+        if windows > EWMA_DECAY_CAP {
+            self.ewma_micro = 0;
+        }
+    }
+
+    /// The rate (tokens/second) the bucket should refill at: the learned
+    /// per-second demand plus headroom, clamped to `[floor, ceiling]`.
+    pub fn effective_rate(&self) -> u32 {
+        let demand_per_sec_micro = self
+            .ewma_micro
+            .saturating_mul(MICRO_TOKEN)
+            .checked_div(self.window_secs_micro)
+            .unwrap_or(0);
+        let with_headroom = demand_per_sec_micro.saturating_mul(self.headroom_percent as u64) / 100;
+        let rate = (with_headroom / MICRO_TOKEN).min(u32::MAX as u64) as u32;
+        rate.clamp(self.floor, self.ceiling)
+    }
+}
+
 /// Deterministic integer token bucket: one token = [`MICRO_TOKEN`]
-/// micro-tokens, refilled linearly from the virtual clock.
+/// micro-tokens, refilled linearly from the virtual clock. With an
+/// [`AdaptiveRate`] attached, the refill rate is re-derived at every
+/// virtual-clock window boundary from the learned demand EWMA.
 #[derive(Debug, Clone)]
 struct TokenBucket {
     rate_per_sec: u64,
     burst: u64,
     micro: u64,
     last: SimTime,
+    adaptive: Option<AdaptiveBucketState>,
+}
+
+#[derive(Debug, Clone)]
+struct AdaptiveBucketState {
+    law: AdaptiveRate,
+    window_micros: u64,
+    /// Index of the window `last observation` falls in.
+    window_index: u64,
+    /// Attempted takes in the current window.
+    attempts: u64,
+    /// Window rolls that changed the effective rate (for the stats plane).
+    adaptations: u64,
+    /// The static rate and burst, so the burst can scale with the adapted
+    /// rate: a tightened envelope must also stop the app from banking the
+    /// full static burst while quiet and then blasting it in one tick.
+    static_rate: u64,
+    static_burst: u64,
 }
 
 impl TokenBucket {
@@ -321,22 +468,76 @@ impl TokenBucket {
             burst: (burst.max(1)) as u64,
             micro: (burst.max(1)) as u64 * MICRO_TOKEN,
             last: now,
+            adaptive: None,
+        }
+    }
+
+    fn new_adaptive(rate_per_sec: u32, burst: u32, now: SimTime, cfg: &BackpressureConfig) -> Self {
+        let mut bucket = TokenBucket::new(rate_per_sec, burst, now);
+        let window_micros = cfg.adapt_window.as_micros().max(1);
+        bucket.adaptive = Some(AdaptiveBucketState {
+            law: AdaptiveRate::new(cfg, rate_per_sec),
+            window_micros,
+            window_index: now.saturating_since(SimTime::ZERO).as_micros() / window_micros,
+            attempts: 0,
+            adaptations: 0,
+            static_rate: (rate_per_sec.max(1)) as u64,
+            static_burst: (burst.max(1)) as u64,
+        });
+        bucket
+    }
+
+    /// Closes every window boundary crossed since the last observation and
+    /// re-derives the refill rate from the law.
+    fn roll_windows(&mut self, now: SimTime) {
+        let Some(state) = self.adaptive.as_mut() else {
+            return;
+        };
+        let index = now.saturating_since(SimTime::ZERO).as_micros() / state.window_micros;
+        if index <= state.window_index {
+            return;
+        }
+        let crossed = index - state.window_index;
+        state.law.observe_window(state.attempts);
+        if crossed > 1 {
+            state.law.observe_idle((crossed - 1).min(u32::MAX as u64) as u32);
+        }
+        state.attempts = 0;
+        state.window_index = index;
+        let rate = state.law.effective_rate() as u64;
+        if rate != self.rate_per_sec {
+            state.adaptations += 1;
+            self.rate_per_sec = rate;
+            // Scale the burst with the rate, so a tightened envelope also
+            // shrinks how many tokens a quiet app can bank.
+            self.burst = (rate.saturating_mul(state.static_burst) / state.static_rate).max(1);
+            self.micro = self.micro.min(self.burst * MICRO_TOKEN);
         }
     }
 
     fn try_take(&mut self, now: SimTime) -> bool {
+        // Refill first (at the rate that was in force), then roll the
+        // adaptation window, then count this attempt as demand.
         let elapsed = now.saturating_since(self.last).as_micros();
         self.last = now;
         self.micro = self
             .micro
             .saturating_add(elapsed.saturating_mul(self.rate_per_sec))
             .min(self.burst * MICRO_TOKEN);
+        self.roll_windows(now);
+        if let Some(state) = self.adaptive.as_mut() {
+            state.attempts += 1;
+        }
         if self.micro >= MICRO_TOKEN {
             self.micro -= MICRO_TOKEN;
             true
         } else {
             false
         }
+    }
+
+    fn adaptations(&self) -> u64 {
+        self.adaptive.as_ref().map(|s| s.adaptations).unwrap_or(0)
     }
 }
 
@@ -360,6 +561,9 @@ pub struct ResilienceStats {
     pub outbound_shed: u64,
     /// Results shed by the outbox queue cap.
     pub queue_shed: u64,
+    /// Window rolls of the adaptive law that actually changed a bucket's
+    /// refill rate (zero unless [`BackpressureConfig::adaptive`] is set).
+    pub rate_adaptations: u64,
     /// Incoming connections admitted by the admission layer.
     pub admitted: u64,
     /// Incoming connections rejected by the concurrent-session cap.
@@ -384,6 +588,7 @@ impl ResilienceStats {
         self.inbound_shed += other.inbound_shed;
         self.outbound_shed += other.outbound_shed;
         self.queue_shed += other.queue_shed;
+        self.rate_adaptations += other.rate_adaptations;
         self.admitted += other.admitted;
         self.rejected_sessions += other.rejected_sessions;
         self.rejected_rate += other.rejected_rate;
@@ -409,6 +614,7 @@ impl ResilienceStats {
         tel.set_counter("resilience", "inbound_shed", label, self.inbound_shed);
         tel.set_counter("resilience", "outbound_shed", label, self.outbound_shed);
         tel.set_counter("resilience", "queue_shed", label, self.queue_shed);
+        tel.set_counter("resilience", "rate_adaptations", label, self.rate_adaptations);
         tel.set_counter("resilience", "admitted", label, self.admitted);
         tel.set_counter("resilience", "rejected_sessions", label, self.rejected_sessions);
         tel.set_counter("resilience", "rejected_rate", label, self.rejected_rate);
@@ -548,10 +754,13 @@ impl Resilience {
             return true;
         }
         let cfg = &self.cfg.backpressure;
-        let bucket = self
-            .outbound
-            .entry(app)
-            .or_insert_with(|| TokenBucket::new(cfg.outbound_rate, cfg.outbound_burst, now));
+        let bucket = self.outbound.entry(app).or_insert_with(|| {
+            if cfg.adaptive {
+                TokenBucket::new_adaptive(cfg.outbound_rate, cfg.outbound_burst, now, cfg)
+            } else {
+                TokenBucket::new(cfg.outbound_rate, cfg.outbound_burst, now)
+            }
+        });
         let ok = bucket.try_take(now);
         if !ok {
             self.outbound_shed += 1;
@@ -565,10 +774,13 @@ impl Resilience {
             return true;
         }
         let cfg = &self.cfg.backpressure;
-        let bucket = self
-            .inbound
-            .entry(app)
-            .or_insert_with(|| TokenBucket::new(cfg.inbound_rate, cfg.inbound_burst, now));
+        let bucket = self.inbound.entry(app).or_insert_with(|| {
+            if cfg.adaptive {
+                TokenBucket::new_adaptive(cfg.inbound_rate, cfg.inbound_burst, now, cfg)
+            } else {
+                TokenBucket::new(cfg.inbound_rate, cfg.inbound_burst, now)
+            }
+        });
         let ok = bucket.try_take(now);
         if !ok {
             self.inbound_shed += 1;
@@ -655,6 +867,12 @@ impl Resilience {
             inbound_shed: self.inbound_shed,
             outbound_shed: self.outbound_shed,
             queue_shed: self.queue_shed,
+            rate_adaptations: self
+                .inbound
+                .values()
+                .chain(self.outbound.values())
+                .map(TokenBucket::adaptations)
+                .sum(),
             admitted: self.admitted,
             rejected_sessions: self.rejected_sessions,
             rejected_rate: self.rejected_rate,
@@ -839,6 +1057,104 @@ mod tests {
         // ...and recovery once the window slides past.
         assert!(r.admit(peer, t(20), 0));
         assert_eq!(r.stats().admitted, 3);
+    }
+
+    fn adaptive_cfg(rate: u32, burst: u32) -> ResilienceConfig {
+        let mut cfg = ResilienceConfig::default();
+        cfg.backpressure.enabled = true;
+        cfg.backpressure.adaptive = true;
+        cfg.backpressure.adapt_window = SimDuration::from_secs(1);
+        cfg.backpressure.outbound_rate = rate;
+        cfg.backpressure.outbound_burst = burst;
+        cfg
+    }
+
+    #[test]
+    fn adaptation_law_tracks_demand_and_respects_the_clamp() {
+        let mut cfg = BackpressureConfig::default();
+        cfg.adapt_window = SimDuration::from_secs(1);
+        cfg.adapt_alpha_percent = 50;
+        cfg.adapt_headroom_percent = 150;
+        cfg.adapt_min_rate = 5;
+        let mut law = AdaptiveRate::new(&cfg, 100);
+        // Seeded at the ceiling: startup is never penalised.
+        assert_eq!(law.effective_rate(), 100);
+        // Steady demand of 10/s converges to 10 × 1.5 = 15 tokens/s.
+        for _ in 0..20 {
+            law.observe_window(10);
+        }
+        assert_eq!(law.effective_rate(), 15);
+        // A single wild window moves the EWMA by α, not to the spike:
+        // 0.5·1000 + 0.5·10 = 505/s → headroom 757, clamped to the ceiling.
+        law.observe_window(1000);
+        assert_eq!(law.effective_rate(), 100);
+        // Sustained silence decays to the floor, never to zero.
+        law.observe_idle(EWMA_DECAY_CAP + 1);
+        assert_eq!(law.effective_rate(), 5);
+        // And the floor itself is capped by the ceiling.
+        cfg.adapt_min_rate = 500;
+        let floor_law = AdaptiveRate::new(&cfg, 100);
+        assert_eq!(floor_law.effective_rate(), 100);
+    }
+
+    #[test]
+    fn adaptation_is_deterministic_in_the_window_count() {
+        let mut cfg = BackpressureConfig::default();
+        cfg.adapt_window = SimDuration::from_secs(1);
+        let mut a = AdaptiveRate::new(&cfg, 50);
+        let mut b = AdaptiveRate::new(&cfg, 50);
+        for _ in 0..5 {
+            a.observe_window(0);
+        }
+        b.observe_idle(5);
+        assert_eq!(a.effective_rate(), b.effective_rate());
+    }
+
+    #[test]
+    fn adaptive_bucket_tightens_to_the_learned_envelope() {
+        let mut r = Resilience::new(adaptive_cfg(50, 50));
+        let app = Some(AppId(0));
+        // Two quiet windows per second for a while: demand 2/s, so the
+        // learned rate converges to max(2 × 1.5, floor 5) = 5 tokens/s.
+        for s in 1..40 {
+            assert!(r.allow_outbound(app, t(s)));
+            assert!(r.allow_outbound(app, SimTime::ZERO + SimDuration::from_millis(s as u64 * 1000 + 500)));
+        }
+        assert!(r.stats().rate_adaptations > 0);
+        // Now the app goes hostile and blasts a burst: the static config
+        // would admit 50 back-to-back, the learned envelope sheds far
+        // earlier.
+        let mut admitted = 0;
+        for _ in 0..50 {
+            if r.allow_outbound(app, t(40)) {
+                admitted += 1;
+            }
+        }
+        assert!(
+            admitted < 25,
+            "learned envelope must shed the burst early, admitted {admitted}"
+        );
+        assert!(r.stats().outbound_shed > 0);
+    }
+
+    #[test]
+    fn adaptation_never_tightens_below_steady_demand_plus_headroom() {
+        // An app that steadily uses its full static budget sees the exact
+        // same admissions with adaptation on as off: the envelope only
+        // tightens on demand *below* the ceiling, never on conformant load.
+        let mut adaptive = Resilience::new(adaptive_cfg(4, 4));
+        let mut fixed = Resilience::new({
+            let mut c = adaptive_cfg(4, 4);
+            c.backpressure.adaptive = false;
+            c
+        });
+        let app = Some(AppId(2));
+        for s in 0..120 {
+            let at = SimTime::ZERO + SimDuration::from_millis(s * 250);
+            assert_eq!(adaptive.allow_outbound(app, at), fixed.allow_outbound(app, at));
+        }
+        assert_eq!(adaptive.stats().outbound_shed, fixed.stats().outbound_shed);
+        assert_eq!(fixed.stats().rate_adaptations, 0);
     }
 
     #[test]

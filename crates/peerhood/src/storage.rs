@@ -83,6 +83,14 @@ pub struct DeviceStorage {
     /// the next aging cycle); lets [`DeviceStorage::age_cycle`] skip the
     /// orphaned-bridge scan when nothing could possibly be orphaned.
     maybe_orphans: bool,
+    /// Reporter-reputation penalties (security hardening): devices whose
+    /// frames triggered security rejections, or whose bridge routes failed
+    /// to dial, accrue penalties here. Empty unless the reputation defence
+    /// records any.
+    reputation: BTreeMap<DeviceAddress, u32>,
+    /// Penalty count at which a reporter's neighbour reports are ignored.
+    /// `None` (the default) disables the defence entirely.
+    reputation_limit: Option<u32>,
 }
 
 impl DeviceStorage {
@@ -95,6 +103,37 @@ impl DeviceStorage {
             reported_neighbors: BTreeMap::new(),
             generation: 0,
             maybe_orphans: false,
+            reputation: BTreeMap::new(),
+            reputation_limit: None,
+        }
+    }
+
+    /// Arms (or disarms) the reporter-reputation defence: with a limit set,
+    /// neighbour reports from devices whose penalty count has reached it
+    /// are skipped by the daemon.
+    pub fn set_reputation_limit(&mut self, limit: Option<u32>) {
+        self.reputation_limit = limit;
+    }
+
+    /// Records one reputation penalty against `peer` and returns its new
+    /// penalty count.
+    pub fn penalize_reporter(&mut self, peer: DeviceAddress) -> u32 {
+        let count = self.reputation.entry(peer).or_insert(0);
+        *count = count.saturating_add(1);
+        *count
+    }
+
+    /// The penalty count accrued by `peer`.
+    pub fn reporter_penalty(&self, peer: DeviceAddress) -> u32 {
+        self.reputation.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// True when the reputation defence is armed and `peer` has exhausted
+    /// its penalty budget — its neighbour reports must be ignored.
+    pub fn reporter_blocked(&self, peer: DeviceAddress) -> bool {
+        match self.reputation_limit {
+            Some(limit) => self.reporter_penalty(peer) >= limit,
+            None => false,
         }
     }
 
@@ -606,11 +645,14 @@ impl DeviceStorage {
             .copied()
     }
 
-    /// Clears every entry (used when the daemon restarts).
+    /// Clears every entry (used when the daemon restarts). Reputation
+    /// penalties are in-memory state and die with the restart too; the
+    /// armed/disarmed limit is configuration and survives.
     pub fn clear(&mut self) {
         self.generation += 1;
         self.devices.clear();
         self.reported_neighbors.clear();
+        self.reputation.clear();
     }
 }
 
@@ -737,6 +779,26 @@ mod tests {
         assert!(s.get(addr(2)).is_some());
         assert!(s.get(addr(3)).is_none());
         assert!(s.get(addr(4)).is_none());
+    }
+
+    #[test]
+    fn reputation_penalties_block_reporters_only_when_armed() {
+        let mut s = storage();
+        // Unarmed: penalties accrue but never block.
+        assert_eq!(s.penalize_reporter(addr(9)), 1);
+        assert_eq!(s.penalize_reporter(addr(9)), 2);
+        assert_eq!(s.reporter_penalty(addr(9)), 2);
+        assert!(!s.reporter_blocked(addr(9)), "unarmed defence blocks nobody");
+        // Armed at 3: one more penalty crosses the limit.
+        s.set_reputation_limit(Some(3));
+        assert!(!s.reporter_blocked(addr(9)));
+        s.penalize_reporter(addr(9));
+        assert!(s.reporter_blocked(addr(9)));
+        assert!(!s.reporter_blocked(addr(10)), "other peers unaffected");
+        // A daemon restart wipes the in-memory penalties but stays armed.
+        s.clear();
+        assert_eq!(s.reporter_penalty(addr(9)), 0);
+        assert!(!s.reporter_blocked(addr(9)));
     }
 
     #[test]

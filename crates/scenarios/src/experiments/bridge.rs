@@ -60,7 +60,10 @@ pub fn bridge_trial(seed: u64) -> BridgeTrial {
         MobilityModel::stationary(Point::new(16.0, 0.0)),
         Box::new(MessagingServer::new("sink")),
     );
-    world.run_for(SimDuration::from_secs(500));
+    let scope = format!("E6 seed={seed}");
+    crate::telemetry::instrument_world(&mut world, &scope);
+    crate::telemetry::run_world(&mut world, SimDuration::from_secs(500), |_| {});
+    crate::telemetry::finish_world(&mut world, &scope);
     let (connected, setup) = with_app(&mut world, client, |app: &MessagingClient| {
         (app.connected_at.is_some(), app.connection_setup_seconds())
     })
@@ -179,7 +182,10 @@ pub fn e10_coverage_amplification(seed: u64) -> ExperimentReport {
             MobilityModel::stationary(Point::new(32.0, 0.0)),
             Box::new(MessagingServer::new("gateway")),
         );
-        world.run_for(SimDuration::from_secs(400));
+        let scope = format!("E10 bridges={}", if with_bridges { "3" } else { "none" });
+        crate::telemetry::instrument_world(&mut world, &scope);
+        crate::telemetry::run_world(&mut world, SimDuration::from_secs(400), |_| {});
+        crate::telemetry::finish_world(&mut world, &scope);
         let server_addr = peerhood::ids::DeviceAddress::from_node(server);
         let route = world
             .with_agent::<PeerHoodNode, _>(phone, |n, _| {

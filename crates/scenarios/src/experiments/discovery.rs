@@ -62,7 +62,10 @@ fn knowledge_for_mode(mode: DiscoveryMode, nodes: usize, seed: u64, convergence:
             )
         })
         .collect();
-    world.run_for(convergence);
+    let scope = format!("E1 mode={mode:?} nodes={nodes}");
+    crate::telemetry::instrument_world(&mut world, &scope);
+    crate::telemetry::run_world(&mut world, convergence, |_| {});
+    crate::telemetry::finish_world(&mut world, &scope);
     let mut total = 0.0;
     for (i, id) in ids.iter().enumerate() {
         let known = world
@@ -209,7 +212,9 @@ pub fn e04_notification_delay(seed: u64, max_jumps: usize) -> ExperimentReport {
             .map(|(i, p)| spawn_relay(&mut world, cfg(i), *p))
             .collect();
         let observer = ids[0];
-        world.run_for(SimDuration::from_secs(200));
+        let scope = format!("E4 jumps={jumps}");
+        crate::telemetry::instrument_world(&mut world, &scope);
+        crate::telemetry::run_world(&mut world, SimDuration::from_secs(200), |_| {});
         // The new device appears one hop beyond the far end of the line.
         let new_pos = Point::new((jumps + 1) as f64 * spacing, 0.0);
         let newcomer = spawn_relay(&mut world, cfg(999), new_pos);
@@ -228,6 +233,7 @@ pub fn e04_notification_delay(seed: u64, max_jumps: usize) -> ExperimentReport {
                 break;
             }
         }
+        crate::telemetry::finish_world(&mut world, &scope);
         let cycle = world.config().radio.bluetooth.inquiry_duration.as_secs_f64() + 4.0;
         let predicted = (jumps + 1) as f64 * cycle;
         let measured = learned_at.map(|t| (t - appeared_at).as_secs_f64()).unwrap_or(f64::NAN);
@@ -304,7 +310,10 @@ pub fn e05_static_vs_dynamic_bridge(seed: u64) -> ExperimentReport {
             MobilityModel::stationary(Point::new(16.0, 0.0)),
             Box::new(migration::MessagingServer::new("sink")),
         );
-        world.run_for(SimDuration::from_secs(300));
+        let scope = format!("E5 bridge={}", if static_bridge { "static" } else { "dynamic" });
+        crate::telemetry::instrument_world(&mut world, &scope);
+        crate::telemetry::run_world(&mut world, SimDuration::from_secs(300), |_| {});
+        crate::telemetry::finish_world(&mut world, &scope);
         let server_addr = DeviceAddress::from_node(server);
         let route_via = world
             .with_agent::<PeerHoodNode, _>(client, |n, _| {

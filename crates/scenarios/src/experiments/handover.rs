@@ -72,7 +72,17 @@ pub fn e07_two_server_handover(seed: u64) -> ExperimentReport {
             MobilityModel::stationary(Point::new(22.0, 0.0)),
             Box::new(MessagingServer::new("print")),
         );
-        world.run_for(SimDuration::from_secs(400));
+        let scope = format!(
+            "E7 strategy={}",
+            if routing_handover {
+                "routing-handover"
+            } else {
+                "service-reconnection"
+            }
+        );
+        crate::telemetry::instrument_world(&mut world, &scope);
+        crate::telemetry::run_world(&mut world, SimDuration::from_secs(400), |_| {});
+        crate::telemetry::finish_world(&mut world, &scope);
         let (restarts, changes) = with_app(&mut world, client, |app: &MessagingClient| {
             (app.restarts, app.connection_changes)
         })
@@ -140,7 +150,9 @@ pub fn routing_handover_run(seed: u64, decay_per_sec: f64) -> HandoverRun {
         Point::new(3.5, 5.0),
     );
     // Let discovery converge and the client connect and start sending.
-    world.run_for(SimDuration::from_secs(270));
+    let scope = format!("E8 decay={decay_per_sec} seed={seed}");
+    crate::telemetry::instrument_world(&mut world, &scope);
+    crate::telemetry::run_world(&mut world, SimDuration::from_secs(270), |_| {});
     let conn = with_app(&mut world, client, |app: &MessagingClient| app.conn).unwrap();
     let link = conn.and_then(|c| {
         world
@@ -152,6 +164,7 @@ pub fn routing_handover_run(seed: u64, decay_per_sec: f64) -> HandoverRun {
         None => {
             // The initial connection itself never came up (possible under the
             // realistic fault model): report a failed run.
+            crate::telemetry::finish_world(&mut world, &scope);
             return HandoverRun {
                 decay_per_sec,
                 handover_completed: false,
@@ -163,7 +176,8 @@ pub fn routing_handover_run(seed: u64, decay_per_sec: f64) -> HandoverRun {
     // Install the thesis' artificial deterioration on the first route.
     world.set_link_quality_override(link, 240.0, decay_per_sec);
     let degradation_start = world.now() + SimDuration::from_secs_f64((240.0 - 230.0) / decay_per_sec.max(0.001));
-    world.run_for(SimDuration::from_secs(300));
+    crate::telemetry::run_world(&mut world, SimDuration::from_secs(300), |_| {});
+    crate::telemetry::finish_world(&mut world, &scope);
     let (handovers, changes) = world
         .with_agent::<PeerHoodNode, _>(client, |n, _| {
             let changes = n.with_app(|app: &MessagingClient| app.connection_changes).unwrap();
@@ -292,7 +306,16 @@ pub fn e11_monitoring_limitation(seed: u64) -> ExperimentReport {
                 )
             })
             .collect();
-        world.run_for(SimDuration::from_secs(500));
+        let scope = format!(
+            "E11 target={}",
+            match target {
+                HandoverTarget::LinkPeer => "link-peer",
+                HandoverTarget::FinalDestination => "final-destination",
+            }
+        );
+        crate::telemetry::instrument_world(&mut world, &scope);
+        crate::telemetry::run_world(&mut world, SimDuration::from_secs(500), |_| {});
+        crate::telemetry::finish_world(&mut world, &scope);
         let handovers = world
             .with_agent::<PeerHoodNode, _>(client, |n, _| n.handover_completions())
             .unwrap();

@@ -53,7 +53,10 @@ pub fn migration_run(seed: u64, regime: &'static str, spec: TaskSpec) -> Migrati
         MobilityModel::stationary(Point::new(5.0, 0.0)),
         Box::new(PictureServer::for_spec("analysis", &spec)),
     );
-    world.run_for(SimDuration::from_secs(700));
+    let scope = format!("E9 regime={regime}");
+    crate::telemetry::instrument_world(&mut world, &scope);
+    crate::telemetry::run_world(&mut world, SimDuration::from_secs(700), |_| {});
+    crate::telemetry::finish_world(&mut world, &scope);
     let (outcome, sent, finished) = with_app(&mut world, client, |app: &PictureClient| {
         (app.outcome(), app.sent_packages, app.result_received_at)
     })

@@ -1,13 +1,15 @@
-//! The experiment runners E1–E18 (see `DESIGN.md` for the per-figure index;
+//! The experiment runners E1–E19 (see `DESIGN.md` for the per-figure index;
 //! E12 is the dense-city scale family, E13/E14 are the fault & churn
 //! family, E16 is the resilience-pipeline overload city, E17 is the
-//! sharded metropolis and E18 is the hotspot metropolis on the
-//! load-balanced sharded engine, all added on top of the thesis).
+//! sharded metropolis, E18 is the hotspot metropolis on the
+//! load-balanced sharded engine and E19 is the hostile city run against
+//! the security defence tiers, all added on top of the thesis).
 //!
 //! Each function builds the scenario it needs, runs the simulation and
 //! returns an [`ExperimentReport`](crate::report::ExperimentReport) whose
 //! `Display` output is the markdown table recorded in `EXPERIMENTS.md`.
 
+pub mod adversary_exp;
 pub mod bridge;
 pub mod discovery;
 pub mod faults_exp;
@@ -21,6 +23,10 @@ pub mod registry;
 pub mod scale;
 pub mod sharded;
 
+pub use adversary_exp::{
+    adversary_outcome, adversary_run, e19_hostile_city, parse_defense, plan_digest, AdversaryOutcome,
+    AdversarySettings, Defense,
+};
 pub use bridge::{bridge_trial, e06_bridge_performance, e10_coverage_amplification, BridgeTrial};
 pub use discovery::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
@@ -58,10 +64,10 @@ pub enum Effort {
 }
 
 /// Runs every experiment through the [`Experiment`] registry and returns
-/// the reports in E1–E18 order. Settings-driven families keep their
+/// the reports in E1–E19 order. Settings-driven families keep their
 /// historical pinned seeds (see [`Experiment::suite_seed`]), so the suite
 /// output is byte-identical to the pre-registry per-experiment entry
-/// points (E16–E18 append after the historical E1–E15 blocks).
+/// points (E16–E19 append after the historical E1–E15 blocks).
 pub fn run_all(seed: u64, effort: Effort) -> Vec<ExperimentReport> {
     let params = Params::new();
     registry()

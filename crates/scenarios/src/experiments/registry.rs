@@ -1,4 +1,4 @@
-//! The uniform [`Experiment`] trait and the E1–E18 registry.
+//! The uniform [`Experiment`] trait and the E1–E19 registry.
 //!
 //! Every experiment of the reproduction is runnable through one interface:
 //! `run(seed, params, quick)` returns both the human-readable markdown
@@ -16,13 +16,14 @@ use std::collections::BTreeMap;
 
 use simnet::prelude::SimDuration;
 
+use crate::experiments::adversary_exp::parse_defense;
 use crate::experiments::{
     e01_coverage_exclusion, e02_gnutella_traffic, e03_quality_route_selection, e04_notification_delay,
     e05_static_vs_dynamic_bridge, e06_bridge_performance, e07_two_server_handover, e08_routing_handover,
     e09_result_routing, e10_coverage_amplification, e11_monitoring_limitation, e12_dense_city, e13_churn_sweep,
     e14_blackout_flash_crowd_with, e15_full_stack_metropolis, e16_overload, e17_sharded_metropolis,
-    e18_hotspot_metropolis, ChurnSettings, DiscoverySettings, HotspotSettings, MetropolisSettings, OverloadSettings,
-    ScaleSettings, ShardedSettings, StackMode,
+    e18_hotspot_metropolis, e19_hostile_city, AdversarySettings, ChurnSettings, Defense, DiscoverySettings,
+    HotspotSettings, MetropolisSettings, OverloadSettings, ScaleSettings, ShardedSettings, StackMode,
 };
 use crate::report::ExperimentReport;
 
@@ -112,6 +113,8 @@ pub enum ParamKind {
     Stack,
     /// A binary toggle: `on` or `off`.
     OnOff,
+    /// A [`Defense`] tier: `off`, `sanity` or `auth`.
+    Defense,
 }
 
 impl ParamKind {
@@ -132,6 +135,9 @@ impl ParamKind {
             ParamKind::OnOff => parse_on_off(value)
                 .map(|_| ())
                 .ok_or_else(|| format!("`{value}` is not a toggle (on|off)")),
+            ParamKind::Defense => parse_defense(value)
+                .map(|_| ())
+                .ok_or_else(|| format!("`{value}` is not a defence tier (off|sanity|auth)")),
         }
     }
 }
@@ -211,6 +217,11 @@ impl Params {
     /// Parsed on/off toggle value of `key`.
     pub fn get_on_off(&self, key: &str) -> Option<bool> {
         self.get(key).and_then(parse_on_off)
+    }
+
+    /// Parsed [`Defense`] tier value of `key`.
+    pub fn get_defense(&self, key: &str) -> Option<Defense> {
+        self.get(key).and_then(parse_defense)
     }
 
     /// Seconds value of `key` as a [`SimDuration`].
@@ -668,6 +679,43 @@ experiment!(
     }
 );
 
+experiment!(
+    E19HostileCity,
+    "E19",
+    "adversary",
+    "Hostile city: partitions and Byzantine insiders vs. the defence tiers",
+    keys: ["defenses"],
+    params: [
+        ("defenses", ParamKind::Defense, "run only one tier (default: off, sanity and auth rows)"),
+        ("clients", ParamKind::USize, "honest crowd size"),
+        ("hostiles", ParamKind::USize, "compromised insiders planted in the crowd"),
+        ("duration_s", ParamKind::USize, "simulated seconds per tier")
+    ],
+    suite_seed: 19,
+    run: |seed, params: &Params, quick| {
+        let mut settings = if quick {
+            AdversarySettings::quick()
+        } else {
+            AdversarySettings::full()
+        };
+        settings.seed = seed;
+        if let Some(n) = params.get_usize("clients") {
+            settings.clients = n;
+        }
+        if let Some(h) = params.get_usize("hostiles") {
+            settings.hostiles = h;
+        }
+        if let Some(d) = params.get_secs("duration_s") {
+            settings.duration = d;
+        }
+        let defenses: Vec<Defense> = match params.get_defense("defenses") {
+            Some(tier) => vec![tier],
+            None => Defense::ALL.to_vec(),
+        };
+        e19_hostile_city(&settings, &defenses)
+    }
+);
+
 /// Applies the shared city-family overrides (E12/E13): population, density,
 /// mobile fraction, duration and stack mode.
 fn apply_city_params(
@@ -695,7 +743,7 @@ fn apply_city_params(
     }
 }
 
-/// Every experiment of the reproduction, in E1–E18 order.
+/// Every experiment of the reproduction, in E1–E19 order.
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(E01Coverage),
@@ -716,6 +764,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(E16Overload),
         Box::new(E17ShardedMetropolis),
         Box::new(E18HotspotMetropolis),
+        Box::new(E19HostileCity),
     ]
 }
 
@@ -732,17 +781,17 @@ mod tests {
     use crate::report::ExperimentReport;
 
     #[test]
-    fn registry_has_eighteen_unique_experiments() {
+    fn registry_has_nineteen_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
         let mut slugs: Vec<&str> = reg.iter().map(|e| e.slug()).collect();
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id()).collect();
         slugs.sort_unstable();
         slugs.dedup();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(slugs.len(), 18, "slugs must be unique");
-        assert_eq!(ids.len(), 18, "ids must be unique");
+        assert_eq!(slugs.len(), 19, "slugs must be unique");
+        assert_eq!(ids.len(), 19, "ids must be unique");
         assert_eq!(reg[12].id(), "E13");
         assert_eq!(reg[12].slug(), "churn");
         assert_eq!(reg[15].id(), "E16");
@@ -751,6 +800,8 @@ mod tests {
         assert_eq!(reg[16].slug(), "sharded-metropolis");
         assert_eq!(reg[17].id(), "E18");
         assert_eq!(reg[17].slug(), "hotspot");
+        assert_eq!(reg[18].id(), "E19");
+        assert_eq!(reg[18].slug(), "adversary");
     }
 
     #[test]
@@ -808,5 +859,9 @@ mod tests {
         assert!(ParamKind::OnOff.check("on").is_ok());
         assert!(ParamKind::OnOff.check("off").is_ok());
         assert!(ParamKind::OnOff.check("true").is_err());
+        assert!(ParamKind::Defense.check("off").is_ok());
+        assert!(ParamKind::Defense.check("sanity").is_ok());
+        assert!(ParamKind::Defense.check("auth").is_ok());
+        assert!(ParamKind::Defense.check("Auth").is_err());
     }
 }

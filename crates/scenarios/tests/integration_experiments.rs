@@ -32,9 +32,9 @@ fn e10_tunnel_is_only_reachable_with_bridges() {
 }
 
 #[test]
-fn registry_covers_e1_to_e18_in_order() {
+fn registry_covers_e1_to_e19_in_order() {
     let reg = registry();
-    assert_eq!(reg.len(), 18);
+    assert_eq!(reg.len(), 19);
     for (i, experiment) in reg.iter().enumerate() {
         assert_eq!(experiment.id(), format!("E{}", i + 1));
         assert!(!experiment.title().is_empty());

@@ -26,7 +26,14 @@
 //!   crashes & restarts, per-technology radio outages and link-level
 //!   loss/corruption bursts, with a typed lifecycle-event stream; a world
 //!   with no fault plans installed behaves byte-identically to one built
-//!   without the subsystem.
+//!   without the subsystem,
+//! * **adversaries** ([`adversary`]) — seeded network-partition windows
+//!   (split-brain cuts that break links, suppress discovery and lose
+//!   in-flight frames across the cut) and Byzantine compromised nodes that
+//!   tamper with, sniff and inject syntactically valid hostile frames via a
+//!   pluggable [`adversary::FrameForge`]; all adversarial randomness lives
+//!   on its own labelled RNG stream, so adversary-free worlds are
+//!   byte-identical to a build without the module.
 //!
 //! Behaviour is attached to nodes through the [`node::NodeAgent`] trait; the
 //! `peerhood` crate implements that trait with the full middleware stack.
@@ -75,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod event;
 pub mod faults;
 pub mod geometry;
@@ -91,6 +99,7 @@ pub mod world;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::adversary::{AdversaryPlan, AdversaryStats, CompromisedNode, FrameForge, PartitionWindow};
     pub use crate::faults::{
         FaultAction, FaultPlan, FaultStats, FlappingLink, LifecycleEvent, LifecycleKind, LossBurst,
     };

@@ -20,6 +20,9 @@ impl World {
             Some(m) => m,
             None => return,
         };
+        // Clear the injected mark up front so lost injections don't leak
+        // bookkeeping entries; the flag survives to the tamper pass below.
+        let was_injected = self.adversary.has_hostiles() && self.adversary.take_injected(msg);
         // Payloads already in flight when an endpoint closed the link
         // gracefully are still delivered (the socket buffer flushes); only a
         // physical break (out of range, crash) loses them.
@@ -38,6 +41,15 @@ impl World {
         // pure arithmetic, so no burst randomness is drawn for a payload the
         // flap already killed.
         if self.faults.has_flaps() && self.faults.link_flapped_down(in_flight.from, in_flight.to, self.now) {
+            self.metrics.record_message_lost(in_flight.to);
+            self.retire_link_if_drained(in_flight.link);
+            return;
+        }
+        // Payloads crossing an active partition cut are lost like any other
+        // physical break. Pure window arithmetic behind the emptiness guard,
+        // so partition-free worlds pay one branch and draw nothing.
+        if self.adversary.has_partitions() && self.adversary.partitioned(in_flight.from, in_flight.to, self.now) {
+            self.adversary.stats.partition_drops += 1;
             self.metrics.record_message_lost(in_flight.to);
             self.retire_link_if_drained(in_flight.link);
             return;
@@ -63,6 +75,20 @@ impl World {
                 }
                 None => {}
             }
+        }
+        // Byzantine compromise: frames *sent by* a compromised node may be
+        // rewritten in flight by the forge, and every frame *delivered to*
+        // one is sniffed as replay material. Guarded like bursts so worlds
+        // without hostiles skip both calls.
+        if self.adversary.has_hostiles() {
+            // Forge-built injections are already hostile; only organic frames
+            // from a compromised sender go through the tamper pass.
+            if !was_injected {
+                if let Some(hostile) = self.adversary.tamper(in_flight.from, &in_flight.payload, self.now) {
+                    in_flight.payload = hostile;
+                }
+            }
+            self.adversary.sniff(in_flight.to, &in_flight.payload, self.now);
         }
         self.metrics.record_message_delivered(in_flight.to);
         let InFlightMessage {
@@ -98,8 +124,10 @@ impl World {
         let b_alive = self.is_alive(b);
         let radio_dark = !self.radio_enabled(a, tech) || !self.radio_enabled(b, tech);
         let flapped_down = self.faults.has_flaps() && self.faults.link_flapped_down(a, b, self.now);
+        let cut = self.adversary.has_partitions() && self.adversary.partitioned(a, b, self.now);
         let physically_broken = radio_dark
             || flapped_down
+            || cut
             || if has_override {
                 exhausted
             } else {

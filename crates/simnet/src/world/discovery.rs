@@ -52,6 +52,7 @@ impl World {
             .iter()
             .copied()
             .filter(|id| *id != node)
+            .filter(|id| !(self.adversary.has_partitions() && self.adversary.partitioned(node, *id, self.now)))
             .filter(|id| {
                 self.topology
                     .slot(*id)
@@ -84,6 +85,7 @@ impl World {
             .filter(|other| {
                 other.id != node && other.alive && other.techs.contains(&tech) && !other.radio_off.contains(&tech)
             })
+            .filter(|other| !(self.adversary.has_partitions() && self.adversary.partitioned(node, other.id, self.now)))
             .filter(|other| self.pair_in_range(pos, other.plan.position_at(self.now), tech))
             .map(|other| other.id)
             .collect()
@@ -184,6 +186,7 @@ impl World {
             .iter()
             .copied()
             .filter(|id| *id != node)
+            .filter(|id| !(self.adversary.has_partitions() && self.adversary.partitioned(node, *id, now)))
             .filter_map(|id| {
                 let other = self.topology.slot(id)?;
                 if !Self::answers_inquiry(other, tech, profile, now) {
@@ -210,6 +213,7 @@ impl World {
             .nodes
             .iter()
             .filter(|other| other.id != node && Self::answers_inquiry(other, tech, profile, now))
+            .filter(|other| !(self.adversary.has_partitions() && self.adversary.partitioned(node, other.id, now)))
             .filter_map(|other| {
                 let other_pos = other.plan.position_at(now);
                 self.pair_in_range(pos, other_pos, tech)

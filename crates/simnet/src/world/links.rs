@@ -144,6 +144,16 @@ impl LinkTable {
         ids.iter().filter_map(|id| self.info(*id)).collect()
     }
 
+    /// `(id, a, b)` of every open link, ascending by link id. Used by the
+    /// partition-start sweep that breaks links across a fresh cut.
+    pub(crate) fn open_link_endpoints(&self) -> Vec<(LinkId, NodeId, NodeId)> {
+        self.active
+            .values()
+            .filter(|l| l.open)
+            .map(|l| (l.id, l.a, l.b))
+            .collect()
+    }
+
     /// Ids of the *open* links `node` participates in, ascending.
     pub(crate) fn open_links_of(&self, node: NodeId) -> Vec<LinkId> {
         let Some(ids) = self.by_node.get(&node) else {
@@ -361,6 +371,11 @@ impl World {
         // A flapping pair in its down phase refuses connections exactly like
         // a range loss. Guarded so flap-free worlds skip the scan entirely.
         if self.faults.has_flaps() && self.faults.link_flapped_down(from, to, self.now) {
+            fail(self, ConnectError::OutOfRange);
+            return;
+        }
+        // An active partition cut refuses connections the same way.
+        if self.adversary.has_partitions() && self.adversary.partitioned(from, to, self.now) {
             fail(self, ConnectError::OutOfRange);
             return;
         }

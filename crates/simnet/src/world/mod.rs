@@ -27,6 +27,8 @@ pub mod shard;
 mod topology;
 
 #[cfg(test)]
+mod adversary_tests;
+#[cfg(test)]
 mod faults_tests;
 #[cfg(test)]
 mod tests;
@@ -35,6 +37,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use self::links::LinkTable;
 use self::topology::{NodeSlot, Topology};
+use crate::adversary::{AdversaryAction, AdversaryEngine, AdversaryPlan, AdversaryStats, FrameForge};
 use crate::event::Scheduler;
 use crate::faults::{FaultAction, FaultEngine, FaultPlan, FaultStats, LifecycleEvent, LifecycleKind};
 use crate::geometry::{Point, Rect};
@@ -175,6 +178,9 @@ enum Event {
         node: NodeId,
         idx: usize,
     },
+    Adversary {
+        idx: usize,
+    },
 }
 
 /// The simulation world. See the crate-level documentation for an overview.
@@ -186,6 +192,7 @@ pub struct World {
     links: LinkTable,
     metrics: Metrics,
     faults: FaultEngine,
+    adversary: AdversaryEngine,
     rng: SimRng,
     /// Reusable scratch buffer for grid candidate queries (behind a
     /// `RefCell` so read-only APIs keep `&self`). Every inquiry and
@@ -206,6 +213,7 @@ impl World {
         let rng = SimRng::new(config.seed);
         let grid_cell_m = config.resolved_grid_cell_m();
         let faults = FaultEngine::new(config.seed);
+        let adversary = AdversaryEngine::new(config.seed);
         World {
             config,
             now: SimTime::ZERO,
@@ -214,6 +222,7 @@ impl World {
             links: LinkTable::new(),
             metrics: Metrics::new(),
             faults,
+            adversary,
             rng,
             candidate_scratch: std::cell::RefCell::new(Vec::new()),
             telemetry: None,
@@ -512,6 +521,127 @@ impl World {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Adversarial faults (see the `adversary` module)
+    // ------------------------------------------------------------------
+
+    /// Installs an adversary schedule: partition windows and Byzantine
+    /// compromises. Additive like fault plans; an empty plan is a no-op and
+    /// leaves the world byte-identical to one without the subsystem.
+    pub fn install_adversary_plan(&mut self, plan: AdversaryPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        let now = self.now;
+        for (at, idx) in self.adversary.install(plan) {
+            self.scheduler.schedule(at.max(now), Event::Adversary { idx });
+        }
+    }
+
+    /// Supplies the [`FrameForge`] that builds hostile payloads for
+    /// compromised nodes. Without a forge, compromises still gate partition
+    /// behaviour but tamper/inject/sniff are inert.
+    pub fn set_frame_forge(&mut self, forge: Box<dyn FrameForge>) {
+        self.adversary.forge = Some(forge);
+    }
+
+    /// Aggregate adversary counters.
+    pub fn adversary_stats(&self) -> AdversaryStats {
+        self.adversary.stats
+    }
+
+    /// True while an active partition window separates `a` from `b`.
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.adversary.has_partitions() && self.adversary.partitioned(a, b, self.now)
+    }
+
+    fn apply_adversary(&mut self, idx: usize) {
+        match self.adversary.action(idx) {
+            Some(AdversaryAction::PartitionStart(p)) => self.open_partition(p),
+            Some(AdversaryAction::PartitionEnd) => {
+                self.adversary.stats.partitions_healed += 1;
+            }
+            Some(AdversaryAction::Inject { node }) => self.inject_hostile_frame(node),
+            None => {}
+        }
+    }
+
+    /// A partition window opens: every open link spanning the cut breaks
+    /// immediately, both endpoints observing
+    /// [`DisconnectReason::OutOfRange`](crate::node::DisconnectReason::OutOfRange)
+    /// — the same reason a coverage loss produces, so the ordinary recovery
+    /// machinery (storage aging, handover, bridge re-routing) fires on both
+    /// sides of the split brain.
+    fn open_partition(&mut self, p: usize) {
+        self.adversary.stats.partitions_started += 1;
+        let Some(window) = self.adversary.partition_window(p) else {
+            return;
+        };
+        let affected: Vec<(LinkId, NodeId, NodeId)> = self
+            .links
+            .open_link_endpoints()
+            .into_iter()
+            .filter(|&(_, a, b)| window.cuts(a, b))
+            .collect();
+        for (link, a, b) in affected {
+            if let Some(state) = self.links.get_mut(link) {
+                state.open = false;
+            }
+            self.adversary.stats.cut_links_broken += 1;
+            self.metrics.record_link_broken(a);
+            self.metrics.record_link_broken(b);
+            self.agent_call(a, |agent, ctx| {
+                agent.on_disconnected(ctx, link, b, crate::node::DisconnectReason::OutOfRange);
+            });
+            self.agent_call(b, |agent, ctx| {
+                agent.on_disconnected(ctx, link, a, crate::node::DisconnectReason::OutOfRange);
+            });
+            self.retire_link_if_drained(link);
+        }
+    }
+
+    /// One injection tick of a compromised node: pick one of its open links
+    /// (adversary RNG), ask the forge for a hostile payload and put it on
+    /// the air exactly like an honest send — same latency model, same
+    /// metrics attribution to the attacker.
+    fn inject_hostile_frame(&mut self, node: NodeId) {
+        if !self.is_alive(node) || !self.adversary.is_compromised(node, self.now) {
+            return;
+        }
+        let links = self.links.open_links_of(node);
+        if links.is_empty() {
+            return;
+        }
+        let pick = links[self.adversary.rng.index(links.len())];
+        let (to, tech) = match self.links.get(pick) {
+            Some(state) => match state.peer_of(node) {
+                Some(peer) => (peer, state.tech),
+                None => return,
+            },
+            None => return,
+        };
+        let Some(payload) = self.adversary.forge_injection(node, to) else {
+            return;
+        };
+        let profile = self.config.radio.profile(tech);
+        let delay = profile.transmission_delay(payload.len());
+        self.metrics.record_message_sent(node, tech, payload.len() as u64);
+        let msg = self.links.next_msg_id();
+        self.adversary.mark_injected(msg);
+        let deliver_at = self.now + delay;
+        self.links.send_in_flight(
+            msg,
+            InFlightMessage {
+                link: pick,
+                from: node,
+                to,
+                payload,
+                deliver_at,
+            },
+        );
+        self.scheduler.schedule(deliver_at, Event::Deliver { msg });
+    }
+
     /// Runs the event loop until simulation time `deadline` and then sets the
     /// clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
@@ -635,6 +765,7 @@ impl World {
             Event::LinkCheck { link } => self.check_link(link),
             Event::Disconnect { link, closer } => self.graceful_disconnect(link, closer),
             Event::Fault { node, idx } => self.apply_fault(node, idx),
+            Event::Adversary { idx } => self.apply_adversary(idx),
         }
     }
 
@@ -724,6 +855,21 @@ impl World {
         tel.set_counter("faults", "node_crashes", None, fault_stats.crashes);
         tel.set_counter("faults", "node_restarts", None, fault_stats.restarts);
         tel.set_counter("faults", "radio_outages", None, fault_stats.radio_outages);
+        if self.adversary.installed() {
+            // Only adversarial worlds carry the series: plan-free runs keep
+            // their telemetry streams (and digests) untouched.
+            let adv = self.adversary.stats;
+            tel.set_counter("adversary", "frames_injected", None, adv.frames_injected);
+            tel.set_counter("adversary", "frames_tampered", None, adv.frames_tampered);
+            tel.set_counter("adversary", "partition_drops", None, adv.partition_drops);
+            tel.set_counter("adversary", "cut_links_broken", None, adv.cut_links_broken);
+            tel.set_gauge(
+                "adversary",
+                "partitions_active",
+                None,
+                self.adversary.partitions_active_at(now) as f64,
+            );
+        }
         for (tech, msgs, bytes) in per_tech {
             let label = tech.short_name();
             tel.set_counter("world", "messages_sent_tech", Some(label), msgs);
@@ -744,6 +890,7 @@ fn phase_of(event: &Event) -> Phase {
         Event::LinkCheck { .. } => Phase::LinkCheck,
         Event::Disconnect { .. } => Phase::Disconnect,
         Event::Fault { .. } => Phase::Faults,
+        Event::Adversary { .. } => Phase::Faults,
     }
 }
 

@@ -1549,6 +1549,19 @@ impl ShardedWorld {
         }
     }
 
+    /// Rejects adversary schedules. Partition cuts and Byzantine injection
+    /// consult globally ordered state (cross-cut link sweeps, one adversary
+    /// RNG stream, the sniff ring) that has no shard-local representation
+    /// yet, so — exactly like loss bursts — a sharded run refuses the plan
+    /// instead of silently diverging from the sequential world. Use the
+    /// sequential [`World`](crate::world::World) for adversarial scenarios.
+    pub fn install_adversary_plan(&mut self, plan: &crate::adversary::AdversaryPlan) {
+        assert!(
+            plan.is_empty(),
+            "sharded world does not support adversary plans (partitions and byzantine injection are sequential-only)"
+        );
+    }
+
     /// Runs until `deadline` (inclusive of every event strictly before it),
     /// advancing in lookahead windows and executing shards on parallel
     /// threads. Repeated calls continue deterministically; results depend
@@ -1990,5 +2003,24 @@ mod tests {
         let mut world = two_node_world(1);
         let plan = FaultPlan::new().loss_burst(SimTime::from_secs(1), SimTime::from_secs(2), 0.5, 0.0);
         world.install_fault_plan(NodeId::from_raw(0), &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support adversary plans")]
+    fn adversary_plans_are_rejected() {
+        let mut world = two_node_world(1);
+        let plan = crate::adversary::AdversaryPlan::new().partition(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            [NodeId::from_raw(0)],
+        );
+        world.install_adversary_plan(&plan);
+    }
+
+    #[test]
+    fn empty_adversary_plan_is_accepted_by_the_sharded_world() {
+        let mut world = two_node_world(1);
+        world.install_adversary_plan(&crate::adversary::AdversaryPlan::new());
+        world.run_for(SimDuration::from_secs(1));
     }
 }

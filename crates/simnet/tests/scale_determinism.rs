@@ -232,6 +232,67 @@ fn trace_digest(seed: u64, check_oracle: bool) -> u64 {
     trace_digest_with_faults(seed, check_oracle, false)
 }
 
+/// Runs the 500-node churn city for 90 s with an optional partition window
+/// cutting every seventh node off between t = 20 s and t = 70 s, and folds
+/// the adversary counters into the trace digest alongside everything
+/// `trace_digest_with_faults` already covers.
+fn partitioned_churn_digest(seed: u64, partitioned: bool) -> (u64, AdversaryStats) {
+    let mut world = build_city(seed, 500);
+    install_fault_plans(&mut world, seed);
+    if partitioned {
+        let island: Vec<NodeId> = world
+            .node_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, node)| (i % 7 == 0).then_some(node))
+            .collect();
+        world.install_adversary_plan(AdversaryPlan::new().partition(
+            SimTime::from_secs(20),
+            SimTime::from_secs(70),
+            island,
+        ));
+    }
+    // 90 s so the run spans the partition opening (20 s), the churn phase
+    // (crashes begin at 60 s, inside the cut) and the heal (70 s).
+    world.run_for(SimDuration::from_secs(90));
+    let mut digest = 0xcbf29ce484222325u64;
+    for node in world.node_ids().collect::<Vec<_>>() {
+        let d = world.with_agent::<Pulse, _>(node, |p, _| p.digest).unwrap_or(0);
+        digest = fnv(digest, d);
+    }
+    let g = world.metrics().global();
+    for v in [
+        g.inquiries_started,
+        g.inquiry_hits,
+        g.connect_attempts,
+        g.connects_established,
+        g.connect_failures,
+        g.messages_sent,
+        g.messages_delivered,
+        g.messages_lost,
+        g.links_broken,
+    ] {
+        digest = fnv(digest, v);
+    }
+    let f = world.fault_stats();
+    for v in [f.crashes, f.restarts, f.radio_outages, f.payloads_dropped] {
+        digest = fnv(digest, v);
+    }
+    let a = world.adversary_stats();
+    for v in [
+        a.partitions_started,
+        a.partitions_healed,
+        a.partition_drops,
+        a.cut_links_broken,
+        a.frames_tampered,
+        a.frames_injected,
+    ] {
+        digest = fnv(digest, v);
+    }
+    (digest, a)
+}
+
 // ---------------------------------------------------------------------
 // Full-PeerHood determinism: the real middleware stack at 1k nodes
 // ---------------------------------------------------------------------
@@ -522,6 +583,33 @@ fn same_seed_and_fault_plan_identical_trace_digest_at_500_nodes() {
         trace_digest_with_faults(2009, false, true),
         "different seeds should not collide"
     );
+}
+
+#[test]
+fn partitioned_churn_city_trace_is_deterministic_and_the_cut_bites() {
+    // Partitions layered on top of churn, outages and loss bursts: the full
+    // adversarial trace — including the adversary counters themselves —
+    // must reproduce from the seed, and the cut must visibly change the run
+    // relative to the partition-free city.
+    let (first, stats) = partitioned_churn_digest(2008, true);
+    let (second, _) = partitioned_churn_digest(2008, true);
+    assert_eq!(
+        first, second,
+        "same seed + same partition window must reproduce the identical event trace"
+    );
+    assert_eq!(stats.partitions_started, 1, "the window must have opened");
+    assert_eq!(
+        stats.partitions_healed, 1,
+        "the window must have healed before the run ended"
+    );
+    assert!(
+        stats.cut_links_broken + stats.partition_drops > 0,
+        "cutting a 71-node island out of a 500-node city must break links or drop payloads"
+    );
+    let (unpartitioned, _) = partitioned_churn_digest(2008, false);
+    assert_ne!(first, unpartitioned, "the partition must have bitten");
+    let (other_seed, _) = partitioned_churn_digest(2009, true);
+    assert_ne!(first, other_seed, "different seeds should not collide");
 }
 
 // ---------------------------------------------------------------------
@@ -856,6 +944,23 @@ fn hotspot_city_trace_is_invariant_to_shards_and_adaptivity() {
     // And the digest must be seed-sensitive, not a constant.
     let (other, _) = sharded::hotspot_trace_digest(9022, 2, true);
     assert_ne!(reference, other, "different seeds should not collide");
+}
+
+#[test]
+#[should_panic(expected = "sequential-only")]
+fn sharded_world_cleanly_rejects_a_partition_plan() {
+    // The partition cut sweep consults globally ordered link state and one
+    // adversary RNG stream, neither of which has a shard-local
+    // representation — so, exactly like loss bursts, the sharded engine
+    // must refuse the plan outright rather than silently diverge from the
+    // sequential trace the test above pins down.
+    let mut world = sharded::build_city(2008, 2);
+    let island: Vec<NodeId> = world.node_ids().take(40).collect();
+    world.install_adversary_plan(&AdversaryPlan::new().partition(
+        SimTime::from_secs(20),
+        SimTime::from_secs(70),
+        island,
+    ));
 }
 
 #[test]
